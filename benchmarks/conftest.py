@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures: cached traces and a results directory."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import trace_cache  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def la_trace():
+    """LA-basin workload trace (grows the cache on first use)."""
+    return trace_cache.la_trace()
+
+
+@pytest.fixture(scope="session")
+def ne_trace():
+    """North-East workload trace."""
+    return trace_cache.ne_trace()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_series(path: Path, title: str, header, rows) -> None:
+    """Write one regenerated figure as an aligned text table."""
+    with path.open("w") as fh:
+        fh.write(f"# {title}\n")
+        fh.write("  ".join(f"{h:>14s}" for h in header) + "\n")
+        for row in rows:
+            cells = [
+                f"{c:>14.6g}" if isinstance(c, float) else f"{str(c):>14s}"
+                for c in row
+            ]
+            fh.write("  ".join(cells) + "\n")

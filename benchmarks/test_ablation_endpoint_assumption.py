@@ -1,0 +1,94 @@
+"""Ablation (Section 4.2's premise): endpoints, not wires, bound cost.
+
+The paper asserts that "communication performance is typically limited
+by the communication overhead on the end-points, and not by the
+aggregate bandwidth of the actual interconnect", and builds its whole
+model on it.  Here we route every Airshed redistribution over a 3-D
+torus (T3E-like) and a 2-D mesh (Paragon-like) with dimension-ordered
+routing and measure the busiest link: the link-limited time stays a
+small fraction of the endpoint-limited time at every node count.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.fx import Distribution, plan_redistribution
+from repro.vm import CRAY_T3E, INTEL_PARAGON
+from repro.vm.topology import (
+    PARAGON_LINK_COST,
+    T3E_LINK_COST,
+    analyze_contention,
+    torus_for,
+)
+
+SHAPE = (35, 5, 700)
+STEPS = {
+    "D_Repl->D_Trans": (Distribution.replicated(3), Distribution.block(3, 1)),
+    "D_Trans->D_Chem": (Distribution.block(3, 1), Distribution.block(3, 2)),
+    "D_Chem->D_Repl": (Distribution.block(3, 2), Distribution.replicated(3)),
+}
+NODE_COUNTS = (8, 16, 32, 64, 128)
+
+
+def ratios_for(machine, link_cost, ndims):
+    out = {}
+    for P in NODE_COUNTS:
+        topo = torus_for(P, link_cost, ndims=ndims)
+        for name, (src, dst) in STEPS.items():
+            plan = plan_redistribution(
+                src.layout(SHAPE, P), dst.layout(SHAPE, P), 8
+            )
+            la = analyze_contention(machine, topo, plan.transfers)
+            out[(P, name)] = la.contention_ratio
+    return out
+
+
+@pytest.fixture(scope="module")
+def t3e_ratios():
+    return ratios_for(CRAY_T3E, T3E_LINK_COST, ndims=3)
+
+
+@pytest.fixture(scope="module")
+def paragon_ratios():
+    return ratios_for(INTEL_PARAGON, PARAGON_LINK_COST, ndims=2)
+
+
+class TestEndpointAssumption:
+    def test_t3e_endpoints_dominate(self, t3e_ratios):
+        """3-D torus: the busiest link never reaches 25% of the
+        endpoint cost for any Airshed redistribution."""
+        for key, ratio in t3e_ratios.items():
+            assert ratio < 0.25, key
+
+    def test_paragon_endpoints_dominate(self, paragon_ratios):
+        """Even the 2-D Paragon mesh (worse bisection) stays below 1."""
+        for key, ratio in paragon_ratios.items():
+            assert ratio < 1.0, key
+
+    def test_copy_only_step_has_no_link_traffic(self, t3e_ratios):
+        for P in NODE_COUNTS:
+            assert t3e_ratios[(P, "D_Repl->D_Trans")] == 0.0
+
+    def test_write_series(self, t3e_ratios, paragon_ratios, results_dir):
+        rows = []
+        for P in NODE_COUNTS:
+            for name in STEPS:
+                rows.append([
+                    P, name, t3e_ratios[(P, name)], paragon_ratios[(P, name)],
+                ])
+        write_series(
+            results_dir / "ablation_endpoint_assumption.txt",
+            "Section 4.2 premise: link-limited / endpoint-limited time ratio",
+            ["nodes", "step", "T3E 3D torus", "Paragon 2D mesh"],
+            rows,
+        )
+
+
+def test_benchmark_contention_analysis(benchmark):
+    topo = torus_for(64, T3E_LINK_COST, ndims=3)
+    plan = plan_redistribution(
+        Distribution.block(3, 2).layout(SHAPE, 64),
+        Distribution.replicated(3).layout(SHAPE, 64),
+        8,
+    )
+    benchmark(analyze_contention, CRAY_T3E, topo, plan.transfers)

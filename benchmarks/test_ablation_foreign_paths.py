@@ -1,0 +1,74 @@
+"""Ablation (Figure 11): foreign-module communication scenarios A/B/C.
+
+The paper implements scenario A (relay through the representative task
+and the interface node) and sketches B (direct to all foreign nodes) and
+C (variable-to-variable) as increasingly efficient options.  We measure
+all three on the simulated machine.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_series
+from repro.foreign import ForeignModuleBinding, Scenario
+from repro.vm import Cluster, INTEL_PARAGON
+
+PAYLOAD_BYTES = 35 * 700 * 8  # one surface field of the LA dataset
+
+
+def scenario_cost(scenario: Scenario, n_native: int, n_foreign: int) -> float:
+    cluster = Cluster(INTEL_PARAGON, n_native + n_foreign)
+    binding = ForeignModuleBinding(
+        cluster.subgroup(range(n_native)),
+        cluster.subgroup(range(n_native, n_native + n_foreign)),
+        scenario=scenario,
+    )
+    return binding.relative_cost(PAYLOAD_BYTES)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    sizes = [(4, 2), (8, 4), (16, 4), (32, 8)]
+    return {
+        (nn, nf): {s: scenario_cost(s, nn, nf) for s in Scenario}
+        for nn, nf in sizes
+    }
+
+
+class TestFigure11:
+    def test_cost_ordering_everywhere(self, fig11):
+        for key, costs in fig11.items():
+            assert costs[Scenario.A] > costs[Scenario.B] > costs[Scenario.C], key
+
+    def test_relay_overhead_grows_with_payload_handling(self, fig11):
+        """Scenario A moves the payload ~3x (gather, forward, spread)."""
+        for key, costs in fig11.items():
+            assert costs[Scenario.A] > 2.0 * costs[Scenario.C], key
+
+    def test_direct_path_beats_relay_by_less_than_variable(self, fig11):
+        for key, costs in fig11.items():
+            gain_b = costs[Scenario.A] - costs[Scenario.B]
+            gain_c = costs[Scenario.A] - costs[Scenario.C]
+            assert gain_c > gain_b > 0, key
+
+    def test_write_series(self, fig11, results_dir):
+        rows = [
+            [f"{nn}+{nf}", costs[Scenario.A], costs[Scenario.B], costs[Scenario.C]]
+            for (nn, nf), costs in fig11.items()
+        ]
+        write_series(
+            results_dir / "ablation_foreign_paths.txt",
+            "Figure 11 ablation: transfer cost (s) of scenarios A/B/C",
+            ["native+foreign", "A (relay)", "B (direct)", "C (variable)"],
+            rows,
+        )
+
+
+def test_benchmark_scenario_a_transfer(benchmark):
+    cluster = Cluster(INTEL_PARAGON, 12)
+    binding = ForeignModuleBinding(
+        cluster.subgroup(range(8)), cluster.subgroup(range(8, 12)),
+        scenario=Scenario.A,
+    )
+    payload = np.zeros(PAYLOAD_BYTES // 8)
+    benchmark(binding.transfer_to_foreign, payload)

@@ -1,0 +1,81 @@
+"""Ablation (Section 3 / related work): multiscale 2-D Airshed versus
+the uniform-grid 1-D-operator Airshed, as whole applications.
+
+Paper: "models based on a uniform grid and 1-dimensional operators will
+offer better speedups, but because of their lower efficiency, they may
+not necessarily have better absolute performance.  In fact, related
+research appears to indicate that the improved parallelization does not
+make up for the reduced sequential performance."
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.datasets import make_la
+from repro.perfmodel.alternatives import UniformAirshedModel, compare_grid_strategies
+from repro.vm import CRAY_T3E
+
+NODE_COUNTS = (1, 4, 16, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def comparison(la_trace):
+    return compare_grid_strategies(
+        la_trace, make_la().grid, CRAY_T3E, node_counts=NODE_COUNTS
+    )
+
+
+class TestGridStrategy:
+    def test_uniform_speedups_are_better(self, comparison):
+        for P in (16, 64, 128):
+            assert (
+                comparison[P]["uniform_speedup"]
+                > comparison[P]["multiscale_speedup"]
+            ), P
+
+    def test_multiscale_absolute_time_wins(self, comparison):
+        """...but not by enough to overcome the sequential handicap."""
+        for P in NODE_COUNTS:
+            assert comparison[P]["multiscale"] < comparison[P]["uniform"], P
+
+    def test_sequential_handicap_matches_point_ratio(self, la_trace):
+        model = UniformAirshedModel(la_trace, make_la().grid, CRAY_T3E)
+        assert model.point_ratio > 3.0
+        ops = model.sequential_ops()
+        ms_ops = la_trace.total_ops_by_phase()
+        assert ops["chemistry"] / ms_ops["chemistry"] == pytest.approx(
+            model.point_ratio
+        )
+
+    def test_gap_narrows_with_P(self, comparison):
+        """The uniform variant catches up as P grows (better speedup),
+        so the ratio uniform/multiscale falls monotonically."""
+        ratios = [
+            comparison[P]["uniform"] / comparison[P]["multiscale"]
+            for P in NODE_COUNTS
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] > 1.0  # still hasn't crossed at 256 nodes
+
+    def test_write_series(self, comparison, results_dir):
+        rows = [
+            [
+                P,
+                comparison[P]["multiscale"],
+                comparison[P]["uniform"],
+                comparison[P]["multiscale_speedup"],
+                comparison[P]["uniform_speedup"],
+            ]
+            for P in NODE_COUNTS
+        ]
+        write_series(
+            results_dir / "ablation_gridstrategy.txt",
+            "Section 3 ablation: whole-app time (s) and speedup, T3E, LA",
+            ["nodes", "multiscale", "uniform", "ms speedup", "uni speedup"],
+            rows,
+        )
+
+
+def test_benchmark_strategy_comparison(benchmark, la_trace):
+    grid = make_la().grid
+    benchmark(compare_grid_strategies, la_trace, grid, CRAY_T3E)

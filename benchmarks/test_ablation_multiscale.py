@@ -1,0 +1,74 @@
+"""Ablation (Section 2.1): multiscale grid versus uniform grid.
+
+Paper: "to provide a given accuracy, a well-chosen multiscale grid is
+computationally significantly more efficient than a uniform grid, as it
+requires evaluation of the Lcz operator at fewer points."
+
+We quantify that: the accuracy-equivalent uniform grid (matching the
+multiscale grid's finest resolution) needs several times more points,
+and since the dominant chemistry cost is linear in points, the cost
+ratio follows directly.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.datasets import LA_SPEC, NE_SPEC
+from repro.grid import uniform_from_multiscale
+
+
+@pytest.fixture(scope="module")
+def grids():
+    la = LA_SPEC.build().grid
+    ne = NE_SPEC.build().grid
+    return {"la": la, "ne": ne}
+
+
+class TestMultiscaleEfficiency:
+    def test_uniform_equivalent_needs_more_points(self, grids):
+        for name, grid in grids.items():
+            ratio = grid.equivalent_uniform_npoints() / grid.npoints
+            assert ratio > 3.0, name
+
+    def test_uniform_grid_construction_matches_estimate(self, grids):
+        for grid in grids.values():
+            uni = uniform_from_multiscale(grid)
+            assert uni.npoints == grid.equivalent_uniform_npoints()
+
+    def test_refinement_concentrated_on_cores(self, grids):
+        """Fine cells cover a small fraction of the domain area."""
+        for name, grid in grids.items():
+            fine = grid.areas < 1.5 * grid.areas.min()
+            fine_area_fraction = grid.areas[fine].sum() / grid.total_area()
+            fine_count_fraction = fine.sum() / grid.npoints
+            assert fine_count_fraction > 3 * fine_area_fraction, name
+
+    def test_chemistry_cost_scales_with_points(self, grids, la_trace):
+        """Chemistry ops per point are resolution-independent, so the
+        point ratio IS the Lcz cost ratio."""
+        grid = grids["la"]
+        step = la_trace.hours[0].steps[0]
+        per_point = step.chemistry_ops.mean()
+        uniform_cost = per_point * grid.equivalent_uniform_npoints()
+        multiscale_cost = step.chemistry_ops.sum()
+        assert uniform_cost / multiscale_cost > 3.0
+
+    def test_write_series(self, grids, results_dir):
+        rows = []
+        for name, grid in grids.items():
+            rows.append([
+                name,
+                float(grid.npoints),
+                float(grid.equivalent_uniform_npoints()),
+                grid.equivalent_uniform_npoints() / grid.npoints,
+            ])
+        write_series(
+            results_dir / "ablation_multiscale.txt",
+            "Section 2.1 ablation: multiscale vs accuracy-equivalent uniform grid",
+            ["dataset", "multiscale", "uniform", "cost ratio"],
+            rows,
+        )
+
+
+def test_benchmark_grid_generation(benchmark):
+    benchmark(lambda: LA_SPEC.build().grid)

@@ -1,0 +1,122 @@
+"""Ablation (Section 3): 2-D SUPG operator versus 1-D splitting.
+
+Paper: the 2-D operator's parallelism is restricted to the number of
+layers, whereas 1-D uniform-grid operators parallelise over layers and
+one grid dimension — "models based on a uniform grid and 1-dimensional
+operators will offer better speedups, but because of their lower
+efficiency, they may not necessarily have better absolute performance".
+And: "in conditions where significant cross-flow components exist ... a
+2-dimensional method can also use a larger time step than a
+1-dimensional method to achieve the same accuracy."
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_series
+from repro.grid import UniformGrid, triangulate
+from repro.transport import SUPGTransport, Splitting1DTransport
+
+LAYERS = 5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = UniformGrid(domain=(100.0, 100.0), nx=30, ny=30)
+    mesh = triangulate(grid.points())
+    return grid, mesh
+
+
+def advect_diag(setup, method: str, dt: float, hours: float = 2.0):
+    """Advect a blob diagonally (maximal cross-flow for the splitting)
+    and report the final peak (diffusion-free transport keeps peak=1)."""
+    grid, mesh = setup
+    speed = 0.006  # km/s
+    u = np.tile([speed / np.sqrt(2), speed / np.sqrt(2)], (grid.npoints, 1))
+    pts = grid.points()
+    c0 = np.exp(
+        -0.5 * ((pts[:, 0] - 30) ** 2 + (pts[:, 1] - 30) ** 2) / 6.0**2
+    )[None, :]
+    steps = int(round(hours * 3600 / dt))
+    if method == "supg":
+        op = SUPGTransport(mesh, diffusivity=1e-6).prepare(u, dt)
+        c = c0
+        for _ in range(steps):
+            c, _ = op.step(c)
+    else:
+        tr = Splitting1DTransport(grid, diffusivity=1e-6)
+        c = c0
+        for _ in range(steps):
+            c, _ = tr.step(c, u, dt)
+    return float(c.max())
+
+
+class TestParallelismStructure:
+    def test_1d_operator_has_more_parallelism(self, setup):
+        grid, _ = setup
+        tr = Splitting1DTransport(grid, diffusivity=1e-3)
+        par_1d = tr.degree_of_parallelism(LAYERS)
+        par_2d = LAYERS  # the whole layer is one implicit solve
+        assert par_1d == LAYERS * 30
+        assert par_1d / par_2d == 30
+
+    def test_2d_speedup_saturates_earlier(self, setup):
+        """Model the paper's argument: T(P) = max-load(P) per operator."""
+        grid, _ = setup
+        import math
+
+        def t_model(par, P):
+            return math.ceil(par / min(par, P)) / par
+
+        # At P=64: 2-D is stuck at 1/5 of sequential, 1-D reaches ~1/60.
+        assert t_model(LAYERS, 64) == pytest.approx(1 / 5)
+        assert t_model(LAYERS * 30, 64) < 1 / 40
+
+
+class TestCrossFlowAccuracy:
+    def test_2d_retains_peak_better_in_cross_flow(self, setup):
+        """Diagonal advection: SUPG keeps the blob sharper than the
+        split 1-D upwind sweeps at the same dt."""
+        dt = 300.0
+        peak_2d = advect_diag(setup, "supg", dt)
+        peak_1d = advect_diag(setup, "1d", dt)
+        assert peak_2d > peak_1d
+
+    def test_1d_needs_smaller_step_for_same_accuracy(self, setup):
+        """The 1-D method only approaches the 2-D method's dt=300 peak
+        when its own step is much smaller."""
+        peak_2d_300 = advect_diag(setup, "supg", 300.0)
+        peak_1d_300 = advect_diag(setup, "1d", 300.0)
+        peak_1d_75 = advect_diag(setup, "1d", 75.0)
+        assert peak_1d_75 > peak_1d_300
+        assert abs(peak_1d_75 - peak_2d_300) < abs(peak_1d_300 - peak_2d_300)
+
+    def test_write_series(self, setup, results_dir):
+        rows = [
+            ["supg dt=300", advect_diag(setup, "supg", 300.0)],
+            ["1d dt=300", advect_diag(setup, "1d", 300.0)],
+            ["1d dt=150", advect_diag(setup, "1d", 150.0)],
+            ["1d dt=75", advect_diag(setup, "1d", 75.0)],
+        ]
+        write_series(
+            results_dir / "ablation_transport1d.txt",
+            "Section 3 ablation: peak retention, diagonal (cross-flow) advection",
+            ["method", "final peak"],
+            rows,
+        )
+
+
+def test_benchmark_supg_step(benchmark, setup):
+    grid, mesh = setup
+    u = np.tile([0.005, 0.003], (grid.npoints, 1))
+    op = SUPGTransport(mesh, diffusivity=1e-4).prepare(u, 300.0)
+    c = np.random.default_rng(0).uniform(0, 1, (35, grid.npoints))
+    benchmark(op.step, c)
+
+
+def test_benchmark_1d_step(benchmark, setup):
+    grid, _ = setup
+    tr = Splitting1DTransport(grid, diffusivity=1e-4)
+    u = np.tile([0.005, 0.003], (grid.npoints, 1))
+    c = np.random.default_rng(0).uniform(0, 1, (35, grid.npoints))
+    benchmark(tr.step, c, u, 300.0)

@@ -1,0 +1,84 @@
+"""Figure 2: Airshed execution times, LA dataset, on T3E / T3D / Paragon.
+
+Paper claims reproduced here:
+
+* significant (sub-linear) speedups on every machine;
+* on the Paragon, going 4 -> 32 nodes (8x) gives a speedup around 4.5;
+* the log-scale curves of the three machines are nearly parallel
+  ("performance portable");
+* the T3D is just under 2x faster than the Paragon, the T3E ~10x.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel
+from repro.vm import CRAY_T3D, CRAY_T3E, INTEL_PARAGON
+from trace_cache import PAPER_NODE_COUNTS
+
+MACHINES = (CRAY_T3E, CRAY_T3D, INTEL_PARAGON)
+
+
+@pytest.fixture(scope="module")
+def fig2(la_trace):
+    """{machine: [total time at each P]}."""
+    return {
+        m.name: [
+            replay_data_parallel(la_trace, m, P).total_time
+            for P in PAPER_NODE_COUNTS
+        ]
+        for m in MACHINES
+    }
+
+
+class TestFigure2:
+    def test_speedup_on_every_machine(self, fig2):
+        for name, times in fig2.items():
+            assert times == sorted(times, reverse=True), name
+            assert times[0] / times[-1] > 3.0, name  # 4 -> 128 nodes
+
+    def test_paragon_4_to_32_speedup(self, fig2):
+        """Paper: 'a speedup of around 4.5' for 8x more nodes."""
+        times = fig2[INTEL_PARAGON.name]
+        speedup = times[0] / times[PAPER_NODE_COUNTS.index(32)]
+        assert 3.0 < speedup < 6.0
+
+    def test_machine_ratios(self, fig2):
+        """T3D just under 2x Paragon; T3E ~10x Paragon, across P."""
+        for i in range(len(PAPER_NODE_COUNTS)):
+            para = fig2[INTEL_PARAGON.name][i]
+            t3d = fig2[CRAY_T3D.name][i]
+            t3e = fig2[CRAY_T3E.name][i]
+            assert 1.5 < para / t3d < 2.3
+            assert 6.0 < para / t3e < 13.0
+
+    def test_log_curves_nearly_parallel(self, fig2):
+        """Performance portability: same qualitative speedup behaviour.
+
+        On the log scale, the shift between two machines' curves should
+        be nearly constant in P.
+        """
+        ref = np.log(fig2[INTEL_PARAGON.name])
+        for name in (CRAY_T3E.name, CRAY_T3D.name):
+            shift = ref - np.log(fig2[name])
+            assert shift.max() - shift.min() < 0.35, name
+
+    def test_write_series(self, fig2, results_dir):
+        rows = [
+            [P] + [fig2[m.name][i] for m in MACHINES]
+            for i, P in enumerate(PAPER_NODE_COUNTS)
+        ]
+        write_series(
+            results_dir / "fig02_machines.txt",
+            "Figure 2: Airshed execution time (s), LA dataset",
+            ["nodes"] + [m.name for m in MACHINES],
+            rows,
+        )
+
+
+def test_benchmark_replay_la_t3e_32(benchmark, la_trace):
+    """Cost of one full parallel-execution simulation (T3E, P=32)."""
+    benchmark(replay_data_parallel, la_trace, CRAY_T3E, 32)

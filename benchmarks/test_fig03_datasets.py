@@ -1,0 +1,74 @@
+"""Figure 3: Airshed execution times on the Cray T3E, LA vs NE datasets.
+
+Paper claim: "the qualitative execution behavior is similar for the two
+data sets.  In particular, the logarithmic graph shows that they follow
+broadly similar speedup patterns."  (NE has 4.75x the grid points, so
+its absolute times sit above LA's.)
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel
+from repro.vm import CRAY_T3E
+from trace_cache import LA_HOURS, NE_HOURS, PAPER_NODE_COUNTS
+
+
+@pytest.fixture(scope="module")
+def fig3(la_trace, ne_trace):
+    la = [
+        replay_data_parallel(la_trace, CRAY_T3E, P).total_time
+        for P in PAPER_NODE_COUNTS
+    ]
+    ne = [
+        replay_data_parallel(ne_trace, CRAY_T3E, P).total_time
+        for P in PAPER_NODE_COUNTS
+    ]
+    return la, ne
+
+
+class TestFigure3:
+    def test_both_datasets_speed_up(self, fig3):
+        la, ne = fig3
+        assert la == sorted(la, reverse=True)
+        assert ne == sorted(ne, reverse=True)
+
+    def test_ne_is_larger_everywhere(self, fig3):
+        """3328 points vs 700: NE costs more per simulated hour."""
+        la, ne = fig3
+        # Normalise to per-hour cost (the traces cover different windows).
+        for a, b in zip(la, ne):
+            assert b / NE_HOURS > a / LA_HOURS
+
+    def test_similar_speedup_patterns(self, fig3):
+        """Log-scale curves are broadly parallel (the paper's claim)."""
+        la, ne = fig3
+        shift = np.log(ne) - np.log(la)
+        assert shift.max() - shift.min() < 0.8
+
+    def test_ne_scales_a_bit_better(self, fig3):
+        """More grid points = more chemistry parallelism to exploit: the
+        larger dataset keeps speeding up at least as long as the small
+        one (classic Gustafson behaviour)."""
+        la, ne = fig3
+        la_gain = la[0] / la[-1]
+        ne_gain = ne[0] / ne[-1]
+        assert ne_gain > 0.9 * la_gain
+
+    def test_write_series(self, fig3, results_dir):
+        la, ne = fig3
+        rows = [
+            [P, la[i], ne[i]]
+            for i, P in enumerate(PAPER_NODE_COUNTS)
+        ]
+        write_series(
+            results_dir / "fig03_datasets.txt",
+            f"Figure 3: T3E execution time (s); LA={LA_HOURS}h, NE={NE_HOURS}h windows",
+            ["nodes", "LA", "NE"],
+            rows,
+        )
+
+
+def test_benchmark_replay_ne_t3e_64(benchmark, ne_trace):
+    benchmark(replay_data_parallel, ne_trace, CRAY_T3E, 64)

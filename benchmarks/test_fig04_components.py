@@ -1,0 +1,79 @@
+"""Figure 4: scaling of Airshed components on the Cray T3E, LA dataset.
+
+Paper claims reproduced:
+
+* most time is chemistry, then transport, then I/O processing;
+* chemistry scales well to large node counts;
+* transport scales only up to ~8 nodes (parallelism bounded by the 5
+  layers: halves from 4 to 8, then flat);
+* I/O processing time is constant;
+* communication is a small fraction of the total everywhere.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel
+from repro.vm import CRAY_T3E
+from trace_cache import PAPER_NODE_COUNTS
+
+
+@pytest.fixture(scope="module")
+def fig4(la_trace):
+    return {
+        P: replay_data_parallel(la_trace, CRAY_T3E, P).breakdown
+        for P in PAPER_NODE_COUNTS
+    }
+
+
+class TestFigure4:
+    def test_component_ordering_at_small_P(self, fig4):
+        b = fig4[4]
+        assert b["chemistry"] > b["transport"] > b["io"]
+
+    def test_chemistry_scales_nearly_linearly(self, fig4):
+        c4, c32 = fig4[4]["chemistry"], fig4[32]["chemistry"]
+        assert c4 / c32 > 6.0  # ideal 8x, some load imbalance allowed
+
+    def test_transport_halves_then_flattens(self, fig4):
+        """5 layers: 2 per node at P=4, 1 at P=8, constant afterwards."""
+        t4, t8 = fig4[4]["transport"], fig4[8]["transport"]
+        assert t4 / t8 == pytest.approx(2.0, rel=0.05)
+        for P in (16, 32, 64, 128):
+            assert fig4[P]["transport"] == pytest.approx(t8, rel=1e-9)
+
+    def test_io_constant(self, fig4):
+        io4 = fig4[4]["io"]
+        for P in PAPER_NODE_COUNTS[1:]:
+            assert fig4[P]["io"] == pytest.approx(io4, rel=1e-9)
+
+    def test_communication_small_fraction(self, fig4):
+        """'communication accounts for a very small fraction'."""
+        for P, b in fig4.items():
+            total = sum(b.values())
+            assert b["communication"] / total < 0.15, P
+
+    def test_io_becomes_relatively_important(self, fig4):
+        """The Amdahl seed of Section 5: flat I/O grows in proportion."""
+        frac4 = fig4[4]["io"] / sum(fig4[4].values())
+        frac128 = fig4[128]["io"] / sum(fig4[128].values())
+        assert frac128 > 3 * frac4
+
+    def test_write_series(self, fig4, results_dir):
+        rows = [
+            [P, b["communication"], b["chemistry"], b["transport"], b["io"]]
+            for P, b in fig4.items()
+        ]
+        write_series(
+            results_dir / "fig04_components.txt",
+            "Figure 4: component times (s) on the Cray T3E, LA dataset",
+            ["nodes", "comm", "chemistry", "transport", "io"],
+            rows,
+        )
+
+
+def test_benchmark_breakdown_extraction(benchmark, la_trace):
+    def run():
+        return replay_data_parallel(la_trace, CRAY_T3E, 8).breakdown
+
+    assert benchmark(run)["chemistry"] > 0

@@ -1,0 +1,82 @@
+"""Figure 5: scaling of the communication steps, LA on the T3E.
+
+Paper claims reproduced:
+
+* ``D_Repl->D_Trans`` is copy-only: large drop from 4 to 8 nodes (2
+  layers -> 1 layer per node), constant afterwards;
+* ``D_Trans->D_Chem`` drops 4 -> 8, then gradually increases (constant
+  data volume, growing latency term from more, smaller messages);
+* ``D_Chem->D_Repl`` is the most expensive step and gradually increases
+  with P (every node receives the whole array; message count grows).
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel
+from repro.vm import CRAY_T3E
+from trace_cache import PAPER_NODE_COUNTS
+
+STEPS = ("D_Repl->D_Trans", "D_Trans->D_Chem", "D_Chem->D_Repl")
+
+
+@pytest.fixture(scope="module")
+def fig5(la_trace):
+    """{P: {step: cumulative time}} (cumulative over the whole run)."""
+    return {
+        P: replay_data_parallel(la_trace, CRAY_T3E, P).comm_by_step
+        for P in PAPER_NODE_COUNTS
+    }
+
+
+class TestFigure5:
+    def test_repl_to_trans_halves_then_constant(self, fig5):
+        s = "D_Repl->D_Trans"
+        assert fig5[4][s] / fig5[8][s] == pytest.approx(2.0, rel=0.02)
+        for P in (16, 32, 64, 128):
+            assert fig5[P][s] == pytest.approx(fig5[8][s], rel=1e-9)
+
+    def test_trans_to_chem_drop_then_gradual_rise(self, fig5):
+        s = "D_Trans->D_Chem"
+        assert fig5[8][s] < fig5[4][s]
+        assert fig5[8][s] < fig5[32][s] < fig5[128][s]
+        # The rise is gradual: far less than the factor-2 initial drop.
+        assert fig5[128][s] / fig5[8][s] < 3.0
+
+    def test_chem_to_repl_most_expensive_and_rising(self, fig5):
+        for P in PAPER_NODE_COUNTS:
+            others = [fig5[P][s] for s in STEPS[:2]]
+            assert fig5[P]["D_Chem->D_Repl"] > max(others), P
+        assert fig5[128]["D_Chem->D_Repl"] > fig5[8]["D_Chem->D_Repl"]
+
+    def test_gather_is_cheap(self, fig5):
+        """The end-of-hour output gather stays below the all-gather."""
+        for P in PAPER_NODE_COUNTS:
+            assert fig5[P]["gather:outputhour"] < fig5[P]["D_Chem->D_Repl"]
+
+    def test_write_series(self, fig5, results_dir):
+        rows = [
+            [P] + [fig5[P][s] for s in STEPS]
+            for P in PAPER_NODE_COUNTS
+        ]
+        write_series(
+            results_dir / "fig05_redistribution.txt",
+            "Figure 5: cumulative redistribution time (s), LA on T3E",
+            ["nodes"] + list(STEPS),
+            rows,
+        )
+
+
+def test_benchmark_redistribution_planning(benchmark):
+    """Planning cost of the heaviest redistribution (cache cleared)."""
+    from repro.fx import Distribution, plan_redistribution
+    from repro.fx import redistribute as _r
+
+    src = Distribution.block(3, 2).layout((35, 5, 700), 64)
+    dst = Distribution.replicated(3).layout((35, 5, 700), 64)
+
+    def plan():
+        _r._PLAN_CACHE.clear()
+        return plan_redistribution(src, dst, 8)
+
+    assert not benchmark(plan).is_empty()

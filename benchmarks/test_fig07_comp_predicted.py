@@ -1,0 +1,75 @@
+"""Figure 7: predicted vs measured computation-phase times, LA on T3E.
+
+Paper: "the estimates and measured values match closely for the
+computation phases also.  In fact, the values for the computation phases
+appear to be closer to the predictions than the communication phases."
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel
+from repro.perfmodel import PerformancePredictor
+from repro.vm import CRAY_T3E
+from trace_cache import PAPER_NODE_COUNTS
+
+PHASES = ("chemistry", "transport", "io")
+
+
+@pytest.fixture(scope="module")
+def fig7(la_trace):
+    predictor = PerformancePredictor(la_trace, CRAY_T3E)
+    out = {}
+    for P in PAPER_NODE_COUNTS:
+        measured = replay_data_parallel(la_trace, CRAY_T3E, P).breakdown
+        predicted = predictor.predict(P).compute_breakdown()
+        out[P] = (measured, predicted)
+    return out
+
+
+class TestFigure7:
+    def test_computation_phases_predicted_tightly(self, fig7):
+        for P, (measured, predicted) in fig7.items():
+            for phase in PHASES:
+                rel = abs(predicted[phase] - measured[phase]) / measured[phase]
+                assert rel < 0.05, (P, phase, rel)
+
+    def test_totals_predicted(self, fig7):
+        for P, (measured, predicted) in fig7.items():
+            m_tot = sum(measured.values())
+            p_tot = sum(predicted.values())
+            assert p_tot == pytest.approx(m_tot, rel=0.10), P
+
+    def test_computation_closer_than_communication(self, fig7):
+        """The paper's observation about relative prediction quality."""
+        for P, (measured, predicted) in fig7.items():
+            comp_err = max(
+                abs(predicted[ph] - measured[ph]) / measured[ph]
+                for ph in PHASES
+            )
+            comm_err = abs(
+                predicted["communication"] - measured["communication"]
+            ) / measured["communication"]
+            assert comp_err <= comm_err + 1e-12, P
+
+    def test_write_series(self, fig7, results_dir):
+        rows = []
+        for P, (measured, predicted) in fig7.items():
+            for phase in PHASES + ("communication",):
+                rows.append([P, phase, measured[phase], predicted[phase]])
+        write_series(
+            results_dir / "fig07_comp_predicted.txt",
+            "Figure 7: measured vs predicted phase times (s), LA on T3E",
+            ["nodes", "phase", "measured", "predicted"],
+            rows,
+        )
+
+
+def test_benchmark_full_prediction_sweep(benchmark, la_trace):
+    predictor = PerformancePredictor(la_trace, CRAY_T3E)
+
+    def sweep():
+        return [predictor.predict_total(P) for P in PAPER_NODE_COUNTS]
+
+    totals = benchmark(sweep)
+    assert all(t > 0 for t in totals)

@@ -1,0 +1,72 @@
+"""Figure 9: speedup of Airshed on the Intel Paragon — data parallelism
+versus task+data parallelism.
+
+Paper claims reproduced:
+
+* I/O processing consumes well under 2% sequentially but ~30% of the
+  execution time on 64 nodes (the Amdahl bottleneck);
+* pipelined task parallelism significantly improves scalability;
+* the execution time on 64 nodes drops by around 25%.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.model import replay_data_parallel, replay_task_parallel
+from repro.vm import INTEL_PARAGON
+
+NODE_COUNTS = (4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def fig9(la_trace):
+    base = replay_data_parallel(la_trace, INTEL_PARAGON, 1).total_time
+    rows = {}
+    for P in NODE_COUNTS:
+        dp = replay_data_parallel(la_trace, INTEL_PARAGON, P)
+        tp = replay_task_parallel(la_trace, INTEL_PARAGON, P)
+        rows[P] = (base / dp.total_time, base / tp.total_time, dp, tp)
+    return base, rows
+
+
+class TestFigure9:
+    def test_io_under_2_percent_sequential(self, la_trace):
+        seq = replay_data_parallel(la_trace, INTEL_PARAGON, 1)
+        assert seq.breakdown["io"] / seq.total_time < 0.02
+
+    def test_io_over_25_percent_at_64_nodes(self, fig9):
+        _, rows = fig9
+        dp64 = rows[64][2]
+        assert dp64.breakdown["io"] / dp64.total_time > 0.25
+
+    def test_task_parallel_wins_at_64(self, fig9):
+        """Paper: ~25% execution-time reduction on 64 nodes."""
+        _, rows = fig9
+        dp, tp = rows[64][2].total_time, rows[64][3].total_time
+        gain = (dp - tp) / dp
+        assert 0.15 < gain < 0.35
+
+    def test_task_parallel_speedup_keeps_growing(self, fig9):
+        _, rows = fig9
+        tp_speedups = [rows[P][1] for P in NODE_COUNTS]
+        assert tp_speedups == sorted(tp_speedups)
+        # And the gap over data-parallel widens with P.
+        gaps = [rows[P][1] - rows[P][0] for P in (16, 32, 64)]
+        assert gaps == sorted(gaps)
+
+    def test_write_series(self, fig9, results_dir):
+        _, rows = fig9
+        table = [
+            [P, rows[P][0], rows[P][1]]
+            for P in NODE_COUNTS
+        ]
+        write_series(
+            results_dir / "fig09_taskparallel.txt",
+            "Figure 9: speedup on the Intel Paragon (vs 1 node), LA dataset",
+            ["nodes", "data-parallel", "task+data"],
+            table,
+        )
+
+
+def test_benchmark_taskparallel_replay(benchmark, la_trace):
+    benchmark(replay_task_parallel, la_trace, INTEL_PARAGON, 32)

@@ -1,0 +1,87 @@
+"""Figure 13: Airshed + PopExp with PopExp as a native Fx task versus as
+a PVM foreign module, on the Intel Paragon.
+
+Paper claims reproduced:
+
+* the two versions compute the same result (we additionally verify the
+  exposure numbers agree exactly);
+* "there is a fixed, relatively small, extra overhead associated with
+  the foreign module approach", which "does not significantly impact
+  overall performance".
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_series
+from repro.datasets import make_la
+from repro.foreign import Scenario, run_integrated
+from repro.vm import INTEL_PARAGON
+
+NODE_COUNTS = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def la_dataset():
+    return make_la()
+
+
+@pytest.fixture(scope="module")
+def fig13(la_trace, la_dataset):
+    out = {}
+    for P in NODE_COUNTS:
+        native = run_integrated(la_trace, la_dataset, INTEL_PARAGON, P,
+                                mode="native")
+        foreign = run_integrated(la_trace, la_dataset, INTEL_PARAGON, P,
+                                 mode="foreign")
+        out[P] = (native, foreign)
+    return out
+
+
+class TestFigure13:
+    def test_exposures_identical(self, fig13):
+        for P, (native, foreign) in fig13.items():
+            assert np.allclose(native.exposure, foreign.exposure), P
+            assert native.exposure.sum() > 0
+
+    def test_foreign_overhead_small(self, fig13):
+        for P, (native, foreign) in fig13.items():
+            overhead = (foreign.total_time - native.total_time) / native.total_time
+            assert 0.0 <= overhead < 0.25, (P, overhead)
+
+    def test_foreign_overhead_roughly_fixed(self, fig13):
+        """'a fixed ... extra overhead': absolute gap varies far less
+        than the total time does across the node range."""
+        gaps = [
+            fig13[P][1].total_time - fig13[P][0].total_time
+            for P in NODE_COUNTS
+        ]
+        totals = [fig13[P][0].total_time for P in NODE_COUNTS]
+        gap_ratio = max(gaps) / max(min(gaps), 1e-12)
+        total_ratio = max(totals) / min(totals)
+        assert gap_ratio < total_ratio
+
+    def test_both_versions_scale(self, fig13):
+        n_times = [fig13[P][0].total_time for P in NODE_COUNTS]
+        f_times = [fig13[P][1].total_time for P in NODE_COUNTS]
+        assert n_times == sorted(n_times, reverse=True)
+        assert f_times == sorted(f_times, reverse=True)
+
+    def test_write_series(self, fig13, results_dir):
+        rows = [
+            [P, fig13[P][0].total_time, fig13[P][1].total_time]
+            for P in NODE_COUNTS
+        ]
+        write_series(
+            results_dir / "fig13_foreign_module.txt",
+            "Figure 13: Airshed+PopExp time (s) on the Paragon: native vs foreign",
+            ["nodes", "native", "foreign"],
+            rows,
+        )
+
+
+def test_benchmark_integrated_run(benchmark, la_trace, la_dataset):
+    benchmark(
+        run_integrated, la_trace, la_dataset, INTEL_PARAGON, 16,
+        mode="foreign", scenario=Scenario.A,
+    )

@@ -1,0 +1,68 @@
+"""Section 4.3 'table': the estimated machine parameters.
+
+The paper estimates, from small-node measurements on the T3E::
+
+    L = 5.2e-5 s/message
+    G = 2.47e-8 s/byte
+    H = 2.04e-8 s/byte
+
+We run the application at a few small node counts, fit L, G, H from the
+observed communication phases (plus the compute rate from the compute
+phases), and check the fit recovers the machine's constants — i.e. the
+whole accounting chain is self-consistent, which is what makes the
+extrapolation use case ("measure small, predict large") sound.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.fx.runtime import FxRuntime
+from repro.model.dataparallel import HourReplayer
+from repro.perfmodel import fit_comm_parameters, fit_compute_rate
+from repro.vm import CRAY_T3E
+
+SMALL_NODE_COUNTS = (2, 3, 4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def timelines(la_trace):
+    out = []
+    for P in SMALL_NODE_COUNTS:
+        rt = FxRuntime(CRAY_T3E, P)
+        replayer = HourReplayer(rt.world, la_trace)
+        for hour in la_trace.hours[:2]:
+            replayer.run_hour(hour)
+        out.append(rt.timeline)
+    return out
+
+
+class TestCalibration:
+    def test_comm_fit_recovers_constants(self, timelines):
+        fit = fit_comm_parameters(timelines)
+        assert fit.gap == pytest.approx(CRAY_T3E.gap, rel=0.10)
+        assert fit.copy_cost == pytest.approx(CRAY_T3E.copy_cost, rel=0.10)
+        # Latency is the smallest term in these phases; recover loosely.
+        assert fit.latency == pytest.approx(CRAY_T3E.latency, rel=0.9)
+
+    def test_compute_rate_recovered(self, timelines):
+        rate = fit_compute_rate(timelines)
+        assert rate == pytest.approx(CRAY_T3E.seconds_per_op, rel=1e-6)
+
+    def test_write_series(self, timelines, results_dir):
+        fit = fit_comm_parameters(timelines)
+        rows = [
+            ["L (s/msg)", 5.2e-5, CRAY_T3E.latency, fit.latency],
+            ["G (s/B)", 2.47e-8, CRAY_T3E.gap, fit.gap],
+            ["H (s/B)", 2.04e-8, CRAY_T3E.copy_cost, fit.copy_cost],
+        ]
+        write_series(
+            results_dir / "params_calibration.txt",
+            "Section 4.3: T3E parameters (paper / configured / re-fit)",
+            ["param", "paper", "configured", "fitted"],
+            rows,
+        )
+
+
+def test_benchmark_parameter_fit(benchmark, timelines):
+    fit = benchmark(fit_comm_parameters, timelines)
+    assert fit.samples > 50

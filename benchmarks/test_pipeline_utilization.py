@@ -1,0 +1,98 @@
+"""Figure 8 (quantified): the pipelined schedule's overlap.
+
+The paper's Figure 8 is a schematic of the three-stage pipeline.  We
+regenerate it as a text Gantt chart from the simulated schedule and
+quantify the property the schematic conveys: the main computation stays
+busy while the I/O stages tick along on their own nodes — i.e. the
+sequential I/O has left the critical path.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.analysis import render_gantt
+from repro.fx.runtime import FxRuntime
+from repro.fx.tasks import PipelineStage
+from repro.model.dataparallel import HourReplayer
+from repro.vm import INTEL_PARAGON, utilization
+
+P = 16
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(la_trace):
+    import numpy as np
+
+    rt = FxRuntime(INTEL_PARAGON, P)
+    in_g, main_g, out_g = rt.split([1, P - 2, 1])
+    rep = HourReplayer(main_g, la_trace)
+    hours = la_trace.hours
+    array_bytes = int(np.prod(la_trace.shape)) * 8
+    stages = [
+        PipelineStage(
+            "input", in_g,
+            lambda i: (
+                in_g.charge_io("io:inputhour", hours[i].input_bytes,
+                               ops=hours[i].input_ops),
+                in_g.charge_io("io:pretrans", 0.0, ops=hours[i].pretrans_ops),
+            ),
+            output_bytes=lambda i: hours[i].input_bytes,
+        ),
+        PipelineStage(
+            "main", main_g,
+            lambda i: rep.run_hour(hours[i], gather=False),
+            output_bytes=lambda i: array_bytes,
+        ),
+        PipelineStage(
+            "output", out_g,
+            lambda i: out_g.charge_io("io:outputhour", hours[i].output_bytes,
+                                      ops=hours[i].output_ops),
+        ),
+    ]
+    rt.pipeline(stages).execute(len(hours))
+    groups = {"input": in_g.node_ids, "main": main_g.node_ids,
+              "output": out_g.node_ids}
+    return rt, groups
+
+
+class TestFigure8:
+    def test_main_group_dominates_busy_time(self, pipeline_run):
+        rt, groups = pipeline_run
+        rep = utilization(rt.timeline, P)
+        main_busy = sum(rep.nodes[i].busy for i in groups["main"])
+        io_busy = sum(
+            rep.nodes[i].busy for i in groups["input"] + groups["output"]
+        )
+        assert main_busy > 10 * io_busy
+
+    def test_io_runs_concurrently_with_main(self, pipeline_run):
+        """Input phases overlap main compute phases in simulated time."""
+        rt, groups = pipeline_run
+        main_ids = set(groups["main"])
+        compute_windows = [
+            (r.start, r.end) for r in rt.timeline
+            if r.kind == "compute" and set(r.node_ids) <= main_ids
+        ]
+        overlapped = 0
+        io_recs = [
+            r for r in rt.timeline
+            if r.kind == "io" and r.node_ids[0] in groups["input"]
+        ]
+        for rec in io_recs:
+            if any(s < rec.end and rec.start < e for s, e in compute_windows):
+                overlapped += 1
+        assert overlapped >= len(io_recs) - 2  # all but the warm-up hours
+
+    def test_write_gantt(self, pipeline_run, results_dir):
+        rt, groups = pipeline_run
+        text = render_gantt(rt.timeline, groups, width=76)
+        (results_dir / "fig08_pipeline_gantt.txt").write_text(
+            "# Figure 8: pipelined task parallelism (Paragon, 16 nodes, LA)\n"
+            + text + "\n"
+        )
+        assert "#" in text
+
+
+def test_benchmark_gantt_rendering(benchmark, pipeline_run):
+    rt, groups = pipeline_run
+    benchmark(render_gantt, rt.timeline, groups)

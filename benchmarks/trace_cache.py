@@ -1,0 +1,65 @@
+"""Cached workload traces for the benchmarks.
+
+Generating a trace means running the real numerics once (tens of
+seconds for LA, minutes for NE).  Every benchmark replays traces
+thousands of times, so traces are generated once per (dataset, hours)
+and cached on disk.  Delete ``benchmarks/_cache`` to force regeneration
+(e.g. after changing the model's numerics).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.datasets import make_la, make_ne
+from repro.model import AirshedConfig, SequentialAirshed, WorkloadTrace
+
+#: Bump when trace-affecting numerics change, to invalidate caches.
+TRACE_VERSION = 3
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+
+#: Benchmark run lengths.  The paper simulates a full episode; we use a
+#: daylight window (the shapes of all figures are hour-count invariant,
+#: every phase scales with the same step count).
+LA_HOURS = 8
+NE_HOURS = 4
+START_HOUR = 6
+
+#: Node counts of the paper's figures.
+PAPER_NODE_COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+def _load_or_build(name: str, builder) -> WorkloadTrace:
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{name}_v{TRACE_VERSION}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    trace = builder()
+    with path.open("wb") as fh:
+        pickle.dump(trace, fh)
+    return trace
+
+
+def la_trace() -> WorkloadTrace:
+    """The LA-basin trace (A(35,5,700), 8 daylight hours)."""
+
+    def build():
+        cfg = AirshedConfig(dataset=make_la(), hours=LA_HOURS,
+                            start_hour=START_HOUR)
+        return SequentialAirshed(cfg).run().trace
+
+    return _load_or_build("la", build)
+
+
+def ne_trace() -> WorkloadTrace:
+    """The North-East trace (A(35,5,3328), 4 daylight hours)."""
+
+    def build():
+        cfg = AirshedConfig(dataset=make_ne(), hours=NE_HOURS,
+                            start_hour=START_HOUR)
+        return SequentialAirshed(cfg).run().trace
+
+    return _load_or_build("ne", build)

@@ -1,0 +1,68 @@
+"""Performance portability: one application, three machines (Figure 2).
+
+Replays the same LA workload on the simulated Cray T3E, Cray T3D and
+Intel Paragon across the paper's node counts, printing the execution
+times and per-machine speedups — the paper's headline "performance
+portable" demonstration.
+
+Run:  python examples/machine_comparison.py
+"""
+
+import math
+
+from repro.core import (
+    AirshedConfig,
+    CRAY_T3D,
+    CRAY_T3E,
+    INTEL_PARAGON,
+    SequentialAirshed,
+    make_la,
+    replay_data_parallel,
+)
+
+MACHINES = (CRAY_T3E, CRAY_T3D, INTEL_PARAGON)
+NODES = (4, 8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    print("Generating the LA workload...")
+    config = AirshedConfig(dataset=make_la(), hours=3, start_hour=8)
+    trace = SequentialAirshed(config).run().trace
+
+    times = {
+        m.name: [replay_data_parallel(trace, m, P).total_time for P in NODES]
+        for m in MACHINES
+    }
+
+    print("\nExecution time (s):")
+    header = f"{'nodes':>6}" + "".join(f"{m.name:>16}" for m in MACHINES)
+    print(header)
+    for i, P in enumerate(NODES):
+        row = f"{P:>6}" + "".join(f"{times[m.name][i]:>16.1f}" for m in MACHINES)
+        print(row)
+
+    print("\nSpeedup relative to 4 nodes:")
+    print(header)
+    for i, P in enumerate(NODES):
+        row = f"{P:>6}" + "".join(
+            f"{times[m.name][0] / times[m.name][i]:>16.2f}" for m in MACHINES
+        )
+        print(row)
+
+    print("\nMachine ratios (vs Paragon), by node count:")
+    for i, P in enumerate(NODES):
+        para = times[INTEL_PARAGON.name][i]
+        print(f"  P={P:>3}:  T3E {para / times[CRAY_T3E.name][i]:5.1f}x   "
+              f"T3D {para / times[CRAY_T3D.name][i]:5.2f}x")
+
+    print("\nLog-scale curve parallelism (performance portability):")
+    ref = [math.log(t) for t in times[INTEL_PARAGON.name]]
+    for m in (CRAY_T3E, CRAY_T3D):
+        shifts = [r - math.log(t) for r, t in zip(ref, times[m.name])]
+        spread = max(shifts) - min(shifts)
+        print(f"  {m.name}: log-shift spread {spread:.3f} "
+              f"({'nearly parallel' if spread < 0.4 else 'diverging'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Predictable performance: calibrate small, predict large (Section 4).
+
+The paper's pitch: "the measurements obtained by executing an
+application on a small number of nodes can be used to extrapolate the
+performance to larger numbers of nodes ... small parallel computers are
+fairly widely available as development platforms, while large ones are
+the domain of a select set of institutions like supercomputing centers."
+
+This example:
+1. runs the Airshed workload on the simulated T3E at P in {2, 4, 8},
+2. fits the machine's L/G/H and compute rate from those runs only,
+3. predicts execution at P in {16 ... 128},
+4. compares against the "supercomputing centre" measurement.
+
+Run:  python examples/performance_prediction.py
+"""
+
+from repro.core import (
+    AirshedConfig,
+    CRAY_T3E,
+    MachineSpec,
+    SequentialAirshed,
+    fit_comm_parameters,
+    fit_compute_rate,
+    make_la,
+    replay_data_parallel,
+    PerformancePredictor,
+)
+from repro.fx.runtime import FxRuntime
+from repro.model.dataparallel import HourReplayer
+
+
+def main() -> None:
+    print("Generating the LA workload (sequential run, real numerics)...")
+    config = AirshedConfig(dataset=make_la(), hours=2, start_hour=8)
+    trace = SequentialAirshed(config).run().trace
+
+    print("Measuring on small 'development' machines: P = 2, 4, 8")
+    timelines = []
+    for P in (2, 4, 8):
+        rt = FxRuntime(CRAY_T3E, P)
+        replayer = HourReplayer(rt.world, trace)
+        for hour in trace.hours:
+            replayer.run_hour(hour)
+        timelines.append(rt.timeline)
+
+    comm = fit_comm_parameters(timelines)
+    rate = fit_compute_rate(timelines)
+    fitted = MachineSpec(
+        name="fitted T3E",
+        latency=comm.latency,
+        gap=comm.gap,
+        copy_cost=comm.copy_cost,
+        seconds_per_op=rate,
+        io_seconds_per_byte=CRAY_T3E.io_seconds_per_byte,
+    )
+    print(f"  fitted L = {comm.latency:.3g} s/msg   (paper: 5.2e-05)")
+    print(f"  fitted G = {comm.gap:.3g} s/B     (paper: 2.47e-08)")
+    print(f"  fitted H = {comm.copy_cost:.3g} s/B     (paper: 2.04e-08)")
+    print(f"  fitted compute rate = {rate:.3g} s/op")
+
+    predictor = PerformancePredictor(trace, fitted)
+    print(f"\n{'nodes':>6} {'predicted s':>12} {'measured s':>12} {'error':>7}")
+    for P in (16, 32, 64, 128):
+        predicted = predictor.predict_total(P)
+        measured = replay_data_parallel(trace, CRAY_T3E, P).total_time
+        err = 100 * (predicted - measured) / measured
+        print(f"{P:>6} {predicted:>12.2f} {measured:>12.2f} {err:>6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

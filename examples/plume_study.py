@@ -1,0 +1,76 @@
+"""Power-plant plume study: elevated point sources in action.
+
+Adds a large coastal power plant (NOx/SO2 from a 200 m plume) to the
+demo domain and compares against the no-plant baseline: sulfate aloft,
+downwind surface impact, and the effect on ozone — the kind of
+source-attribution question regulatory Airshed runs answer.
+
+Run:  python examples/plume_study.py
+"""
+
+import numpy as np
+
+from repro.core import AirshedConfig, SequentialAirshed
+from repro.datasets import DatasetSpec, PointSource
+from repro.grid import RefinementCore
+
+PLANT = PointSource(
+    x=40.0, y=30.0, plume_height=200.0,
+    strengths={"NO": 8e-5, "NO2": 1e-5, "SO2": 1.2e-4},
+    name="coastal-power-plant",
+)
+
+BASE = dict(
+    domain=(160.0, 120.0),
+    base_shape=(6, 5),
+    npoints=30 + 3 * 40,
+    cores=(RefinementCore(60.0, 60.0, 8.0, 25.0),),
+    layers=4,
+    seed=5,
+)
+
+
+def run(name, sources):
+    spec = DatasetSpec(name=name, point_sources=sources, **BASE)
+    dataset = spec.build()
+    cfg = AirshedConfig(dataset=dataset, hours=8, start_hour=6, max_steps=4)
+    return dataset, SequentialAirshed(cfg).run()
+
+
+def main() -> None:
+    print("Simulating 8 daylight hours with and without the power plant...")
+    ds, with_plant = run("with-plant", (PLANT,))
+    _, baseline = run("no-plant", ())
+    mech = ds.mechanism
+
+    d_conc = with_plant.final_conc - baseline.final_conc
+    print("\nPlant contribution to final concentrations (ppb, domain max):")
+    print(f"{'species':>8} " + " ".join(f"layer{l:>2}" for l in range(ds.layers)))
+    for s in ("SO2", "NO2", "O3", "AERO", "HNO3"):
+        row = " ".join(
+            f"{1e3 * d_conc[mech.index[s], l].max():7.3f}"
+            for l in range(ds.layers)
+        )
+        print(f"{s:>8} {row}")
+
+    # Where does the plume land? Surface SO2 delta by distance downwind.
+    so2_delta = d_conc[mech.index["SO2"], 0]
+    dist = np.hypot(ds.grid.points[:, 0] - PLANT.x, ds.grid.points[:, 1] - PLANT.y)
+    print("\nSurface SO2 impact vs distance from the stack (ppb):")
+    for lo, hi in ((0, 15), (15, 40), (40, 80), (80, 200)):
+        sel = (dist >= lo) & (dist < hi)
+        if sel.any():
+            print(f"  {lo:>3}-{hi:<3} km: mean {1e3 * so2_delta[sel].mean():7.4f}  "
+                  f"max {1e3 * so2_delta[sel].max():7.4f}")
+
+    o3_with = with_plant.peak("O3")
+    o3_base = baseline.peak("O3")
+    print(f"\nPeak domain-mean O3: baseline {o3_base:.4f} ppm, "
+          f"with plant {o3_with:.4f} ppm "
+          f"({100 * (o3_with - o3_base) / o3_base:+.1f}%)")
+    print("(Fresh elevated NOx typically titrates ozone near the plume "
+          "before producing it far downwind.)")
+
+
+if __name__ == "__main__":
+    main()

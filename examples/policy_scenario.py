@@ -1,0 +1,108 @@
+"""Emission-control policy study — the application the paper motivates.
+
+"An important use of Airshed is to help in the development of
+environmental policies.  The effect of air pollution control measures
+can be evaluated at a low cost making it possible to select the best
+strategy under a given set of constraints."
+
+This example compares three control strategies over a smog day on a
+reduced urban domain: business-as-usual, a 50% NOx cut, and a 50% VOC
+cut — the classic (and famously non-obvious) NOx-vs-VOC control
+question — reporting peak ozone and population exposure for each.
+
+Run:  python examples/policy_scenario.py
+"""
+
+import numpy as np
+
+from repro.chemistry import cit_mechanism
+from repro.core import AirshedConfig, DatasetSpec, SequentialAirshed
+from repro.datasets.generators import Dataset
+from repro.foreign import PopulationRaster, exposure_sequential
+from repro.grid import RefinementCore
+
+NOX = ("NO", "NO2")
+VOC = ("ETH", "OLE", "PAR", "TOL", "XYL", "HCHO", "ALD2", "MEK",
+       "MEOH", "ETOH")
+
+DEMO_SPEC = DatasetSpec(
+    name="demo-city",
+    domain=(160.0, 120.0),
+    base_shape=(6, 5),
+    npoints=30 + 3 * 40,  # 150 points
+    cores=(RefinementCore(60.0, 60.0, 8.0, 25.0),),
+    layers=4,
+    seed=5,
+)
+
+
+class ControlledDataset(Dataset):
+    """A dataset with per-species emission scaling (the control knob)."""
+
+    def __init__(self, spec, scale: dict):
+        super().__init__(spec)
+        self._scale = scale
+
+    def hourly(self, hour):
+        cond = super().hourly(hour)
+        E = cond.emissions.copy()
+        for species, factor in self._scale.items():
+            E[self.mechanism.index[species]] *= factor
+        return type(cond)(
+            hour=cond.hour, temperature=cond.temperature, sun=cond.sun,
+            emissions=E, boundary=cond.boundary,
+        )
+
+
+def run_policy(name: str, scale: dict) -> dict:
+    dataset = ControlledDataset(DEMO_SPEC, scale)
+    config = AirshedConfig(
+        dataset=dataset, hours=8, start_hour=6, max_steps=4,
+        track_surface_fields=True,
+    )
+    result = SequentialAirshed(config).run()
+    mech = dataset.mechanism
+    population = PopulationRaster.from_grid(dataset.grid)
+    exposure = exposure_sequential(result.hourly_surface, population, mech)
+    return {
+        "name": name,
+        "peak_o3": result.peak("O3"),
+        "peak_aero": result.peak("AERO"),
+        "exposure": float(exposure.sum()),
+        "o3_series": result.species_series("O3"),
+    }
+
+
+def main() -> None:
+    policies = [
+        ("business as usual", {}),
+        ("50% NOx cut", {s: 0.5 for s in NOX}),
+        ("50% VOC cut", {s: 0.5 for s in VOC}),
+    ]
+    print("Evaluating control strategies (8-hour smog episode, demo city)\n")
+    rows = [run_policy(name, scale) for name, scale in policies]
+
+    base = rows[0]
+    print(f"{'strategy':>20} {'peak O3 ppm':>12} {'dO3':>7} "
+          f"{'exposure (person-ppm-h)':>24}")
+    for r in rows:
+        do3 = 100 * (r["peak_o3"] - base["peak_o3"]) / base["peak_o3"]
+        print(f"{r['name']:>20} {r['peak_o3']:>12.4f} {do3:>6.1f}% "
+              f"{r['exposure']:>24.4g}")
+    print(
+        "\nNote the classic VOC-limited result: in a dense urban core, "
+        "cutting NOx\nalone can RAISE ozone (less NO titration), while "
+        "cutting VOCs lowers it —\nexactly the policy trade-off Airshed "
+        "exists to quantify."
+    )
+
+    print("\nHourly mean O3 (ppm) per strategy:")
+    hours = [6 + i for i in range(8)]
+    print("    hour " + "  ".join(f"{h:>6}" for h in hours))
+    for r in rows:
+        series = "  ".join(f"{v:6.4f}" for v in r["o3_series"])
+        print(f"{r['name'][:8]:>8} {series}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Coupling Airshed with the PVM population-exposure model (Section 6).
+
+Reproduces the paper's integration experiment end to end: the same
+Airshed workload drives (a) an all-Fx version where PopExp is a native
+task, and (b) the foreign-module version where PopExp is an independent
+PVM program coupled through the shared communication layer (scenario A).
+Both produce identical exposure numbers; the foreign version pays a
+small fixed overhead.
+
+Run:  python examples/popexp_coupling.py
+"""
+
+from repro.core import (
+    AirshedConfig,
+    INTEL_PARAGON,
+    Scenario,
+    SequentialAirshed,
+    make_la,
+    run_integrated,
+)
+from repro.foreign import HEALTH_SPECIES
+
+
+def main() -> None:
+    print("Generating the LA workload...")
+    dataset = make_la()
+    config = AirshedConfig(dataset=dataset, hours=3, start_hour=9)
+    trace = SequentialAirshed(config).run().trace
+
+    print("Running the integrated Airshed+PopExp application "
+          "(Intel Paragon, pipelined)\n")
+    print(f"{'nodes':>6} {'native s':>10} {'foreign s':>10} {'overhead':>9}")
+    last = {}
+    for P in (8, 16, 32, 64):
+        native = run_integrated(trace, dataset, INTEL_PARAGON, P, mode="native")
+        foreign = run_integrated(
+            trace, dataset, INTEL_PARAGON, P, mode="foreign",
+            scenario=Scenario.A,
+        )
+        over = 100 * (foreign.total_time - native.total_time) / native.total_time
+        print(f"{P:>6} {native.total_time:>10.1f} {foreign.total_time:>10.1f} "
+              f"{over:>8.1f}%")
+        last = {"native": native, "foreign": foreign}
+
+    print("\nExposure results (identical across integration modes):")
+    species = list(HEALTH_SPECIES)
+    for i, s in enumerate(species):
+        n = last["native"].exposure[i]
+        f = last["foreign"].exposure[i]
+        match = "==" if abs(n - f) < 1e-9 * max(abs(n), 1.0) else "!="
+        print(f"  {s:>5}: native {n:12.4g}  {match}  foreign {f:12.4g}")
+
+    print("\nScenario cost comparison for one surface-field transfer:")
+    from repro.foreign import ForeignModuleBinding
+    from repro.vm import Cluster
+
+    nbytes = 35 * dataset.npoints * 8
+    for scenario in Scenario:
+        cluster = Cluster(INTEL_PARAGON, 12)
+        binding = ForeignModuleBinding(
+            cluster.subgroup(range(8)), cluster.subgroup(range(8, 12)),
+            scenario=scenario,
+        )
+        cost = binding.relative_cost(nbytes)
+        print(f"  scenario {scenario.name} ({scenario.value:>8}): {cost * 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: simulate a Los Angeles smog morning and time it on a T3E.
+
+Runs the real numerics sequentially (a few hours of simulated time over
+the 700-point LA basin grid), then replays the recorded workload on the
+simulated Cray T3E at several node counts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    AirshedConfig,
+    CRAY_T3E,
+    SequentialAirshed,
+    make_la,
+    replay_data_parallel,
+)
+
+
+def main() -> None:
+    print("Building the Los Angeles dataset (700 points, 5 layers, 35 species)")
+    dataset = make_la()
+    config = AirshedConfig(dataset=dataset, hours=3, start_hour=7)
+
+    print("Running the sequential Airshed model (real numerics)...")
+    result = SequentialAirshed(config).run()
+
+    print("\nHourly domain-mean concentrations (ppm):")
+    print(f"{'hour':>6} {'O3':>10} {'NO2':>10} {'PAN':>10} {'AERO':>10}")
+    for i in range(config.hours):
+        print(
+            f"{config.hour_of_day(i):>6} "
+            f"{result.hourly_mean['O3'][i]:>10.4f} "
+            f"{result.hourly_mean['NO2'][i]:>10.4f} "
+            f"{result.hourly_mean['PAN'][i]:>10.5f} "
+            f"{result.hourly_mean['AERO'][i]:>10.5f}"
+        )
+
+    trace = result.trace
+    ops = trace.total_ops_by_phase()
+    print(f"\nWorkload: {trace.total_steps()} main-loop steps, "
+          f"{trace.expected_comm_steps()} redistributions")
+    print("Sequential work split: " + ", ".join(
+        f"{k} {100 * v / sum(ops.values()):.1f}%" for k, v in ops.items()
+    ))
+
+    print(f"\nSimulated execution on the {CRAY_T3E.name}:")
+    print(f"{'nodes':>6} {'total s':>9} {'chemistry':>10} {'transport':>10} "
+          f"{'io':>7} {'comm':>7}")
+    for P in (1, 4, 16, 64):
+        t = replay_data_parallel(trace, CRAY_T3E, P)
+        b = t.breakdown
+        print(
+            f"{P:>6} {t.total_time:>9.2f} {b['chemistry']:>10.2f} "
+            f"{b['transport']:>10.2f} {b['io']:>7.2f} "
+            f"{b['communication']:>7.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Emission-inventory uncertainty: error bars for the policy numbers.
+
+Emission inventories are uncertain to tens of percent.  This example
+runs an 8-member ensemble of perturbed inventories (log-normal species
+factors, sigma = 30%) over the demo smog episode and reports the spread
+of the peak ozone — the honest version of the single number
+``policy_scenario.py`` prints.
+
+Run:  python examples/uncertainty.py
+"""
+
+import numpy as np
+
+from repro.cli import DEMO_SPEC
+from repro.core import AirshedConfig
+from repro.model import EmissionEnsemble
+
+
+def main() -> None:
+    config = AirshedConfig(dataset=DEMO_SPEC.build(), hours=6,
+                           start_hour=8, max_steps=3)
+    ensemble = EmissionEnsemble(config, members=8, sigma=0.3, seed=7)
+    print(f"Running {ensemble.members} perturbed-inventory members "
+          f"(sigma = {ensemble.sigma:.0%})...")
+    summary = ensemble.run()
+
+    print("\nPeak domain-mean concentrations across the ensemble:")
+    print(f"{'species':>8} {'mean':>9} {'std':>9} {'rel':>6} "
+          f"{'90% interval':>22}")
+    for s in ("O3", "NO2", "PAN", "HCHO", "AERO"):
+        p = summary.peaks[s]
+        lo, hi = summary.peak_interval(s, quantile=0.9)
+        print(f"{s:>8} {p.mean():>9.5f} {p.std():>9.5f} "
+              f"{100 * summary.relative_spread(s):>5.1f}% "
+              f"[{lo:>9.5f}, {hi:>9.5f}]")
+
+    print("\nHourly O3 envelope (mean ± 1 std, ppm):")
+    for i in range(config.hours):
+        hour = config.hour_of_day(i)
+        m = summary.mean["O3"][i]
+        sd = summary.std["O3"][i]
+        band = "=" * int(400 * sd)
+        print(f"  {hour:02d}:00  {m:.4f} ± {sd:.4f}  {band}")
+
+    print(
+        "\nA ~30% inventory uncertainty maps into a "
+        f"{100 * summary.relative_spread('O3'):.1f}% spread in peak O3 — "
+        "the nonlinear chemistry damps it."
+    )
+
+
+if __name__ == "__main__":
+    main()

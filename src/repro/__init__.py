@@ -1,0 +1,15 @@
+"""Airshed pollution modeling in an HPF-style (Fx) environment.
+
+A full reproduction of *"Airshed Pollution Modeling: A Case Study in
+Application Development in an HPF Environment"* (Subhlok, Steenkiste,
+Stichnoth, Lieu -- IPPS 1998): the multiscale urban/regional air-quality
+model, the Fx data+task-parallel runtime it was written in, the three
+parallel machines it was measured on, the Section 4 performance model,
+and the PVM population-exposure foreign module.
+
+See :mod:`repro.core` for the public API facade.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Analysis layer: figure regeneration and textual reports."""
+
+from repro.analysis.figures import (
+    DEFAULT_NODE_COUNTS,
+    all_figures,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+)
+from repro.analysis.gantt import gantt_rows, render_gantt
+from repro.analysis.report import format_table, timing_report, trace_summary
+
+__all__ = [
+    "gantt_rows",
+    "render_gantt",
+    "DEFAULT_NODE_COUNTS",
+    "all_figures",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure9",
+    "format_table",
+    "timing_report",
+    "trace_summary",
+]

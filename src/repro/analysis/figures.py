@@ -1,0 +1,143 @@
+"""Programmatic regeneration of the paper's figures from a trace.
+
+Each function returns ``(header, rows)`` for one figure, computed from a
+:class:`~repro.model.results.WorkloadTrace`.  The benchmark suite and
+the CLI's ``figures`` command both consume these, so the figure logic
+lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model import (
+    ParallelTiming,
+    WorkloadTrace,
+    replay_data_parallel,
+    replay_task_parallel,
+)
+from repro.perfmodel import PerformancePredictor
+from repro.vm import CRAY_T3D, CRAY_T3E, INTEL_PARAGON, MachineSpec
+
+__all__ = [
+    "DEFAULT_NODE_COUNTS",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure9",
+    "all_figures",
+]
+
+DEFAULT_NODE_COUNTS: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+
+Header = List[str]
+Rows = List[List]
+
+COMM_STEPS = ("D_Repl->D_Trans", "D_Trans->D_Chem", "D_Chem->D_Repl")
+MACHINES = (CRAY_T3E, CRAY_T3D, INTEL_PARAGON)
+
+
+def figure2(
+    trace: WorkloadTrace,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+) -> Tuple[Header, Rows]:
+    """Execution time per machine and node count."""
+    times = {
+        m.name: [replay_data_parallel(trace, m, P).total_time for P in node_counts]
+        for m in MACHINES
+    }
+    rows = [
+        [P] + [times[m.name][i] for m in MACHINES]
+        for i, P in enumerate(node_counts)
+    ]
+    return ["nodes"] + [m.name for m in MACHINES], rows
+
+
+def figure4(
+    trace: WorkloadTrace,
+    machine: MachineSpec = CRAY_T3E,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+) -> Tuple[Header, Rows]:
+    """Component breakdown (comm/chemistry/transport/io) per node count."""
+    rows = []
+    for P in node_counts:
+        b = replay_data_parallel(trace, machine, P).breakdown
+        rows.append([P, b["communication"], b["chemistry"], b["transport"], b["io"]])
+    return ["nodes", "comm", "chemistry", "transport", "io"], rows
+
+
+def figure5(
+    trace: WorkloadTrace,
+    machine: MachineSpec = CRAY_T3E,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+) -> Tuple[Header, Rows]:
+    """Cumulative time of each redistribution step per node count."""
+    rows = []
+    for P in node_counts:
+        by_step = replay_data_parallel(trace, machine, P).comm_by_step
+        rows.append([P] + [by_step[s] for s in COMM_STEPS])
+    return ["nodes"] + list(COMM_STEPS), rows
+
+
+def figure6(
+    trace: WorkloadTrace,
+    machine: MachineSpec = CRAY_T3E,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+) -> Tuple[Header, Rows]:
+    """Measured vs predicted communication-step times."""
+    predictor = PerformancePredictor(trace, machine)
+    rows = []
+    for P in node_counts:
+        measured = replay_data_parallel(trace, machine, P).comm_by_step
+        predicted = predictor.predict(P).comm_by_step
+        for s in COMM_STEPS:
+            rows.append([P, s, measured[s], predicted[s]])
+    return ["nodes", "step", "measured", "predicted"], rows
+
+
+def figure7(
+    trace: WorkloadTrace,
+    machine: MachineSpec = CRAY_T3E,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+) -> Tuple[Header, Rows]:
+    """Measured vs predicted phase times."""
+    predictor = PerformancePredictor(trace, machine)
+    rows = []
+    for P in node_counts:
+        measured = replay_data_parallel(trace, machine, P).breakdown
+        predicted = predictor.predict(P).compute_breakdown()
+        for phase in ("chemistry", "transport", "io", "communication"):
+            rows.append([P, phase, measured[phase], predicted[phase]])
+    return ["nodes", "phase", "measured", "predicted"], rows
+
+
+def figure9(
+    trace: WorkloadTrace,
+    machine: MachineSpec = INTEL_PARAGON,
+    node_counts: Sequence[int] = (4, 8, 16, 32, 64),
+) -> Tuple[Header, Rows]:
+    """Speedup: data-parallel vs task+data-parallel."""
+    base = replay_data_parallel(trace, machine, 1).total_time
+    rows = []
+    for P in node_counts:
+        dp = replay_data_parallel(trace, machine, P).total_time
+        tp = (
+            replay_task_parallel(trace, machine, P).total_time
+            if P >= 3 else float("nan")
+        )
+        rows.append([P, base / dp, base / tp])
+    return ["nodes", "data-parallel", "task+data"], rows
+
+
+def all_figures(trace: WorkloadTrace) -> Dict[str, Tuple[Header, Rows]]:
+    """Every trace-derivable figure, keyed by name."""
+    return {
+        "fig2_machines": figure2(trace),
+        "fig4_components": figure4(trace),
+        "fig5_redistribution": figure5(trace),
+        "fig6_comm_predicted": figure6(trace),
+        "fig7_comp_predicted": figure7(trace),
+        "fig9_taskparallel": figure9(trace),
+    }

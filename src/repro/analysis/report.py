@@ -1,0 +1,69 @@
+"""Human-readable reports for runs and timings."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model.results import AirshedResult, WorkloadTrace
+from repro.model.dataparallel import ParallelTiming
+from repro.vm.metrics import UtilizationReport
+
+__all__ = ["format_table", "trace_summary", "timing_report"]
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Align a header + rows into a fixed-width text table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6g}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(header)
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def trace_summary(trace: WorkloadTrace) -> str:
+    """One-paragraph summary of a workload trace."""
+    ops = trace.total_ops_by_phase()
+    total_ops = sum(ops.values())
+    lines = [
+        f"dataset {trace.dataset_name}: A{trace.shape} "
+        f"({trace.n_species} species x {trace.layers} layers x "
+        f"{trace.npoints} points)",
+        f"{trace.nhours} hours, {trace.total_steps()} main-loop steps, "
+        f"{trace.expected_comm_steps()} redistributions",
+        f"I/O volume {trace.total_io_bytes() / 1e6:.2f} MB",
+        "sequential work: " + ", ".join(
+            f"{k} {100 * v / total_ops:.1f}%" for k, v in ops.items()
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def timing_report(timing: ParallelTiming,
+                  util: UtilizationReport | None = None) -> str:
+    """Breakdown of one simulated parallel run."""
+    lines = [
+        f"{timing.machine}, {timing.nprocs} nodes: "
+        f"{timing.total_time:.2f} s simulated",
+    ]
+    total = timing.total_time or 1.0
+    for phase in ("chemistry", "transport", "io", "communication"):
+        v = timing.breakdown.get(phase, 0.0)
+        lines.append(f"  {phase:>14}: {v:9.2f} s  ({100 * v / total:5.1f}%)")
+    lines.append(f"  {'comm steps':>14}: {timing.comm_steps:6d}")
+    if util is not None:
+        lines.append(
+            f"  {'utilisation':>14}: {100 * util.utilization:6.1f}%   "
+            f"load imbalance {util.load_imbalance:.2f}x "
+            f"(busiest node {util.busiest_node()})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Gas-phase chemistry substrate: mechanism, stiff solver, vertical ops."""
+
+from repro.chemistry.aerosol import AerosolModel
+from repro.chemistry.mechanism import SPECIES_35, Mechanism, Reaction, cit_mechanism
+from repro.chemistry.rates import Arrhenius, Photolysis
+from repro.chemistry.vertical import (
+    VerticalDiffusion,
+    default_kz_profile,
+    default_layer_heights,
+)
+from repro.chemistry.youngboris import ChemistryStats, YoungBorisSolver
+
+__all__ = [
+    "AerosolModel",
+    "Arrhenius",
+    "ChemistryStats",
+    "Mechanism",
+    "Photolysis",
+    "Reaction",
+    "SPECIES_35",
+    "VerticalDiffusion",
+    "YoungBorisSolver",
+    "cit_mechanism",
+    "default_kz_profile",
+    "default_layer_heights",
+]

@@ -1,0 +1,282 @@
+"""A condensed 35-species CIT-like photochemical mechanism.
+
+The paper's datasets carry 35 chemical species.  This module defines a
+reduced urban photochemistry with exactly that many species — the
+classic O3/NOx/VOC cycle plus carbonyl, aromatic, biogenic and sulfur
+chemistry and a bulk aerosol species — and the machinery to evaluate it
+in production/loss form, which is what the Young–Boris solver consumes:
+
+``dc_i/dt = P_i(c) - L_i(c) * c_i``
+
+All evaluation is vectorised over grid points: concentrations are
+``(n_species, n_points)`` arrays in ppm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chemistry.rates import Arrhenius, Photolysis, RateLaw
+
+__all__ = ["Reaction", "Mechanism", "cit_mechanism", "SPECIES_35"]
+
+#: The 35 species of the condensed mechanism, in storage order.
+SPECIES_35: Tuple[str, ...] = (
+    "NO", "NO2", "O3", "HONO", "HNO3", "HNO4", "NO3", "N2O5",
+    "OH", "HO2", "H2O2", "CO", "SO2", "SULF", "HCHO", "ALD2",
+    "C2O3", "PAN", "MEK", "RO2", "ONIT", "ETH", "OLE", "PAR",
+    "TOL", "XYL", "CRES", "MGLY", "OPEN", "ISOP", "ROOH", "MEOH",
+    "ETOH", "NH3", "AERO",
+)
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One reaction: reactants (1 or 2), products with stoichiometry."""
+
+    label: str
+    reactants: Tuple[str, ...]
+    products: Tuple[Tuple[str, float], ...]
+    rate: RateLaw
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.reactants) <= 2):
+            raise ValueError(
+                f"{self.label}: reactions must have 1 or 2 reactants"
+            )
+        for _, stoich in self.products:
+            if stoich <= 0:
+                raise ValueError(f"{self.label}: stoichiometry must be positive")
+
+
+class Mechanism:
+    """A species list + reaction set compiled for vector evaluation."""
+
+    def __init__(self, species: Sequence[str], reactions: Sequence[Reaction]):
+        self.species: Tuple[str, ...] = tuple(species)
+        if len(set(self.species)) != len(self.species):
+            raise ValueError("duplicate species names")
+        self.index: Dict[str, int] = {s: i for i, s in enumerate(self.species)}
+        self.reactions: Tuple[Reaction, ...] = tuple(reactions)
+        for r in self.reactions:
+            for s in r.reactants:
+                if s not in self.index:
+                    raise ValueError(f"{r.label}: unknown reactant {s!r}")
+            for s, _ in r.products:
+                if s not in self.index:
+                    raise ValueError(f"{r.label}: unknown product {s!r}")
+        self._compile()
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        nr, ns = len(self.reactions), len(self.species)
+        # Reactant index arrays; second reactant -1 for unimolecular.
+        self._r1 = np.array([self.index[r.reactants[0]] for r in self.reactions])
+        self._r2 = np.array(
+            [self.index[r.reactants[1]] if len(r.reactants) == 2 else -1
+             for r in self.reactions]
+        )
+        # Production matrix: (ns, nr) stoichiometry of products.
+        prod = np.zeros((ns, nr))
+        loss = np.zeros((ns, nr))
+        for j, r in enumerate(self.reactions):
+            for s, st in r.products:
+                prod[self.index[s], j] += st
+            for s in r.reactants:
+                loss[self.index[s], j] += 1.0
+        self._prod = prod
+        self._loss = loss
+
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    # ------------------------------------------------------------------
+    def rate_constants(self, temperature: float, sun: float) -> np.ndarray:
+        """``(n_reactions,)`` rate constants for the given conditions."""
+        return np.array([r.rate(temperature, sun) for r in self.reactions])
+
+    def reaction_rates(self, conc: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """``(n_reactions, n_points)`` instantaneous reaction rates."""
+        conc = np.atleast_2d(conc)
+        r = k[:, None] * conc[self._r1]
+        bimol = self._r2 >= 0
+        r[bimol] *= conc[self._r2[bimol]]
+        return r
+
+    def production_loss(
+        self, conc: np.ndarray, k: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Production ``P`` (ppm/s) and loss coefficient ``L`` (1/s).
+
+        ``L`` is defined so that the loss *rate* of species ``i`` equals
+        ``L_i * c_i`` (the form the Young–Boris asymptotic update needs);
+        it is computed as (total loss rate)/(concentration) with a floor
+        that keeps zero-concentration species well-defined.
+        """
+        conc = np.atleast_2d(conc)
+        rates = self.reaction_rates(conc, k)
+        P = self._prod @ rates
+        loss_rate = self._loss @ rates
+        L = loss_rate / np.maximum(conc, 1e-30)
+        return P, L
+
+    def tendency(self, conc: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """``dc/dt`` (ppm/s) at the given state."""
+        P, L = self.production_loss(conc, k)
+        return P - L * np.atleast_2d(conc)
+
+    def nitrogen_indices(self) -> np.ndarray:
+        """Indices of N-containing species with their N atom counts.
+
+        Used by conservation diagnostics: the mechanism is constructed
+        to conserve total nitrogen exactly.
+        """
+        counts = {
+            "NO": 1, "NO2": 1, "HONO": 1, "HNO3": 1, "HNO4": 1,
+            "NO3": 1, "N2O5": 2, "PAN": 1, "ONIT": 1, "NH3": 1,
+        }
+        return np.array(
+            [(self.index[s], n) for s, n in counts.items() if s in self.index]
+        )
+
+    def nitrogen_total(self, conc: np.ndarray) -> np.ndarray:
+        """Total nitrogen (ppm N) per point."""
+        conc = np.atleast_2d(conc)
+        idx = self.nitrogen_indices()
+        return (conc[idx[:, 0]] * idx[:, 1][:, None]).sum(axis=0)
+
+    def loss_coefficients(self, conc: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """Exact first-order loss coefficients ``L_i`` (1/s) per point.
+
+        Unlike the ratio in :meth:`production_loss` (loss rate divided
+        by concentration, which vanishes for absent species), this sums
+        ``k * [partner]`` directly, so it is well-defined at zero
+        concentration — the right quantity for lifetime analysis.
+        """
+        conc = np.atleast_2d(conc)
+        L = np.zeros_like(conc)
+        for j in range(self.n_reactions):
+            i1 = self._r1[j]
+            i2 = self._r2[j]
+            if i2 < 0:
+                L[i1] += k[j]
+            else:
+                # Both partners see the other's concentration; for a
+                # self-reaction this correctly yields 2*k*c.
+                L[i1] += k[j] * conc[i2]
+                L[i2] += k[j] * conc[i1]
+        return L
+
+    def species_lifetimes(self, conc: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """First-order lifetimes ``tau_i = 1 / L_i`` (seconds) per point.
+
+        The quantity behind the Young-Boris stiff/non-stiff split:
+        radicals live fractions of a second, reservoir species hours —
+        six-plus orders of magnitude apart at a polluted midday point.
+        Species with zero loss report ``inf``.
+        """
+        L = self.loss_coefficients(conc, k)
+        with np.errstate(divide="ignore"):
+            return np.where(L > 0, 1.0 / np.maximum(L, 1e-300), np.inf)
+
+    def reactions_of(self, species: str) -> Dict[str, List[str]]:
+        """Reaction labels consuming and producing a species."""
+        if species not in self.index:
+            raise ValueError(f"unknown species {species!r}")
+        consuming = [r.label for r in self.reactions if species in r.reactants]
+        producing = [
+            r.label for r in self.reactions
+            if any(s == species for s, _ in r.products)
+        ]
+        return {"consuming": consuming, "producing": producing}
+
+
+def cit_mechanism() -> Mechanism:
+    """Build the condensed 35-species mechanism.
+
+    Rate constants are in ppm/s units with magnitudes representative of
+    urban photochemistry at ~298 K; photolysis maxima correspond to
+    clear-sky noon.  Nitrogen is conserved exactly by construction.
+    """
+    A, J = Arrhenius, Photolysis
+    rxns: List[Reaction] = [
+        # --- inorganic NOx / Ox cycle -----------------------------------
+        Reaction("R1", ("NO2",), (("NO", 1.0), ("O3", 1.0)), J(8.0e-3)),
+        Reaction("R2", ("O3", "NO"), (("NO2", 1.0),), A(6.0e1, ea_over_R=1430.0)),
+        Reaction("R3", ("O3",), (("OH", 2.0),), J(4.0e-6)),
+        Reaction("R4", ("NO2", "O3"), (("NO3", 1.0),), A(9.0e-2, ea_over_R=1450.0)),
+        Reaction("R5", ("NO3", "NO"), (("NO2", 2.0),), A(6.5e2)),
+        Reaction("R6", ("NO3", "NO2"), (("N2O5", 1.0),), A(3.0e1)),
+        Reaction("R7", ("N2O5",), (("NO3", 1.0), ("NO2", 1.0)),
+                 A(1.0e14, ea_over_R=11000.0)),
+        Reaction("R8", ("N2O5",), (("HNO3", 2.0),), A(5.0e-5)),  # + H2O
+        Reaction("R9", ("NO", "OH"), (("HONO", 1.0),), A(1.2e2)),
+        Reaction("R10", ("HONO",), (("NO", 1.0), ("OH", 1.0)), J(2.0e-3)),
+        Reaction("R11", ("NO2", "OH"), (("HNO3", 1.0),), A(2.7e2)),
+        Reaction("R12", ("NO3",), (("NO2", 1.0), ("O3", 1.0)), J(2.0e-1)),
+        # --- HOx cycle ---------------------------------------------------
+        Reaction("R13", ("CO", "OH"), (("HO2", 1.0),), A(5.9e0)),
+        Reaction("R14", ("O3", "HO2"), (("OH", 1.0),), A(4.9e-2, ea_over_R=500.0)),
+        Reaction("R15", ("O3", "OH"), (("HO2", 1.0),), A(1.7e0, ea_over_R=1000.0)),
+        Reaction("R16", ("HO2", "NO"), (("NO2", 1.0), ("OH", 1.0)), A(2.0e2)),
+        Reaction("R17", ("HO2", "HO2"), (("H2O2", 1.0),), A(6.0e1)),
+        Reaction("R18", ("H2O2",), (("OH", 2.0),), J(7.0e-6)),
+        Reaction("R19", ("HO2", "NO2"), (("HNO4", 1.0),), A(3.4e1)),
+        Reaction("R20", ("HNO4",), (("HO2", 1.0), ("NO2", 1.0)),
+                 A(4.0e13, ea_over_R=10000.0)),
+        # --- carbonyls ---------------------------------------------------
+        Reaction("R21", ("HCHO",), (("HO2", 2.0), ("CO", 1.0)), J(3.0e-5)),
+        Reaction("R22", ("HCHO",), (("CO", 1.0),), J(4.5e-5)),
+        Reaction("R23", ("HCHO", "OH"), (("HO2", 1.0), ("CO", 1.0)), A(2.5e2)),
+        Reaction("R24", ("ALD2", "OH"), (("C2O3", 1.0),), A(3.9e2)),
+        Reaction("R25", ("ALD2",), (("CO", 1.0), ("HO2", 1.0), ("RO2", 1.0)),
+                 J(6.0e-6)),
+        Reaction("R26", ("C2O3", "NO"),
+                 (("NO2", 1.0), ("HCHO", 1.0), ("HO2", 1.0)), A(2.0e2)),
+        Reaction("R27", ("C2O3", "NO2"), (("PAN", 1.0),), A(1.2e2)),
+        Reaction("R28", ("PAN",), (("C2O3", 1.0), ("NO2", 1.0)),
+                 A(2.0e16, ea_over_R=13500.0)),
+        Reaction("R29", ("MEK",), (("C2O3", 1.0), ("RO2", 1.0)), J(2.0e-6)),
+        # --- generic organic peroxy -------------------------------------
+        Reaction("R30", ("RO2", "NO"),
+                 (("NO2", 1.0), ("HCHO", 1.0), ("HO2", 1.0)), A(2.0e2)),
+        Reaction("R31", ("RO2", "HO2"), (("ROOH", 1.0),), A(1.2e2)),
+        Reaction("R32", ("ROOH",), (("OH", 1.0), ("HO2", 1.0), ("HCHO", 1.0)),
+                 J(5.0e-6)),
+        # --- hydrocarbons ------------------------------------------------
+        Reaction("R33", ("ETH", "OH"), (("RO2", 1.0), ("HCHO", 1.0)), A(2.0e2)),
+        Reaction("R34", ("OLE", "OH"), (("RO2", 1.0), ("ALD2", 1.0)), A(7.0e2)),
+        Reaction("R35", ("OLE", "O3"),
+                 (("ALD2", 1.0), ("HO2", 0.5), ("CO", 0.5)), A(2.5e-4)),
+        Reaction("R36", ("OLE", "NO3"), (("ONIT", 1.0),), A(3.0e-1)),
+        Reaction("R37", ("PAR", "OH"), (("RO2", 1.0), ("MEK", 0.3)), A(2.0e1)),
+        Reaction("R38", ("TOL", "OH"), (("CRES", 0.4), ("RO2", 1.0)), A(1.5e2)),
+        Reaction("R39", ("XYL", "OH"), (("MGLY", 0.8), ("RO2", 1.0)), A(6.0e2)),
+        Reaction("R40", ("CRES", "OH"), (("RO2", 1.0), ("OPEN", 0.3)), A(1.0e3)),
+        Reaction("R41", ("MGLY",), (("C2O3", 1.0), ("HO2", 1.0), ("CO", 1.0)),
+                 J(4.0e-5)),
+        Reaction("R42", ("MGLY", "OH"), (("C2O3", 1.0),), A(4.0e2)),
+        Reaction("R43", ("OPEN",), (("C2O3", 1.0), ("HO2", 1.0), ("CO", 1.0)),
+                 J(1.5e-5)),
+        Reaction("R44", ("ISOP", "OH"),
+                 (("RO2", 1.0), ("HCHO", 0.6), ("MGLY", 0.2)), A(2.5e3)),
+        Reaction("R45", ("ISOP", "O3"),
+                 (("ALD2", 0.7), ("HO2", 0.3), ("CO", 0.3)), A(3.0e-4)),
+        # --- alcohols / sulfur / aerosol ---------------------------------
+        Reaction("R46", ("MEOH", "OH"), (("HCHO", 1.0), ("HO2", 1.0)), A(2.3e1)),
+        Reaction("R47", ("ETOH", "OH"), (("ALD2", 1.0), ("HO2", 1.0)), A(8.0e1)),
+        Reaction("R48", ("SO2", "OH"), (("SULF", 1.0), ("HO2", 1.0)), A(2.2e1)),
+        # Gas->particle conversion of sulfate is handled by the aerosol
+        # module (it needs global state and cannot be parallelised); the
+        # zero-rate entry documents the pathway within the mechanism.
+        Reaction("R49", ("SULF", "NH3"), (("AERO", 1.0),), A(0.0)),
+    ]
+    return Mechanism(SPECIES_35, rxns)

@@ -1,0 +1,61 @@
+"""Rate laws for the condensed gas-phase mechanism.
+
+Two families, following the CIT model conventions:
+
+* :class:`Arrhenius` thermal reactions, ``k(T) = A * exp(-Ea/T) *
+  (T/300)^n`` in ppm^-1 s^-1 (bimolecular) or s^-1 (unimolecular);
+* :class:`Photolysis` reactions, ``J = J_max * sun`` where ``sun`` in
+  [0, 1] is the hourly actinic-flux scale factor from the dataset.
+
+The mechanism is a reduced surrogate of the CIT photochemistry: it keeps
+the characteristic stiffness split (fast radicals OH/HO2/NO3/C2O3 versus
+slow stable species) that the Young–Boris hybrid solver exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Arrhenius", "Photolysis", "RateLaw"]
+
+
+@dataclass(frozen=True)
+class Arrhenius:
+    """Thermal rate law ``k = A * exp(-ea_over_R / T) * (T/300)**n``."""
+
+    A: float
+    ea_over_R: float = 0.0
+    n: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.A < 0:
+            raise ValueError("pre-exponential factor must be non-negative")
+
+    def __call__(self, temperature: float, sun: float) -> float:
+        T = float(temperature)
+        if T <= 0:
+            raise ValueError("temperature must be positive kelvin")
+        k = self.A * np.exp(-self.ea_over_R / T)
+        if self.n:
+            k *= (T / 300.0) ** self.n
+        return float(k)
+
+
+@dataclass(frozen=True)
+class Photolysis:
+    """Photolytic rate ``J = J_max * clip(sun, 0, 1)``."""
+
+    J_max: float
+
+    def __post_init__(self) -> None:
+        if self.J_max < 0:
+            raise ValueError("J_max must be non-negative")
+
+    def __call__(self, temperature: float, sun: float) -> float:
+        return float(self.J_max * min(max(sun, 0.0), 1.0))
+
+
+#: Anything callable as ``law(temperature, sun) -> float``.
+RateLaw = Arrhenius | Photolysis

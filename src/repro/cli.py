@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+::
+
+    python -m repro simulate --dataset la --hours 4 --trace trace.pkl
+    python -m repro replay   --trace trace.pkl --machine t3e --nodes 64
+    python -m repro replay   --trace trace.pkl --machine paragon --nodes 64 --mode best
+    python -m repro predict  --trace trace.pkl --machine t3e --nodes 16 32 64 128
+    python -m repro figures  --trace trace.pkl --out results/
+
+``simulate`` runs the real numerics and saves a workload trace;
+everything downstream replays/predicts from the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import all_figures, format_table, timing_report, trace_summary
+from repro.datasets import DatasetSpec, make_la, make_ne
+from repro.grid import RefinementCore
+from repro.model import (
+    AirshedConfig,
+    SequentialAirshed,
+    WorkloadTrace,
+    replay_data_parallel,
+    replay_task_parallel,
+)
+from repro.model.taskparallel import replay_best_configuration
+from repro.perfmodel import PerformancePredictor
+from repro.vm import get_machine, utilization
+
+__all__ = ["main"]
+
+#: A small grid for fast demonstration runs.
+DEMO_SPEC = DatasetSpec(
+    name="demo",
+    domain=(160.0, 120.0),
+    base_shape=(6, 5),
+    npoints=30 + 3 * 40,
+    cores=(RefinementCore(60.0, 60.0, 8.0, 25.0),),
+    layers=4,
+    seed=5,
+)
+
+DATASETS = {
+    "la": make_la,
+    "ne": make_ne,
+    "demo": DEMO_SPEC.build,
+}
+
+
+def _load_trace(path: str) -> WorkloadTrace:
+    with Path(path).open("rb") as fh:
+        trace = pickle.load(fh)
+    if not isinstance(trace, WorkloadTrace):
+        raise SystemExit(f"{path} does not contain a WorkloadTrace")
+    return trace
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.dataset not in DATASETS:
+        raise SystemExit(f"unknown dataset {args.dataset!r}; choose from {sorted(DATASETS)}")
+    print(f"building dataset {args.dataset!r}...")
+    dataset = DATASETS[args.dataset]()
+    config = AirshedConfig(
+        dataset=dataset, hours=args.hours, start_hour=args.start_hour
+    )
+    print(f"simulating {args.hours} hours (real numerics)...")
+    result = SequentialAirshed(config).run()
+    print()
+    print(trace_summary(result.trace))
+    print("\nhourly mean O3 (ppm):",
+          " ".join(f"{v:.4f}" for v in result.hourly_mean["O3"]))
+    if args.trace:
+        with Path(args.trace).open("wb") as fh:
+            pickle.dump(result.trace, fh)
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    machine = get_machine(args.machine)
+    if args.mode == "data":
+        timing = replay_data_parallel(trace, machine, args.nodes)
+        mode = "data-parallel"
+    elif args.mode == "task":
+        timing = replay_task_parallel(trace, machine, args.nodes,
+                                      io_nodes=args.io_nodes)
+        mode = f"task-parallel (io_nodes={args.io_nodes})"
+    else:  # best
+        mode, timing = replay_best_configuration(trace, machine, args.nodes)
+    print(f"configuration: {mode}")
+    print(timing_report(timing))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    machine = get_machine(args.machine)
+    predictor = PerformancePredictor(trace, machine)
+    rows = []
+    for P in args.nodes:
+        p = predictor.predict(P)
+        measured = replay_data_parallel(trace, machine, P).total_time
+        rows.append([P, p.total, measured,
+                     100.0 * (p.total - measured) / measured])
+    print(format_table(["nodes", "predicted s", "measured s", "error %"], rows))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, (header, rows) in all_figures(trace).items():
+        text = format_table(header, rows)
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"=== {name} ===")
+        print(text)
+        print()
+    print(f"figure tables written to {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Airshed (IPPS'98 HPF case study) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run the real model, record a trace")
+    p.add_argument("--dataset", default="demo", help="la | ne | demo")
+    p.add_argument("--hours", type=int, default=4)
+    p.add_argument("--start-hour", type=int, default=6)
+    p.add_argument("--trace", help="output path for the pickled trace")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("replay", help="simulate parallel execution of a trace")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--machine", default="t3e", help="t3e | t3d | paragon")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--mode", choices=["data", "task", "best"], default="data")
+    p.add_argument("--io-nodes", type=int, default=1)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("predict", help="Section 4 performance prediction")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--machine", default="t3e")
+    p.add_argument("--nodes", type=int, nargs="+", default=[4, 16, 64])
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figure tables")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--out", default="figures")
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The public API of the reproduction, in one namespace.
+
+``repro.core`` collects the objects a downstream user needs: datasets,
+the Airshed drivers (sequential / data-parallel / task-parallel /
+integrated), the machine models, and the Section 4 performance
+predictor.  The implementation lives in the focused subpackages
+(``repro.model``, ``repro.vm``, ``repro.fx``, ...); this module is the
+stable facade.
+
+Quickstart::
+
+    from repro.core import (
+        make_la, AirshedConfig, SequentialAirshed,
+        replay_data_parallel, CRAY_T3E,
+    )
+
+    config = AirshedConfig(dataset=make_la(), hours=8, start_hour=6)
+    result = SequentialAirshed(config).run()        # real numerics
+    timing = replay_data_parallel(result.trace, CRAY_T3E, 64)
+    print(timing.total_time, timing.breakdown)
+"""
+
+from repro.datasets import (
+    Dataset,
+    DatasetSpec,
+    HourlyConditions,
+    LA_SPEC,
+    NE_SPEC,
+    make_la,
+    make_ne,
+)
+from repro.foreign import (
+    ForeignModuleBinding,
+    PopExpFx,
+    PopExpPvm,
+    PopulationRaster,
+    Scenario,
+    run_integrated,
+)
+from repro.model import (
+    AirshedConfig,
+    AirshedResult,
+    DataParallelAirshed,
+    ParallelTiming,
+    SequentialAirshed,
+    WorkloadTrace,
+    replay_data_parallel,
+    replay_task_parallel,
+)
+from repro.perfmodel import (
+    ArrayGeometry,
+    CommunicationModel,
+    PerformancePredictor,
+    fit_comm_parameters,
+    fit_compute_rate,
+)
+from repro.vm import (
+    CRAY_T3D,
+    CRAY_T3E,
+    INTEL_PARAGON,
+    MACHINES,
+    MachineSpec,
+    get_machine,
+)
+
+__all__ = [
+    "AirshedConfig",
+    "AirshedResult",
+    "ArrayGeometry",
+    "CRAY_T3D",
+    "CRAY_T3E",
+    "CommunicationModel",
+    "DataParallelAirshed",
+    "Dataset",
+    "DatasetSpec",
+    "ForeignModuleBinding",
+    "HourlyConditions",
+    "INTEL_PARAGON",
+    "LA_SPEC",
+    "MACHINES",
+    "MachineSpec",
+    "NE_SPEC",
+    "ParallelTiming",
+    "PerformancePredictor",
+    "PopExpFx",
+    "PopExpPvm",
+    "PopulationRaster",
+    "Scenario",
+    "SequentialAirshed",
+    "WorkloadTrace",
+    "fit_comm_parameters",
+    "fit_compute_rate",
+    "get_machine",
+    "make_la",
+    "make_ne",
+    "replay_data_parallel",
+    "replay_task_parallel",
+    "run_integrated",
+]

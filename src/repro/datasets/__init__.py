@@ -1,0 +1,19 @@
+"""Synthetic LA and NE datasets with the paper's exact dimensions."""
+
+from repro.datasets.generators import Dataset, DatasetSpec, HourlyConditions
+from repro.datasets.la import LA_SPEC, make_la
+from repro.datasets.ne import NE_SPEC, make_ne
+from repro.datasets.sources import PointSource, elevated_emissions, injection_layer
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "HourlyConditions",
+    "LA_SPEC",
+    "NE_SPEC",
+    "PointSource",
+    "elevated_emissions",
+    "injection_layer",
+    "make_la",
+    "make_ne",
+]

@@ -1,0 +1,34 @@
+"""The North-East United States dataset: 3328 points, 5 layers, 35 species.
+
+A 1100 x 800 km domain covering the BosWash corridor schematically, with
+refinement cores over the Washington/Baltimore, Philadelphia, New York
+and Boston areas.  Array dimensions match the paper: ``A(35, 5, 3328)``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generators import Dataset, DatasetSpec
+from repro.grid import RefinementCore
+
+__all__ = ["NE_SPEC", "make_ne"]
+
+#: 3328 = 16*13 base cells + 3 * 1040 quadtree splits.
+NE_SPEC = DatasetSpec(
+    name="ne",
+    domain=(1100.0, 800.0),
+    base_shape=(16, 13),
+    npoints=3328,
+    cores=(
+        RefinementCore(x=280.0, y=200.0, weight=6.0, sigma=60.0),   # DC/Baltimore
+        RefinementCore(x=450.0, y=320.0, weight=7.0, sigma=55.0),   # Philadelphia
+        RefinementCore(x=560.0, y=420.0, weight=10.0, sigma=55.0),  # New York
+        RefinementCore(x=800.0, y=560.0, weight=6.0, sigma=60.0),   # Boston
+    ),
+    layers=5,
+    seed=17,
+)
+
+
+def make_ne() -> Dataset:
+    """Build the NE dataset (deterministic)."""
+    return NE_SPEC.build()

@@ -1,0 +1,93 @@
+"""Elevated point sources (power plants, industrial stacks).
+
+The CIT inventory distinguishes area emissions (traffic and the like —
+released into the surface layer) from major point sources, whose
+buoyant plumes inject into an elevated layer.  A power plant's NOx/SO2
+entering layer 2 instead of layer 0 changes the chemistry it meets (no
+fresh surface VOC, different titration) and is the textbook cause of
+downwind ozone plumes.
+
+:class:`PointSource` describes one stack; a dataset with sources emits
+a 3-D ``(species, layers, points)`` elevated field each hour alongside
+the usual surface field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PointSource", "elevated_emissions", "injection_layer"]
+
+
+@dataclass(frozen=True)
+class PointSource:
+    """One elevated emitter.
+
+    ``x``/``y`` in km; ``plume_height`` in metres (stack + plume rise);
+    ``strengths`` maps species name to an emission rate (ppm/s at the
+    receiving grid cell); ``diurnal`` scales the rate by hour of day
+    (power plants run near-flat; default 1.0).
+    """
+
+    x: float
+    y: float
+    plume_height: float
+    strengths: Mapping[str, float]
+    name: str = "stack"
+
+    def __post_init__(self) -> None:
+        if self.plume_height < 0:
+            raise ValueError("plume height must be non-negative")
+        if not self.strengths:
+            raise ValueError(f"{self.name}: no emitted species")
+        for s, v in self.strengths.items():
+            if v < 0:
+                raise ValueError(f"{self.name}: negative rate for {s}")
+
+    def diurnal(self, hour: int) -> float:
+        """Load factor by hour: near-flat with a mild daytime peak."""
+        h = hour % 24
+        return 0.85 + 0.15 * float(np.sin(np.pi * (h - 5.0) / 14.0)) if 5 <= h <= 19 else 0.85
+
+
+def injection_layer(plume_height: float, layer_heights: np.ndarray) -> int:
+    """The model layer containing ``plume_height`` metres AGL."""
+    tops = np.cumsum(layer_heights)
+    # side="left": a plume exactly at a layer top stays in that layer.
+    layer = int(np.searchsorted(tops, plume_height, side="left"))
+    return min(layer, len(layer_heights) - 1)
+
+
+def elevated_emissions(
+    sources: Sequence[PointSource],
+    hour: int,
+    points: np.ndarray,
+    layer_heights: np.ndarray,
+    species_index: Mapping[str, int],
+    n_species: int,
+) -> Optional[np.ndarray]:
+    """Build the ``(species, layers, points)`` elevated emission field.
+
+    Each source injects into the grid point nearest its location, in
+    the layer its plume reaches.  Returns ``None`` when there are no
+    sources (the common case keeps the hourly record small).
+    """
+    if not sources:
+        return None
+    nlayers = len(layer_heights)
+    E = np.zeros((n_species, nlayers, len(points)))
+    for src in sources:
+        d2 = (points[:, 0] - src.x) ** 2 + (points[:, 1] - src.y) ** 2
+        target = int(np.argmin(d2))
+        layer = injection_layer(src.plume_height, layer_heights)
+        load = src.diurnal(hour)
+        for species, rate in src.strengths.items():
+            if species not in species_index:
+                raise ValueError(
+                    f"{src.name}: unknown species {species!r}"
+                )
+            E[species_index[species], layer, target] += rate * load
+    return E

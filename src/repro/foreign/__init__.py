@@ -1,0 +1,31 @@
+"""Foreign-module interface: PVM substrate, PopExp, coupling, GEMS."""
+
+from repro.foreign.gems import IntegratedTiming, run_integrated
+from repro.foreign.interface import ForeignModuleBinding, Scenario
+from repro.foreign.popexp import (
+    HEALTH_SPECIES,
+    PopExpFx,
+    PopExpPvm,
+    PopulationRaster,
+    exposure_kernel,
+    exposure_ops,
+    exposure_sequential,
+)
+from repro.foreign.pvm import PvmError, PvmSystem, PvmTask
+
+__all__ = [
+    "ForeignModuleBinding",
+    "HEALTH_SPECIES",
+    "IntegratedTiming",
+    "PopExpFx",
+    "PopExpPvm",
+    "PopulationRaster",
+    "PvmError",
+    "PvmSystem",
+    "PvmTask",
+    "Scenario",
+    "exposure_kernel",
+    "exposure_ops",
+    "exposure_sequential",
+    "run_integrated",
+]

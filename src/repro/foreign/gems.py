@@ -1,0 +1,140 @@
+"""GEMS-style integrated Airshed + PopExp runs (Figures 12-13).
+
+Environmental scientists drive the combined application through the
+GEMS problem-solving environment; the structure is a four-stage
+pipeline (Figure 12)::
+
+    PreProc h+1 | Transport/Chemistry h | PostProc h-1 | PopExp h-1
+
+This module replays a recorded Airshed workload trace with a PopExp
+stage attached in one of two configurations:
+
+* ``native``  — PopExp written in Fx, placed as an ordinary task on a
+  node subgroup (the "all Fx version" of the paper);
+* ``foreign`` — PopExp as the PVM foreign module coupled through the
+  :class:`~repro.foreign.interface.ForeignModuleBinding` (scenario A by
+  default), which adds the small fixed relay overhead Figure 13 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from repro.datasets.generators import Dataset
+from repro.foreign.interface import ForeignModuleBinding, Scenario
+from repro.foreign.popexp import (
+    PopExpFx,
+    PopExpPvm,
+    PopulationRaster,
+    exposure_ops,
+)
+from repro.fx.runtime import FxRuntime
+from repro.fx.tasks import PipelineStage
+from repro.model.dataparallel import HourReplayer, ParallelTiming, _timing_from_runtime
+from repro.model.results import WorkloadTrace
+from repro.vm.machine import MachineSpec
+
+__all__ = ["IntegratedTiming", "run_integrated"]
+
+
+@dataclass
+class IntegratedTiming:
+    """Timing of a combined Airshed+PopExp run."""
+
+    mode: str
+    timing: ParallelTiming
+    exposure: np.ndarray
+
+    @property
+    def total_time(self) -> float:
+        return self.timing.total_time
+
+
+def run_integrated(
+    trace: WorkloadTrace,
+    dataset: Dataset,
+    machine: MachineSpec,
+    nprocs: int,
+    mode: Literal["native", "foreign"] = "native",
+    scenario: Scenario = Scenario.A,
+    popexp_nodes: int = 1,
+    io_nodes: int = 1,
+) -> IntegratedTiming:
+    """Replay the integrated application on the simulated machine.
+
+    The surface fields PopExp consumes are synthesised deterministically
+    from the dataset (replay mode carries work counts, not full fields);
+    both modes see identical inputs, so their exposure outputs agree
+    exactly while their timings differ by the integration overhead.
+    """
+    main_nodes = nprocs - 2 * io_nodes - popexp_nodes
+    if main_nodes < 1:
+        raise ValueError(
+            f"need at least {2 * io_nodes + popexp_nodes + 1} nodes; got {nprocs}"
+        )
+
+    rt = FxRuntime(machine, nprocs)
+    in_grp, main_grp, out_grp, pop_grp = rt.split(
+        [io_nodes, main_nodes, io_nodes, popexp_nodes]
+    )
+    replayer = HourReplayer(main_grp, trace)
+    population = PopulationRaster.from_grid(dataset.grid)
+    mech = dataset.mechanism
+
+    if mode == "native":
+        popexp = PopExpFx(pop_grp, population, mech)
+        binding = None
+    elif mode == "foreign":
+        popexp = PopExpPvm(pop_grp, population, mech)
+        binding = ForeignModuleBinding(out_grp, pop_grp, scenario=scenario)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    hours = trace.hours
+    array_bytes = int(np.prod(trace.shape)) * machine.wordsize
+    surface_bytes = trace.n_species * trace.npoints * machine.wordsize
+
+    def surface_field(i: int) -> np.ndarray:
+        """Deterministic stand-in for the hour's surface concentrations."""
+        rng = np.random.default_rng(1000 + i)
+        base = dataset.initial_conditions()[:, 0, :]
+        return base * rng.uniform(0.8, 1.6, size=(1, trace.npoints))
+
+    def run_input(i: int) -> None:
+        h = hours[i]
+        in_grp.charge_io("io:inputhour", h.input_bytes, ops=h.input_ops)
+        in_grp.charge_io("io:pretrans", 0.0, ops=h.pretrans_ops)
+
+    def run_main(i: int) -> None:
+        # The pipeline handoff to the output stage is the gather.
+        replayer.run_hour(hours[i], gather=False)
+
+    def run_output(i: int) -> None:
+        h = hours[i]
+        out_grp.charge_io("io:outputhour", h.output_bytes, ops=h.output_ops)
+
+    def run_popexp(i: int) -> None:
+        field = surface_field(i)
+        if binding is not None:
+            field = binding.transfer_to_foreign(field)
+        popexp.process_hour(field)
+
+    stages = [
+        PipelineStage("input", in_grp, run_input,
+                      output_bytes=lambda i: hours[i].input_bytes),
+        PipelineStage("main", main_grp, run_main,
+                      output_bytes=lambda i: array_bytes),
+        PipelineStage("output", out_grp, run_output,
+                      output_bytes=(lambda i: 0) if mode == "foreign"
+                      else (lambda i: surface_bytes)),
+        PipelineStage("popexp", pop_grp, run_popexp),
+    ]
+    rt.pipeline(stages).execute(len(hours))
+    return IntegratedTiming(
+        mode=mode,
+        timing=_timing_from_runtime(rt),
+        exposure=popexp.exposure.copy(),
+    )

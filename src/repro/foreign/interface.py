@@ -1,0 +1,168 @@
+"""The foreign-module coupling interface (Section 6, Figures 10-11).
+
+A foreign module is an independent parallel executable (here: a PVM
+program) that the native Fx program sees as a *task* assigned to a node
+subgroup.  Data moves between the native program and the foreign module
+through a shared communication layer; the paper sketches three data
+paths of increasing sophistication (Figure 11):
+
+* **Scenario A** (implemented in their prototype, and our default):
+  native nodes gather the data to the representative task's node, which
+  forwards it to the foreign module's interface node, which distributes
+  it internally.  Simplest, but with extra copies on two relay nodes.
+* **Scenario B**: the native side sends directly to *all* foreign
+  nodes, skipping the relays — requires the foreign module's internal
+  distribution to be exposed to the native compiler.
+* **Scenario C**: fully direct variable-to-variable transfers between
+  the distributed storage on both sides (minimum possible traffic).
+
+``transfer_to_foreign`` charges the exact message set of the chosen
+scenario and physically hands the payload to the foreign side, so both
+the performance ablation (Figure 11) and the numerics are real.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.vm.cluster import Cluster, Subgroup, Transfer
+
+__all__ = ["Scenario", "ForeignModuleBinding"]
+
+
+class Scenario(Enum):
+    """Figure 11 communication-path options."""
+
+    A = "relay"     # gather -> representative -> interface -> internal bcast
+    B = "direct"    # native nodes -> each foreign node directly
+    C = "variable"  # distributed variable to distributed variable
+
+
+class ForeignModuleBinding:
+    """Couples a native Fx subgroup with a foreign-module subgroup."""
+
+    #: Scenario A relays repack the payload between the native (Fx) and
+    #: foreign (PVM) data formats on the representative and interface
+    #: nodes; this is the "fixed, relatively small, extra overhead" of
+    #: the paper's prototype (Figure 13).
+    CONVERSION_OPS_PER_BYTE = 10.0
+
+    def __init__(
+        self,
+        native: Subgroup,
+        foreign: Subgroup,
+        scenario: Scenario = Scenario.A,
+        representative_rank: int = 0,
+        interface_rank: int = 0,
+    ) -> None:
+        if native.cluster is not foreign.cluster:
+            raise ValueError("native and foreign groups must share a cluster")
+        if set(native.node_ids) & set(foreign.node_ids):
+            raise ValueError("native and foreign groups must be disjoint")
+        self.native = native
+        self.foreign = foreign
+        self.scenario = scenario
+        self.representative = native.node_ids[representative_rank]
+        self.interface = foreign.node_ids[interface_rank]
+        self.cluster: Cluster = native.cluster
+
+    # ------------------------------------------------------------------
+    def _all_ids(self) -> List[int]:
+        return list(self.native.node_ids) + list(self.foreign.node_ids)
+
+    def transfer_to_foreign(self, payload: np.ndarray) -> np.ndarray:
+        """Move ``payload`` from the native side to the foreign module.
+
+        The native data is assumed distributed over the native subgroup
+        (block over its trailing axis); the foreign side wants it block
+        distributed over the foreign subgroup.  Returns the payload (the
+        foreign side's assembled copy) after charging the scenario's
+        message set.
+        """
+        payload = np.asarray(payload)
+        nbytes = int(payload.nbytes)
+        P_nat = self.native.size
+        P_for = self.foreign.size
+        name = f"foreign:{self.scenario.name}"
+        transfers: List[Transfer] = []
+
+        if self.scenario is Scenario.A:
+            # Native nodes -> representative (gather of blocks).
+            per_native = nbytes // P_nat
+            for nid in self.native.node_ids:
+                if nid != self.representative:
+                    transfers.append(Transfer(nid, self.representative, per_native))
+                else:
+                    transfers.append(Transfer(nid, nid, per_native))
+            # Representative -> interface node (whole payload).
+            transfers.append(Transfer(self.representative, self.interface, nbytes))
+            # Interface -> internal distribution (block per foreign node).
+            per_foreign = nbytes // P_for
+            for fid in self.foreign.node_ids:
+                if fid != self.interface:
+                    transfers.append(Transfer(self.interface, fid, per_foreign))
+                else:
+                    transfers.append(Transfer(fid, fid, per_foreign))
+        elif self.scenario is Scenario.B:
+            # Representative-free: every native node sends its share of
+            # each foreign node's block (P_nat x P_for messages).
+            tile = max(nbytes // (P_nat * P_for), 1)
+            for nid in self.native.node_ids:
+                for fid in self.foreign.node_ids:
+                    transfers.append(Transfer(nid, fid, tile))
+        else:  # Scenario C
+            # Direct variable-to-variable: each element moves once along
+            # the minimal path; overlapping blocks need no relays and
+            # contiguous ranges collapse to one message per pair.
+            tile = max(nbytes // max(P_nat, P_for), 1)
+            pairs = max(P_nat, P_for)
+            for k in range(pairs):
+                src = self.native.node_ids[k % P_nat]
+                dst = self.foreign.node_ids[k % P_for]
+                transfers.append(Transfer(src, dst, tile))
+
+        self.cluster.charge_communication(name, transfers, node_ids=self._all_ids())
+        if self.scenario is Scenario.A:
+            # Fx <-> PVM buffer repacking on the two relay nodes.
+            ops = nbytes * self.CONVERSION_OPS_PER_BYTE
+            self.cluster.charge_compute(
+                "foreign:convert",
+                {self.representative: ops, self.interface: ops},
+            )
+        return payload.copy()
+
+    def transfer_scattered(self, payload: np.ndarray, axis: int = -1):
+        """Scenario-B data path: deliver per-foreign-node blocks.
+
+        Splits ``payload`` along ``axis`` into one block per foreign
+        node and charges the direct native->foreign message set; returns
+        the block list (what each foreign node's memory would hold).
+        The foreign program can then skip its internal scatter — the
+        optimisation Figure 11's scenario B describes.
+        """
+        if self.scenario is not Scenario.B:
+            raise ValueError("transfer_scattered is the scenario-B data path")
+        payload = np.asarray(payload)
+        blocks = np.array_split(payload, self.foreign.size, axis=axis)
+        transfers: List[Transfer] = []
+        for f_rank, block in enumerate(blocks):
+            fid = self.foreign.node_ids[f_rank]
+            per_native = max(int(block.nbytes) // self.native.size, 1)
+            for nid in self.native.node_ids:
+                transfers.append(Transfer(nid, fid, per_native))
+        self.cluster.charge_communication(
+            "foreign:B", transfers, node_ids=self._all_ids()
+        )
+        return [b.copy() for b in blocks]
+
+    # ------------------------------------------------------------------
+    def relative_cost(self, nbytes: int) -> float:
+        """Cost of moving ``nbytes`` under this binding's scenario
+        (analysis helper for the Figure 11 ablation)."""
+        probe = np.zeros(max(nbytes // 8, 1), dtype=np.float64)
+        before = self.cluster.time(self._all_ids())
+        self.transfer_to_foreign(probe)
+        return self.cluster.time(self._all_ids()) - before

@@ -1,0 +1,167 @@
+"""A small PVM-like message-passing library.
+
+The population exposure model the paper couples to Airshed was written
+in PVM — a different parallelism model from Fx.  To reproduce the
+foreign-module experiment honestly, the foreign side needs its *own*
+message-passing substrate: explicit task ids, tagged sends and receives,
+and master/worker collectives, none of which know anything about Fx
+distributions.
+
+The library runs cooperatively on a :class:`~repro.vm.cluster.Subgroup`:
+payloads are real numpy arrays moved through per-task mailboxes (so the
+numerics are genuinely computed from communicated data), and every
+operation charges the owning cluster with the paper's communication
+model.  Sends are buffered and asynchronous (PVM semantics); a receive
+blocks until the message is available, which in the cooperative setting
+means it must have been sent earlier in program order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.vm.cluster import Subgroup, Transfer
+
+__all__ = ["PvmError", "PvmTask", "PvmSystem"]
+
+
+class PvmError(RuntimeError):
+    """Raised for protocol errors (missing message, bad tid, ...)."""
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+
+
+class PvmTask:
+    """Handle for one PVM task (one task per subgroup node)."""
+
+    def __init__(self, system: "PvmSystem", tid: int, rank: int):
+        self.system = system
+        self.tid = tid
+        self.rank = rank  # subgroup-local rank
+
+    def send(self, dst_tid: int, payload: Any, tag: int = 0) -> None:
+        self.system.send(self.tid, dst_tid, payload, tag)
+
+    def recv(self, src_tid: Optional[int] = None, tag: Optional[int] = None) -> Any:
+        return self.system.recv(self.tid, src_tid, tag)
+
+    def work(self, ops: float, name: str = "pvm_work") -> None:
+        self.system.work(self.tid, ops, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PvmTask(tid={self.tid})"
+
+
+class PvmSystem:
+    """A PVM 'virtual machine' over a cluster subgroup."""
+
+    #: PVM tids historically start at a magic base; keep the flavour.
+    TID_BASE = 0x40000
+
+    def __init__(self, group: Subgroup):
+        self.group = group
+        self.tasks: List[PvmTask] = [
+            PvmTask(self, self.TID_BASE + r, r) for r in range(group.size)
+        ]
+        self._mailbox: Dict[int, Deque[_Message]] = {
+            t.tid: deque() for t in self.tasks
+        }
+
+    # ------------------------------------------------------------------
+    def task(self, rank: int) -> PvmTask:
+        if not (0 <= rank < len(self.tasks)):
+            raise PvmError(f"no task at rank {rank}")
+        return self.tasks[rank]
+
+    def _rank_of(self, tid: int) -> int:
+        rank = tid - self.TID_BASE
+        if not (0 <= rank < len(self.tasks)):
+            raise PvmError(f"unknown tid {tid:#x}")
+        return rank
+
+    @staticmethod
+    def _payload_bytes(payload: Any) -> int:
+        if isinstance(payload, np.ndarray):
+            return int(payload.nbytes)
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, (int, float)):
+            return 8
+        if isinstance(payload, (tuple, list)):
+            return sum(PvmSystem._payload_bytes(p) for p in payload)
+        raise PvmError(f"unsupported payload type {type(payload).__name__}")
+
+    # ------------------------------------------------------------------
+    def send(self, src_tid: int, dst_tid: int, payload: Any, tag: int = 0) -> None:
+        """Buffered send: deliver to the mailbox and charge the network."""
+        src = self._rank_of(src_tid)
+        dst = self._rank_of(dst_tid)
+        nbytes = self._payload_bytes(payload)
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()  # PVM packs a buffer: no aliasing
+        self._mailbox[dst_tid].append(_Message(src=src_tid, tag=tag, payload=payload))
+        self.group.charge_communication(
+            "pvm:send", [Transfer(src, dst, nbytes)]
+        )
+
+    def recv(self, dst_tid: int, src_tid: Optional[int] = None,
+             tag: Optional[int] = None) -> Any:
+        """Blocking receive; cooperative scheduling requires the message
+        to already be in the mailbox."""
+        self._rank_of(dst_tid)
+        box = self._mailbox[dst_tid]
+        for i, msg in enumerate(box):
+            if (src_tid is None or msg.src == src_tid) and (
+                tag is None or msg.tag == tag
+            ):
+                del box[i]
+                return msg.payload
+        raise PvmError(
+            f"recv would deadlock: no message for tid {dst_tid:#x} "
+            f"(src={src_tid}, tag={tag})"
+        )
+
+    def work(self, tid: int, ops: float, name: str = "pvm_work") -> None:
+        rank = self._rank_of(tid)
+        self.group.charge_compute(name, {rank: float(ops)})
+
+    # ------------------------------------------------------------------
+    # master/worker collectives (how PopExp uses PVM)
+    # ------------------------------------------------------------------
+    def scatter_rows(self, master_rank: int, array: np.ndarray,
+                     tag: int = 1) -> List[np.ndarray]:
+        """Master splits ``array`` by rows across all tasks (self incl.).
+
+        Returns the chunk list, and charges the sends to the workers.
+        """
+        chunks = np.array_split(np.asarray(array), len(self.tasks))
+        master = self.task(master_rank)
+        for rank, chunk in enumerate(chunks):
+            if rank != master_rank:
+                master.send(self.tasks[rank].tid, chunk, tag=tag)
+        return chunks
+
+    def gather_sum(self, master_rank: int, partial: Dict[int, np.ndarray],
+                   tag: int = 2) -> np.ndarray:
+        """Workers send partial results; master sums them.
+
+        ``partial`` maps rank -> array.  Returns the total.
+        """
+        master = self.task(master_rank)
+        for rank, value in partial.items():
+            if rank != master_rank:
+                self.tasks[rank].send(master.tid, value, tag=tag)
+        total = np.array(partial[master_rank], dtype=float, copy=True)
+        for rank in partial:
+            if rank != master_rank:
+                total += master.recv(src_tid=self.tasks[rank].tid, tag=tag)
+        return total

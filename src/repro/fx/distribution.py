@@ -1,0 +1,335 @@
+"""HPF/Fx-style data distributions.
+
+Fx (like HPF) lets the programmer annotate each array dimension with a
+layout directive.  Airshed uses three layouts of its concentration array
+``A(species, layers, nodes)``:
+
+* ``D_Repl``  = ``A(*,*,*)``      — fully replicated,
+* ``D_Trans`` = ``A(*,BLOCK,*)``  — block-distributed over *layers*,
+* ``D_Chem``  = ``A(*,*,BLOCK)``  — block-distributed over *grid nodes*.
+
+This module implements the general machinery (``BLOCK``, ``CYCLIC`` and
+``BLOCK_CYCLIC`` along one dimension, or full replication) and computes
+exact per-node ownership, which the redistribution planner uses to count
+messages, bytes and local copies.
+
+A deliberate restriction, matching Airshed's needs: at most one dimension
+of an array is distributed at a time.  (HPF permits multi-dimensional
+processor grids; Airshed never uses them.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DistKind", "Distribution", "ArrayLayout"]
+
+
+class DistKind(Enum):
+    """Layout of the single distributed dimension."""
+
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+    BLOCK_CYCLIC = "block_cyclic"
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A distribution directive for an ``ndim``-dimensional array.
+
+    ``dim is None`` means fully replicated (HPF ``(*,...,*)`` onto every
+    processor).  Otherwise dimension ``dim`` is laid out across the
+    processor group according to ``kind``.
+    """
+
+    ndim: int
+    dim: Optional[int] = None
+    kind: DistKind = DistKind.BLOCK
+    block_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        if self.dim is not None and not (0 <= self.dim < self.ndim):
+            raise ValueError(f"dim {self.dim} out of range for ndim {self.ndim}")
+        if self.kind is DistKind.BLOCK_CYCLIC and self.block_size < 1:
+            raise ValueError("block_size must be >= 1 for BLOCK_CYCLIC")
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def replicated(ndim: int) -> "Distribution":
+        """``A(*,...,*)`` — every node holds the whole array."""
+        return Distribution(ndim=ndim, dim=None)
+
+    @staticmethod
+    def block(ndim: int, dim: int) -> "Distribution":
+        """``BLOCK`` along ``dim``: contiguous chunks of near-equal size."""
+        return Distribution(ndim=ndim, dim=dim, kind=DistKind.BLOCK)
+
+    @staticmethod
+    def cyclic(ndim: int, dim: int) -> "Distribution":
+        """``CYCLIC`` along ``dim``: index ``i`` lives on node ``i % P``."""
+        return Distribution(ndim=ndim, dim=dim, kind=DistKind.CYCLIC)
+
+    @staticmethod
+    def block_cyclic(ndim: int, dim: int, block_size: int) -> "Distribution":
+        """``CYCLIC(k)``: blocks of ``k`` dealt round-robin to nodes."""
+        return Distribution(
+            ndim=ndim, dim=dim, kind=DistKind.BLOCK_CYCLIC, block_size=block_size
+        )
+
+    @staticmethod
+    def parse(directive: str) -> "Distribution":
+        """Parse an HPF-style directive string, e.g. ``"(*,BLOCK,*)"``.
+
+        Accepts ``*``, ``BLOCK``, ``CYCLIC`` and ``CYCLIC(k)`` (case
+        insensitive), with at most one distributed dimension — the
+        subset of HPF that Fx-Airshed uses.  Inverse of :meth:`spec`.
+        """
+        text = directive.strip()
+        if not (text.startswith("(") and text.endswith(")")):
+            raise ValueError(f"directive must be parenthesised: {directive!r}")
+        parts = [p.strip().upper() for p in text[1:-1].split(",")]
+        if not parts or any(not p for p in parts):
+            raise ValueError(f"empty dimension in directive {directive!r}")
+        dist_dim: Optional[int] = None
+        kind = DistKind.BLOCK
+        block_size = 1
+        for d, token in enumerate(parts):
+            if token == "*":
+                continue
+            if dist_dim is not None:
+                raise ValueError(
+                    f"{directive!r}: at most one distributed dimension is "
+                    "supported (Airshed never uses processor grids)"
+                )
+            dist_dim = d
+            if token == "BLOCK":
+                kind = DistKind.BLOCK
+            elif token == "CYCLIC":
+                kind = DistKind.CYCLIC
+            elif token.startswith("CYCLIC(") and token.endswith(")"):
+                kind = DistKind.BLOCK_CYCLIC
+                try:
+                    block_size = int(token[7:-1])
+                except ValueError:
+                    raise ValueError(f"bad CYCLIC block size in {directive!r}")
+            else:
+                raise ValueError(f"unknown directive token {token!r}")
+        if dist_dim is None:
+            return Distribution.replicated(len(parts))
+        return Distribution(
+            ndim=len(parts), dim=dist_dim, kind=kind, block_size=block_size
+        )
+
+    @property
+    def is_replicated(self) -> bool:
+        return self.dim is None
+
+    def spec(self) -> str:
+        """HPF-ish directive string, e.g. ``A(*,BLOCK,*)``."""
+        parts = []
+        for d in range(self.ndim):
+            if d != self.dim:
+                parts.append("*")
+            elif self.kind is DistKind.BLOCK:
+                parts.append("BLOCK")
+            elif self.kind is DistKind.CYCLIC:
+                parts.append("CYCLIC")
+            else:
+                parts.append(f"CYCLIC({self.block_size})")
+        return "(" + ",".join(parts) + ")"
+
+    def layout(self, shape: Sequence[int], nprocs: int) -> "ArrayLayout":
+        return ArrayLayout(self, tuple(int(s) for s in shape), nprocs)
+
+
+class ArrayLayout:
+    """Concrete ownership map: a Distribution applied to a shape and P.
+
+    For a replicated layout every node *holds* the full array.  For a
+    distributed layout each node owns a subset of the indices along the
+    distributed dimension (possibly empty when ``P`` exceeds the extent,
+    which is exactly the situation of Airshed's transport phase: 5 layers
+    on up to 128 nodes).
+    """
+
+    def __init__(self, distribution: Distribution, shape: Tuple[int, ...], nprocs: int):
+        if len(shape) != distribution.ndim:
+            raise ValueError(
+                f"shape {shape} does not match ndim {distribution.ndim}"
+            )
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative extent in shape {shape}")
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.distribution = distribution
+        self.shape = shape
+        self.nprocs = int(nprocs)
+
+    # -- basic properties -----------------------------------------------
+    @property
+    def dim(self) -> Optional[int]:
+        return self.distribution.dim
+
+    @property
+    def is_replicated(self) -> bool:
+        return self.distribution.is_replicated
+
+    @property
+    def extent(self) -> int:
+        """Extent of the distributed dimension (full size if replicated)."""
+        if self.is_replicated:
+            return int(np.prod(self.shape)) if self.shape else 1
+        return self.shape[self.dim]
+
+    def other_size(self) -> int:
+        """Number of elements per index of the distributed dimension."""
+        if self.is_replicated:
+            return 1
+        n = 1
+        for d, s in enumerate(self.shape):
+            if d != self.dim:
+                n *= s
+        return n
+
+    def total_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayLayout)
+            and self.distribution == other.distribution
+            and self.shape == other.shape
+            and self.nprocs == other.nprocs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.distribution, self.shape, self.nprocs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ArrayLayout(A{self.distribution.spec()}, shape={self.shape}, "
+            f"P={self.nprocs})"
+        )
+
+    # -- ownership ------------------------------------------------------
+    def owned_indices(self, node: int) -> np.ndarray:
+        """Global indices along the distributed dim owned by ``node``.
+
+        Only defined for distributed layouts; a replicated layout has no
+        distinguished dimension (every node holds everything).
+        """
+        if not (0 <= node < self.nprocs):
+            raise ValueError(f"node {node} out of range for P={self.nprocs}")
+        if self.is_replicated:
+            raise ValueError("owned_indices is undefined for replicated layouts")
+        n = self.shape[self.dim]
+        kind = self.distribution.kind
+        if kind is DistKind.BLOCK:
+            lo, hi = self.block_bounds(node)
+            return np.arange(lo, hi)
+        if kind is DistKind.CYCLIC:
+            return np.arange(node, n, self.nprocs)
+        # BLOCK_CYCLIC
+        bs = self.distribution.block_size
+        idx = np.arange(n)
+        return idx[(idx // bs) % self.nprocs == node]
+
+    def block_bounds(self, node: int) -> Tuple[int, int]:
+        """Half-open ``[lo, hi)`` interval for a BLOCK layout.
+
+        HPF BLOCK semantics: block size ``ceil(n/P)``; trailing nodes may
+        own a short or empty block.
+        """
+        if self.is_replicated or self.distribution.kind is not DistKind.BLOCK:
+            raise ValueError("block_bounds only applies to BLOCK layouts")
+        n = self.shape[self.dim]
+        if n == 0:
+            return (0, 0)
+        bs = math.ceil(n / self.nprocs)
+        lo = min(node * bs, n)
+        hi = min(lo + bs, n)
+        return (lo, hi)
+
+    def local_count(self, node: int) -> int:
+        """Number of array *elements* (not indices) held by ``node``."""
+        if self.is_replicated:
+            return self.total_elements()
+        return len(self.owned_indices(node)) * self.other_size()
+
+    def local_nbytes(self, node: int, itemsize: int) -> int:
+        return self.local_count(node) * itemsize
+
+    def max_local_count(self) -> int:
+        """Elements on the most loaded node — the paper's ``ceil`` terms."""
+        if self.is_replicated:
+            return self.total_elements()
+        n = self.shape[self.dim]
+        if n == 0:
+            return 0
+        kind = self.distribution.kind
+        if kind in (DistKind.BLOCK, DistKind.CYCLIC):
+            per = math.ceil(n / self.nprocs)
+        else:
+            # BLOCK_CYCLIC: the last block may be short, so count exactly.
+            per = max(
+                len(self.owned_indices(node)) for node in range(self.nprocs)
+            )
+        return per * self.other_size()
+
+    def owner_of(self, index: int) -> int:
+        """Owning node of ``index`` along the distributed dimension.
+
+        For replicated layouts ownership is shared; by convention the
+        *primary* owner is node 0 (used when a unique sender is needed).
+        """
+        if self.is_replicated:
+            return 0
+        n = self.shape[self.dim]
+        if not (0 <= index < n):
+            raise ValueError(f"index {index} out of range 0..{n - 1}")
+        kind = self.distribution.kind
+        if kind is DistKind.BLOCK:
+            bs = math.ceil(n / self.nprocs)
+            return index // bs
+        if kind is DistKind.CYCLIC:
+            return index % self.nprocs
+        bs = self.distribution.block_size
+        return (index // bs) % self.nprocs
+
+    def holders_count(self, index: int) -> int:
+        """How many nodes hold ``index``: P if replicated, else 1."""
+        return self.nprocs if self.is_replicated else 1
+
+    def degree_of_parallelism(self) -> int:
+        """Useful parallelism: nodes with non-empty ownership."""
+        if self.is_replicated:
+            return 1
+        return min(self.nprocs, max(self.shape[self.dim], 1))
+
+    def local_slice(self, node: int) -> Tuple[slice, ...]:
+        """Index tuple selecting the node's data as a *view* of the
+        global array.  BLOCK uses a contiguous slice, CYCLIC a strided
+        slice; BLOCK_CYCLIC generally needs fancy indexing and raises.
+        """
+        if self.is_replicated:
+            return tuple(slice(None) for _ in self.shape)
+        kind = self.distribution.kind
+        out = [slice(None)] * len(self.shape)
+        if kind is DistKind.BLOCK:
+            lo, hi = self.block_bounds(node)
+            out[self.dim] = slice(lo, hi)
+        elif kind is DistKind.CYCLIC:
+            out[self.dim] = slice(node, None, self.nprocs)
+        else:
+            raise ValueError("BLOCK_CYCLIC layouts have no contiguous view")
+        return tuple(out)

@@ -1,0 +1,130 @@
+"""Optimal processor allocation for task-parallel pipelines.
+
+The paper's task-parallel Airshed fixes one node each for the input and
+output stages.  Its authors' companion work (Subhlok & Vondran,
+"Optimal mapping of sequences of data parallel tasks", PPoPP'95; and
+"Optimal latency-throughput tradeoffs for data parallel pipelines",
+SPAA'96 — both cited in Section 5) computes the allocation instead:
+given each stage's execution-time function of its node count, choose
+the split of P nodes across stages that minimises the pipeline's
+steady-state period (the bottleneck stage time).
+
+This module implements that optimisation for stage models of the form
+``t(p) = sequential + parallel_work / min(p, max_parallelism)``, which
+covers every Airshed stage, plus a helper that picks the best
+*configuration* for the Airshed pipeline itself (including the
+degenerate all-nodes-data-parallel configuration, so small machines are
+never hurt by dedicating I/O nodes — the Figure 9 small-P anomaly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["StageModel", "optimal_pipeline_mapping", "best_airshed_mapping"]
+
+
+@dataclass(frozen=True)
+class StageModel:
+    """Execution-time model of one pipeline stage.
+
+    ``time(p) = sequential + parallel_work / min(p, max_parallelism)``
+    (seconds per pipeline item on ``p`` nodes).
+    """
+
+    name: str
+    sequential: float
+    parallel_work: float = 0.0
+    max_parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sequential < 0 or self.parallel_work < 0:
+            raise ValueError("stage times must be non-negative")
+        if self.max_parallelism < 1:
+            raise ValueError("max_parallelism must be >= 1")
+
+    def time(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return self.sequential + self.parallel_work / min(p, self.max_parallelism)
+
+
+@dataclass(frozen=True)
+class PipelineMapping:
+    """Result of the allocation: nodes per stage and the period."""
+
+    allocation: Tuple[int, ...]
+    period: float
+    stage_times: Tuple[float, ...]
+
+
+def optimal_pipeline_mapping(
+    stages: Sequence[StageModel], nprocs: int
+) -> PipelineMapping:
+    """Minimise the pipeline period over all allocations summing to P.
+
+    Exact dynamic program over (stage, nodes-used): state cost is the
+    max stage time so far; O(S * P^2), tiny for Airshed-scale problems.
+    Every stage gets at least one node.
+    """
+    S = len(stages)
+    if S == 0:
+        raise ValueError("need at least one stage")
+    if nprocs < S:
+        raise ValueError(f"{S} stages need at least {S} nodes; got {nprocs}")
+
+    # dp[used] = (best period, allocation tuple) after assigning a prefix.
+    INF = float("inf")
+    dp: Dict[int, Tuple[float, Tuple[int, ...]]] = {0: (0.0, ())}
+    for s, stage in enumerate(stages):
+        remaining_stages = S - s - 1
+        ndp: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
+        for used, (period, alloc) in dp.items():
+            max_here = nprocs - used - remaining_stages
+            for p in range(1, max_here + 1):
+                cand = max(period, stage.time(p))
+                key = used + p
+                if key not in ndp or cand < ndp[key][0]:
+                    ndp[key] = (cand, alloc + (p,))
+        dp = ndp
+    # Using fewer than all nodes is allowed (leftover nodes idle), so
+    # take the best over all totals.
+    best_period, best_alloc = min(dp.values(), key=lambda t: t[0])
+    times = tuple(
+        stage.time(p) for stage, p in zip(stages, best_alloc)
+    )
+    return PipelineMapping(
+        allocation=best_alloc, period=best_period, stage_times=times
+    )
+
+
+def best_airshed_mapping(
+    io_input: StageModel,
+    main: StageModel,
+    io_output: StageModel,
+    nprocs: int,
+) -> Tuple[str, PipelineMapping]:
+    """Choose between pipelined and pure data-parallel configurations.
+
+    Returns ``(mode, mapping)`` where mode is ``"pipelined"`` or
+    ``"data-parallel"``.  The data-parallel configuration runs all three
+    stages serially on all nodes (period = sum of stage times at P),
+    which is exactly the Figure 9 baseline; the optimiser picks whichever
+    period is lower, so small machines keep their nodes.
+    """
+    serial_period = (
+        io_input.time(nprocs) + main.time(nprocs) + io_output.time(nprocs)
+    )
+    serial = PipelineMapping(
+        allocation=(nprocs,),
+        period=serial_period,
+        stage_times=(serial_period,),
+    )
+    if nprocs < 3:
+        return ("data-parallel", serial)
+    piped = optimal_pipeline_mapping([io_input, main, io_output], nprocs)
+    if piped.period < serial_period:
+        return ("pipelined", piped)
+    return ("data-parallel", serial)

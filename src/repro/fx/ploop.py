@@ -1,0 +1,163 @@
+"""Owner-computes parallel loops.
+
+Fx expresses loop parallelism with a ``parallel do`` construct; the
+compiler assigns iterations to the node owning the data they touch.  In
+the reproduction a kernel is invoked once per subgroup rank on that
+rank's partition (a numpy view of the canonical array) and returns the
+number of abstract work units it performed.  The cluster then charges
+each node its own cost, so load imbalance (e.g. 5 layers on 4 nodes: one
+node gets 2 layers) shows up exactly as it does in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fx.darray import DistributedArray
+from repro.vm.cluster import Transfer
+from repro.vm.traffic import PhaseRecord
+
+__all__ = ["parallel_do", "parallel_reduce", "replicated_do", "Kernel"]
+
+#: Kernel signature: (local_view, global_indices, rank) -> ops performed.
+Kernel = Callable[[np.ndarray, np.ndarray, int], float]
+
+
+def parallel_do(
+    array: DistributedArray,
+    name: str,
+    kernel: Kernel,
+) -> PhaseRecord:
+    """Run ``kernel`` on every rank's partition of a *distributed* array.
+
+    The kernel receives a writable view into the canonical array, so the
+    real numerics are computed exactly once across the group, while each
+    node's simulated clock advances by the cost of its own share.
+    Ranks owning nothing participate with zero ops (they still
+    synchronise at the next collective, as on the real machine).
+    """
+    if array.layout.is_replicated:
+        raise ValueError(
+            f"parallel_do needs a distributed layout; {array.name} is replicated "
+            "(use replicated_do)"
+        )
+    if array.is_materialized:
+        raise ValueError("parallel_do operates on canonical-mode arrays")
+
+    ops_by_rank: Dict[int, float] = {}
+    for rank in range(array.group.size):
+        indices = array.local_indices(rank)
+        if indices.size == 0:
+            ops_by_rank[rank] = 0.0
+            continue
+        local = array.local_view(rank)
+        ops = float(kernel(local, indices, rank))
+        if ops < 0:
+            raise ValueError(f"kernel returned negative ops for rank {rank}")
+        ops_by_rank[rank] = ops
+    return array.group.charge_compute(name, ops_by_rank)
+
+
+def parallel_reduce(
+    array: DistributedArray,
+    name: str,
+    kernel: Callable[[np.ndarray, np.ndarray, int], Tuple[np.ndarray, float]],
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> np.ndarray:
+    """Fx "do&merge": an owner-computes loop with a reduction.
+
+    ``kernel(local, indices, rank)`` returns ``(partial_value, ops)``;
+    partials are combined pairwise along a binary tree whose message
+    costs are charged (``ceil(log2(P))`` rounds of value-sized sends),
+    followed by a broadcast of the result down the same tree — i.e. an
+    allreduce, which is what Fx's merge produces on every node.
+
+    Returns the combined value.  The combine order is a fixed tree, so
+    results are deterministic (independent of timing).
+    """
+    if array.layout.is_replicated:
+        raise ValueError("parallel_reduce needs a distributed layout")
+    if array.is_materialized:
+        raise ValueError("parallel_reduce operates on canonical-mode arrays")
+
+    group = array.group
+    P = group.size
+    partials: Dict[int, np.ndarray] = {}
+    ops_by_rank: Dict[int, float] = {}
+    for rank in range(P):
+        indices = array.local_indices(rank)
+        if indices.size == 0:
+            ops_by_rank[rank] = 0.0
+            continue
+        value, ops = kernel(array.local_view(rank), indices, rank)
+        if ops < 0:
+            raise ValueError(f"kernel returned negative ops for rank {rank}")
+        partials[rank] = np.asarray(value, dtype=float)
+        ops_by_rank[rank] = float(ops)
+    group.charge_compute(name, ops_by_rank)
+
+    if not partials:
+        raise ValueError("no rank produced a partial value")
+    value_bytes = next(iter(partials.values())).nbytes
+
+    # Binary-tree combine: at stride s, rank r receives from r+s.
+    current = dict(partials)
+    stride = 1
+    while stride < P:
+        transfers = []
+        for r in range(0, P, 2 * stride):
+            src = r + stride
+            if src in current and r in current:
+                current[r] = combine(current[r], current.pop(src))
+                transfers.append(Transfer(src, r, value_bytes))
+            elif src in current:  # hole at r: shift the partial down
+                current[r] = current.pop(src)
+                transfers.append(Transfer(src, r, value_bytes))
+        if transfers:
+            group.charge_communication(f"{name}:reduce", transfers)
+        stride *= 2
+    result = current[0]
+
+    # Broadcast the merged value back down the tree (allreduce).
+    stride = 1 << max(P - 1, 0).bit_length()
+    transfers = []
+    covered = {0}
+    s = stride
+    while s >= 1:
+        for r in sorted(covered.copy()):
+            dst = r + s
+            if dst < P and dst not in covered:
+                transfers.append(Transfer(r, dst, value_bytes))
+                covered.add(dst)
+        s //= 2
+    if transfers:
+        group.charge_communication(f"{name}:bcast", transfers)
+    return result
+
+
+def replicated_do(
+    array: DistributedArray,
+    name: str,
+    kernel: Callable[[np.ndarray], float],
+    ops: Optional[float] = None,
+) -> PhaseRecord:
+    """Run a *replicated* computation (the aerosol step).
+
+    On the real machine every node executes the same code on the whole
+    array.  Here the kernel runs once on the canonical array (computing
+    the real result and reporting its op count), and every node in the
+    group is charged that same cost.  Pass ``ops`` to override the
+    charge, e.g. when the kernel's count is not representative.
+    """
+    if not array.layout.is_replicated:
+        raise ValueError(
+            f"replicated_do needs a replicated layout; {array.name} is "
+            f"A{array.distribution.spec()}"
+        )
+    measured = float(kernel(array.data))
+    if measured < 0:
+        raise ValueError("kernel returned negative ops")
+    charge = measured if ops is None else float(ops)
+    return array.group.charge_replicated_compute(name, charge)

@@ -1,0 +1,19 @@
+"""Multiscale grid, triangular FEM mesh and uniform-grid baseline."""
+
+from repro.grid.mesh import TriMesh, triangulate
+from repro.grid.multiscale import (
+    MultiscaleGrid,
+    RefinementCore,
+    generate_multiscale_grid,
+)
+from repro.grid.uniform import UniformGrid, uniform_from_multiscale
+
+__all__ = [
+    "MultiscaleGrid",
+    "RefinementCore",
+    "TriMesh",
+    "UniformGrid",
+    "generate_multiscale_grid",
+    "triangulate",
+    "uniform_from_multiscale",
+]

@@ -1,0 +1,141 @@
+"""Triangular finite-element mesh over a multiscale point set.
+
+The SUPG transport operator (Odman & Russell's scheme, used by Airshed
+for horizontal transport) needs P1 finite elements.  We build a Delaunay
+triangulation of the grid points and precompute the per-element geometry
+(areas, basis-function gradients) the assembly uses, plus lumped nodal
+areas and the boundary node set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+__all__ = ["TriMesh", "triangulate"]
+
+
+@dataclass
+class TriMesh:
+    """Immutable P1 triangle mesh with precomputed geometry.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 2)`` node coordinates (km).
+    triangles:
+        ``(m, 3)`` vertex indices, counter-clockwise.
+    areas:
+        ``(m,)`` element areas.
+    grads:
+        ``(m, 3, 2)`` gradient of each P1 basis function on each
+        element (constant per element).
+    node_areas:
+        ``(n,)`` lumped (mass-matrix) areas: one third of the area of
+        each incident triangle.
+    boundary:
+        ``(k,)`` indices of convex-hull (inflow/outflow boundary) nodes.
+    """
+
+    points: np.ndarray
+    triangles: np.ndarray
+    areas: np.ndarray
+    grads: np.ndarray
+    node_areas: np.ndarray
+    boundary: np.ndarray
+
+    @property
+    def npoints(self) -> int:
+        return len(self.points)
+
+    @property
+    def ntriangles(self) -> int:
+        return len(self.triangles)
+
+    def edge_lengths(self) -> np.ndarray:
+        """Characteristic size per element: sqrt of twice the area."""
+        return np.sqrt(2.0 * self.areas)
+
+    def interpolate(self, nodal: np.ndarray, xy: np.ndarray) -> np.ndarray:
+        """P1 interpolation of nodal values at query points ``xy``.
+
+        Points outside the hull take the value of the nearest node.
+        Used by diagnostics and the population-exposure module.
+        """
+        tri = Delaunay(self.points)
+        simplex = tri.find_simplex(xy)
+        out = np.empty(len(xy), dtype=float)
+        inside = simplex >= 0
+        if inside.any():
+            trans = tri.transform[simplex[inside]]
+            bary2 = np.einsum(
+                "nij,nj->ni", trans[:, :2], xy[inside] - trans[:, 2]
+            )
+            bary = np.column_stack([bary2, 1.0 - bary2.sum(axis=1)])
+            verts = tri.simplices[simplex[inside]]
+            out[inside] = np.einsum("ni,ni->n", nodal[verts], bary)
+        if (~inside).any():
+            d2 = (
+                (xy[~inside, None, :] - self.points[None, :, :]) ** 2
+            ).sum(axis=2)
+            out[~inside] = nodal[np.argmin(d2, axis=1)]
+        return out
+
+
+def triangulate(points: np.ndarray) -> TriMesh:
+    """Delaunay-triangulate points and precompute P1 geometry."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2); got {points.shape}")
+    if len(points) < 3:
+        raise ValueError("need at least 3 points to triangulate")
+
+    tri = Delaunay(points)
+    simplices = tri.simplices.copy()
+
+    p0 = points[simplices[:, 0]]
+    p1 = points[simplices[:, 1]]
+    p2 = points[simplices[:, 2]]
+    # Signed double area; flip negatively oriented triangles to CCW.
+    det = (p1[:, 0] - p0[:, 0]) * (p2[:, 1] - p0[:, 1]) - (
+        p2[:, 0] - p0[:, 0]
+    ) * (p1[:, 1] - p0[:, 1])
+    flip = det < 0
+    simplices[flip, 1], simplices[flip, 2] = (
+        simplices[flip, 2].copy(),
+        simplices[flip, 1].copy(),
+    )
+    det = np.abs(det)
+    # Drop degenerate (collinear) slivers that would break the geometry.
+    keep = det > 1e-12 * float(np.max(det))
+    simplices = simplices[keep]
+    det = det[keep]
+    areas = 0.5 * det
+
+    p0 = points[simplices[:, 0]]
+    p1 = points[simplices[:, 1]]
+    p2 = points[simplices[:, 2]]
+    # P1 basis gradients: grad(phi_i) = rot90(p_k - p_j) / (2A).
+    grads = np.empty((len(simplices), 3, 2))
+    for i, (j, k) in enumerate(((1, 2), (2, 0), (0, 1))):
+        edge = points[simplices[:, k]] - points[simplices[:, j]]
+        grads[:, i, 0] = -edge[:, 1]
+        grads[:, i, 1] = edge[:, 0]
+    grads /= (2.0 * areas)[:, None, None]
+
+    node_areas = np.zeros(len(points))
+    np.add.at(node_areas, simplices.ravel(), np.repeat(areas / 3.0, 3))
+
+    boundary = np.unique(tri.convex_hull.ravel())
+
+    return TriMesh(
+        points=points,
+        triangles=simplices,
+        areas=areas,
+        grads=grads,
+        node_areas=node_areas,
+        boundary=boundary,
+    )

@@ -1,0 +1,81 @@
+"""Uniform grids — the baseline the paper's Section 2.1/3 discusses.
+
+The original CIT model (Dabdub & Seinfeld's parallel version) uses a
+uniform grid with 1-D transport operators: more parallelism, but far
+more points for the same accuracy, hence lower sequential efficiency.
+This module provides the uniform grid used by the ablation benchmarks
+and by the 1-D operator-splitting transport baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.grid.multiscale import MultiscaleGrid
+
+__all__ = ["UniformGrid", "uniform_from_multiscale"]
+
+
+@dataclass
+class UniformGrid:
+    """A regular nx-by-ny cell grid over a rectangular domain."""
+
+    domain: Tuple[float, float]
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("uniform grid needs at least 2 cells per axis")
+        if self.domain[0] <= 0 or self.domain[1] <= 0:
+            raise ValueError("domain extents must be positive")
+
+    @property
+    def npoints(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def dx(self) -> float:
+        return self.domain[0] / self.nx
+
+    @property
+    def dy(self) -> float:
+        return self.domain[1] / self.ny
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nx, self.ny)
+
+    def points(self) -> np.ndarray:
+        """``(nx*ny, 2)`` cell centres, x varying fastest."""
+        xs = (np.arange(self.nx) + 0.5) * self.dx
+        ys = (np.arange(self.ny) + 0.5) * self.dy
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
+    def areas(self) -> np.ndarray:
+        return np.full(self.npoints, self.dx * self.dy)
+
+    def to_field(self, flat: np.ndarray) -> np.ndarray:
+        """Reshape a flat nodal vector to the (nx, ny) field."""
+        return np.asarray(flat).reshape(self.nx, self.ny)
+
+    def from_field(self, field: np.ndarray) -> np.ndarray:
+        return np.asarray(field).reshape(self.npoints)
+
+
+def uniform_from_multiscale(grid: MultiscaleGrid) -> UniformGrid:
+    """The uniform grid matching a multiscale grid's *finest* resolution.
+
+    This is the accuracy-equivalent uniform grid of the paper's
+    efficiency argument: it needs ``equivalent_uniform_npoints`` cells,
+    typically several times the multiscale count.
+    """
+    w, h = grid.domain
+    cell = grid.finest_cell_size
+    nx = max(2, int(np.ceil(w / cell)))
+    ny = max(2, int(np.ceil(h / cell)))
+    return UniformGrid(domain=grid.domain, nx=nx, ny=ny)

@@ -1,0 +1,20 @@
+"""Hourly I/O processing (inputhour / pretrans / outputhour)."""
+
+from repro.io.files import (
+    pack_concentrations,
+    pack_hourly,
+    unpack_concentrations,
+    unpack_hourly,
+)
+from repro.io.hourly import InputHourResult, inputhour, outputhour, pretrans
+
+__all__ = [
+    "InputHourResult",
+    "inputhour",
+    "outputhour",
+    "pack_concentrations",
+    "pack_hourly",
+    "pretrans",
+    "unpack_concentrations",
+    "unpack_hourly",
+]

@@ -1,0 +1,77 @@
+"""The I/O processing phase: inputhour / pretrans / outputhour.
+
+The paper groups these three routines as "I/O processing": they have
+limited parallelism and run sequentially, which makes them the Amdahl
+bottleneck that Section 5's task parallelism attacks.  Here they do real
+work — serialising and parsing actual byte streams — and report the byte
+and op counts that the simulated machine prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.generators import Dataset, HourlyConditions
+from repro.io.files import pack_concentrations, pack_hourly, unpack_hourly
+from repro.transport.supg import SUPGTransport, TransportOperator
+
+__all__ = ["InputHourResult", "inputhour", "pretrans", "outputhour"]
+
+#: Sequential ops charged per unpacked byte (parsing/unit conversion).
+OPS_PER_INPUT_BYTE = 1.0
+#: Sequential ops charged per packed output byte.
+OPS_PER_OUTPUT_BYTE = 0.5
+
+
+@dataclass
+class InputHourResult:
+    """What ``inputhour`` produces: parsed conditions plus I/O accounting."""
+
+    conditions: HourlyConditions
+    nbytes: int
+    ops: float
+
+
+def inputhour(dataset: Dataset, hour: int) -> InputHourResult:
+    """Read and parse the hour's input record (a real pack/unpack)."""
+    blob = pack_hourly(dataset.hourly(hour))
+    conditions = unpack_hourly(blob)
+    return InputHourResult(
+        conditions=conditions,
+        nbytes=len(blob),
+        ops=len(blob) * OPS_PER_INPUT_BYTE,
+    )
+
+
+def pretrans(
+    dataset: Dataset,
+    transport: SUPGTransport,
+    hour: int,
+    dt: float,
+) -> Tuple[List[TransportOperator], float]:
+    """Pre-transport setup: per-layer wind interpolation + factorisation.
+
+    Returns one factorised operator per layer and the sequential op
+    count of the whole preprocessing (part of I/O processing in the
+    paper's decomposition).
+    """
+    operators: List[TransportOperator] = []
+    ops = 0.0
+    for layer in range(dataset.layers):
+        u = dataset.wind.velocity(dataset.grid.points, layer=layer, hour=hour)
+        op = transport.prepare(u, dt)
+        operators.append(op)
+        ops += op.prep_ops
+    return operators, ops
+
+
+def outputhour(hour: int, conc: np.ndarray) -> Tuple[bytes, int, float]:
+    """Pack the hourly concentration snapshot.
+
+    Returns ``(blob, nbytes, ops)``.
+    """
+    blob = pack_concentrations(hour, conc)
+    return blob, len(blob), len(blob) * OPS_PER_OUTPUT_BYTE

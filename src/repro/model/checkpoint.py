@@ -1,0 +1,112 @@
+"""Checkpoint / restart for long simulations.
+
+Production air-quality runs span multi-day episodes; operational use
+needs the ability to stop after hour ``k`` and resume bit-for-bit.  The
+Airshed state between hours is exactly the concentration array (the
+operators are rebuilt from the hourly inputs), so a checkpoint is the
+array plus the position in the hour sequence.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.model.config import AirshedConfig
+from repro.model.results import AirshedResult
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "resume_config"]
+
+_MAGIC = "airshed-checkpoint-v1"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Resumable state after some number of completed hours."""
+
+    dataset_name: str
+    hours_completed: int
+    start_hour: int
+    conc: np.ndarray
+
+    def next_start_hour(self) -> int:
+        return (self.start_hour + self.hours_completed) % 24
+
+
+def save_checkpoint(
+    config: AirshedConfig,
+    result: AirshedResult,
+    path: Union[str, Path, io.IOBase],
+) -> Checkpoint:
+    """Write a checkpoint for the state after ``result``'s last hour."""
+    ckpt = Checkpoint(
+        dataset_name=config.dataset.name,
+        hours_completed=config.hours,
+        start_hour=config.start_hour,
+        conc=np.asarray(result.final_conc),
+    )
+    payload = {
+        "magic": _MAGIC,
+        "dataset_name": ckpt.dataset_name,
+        "hours_completed": np.int64(ckpt.hours_completed),
+        "start_hour": np.int64(ckpt.start_hour),
+        "conc": ckpt.conc,
+    }
+    if isinstance(path, (str, Path)):
+        with Path(path).open("wb") as fh:
+            np.savez(fh, **payload)
+    else:
+        np.savez(path, **payload)
+    return ckpt
+
+
+def load_checkpoint(path: Union[str, Path, io.IOBase]) -> Checkpoint:
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["magic"]) != _MAGIC:
+            raise ValueError(f"not an Airshed checkpoint: {path}")
+        return Checkpoint(
+            dataset_name=str(z["dataset_name"]),
+            hours_completed=int(z["hours_completed"]),
+            start_hour=int(z["start_hour"]),
+            conc=z["conc"],
+        )
+
+
+def resume_config(
+    config: AirshedConfig,
+    checkpoint: Checkpoint,
+    hours: Optional[int] = None,
+) -> AirshedConfig:
+    """Derive a config continuing a run from a checkpoint.
+
+    ``config`` must use the same dataset the checkpoint was taken from;
+    ``hours`` defaults to the original config's remaining hours (or
+    raises if the checkpoint already covers them).
+    """
+    if checkpoint.dataset_name != config.dataset.name:
+        raise ValueError(
+            f"checkpoint is for dataset {checkpoint.dataset_name!r}, "
+            f"config uses {config.dataset.name!r}"
+        )
+    if checkpoint.conc.shape != config.dataset.shape:
+        raise ValueError(
+            f"checkpoint shape {checkpoint.conc.shape} != dataset shape "
+            f"{config.dataset.shape}"
+        )
+    if hours is None:
+        hours = config.hours - checkpoint.hours_completed
+        if hours < 1:
+            raise ValueError(
+                f"checkpoint already covers {checkpoint.hours_completed} of "
+                f"{config.hours} hours"
+            )
+    return replace(
+        config,
+        hours=hours,
+        start_hour=checkpoint.next_start_hour(),
+        initial_conc=checkpoint.conc.copy(),
+    )

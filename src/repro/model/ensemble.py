@@ -1,0 +1,124 @@
+"""Ensemble runs: emission-uncertainty quantification.
+
+Policy conclusions from a single deterministic run inherit the emission
+inventory's uncertainty.  An :class:`EmissionEnsemble` runs the model
+under N perturbed inventories (log-normal scaling per seed, the standard
+inventory-uncertainty treatment) and summarises the spread of any
+tracked output — giving error bars to the numbers the policy examples
+report.
+
+The perturbed members reuse the dataset's deterministic machinery, so
+an ensemble is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.generators import Dataset, HourlyConditions
+from repro.model.config import AirshedConfig
+from repro.model.results import AirshedResult
+from repro.model.sequential import TRACKED_SPECIES, SequentialAirshed
+
+__all__ = ["PerturbedDataset", "EnsembleSummary", "EmissionEnsemble"]
+
+
+class PerturbedDataset(Dataset):
+    """A dataset whose emissions are scaled by a log-normal factor.
+
+    One multiplicative factor per species, drawn once per member (the
+    inventory's bias is systematic within a day, not hour-to-hour
+    noise).
+    """
+
+    def __init__(self, base: Dataset, member_seed: int, sigma: float):
+        super().__init__(base.spec, mechanism=base.mechanism)
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        rng = np.random.default_rng(member_seed)
+        self._factors = np.exp(
+            rng.normal(0.0, sigma, size=self.mechanism.n_species)
+        )
+
+    @property
+    def emission_factors(self) -> np.ndarray:
+        return self._factors
+
+    def hourly(self, hour: int) -> HourlyConditions:
+        cond = super().hourly(hour)
+        E = cond.emissions * self._factors[:, None]
+        elevated = cond.elevated
+        if elevated is not None:
+            elevated = elevated * self._factors[:, None, None]
+        return HourlyConditions(
+            hour=cond.hour, temperature=cond.temperature, sun=cond.sun,
+            emissions=E, boundary=cond.boundary, elevated=elevated,
+        )
+
+
+@dataclass
+class EnsembleSummary:
+    """Spread statistics of the tracked species' hourly means."""
+
+    members: int
+    sigma: float
+    mean: Dict[str, np.ndarray]      # species -> (hours,)
+    std: Dict[str, np.ndarray]
+    peaks: Dict[str, np.ndarray]     # species -> (members,) run peaks
+
+    def peak_interval(self, species: str, quantile: float = 0.9):
+        """(low, high) quantile band of the run-peak for a species."""
+        if species not in self.peaks:
+            raise KeyError(f"no ensemble data for {species!r}")
+        lo = (1.0 - quantile) / 2.0
+        p = self.peaks[species]
+        return (float(np.quantile(p, lo)), float(np.quantile(p, 1.0 - lo)))
+
+    def relative_spread(self, species: str) -> float:
+        """std/mean of the run peak — the headline uncertainty number."""
+        p = self.peaks[species]
+        m = p.mean()
+        return float(p.std() / m) if m > 0 else 0.0
+
+
+class EmissionEnsemble:
+    """Run N perturbed-inventory members of one configuration."""
+
+    def __init__(self, config: AirshedConfig, members: int = 8,
+                 sigma: float = 0.3, seed: int = 0):
+        if members < 2:
+            raise ValueError("an ensemble needs at least 2 members")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.config = config
+        self.members = int(members)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def member_config(self, index: int) -> AirshedConfig:
+        if not (0 <= index < self.members):
+            raise ValueError(f"member index {index} out of range")
+        dataset = PerturbedDataset(
+            self.config.dataset,
+            member_seed=self.seed * 7919 + index,
+            sigma=self.sigma,
+        )
+        return replace(self.config, dataset=dataset)
+
+    def run(self) -> EnsembleSummary:
+        series: Dict[str, List[np.ndarray]] = {s: [] for s in TRACKED_SPECIES}
+        for i in range(self.members):
+            result = SequentialAirshed(self.member_config(i)).run()
+            for s in TRACKED_SPECIES:
+                series[s].append(result.species_series(s))
+        stacked = {s: np.vstack(v) for s, v in series.items()}
+        return EnsembleSummary(
+            members=self.members,
+            sigma=self.sigma,
+            mean={s: v.mean(axis=0) for s, v in stacked.items()},
+            std={s: v.std(axis=0) for s, v in stacked.items()},
+            peaks={s: v.max(axis=1) for s, v in stacked.items()},
+        )

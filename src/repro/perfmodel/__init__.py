@@ -1,0 +1,38 @@
+"""The Section 4 'predictable performance' model."""
+
+from repro.perfmodel.alternatives import UniformAirshedModel, compare_grid_strategies
+from repro.perfmodel.calibrate import (
+    FittedParameters,
+    fit_comm_parameters,
+    fit_compute_rate,
+)
+from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
+from repro.perfmodel.computation import (
+    PhaseModel,
+    block_phase_time,
+    simple_phase_time,
+)
+from repro.perfmodel.predict import PerformancePredictor, PredictedTimes
+from repro.perfmodel.whatif import (
+    BalancePoint,
+    comm_fraction_sweep,
+    network_balance_margin,
+)
+
+__all__ = [
+    "ArrayGeometry",
+    "BalancePoint",
+    "CommunicationModel",
+    "FittedParameters",
+    "PerformancePredictor",
+    "PhaseModel",
+    "PredictedTimes",
+    "UniformAirshedModel",
+    "block_phase_time",
+    "comm_fraction_sweep",
+    "compare_grid_strategies",
+    "fit_comm_parameters",
+    "fit_compute_rate",
+    "network_balance_margin",
+    "simple_phase_time",
+]

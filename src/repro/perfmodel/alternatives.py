@@ -1,0 +1,139 @@
+"""Model-level comparison with the uniform-grid 1-D-operator Airshed.
+
+Section 3 of the paper discusses the trade-off against the original
+uniform-grid CIT model (Dabdub & Seinfeld's parallel version): 1-D
+transport operators on a uniform grid parallelise over
+``layers x one grid dimension`` — far more than the multiscale 2-D
+operator's ``layers`` — but the uniform grid needs many times more
+points for the same accuracy, so the sequential work is much larger.
+"Related research appears to indicate that the improved parallelization
+does not make up for the reduced sequential performance."
+
+This module derives, from a recorded multiscale workload trace and its
+grid, the performance model of the accuracy-equivalent uniform-grid
+variant, and provides the comparison that claim rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.grid.multiscale import MultiscaleGrid
+from repro.model.results import WorkloadTrace
+from repro.perfmodel.predict import PerformancePredictor
+from repro.transport.operator1d import OPS_PER_CELL_SWEEP
+from repro.vm.machine import MachineSpec
+
+__all__ = ["UniformAirshedModel", "compare_grid_strategies"]
+
+
+@dataclass
+class UniformAirshedModel:
+    """Analytic model of the uniform-grid, 1-D-operator Airshed.
+
+    Derived quantities (relative to the recorded multiscale trace):
+
+    * the uniform grid has ``point_ratio`` times the points (set by the
+      multiscale grid's finest cell);
+    * chemistry work per point is grid-independent, so chemistry scales
+      by ``point_ratio`` — but parallelism also grows to the new point
+      count (chemistry stays embarrassingly parallel);
+    * transport becomes two 1-D implicit sweeps per step
+      (:data:`~repro.transport.operator1d.OPS_PER_CELL_SWEEP` per cell),
+      with parallelism ``layers * min(nx, ny)``;
+    * I/O volume scales with the point count (bigger files).
+    """
+
+    trace: WorkloadTrace
+    grid: MultiscaleGrid
+    machine: MachineSpec
+
+    def __post_init__(self) -> None:
+        if self.grid.npoints != self.trace.npoints:
+            raise ValueError(
+                "grid does not match the trace "
+                f"({self.grid.npoints} vs {self.trace.npoints} points)"
+            )
+        w, h = self.grid.domain
+        cell = self.grid.finest_cell_size
+        self.nx = max(2, math.ceil(w / cell))
+        self.ny = max(2, math.ceil(h / cell))
+        self.npoints_uniform = self.nx * self.ny
+        self.point_ratio = self.npoints_uniform / self.trace.npoints
+
+    # ------------------------------------------------------------------
+    def sequential_ops(self) -> Dict[str, float]:
+        """Per-phase sequential op counts of the uniform variant."""
+        ms = self.trace.total_ops_by_phase()
+        nspec = self.trace.n_species
+        layers = self.trace.layers
+        nsteps = self.trace.total_steps()
+        # Two transports per step, each an Lx+Ly pair of sweeps over
+        # every (cell, layer, species).
+        transport = (
+            2.0 * nsteps * 2.0 * nspec * layers
+            * self.npoints_uniform * OPS_PER_CELL_SWEEP
+        )
+        return {
+            "chemistry": ms["chemistry"] * self.point_ratio,
+            "transport": transport,
+            "aerosol": ms["aerosol"] * self.point_ratio,
+            "io": ms["io"] * self.point_ratio,
+        }
+
+    def transport_parallelism(self) -> int:
+        return self.trace.layers * min(self.nx, self.ny)
+
+    def predict_total(self, P: int) -> float:
+        """Predicted execution time of the uniform variant at P nodes.
+
+        Uses the paper's simple model per phase (communication is
+        neglected for both variants in this comparison — the paper
+        showed it is a small fraction).
+        """
+        if P < 1:
+            raise ValueError("P must be >= 1")
+        ops = self.sequential_ops()
+        m = self.machine
+        chem = m.compute_cost(ops["chemistry"]) / min(self.npoints_uniform, P)
+        trans = m.compute_cost(ops["transport"]) / min(
+            self.transport_parallelism(), P
+        )
+        aero = m.compute_cost(ops["aerosol"])  # replicated, sequential-ish
+        io = m.compute_cost(ops["io"])  # sequential
+        return chem + trans + aero + io
+
+    def speedup(self, P: int) -> float:
+        return self.predict_total(1) / self.predict_total(P)
+
+
+def compare_grid_strategies(
+    trace: WorkloadTrace,
+    grid: MultiscaleGrid,
+    machine: MachineSpec,
+    node_counts: Sequence[int] = (1, 4, 16, 64, 256),
+) -> Dict[int, Dict[str, float]]:
+    """Multiscale vs uniform: absolute time and speedup per node count.
+
+    Returns ``{P: {"multiscale": t, "uniform": t_u,
+    "multiscale_speedup": s, "uniform_speedup": s_u}}``.
+    """
+    uniform = UniformAirshedModel(trace, grid, machine)
+    multiscale = PerformancePredictor(trace, machine)
+    t1_ms = multiscale.predict_total(1)
+    t1_un = uniform.predict_total(1)
+    out: Dict[int, Dict[str, float]] = {}
+    for P in node_counts:
+        t_ms = multiscale.predict_total(P)
+        t_un = uniform.predict_total(P)
+        out[P] = {
+            "multiscale": t_ms,
+            "uniform": t_un,
+            "multiscale_speedup": t1_ms / t_ms,
+            "uniform_speedup": t1_un / t_un,
+        }
+    return out

@@ -1,0 +1,115 @@
+"""Estimating machine parameters from measurements (paper Section 4.3).
+
+The paper estimates ``L``, ``G`` and ``H`` for the Cray T3E "using
+measurements for a small number of nodes".  This module does the same
+against the simulator: run the application (or micro-benchmarks) at a
+few small node counts, collect the communication phase records, and
+least-squares fit the three parameters from the observed
+``(messages, bytes, copied) -> duration`` samples.  A compute-rate fit
+(seconds per op) comes from the compute phase records.
+
+Recovering the true machine constants from end-to-end measurements
+validates the whole accounting chain, and mirrors how a real user would
+parameterise the predictor for a new machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.vm.traffic import PhaseRecord, Timeline
+
+__all__ = ["FittedParameters", "fit_comm_parameters", "fit_compute_rate"]
+
+
+@dataclass(frozen=True)
+class FittedParameters:
+    """Least-squares estimates of the communication constants."""
+
+    latency: float
+    gap: float
+    copy_cost: float
+    residual: float
+    samples: int
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.latency, self.gap, self.copy_cost)
+
+
+def _comm_rows(records: Iterable[PhaseRecord]) -> Tuple[np.ndarray, np.ndarray]:
+    rows: List[Tuple[float, float, float]] = []
+    durations: List[float] = []
+    for rec in records:
+        if rec.kind != "comm" or not rec.traffic:
+            continue
+        t = rec.max_node_traffic()
+        rows.append((float(t.messages), float(t.bytes_moved), float(t.bytes_copied)))
+        durations.append(rec.duration)
+    return np.asarray(rows, dtype=float), np.asarray(durations, dtype=float)
+
+
+def fit_comm_parameters(
+    timelines: Iterable[Timeline],
+    nonnegative: bool = True,
+) -> FittedParameters:
+    """Fit ``L, G, H`` from the comm records of one or more timelines.
+
+    The phase duration is modelled as ``L*m + G*b + H*c`` of the most
+    loaded node (which is how the simulator prices phases, so with
+    enough sample diversity the fit recovers the machine constants to
+    numerical precision).
+    """
+    all_rows = []
+    all_durs = []
+    for tl in timelines:
+        rows, durs = _comm_rows(tl)
+        if rows.size:
+            all_rows.append(rows)
+            all_durs.append(durs)
+    if not all_rows:
+        raise ValueError("no communication records to fit from")
+    X = np.vstack(all_rows)
+    y = np.concatenate(all_durs)
+    if len(y) < 3:
+        raise ValueError(f"need at least 3 communication samples, got {len(y)}")
+
+    if nonnegative:
+        from scipy.optimize import nnls
+
+        # Scale columns for conditioning (bytes >> messages).
+        scale = np.maximum(X.max(axis=0), 1e-300)
+        coef, rnorm = nnls(X / scale, y)
+        coef = coef / scale
+        residual = float(rnorm)
+    else:
+        coef, res, *_ = np.linalg.lstsq(X, y, rcond=None)
+        residual = float(np.sqrt(res[0])) if len(res) else 0.0
+    return FittedParameters(
+        latency=float(coef[0]),
+        gap=float(coef[1]),
+        copy_cost=float(coef[2]),
+        residual=residual,
+        samples=len(y),
+    )
+
+
+def fit_compute_rate(timelines: Iterable[Timeline]) -> float:
+    """Estimate seconds-per-op from compute phase records.
+
+    Each compute phase lasts as long as its most loaded node, so the
+    ratio duration / max-ops is the per-op cost.
+    """
+    ratios: List[float] = []
+    for tl in timelines:
+        for rec in tl:
+            if rec.kind != "compute" or not rec.ops:
+                continue
+            max_ops = max(rec.ops.values())
+            if max_ops > 0:
+                ratios.append(rec.duration / max_ops)
+    if not ratios:
+        raise ValueError("no compute records to fit from")
+    return float(np.median(ratios))

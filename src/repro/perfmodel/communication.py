@@ -1,0 +1,111 @@
+"""Closed-form communication cost equations (paper Section 4.2).
+
+For the concentration array ``A(species, layers, nodes)`` on ``P``
+processors with wordsize ``W``, the paper derives the per-occurrence
+cost of each redistribution step:
+
+* ``D_Repl -> D_Trans`` (local copy only)::
+
+      Ct = H * ceil(layers / min(layers, P)) * species * nodes * W
+
+* ``D_Trans -> D_Chem`` (sender-dominated)::
+
+      Ct = L * P + G * ceil(layers / min(layers, P)) * species * nodes * W
+
+* ``D_Chem -> D_Repl`` (receiver-dominated all-gather)::
+
+      Ct = 2 * L * P + G * layers * species * nodes * W
+
+These are deliberate approximations (e.g. the all-gather counts the full
+array on the receive side although each node already holds its own
+block); the simulator executes the *exact* transfer set, so predicted
+and measured values differ slightly — visibly so in Figure 6, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.vm.machine import MachineSpec
+
+__all__ = ["ArrayGeometry", "CommunicationModel"]
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Dimensions of the concentration array."""
+
+    species: int
+    layers: int
+    npoints: int
+    wordsize: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.species, self.layers, self.npoints, self.wordsize) < 1:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.species * self.layers * self.npoints * self.wordsize
+
+    def max_layer_block_bytes(self, P: int) -> int:
+        """Bytes of the largest per-node block under ``D_Trans``."""
+        if P < 1:
+            raise ValueError("P must be >= 1")
+        layers_per_node = math.ceil(self.layers / min(self.layers, P))
+        return layers_per_node * self.species * self.npoints * self.wordsize
+
+
+class CommunicationModel:
+    """Evaluates the paper's closed forms for one machine and geometry."""
+
+    def __init__(self, machine: MachineSpec, geometry: ArrayGeometry):
+        self.machine = machine
+        self.geometry = geometry
+
+    # -- the three named steps ------------------------------------------
+    def repl_to_trans(self, P: int) -> float:
+        """Pure local copy: the ``H`` term only."""
+        return self.machine.copy_cost * self.geometry.max_layer_block_bytes(P)
+
+    def trans_to_chem(self, P: int) -> float:
+        """Sender-dominated: P messages plus the sender's whole block."""
+        m = self.machine
+        return m.latency * P + m.gap * self.geometry.max_layer_block_bytes(P)
+
+    def chem_to_repl(self, P: int) -> float:
+        """All-gather: 2P message endpoints, full array received."""
+        m = self.machine
+        return 2.0 * m.latency * P + m.gap * self.geometry.total_bytes
+
+    def output_gather(self, P: int) -> float:
+        """End-of-hour gather of the (layer-distributed) array onto the
+        I/O node: receiver-bound, one message per layer owner."""
+        m = self.machine
+        senders = min(self.geometry.layers, P)
+        return m.latency * senders + m.gap * self.geometry.total_bytes
+
+    # -- dispatch --------------------------------------------------------
+    STEP_NAMES: Tuple[str, ...] = (
+        "D_Repl->D_Trans",
+        "D_Trans->D_Chem",
+        "D_Chem->D_Repl",
+        "gather:outputhour",
+    )
+
+    def cost(self, step: str, P: int) -> float:
+        if step == "D_Repl->D_Trans":
+            return self.repl_to_trans(P)
+        if step == "D_Trans->D_Chem":
+            return self.trans_to_chem(P)
+        if step == "D_Chem->D_Repl":
+            return self.chem_to_repl(P)
+        if step == "gather:outputhour":
+            return self.output_gather(P)
+        raise KeyError(f"unknown redistribution step {step!r}")
+
+    def all_costs(self, P: int) -> Dict[str, float]:
+        return {name: self.cost(name, P) for name in self.STEP_NAMES}

@@ -1,0 +1,65 @@
+"""Computation performance model (paper Section 4.1).
+
+"The execution time of a communication-free data parallel code segment
+is determined by the total amount of computation, the rate of performing
+computations on a node, and the degree of useful parallelism.  The
+degree of useful parallelism is the minimum of the available parallelism
+and the number of nodes."
+
+Two granularities are provided:
+
+* the paper's *simple* model — ``T(P) = T_seq / min(parallelism, P)`` —
+  used for back-of-envelope scalability statements, and
+* the *ceil-exact* model, which accounts for uneven block sizes (5
+  layers on 4 nodes means one node carries 2 layers, so transport halves
+  from 4 to 8 nodes and then flattens — the behaviour in Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vm.machine import MachineSpec
+
+__all__ = ["simple_phase_time", "block_phase_time", "PhaseModel"]
+
+
+def simple_phase_time(
+    machine: MachineSpec, seq_ops: float, parallelism: int, P: int
+) -> float:
+    """The paper's model: sequential time over useful parallelism."""
+    if parallelism < 1 or P < 1:
+        raise ValueError("parallelism and P must be >= 1")
+    return machine.compute_cost(seq_ops) / min(parallelism, P)
+
+
+def block_phase_time(machine: MachineSpec, ops_per_unit: np.ndarray, P: int) -> float:
+    """Ceil-exact model: time of the most loaded node under BLOCK.
+
+    ``ops_per_unit`` is the per-layer (or per-point) work vector; the
+    most loaded node owns a contiguous block of ``ceil(n/P)`` units.
+    """
+    ops = np.asarray(ops_per_unit, dtype=float)
+    n = len(ops)
+    if n == 0:
+        return 0.0
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    bs = math.ceil(n / P)
+    loads = [ops[i * bs : (i + 1) * bs].sum() for i in range(math.ceil(n / bs))]
+    return machine.compute_cost(max(loads))
+
+
+@dataclass(frozen=True)
+class PhaseModel:
+    """Declarative description of one compute phase for the predictor."""
+
+    name: str
+    seq_ops: float
+    parallelism: int  # available parallelism (1 for sequential/replicated)
+
+    def time(self, machine: MachineSpec, P: int) -> float:
+        return simple_phase_time(machine, self.seq_ops, self.parallelism, P)

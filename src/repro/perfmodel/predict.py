@@ -1,0 +1,137 @@
+"""Whole-application performance prediction (paper Section 4.3).
+
+Combines the computation model and the communication closed forms with
+the counts a :class:`~repro.model.results.WorkloadTrace` records, to
+predict per-phase and total execution times for any machine and node
+count — including extrapolation from small-P measurements, the use case
+the paper highlights (development on small machines, production on
+supercomputing-centre machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.model.results import WorkloadTrace
+from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
+from repro.perfmodel.computation import block_phase_time, simple_phase_time
+from repro.vm.machine import MachineSpec
+
+__all__ = ["PredictedTimes", "PerformancePredictor"]
+
+
+@dataclass
+class PredictedTimes:
+    """Per-phase predictions for one (machine, P) point."""
+
+    machine: str
+    nprocs: int
+    chemistry: float
+    transport: float
+    aerosol: float
+    io: float
+    communication: float
+    comm_by_step: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return self.chemistry + self.transport + self.aerosol + self.io + self.communication
+
+    def compute_breakdown(self) -> Dict[str, float]:
+        """Figure-4-style buckets (aerosol folded into chemistry)."""
+        return {
+            "chemistry": self.chemistry + self.aerosol,
+            "transport": self.transport,
+            "io": self.io,
+            "communication": self.communication,
+        }
+
+
+class PerformancePredictor:
+    """Predict Airshed execution times from a workload trace."""
+
+    def __init__(self, trace: WorkloadTrace, machine: MachineSpec):
+        self.trace = trace
+        self.machine = machine
+        self.geometry = ArrayGeometry(
+            species=trace.n_species,
+            layers=trace.layers,
+            npoints=trace.npoints,
+            wordsize=machine.wordsize,
+        )
+        self.comm_model = CommunicationModel(machine, self.geometry)
+
+    # ------------------------------------------------------------------
+    def redistribution_counts(self) -> Dict[str, int]:
+        """Occurrences of each communication phase in the main loop.
+
+        ``D_Repl->D_Trans`` happens once per step (entering the second
+        transport after the aerosol) plus once at the very start of the
+        run; the chemistry steps once per step each; the output gather
+        once per hour.
+        """
+        n_steps = self.trace.total_steps()
+        n_hours = self.trace.nhours
+        return {
+            "D_Repl->D_Trans": n_steps + 1,
+            "D_Trans->D_Chem": n_steps,
+            "D_Chem->D_Repl": n_steps,
+            "gather:outputhour": n_hours,
+        }
+
+    # ------------------------------------------------------------------
+    def predict(self, P: int, exact: bool = True) -> PredictedTimes:
+        """Predict all phase times at ``P`` nodes.
+
+        ``exact=True`` uses the ceil-exact computation model over the
+        trace's per-layer / per-point work vectors; ``exact=False`` uses
+        the paper's simple ``T_seq / min(par, P)`` form.
+        """
+        if P < 1:
+            raise ValueError("P must be >= 1")
+        m = self.machine
+        tr = self.trace
+
+        chemistry = transport = aerosol = io = 0.0
+        for hour in tr.hours:
+            io += m.io_cost(hour.input_bytes, hour.input_ops)
+            io += m.io_cost(0.0, hour.pretrans_ops)
+            io += m.io_cost(hour.output_bytes, hour.output_ops)
+            for step in hour.steps:
+                if exact:
+                    transport += block_phase_time(m, step.transport1_ops, P)
+                    transport += block_phase_time(m, step.transport2_ops, P)
+                    chemistry += block_phase_time(m, step.chemistry_ops, P)
+                else:
+                    t_ops = float(step.transport1_ops.sum() + step.transport2_ops.sum())
+                    transport += simple_phase_time(m, t_ops, tr.layers, P)
+                    chemistry += simple_phase_time(
+                        m, float(step.chemistry_ops.sum()), tr.npoints, P
+                    )
+                aerosol += m.compute_cost(step.aerosol_ops)  # replicated
+
+        counts = self.redistribution_counts()
+        comm_by_step = {
+            name: counts[name] * self.comm_model.cost(name, P) for name in counts
+        }
+        return PredictedTimes(
+            machine=m.name,
+            nprocs=P,
+            chemistry=chemistry,
+            transport=transport,
+            aerosol=aerosol,
+            io=io,
+            communication=sum(comm_by_step.values()),
+            comm_by_step=comm_by_step,
+        )
+
+    def predict_total(self, P: int, exact: bool = True) -> float:
+        return self.predict(P, exact=exact).total
+
+    def speedup_curve(self, node_counts, exact: bool = True) -> Dict[int, float]:
+        """Predicted speedup relative to the P=1 prediction."""
+        t1 = self.predict_total(1, exact=exact)
+        return {P: t1 / self.predict_total(P, exact=exact) for P in node_counts}

@@ -1,0 +1,91 @@
+"""What-if machine studies: when would communication stop being small?
+
+The paper attributes Airshed's low communication overhead partly to
+"the balanced computation and communication architectures of the
+machines used".  This module quantifies that: sweep a hypothetical
+machine's network (or compute) speed and find where the communication
+share of the execution time crosses a threshold — the balance margin of
+the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.results import WorkloadTrace
+from repro.perfmodel.predict import PerformancePredictor
+from repro.vm.machine import MachineSpec
+
+__all__ = ["BalancePoint", "comm_fraction_sweep", "network_balance_margin"]
+
+
+@dataclass(frozen=True)
+class BalancePoint:
+    """Result of a balance-margin search."""
+
+    machine: str
+    nprocs: int
+    slowdown_factor: float      # network slowdown where the threshold trips
+    comm_fraction_at_base: float
+    threshold: float
+
+
+def comm_fraction_sweep(
+    trace: WorkloadTrace,
+    machine: MachineSpec,
+    nprocs: int,
+    comm_factors: Sequence[float],
+) -> Dict[float, float]:
+    """Communication share of total time as the network slows down.
+
+    ``comm_factors`` multiply L, G and H together (1.0 = the real
+    machine).  Uses the Section 4 predictor, so the sweep is analytic
+    and instant.
+    """
+    out: Dict[float, float] = {}
+    for factor in comm_factors:
+        if factor <= 0:
+            raise ValueError("comm factors must be positive")
+        hypothetical = machine.scaled(comm_factor=factor)
+        p = PerformancePredictor(trace, hypothetical).predict(nprocs)
+        out[factor] = p.communication / p.total
+    return out
+
+
+def network_balance_margin(
+    trace: WorkloadTrace,
+    machine: MachineSpec,
+    nprocs: int,
+    threshold: float = 0.25,
+    max_factor: float = 1024.0,
+) -> BalancePoint:
+    """How much slower could the network be before communication eats
+    ``threshold`` of the execution time?  Bisection over the comm
+    factor; returns the crossing factor (clamped to ``max_factor``).
+    """
+    if not (0.0 < threshold < 1.0):
+        raise ValueError("threshold must lie in (0, 1)")
+    base = comm_fraction_sweep(trace, machine, nprocs, [1.0])[1.0]
+    if base >= threshold:
+        factor = 1.0
+    else:
+        lo, hi = 1.0, max_factor
+        if comm_fraction_sweep(trace, machine, nprocs, [hi])[hi] < threshold:
+            factor = max_factor
+        else:
+            for _ in range(60):
+                mid = (lo + hi) / 2.0
+                frac = comm_fraction_sweep(trace, machine, nprocs, [mid])[mid]
+                if frac < threshold:
+                    lo = mid
+                else:
+                    hi = mid
+            factor = (lo + hi) / 2.0
+    return BalancePoint(
+        machine=machine.name,
+        nprocs=nprocs,
+        slowdown_factor=factor,
+        comm_fraction_at_base=base,
+        threshold=threshold,
+    )

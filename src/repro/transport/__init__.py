@@ -1,0 +1,12 @@
+"""Horizontal transport: SUPG FEM (multiscale) and 1-D splitting baseline."""
+
+from repro.transport.operator1d import Splitting1DTransport
+from repro.transport.supg import SUPGTransport, TransportOperator
+from repro.transport.windfield import WindField
+
+__all__ = [
+    "SUPGTransport",
+    "Splitting1DTransport",
+    "TransportOperator",
+    "WindField",
+]

@@ -1,0 +1,149 @@
+"""1-D operator-splitting transport on a uniform grid (the baseline).
+
+The paper (Section 3) contrasts Airshed's 2-D multiscale SUPG operator
+with the classic approach of the uniform-grid CIT model: split the
+horizontal transport into 1-D ``Lx`` and ``Ly`` sweeps.  The rows (and
+columns) are independent, so this operator parallelises over
+``layers * ny`` (respectively ``layers * nx``) — far more parallelism —
+but it needs a uniform grid (many more points for the same accuracy) and
+a smaller time step when cross-flow is strong (splitting error).
+
+Implemented as implicit upwind advection + central diffusion per line,
+solved with a Thomas algorithm vectorised over all lines and species.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["Splitting1DTransport"]
+
+#: Abstract ops per cell per 1-D implicit sweep.
+OPS_PER_CELL_SWEEP = 10.0
+
+
+def _thomas_batch(lower, diag, upper, rhs):
+    """Solve batched tridiagonal systems.
+
+    ``lower/diag/upper``: (..., n) coefficient arrays (lower[...,0] and
+    upper[...,-1] ignored); ``rhs``: (..., n).  Vectorised over leading
+    dimensions.
+    """
+    n = rhs.shape[-1]
+    cp = np.empty_like(rhs)
+    dp = np.empty_like(rhs)
+    cp[..., 0] = upper[..., 0] / diag[..., 0]
+    dp[..., 0] = rhs[..., 0] / diag[..., 0]
+    for i in range(1, n):
+        denom = diag[..., i] - lower[..., i] * cp[..., i - 1]
+        cp[..., i] = upper[..., i] / denom if i < n - 1 else 0.0
+        dp[..., i] = (rhs[..., i] - lower[..., i] * dp[..., i - 1]) / denom
+    x = np.empty_like(rhs)
+    x[..., n - 1] = dp[..., n - 1]
+    for i in range(n - 2, -1, -1):
+        x[..., i] = dp[..., i] - cp[..., i] * x[..., i + 1]
+    return x
+
+
+class Splitting1DTransport:
+    """``Lx(dt) Ly(dt)`` splitting on a uniform grid."""
+
+    def __init__(self, grid: UniformGrid, diffusivity: float):
+        if diffusivity < 0:
+            raise ValueError("diffusivity must be non-negative")
+        self.grid = grid
+        self.diffusivity = float(diffusivity)
+
+    # ------------------------------------------------------------------
+    def _sweep_coefficients(
+        self, vel: np.ndarray, spacing: float, dt: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Implicit upwind + diffusion coefficients along the last axis.
+
+        ``vel``: (..., n) face-centred velocity approximated by the cell
+        value.  No-flux boundaries (first/last cell couple inward only).
+        """
+        co = dt / spacing
+        cd = self.diffusivity * dt / spacing**2
+        up = np.maximum(vel, 0.0) * co   # donor flux to the right
+        dn = np.maximum(-vel, 0.0) * co  # donor flux to the left
+
+        # Donor-cell form: cell i gains up[i-1]*c[i-1] from the left and
+        # dn[i+1]*c[i+1] from the right, and loses its own up[i]+dn[i].
+        # Interior column sums of the implicit matrix are exactly 1, so
+        # the sweep conserves mass away from the open boundaries.
+        lower = np.zeros_like(vel)
+        upper = np.zeros_like(vel)
+        lower[..., 1:] = -(up[..., :-1] + cd)
+        upper[..., :-1] = -(dn[..., 1:] + cd)
+        diag = 1.0 + up + dn + 2.0 * cd
+        return lower, diag, upper
+
+    def _sweep(self, field: np.ndarray, vel: np.ndarray, spacing: float,
+               dt: float, boundary: float) -> np.ndarray:
+        """One implicit 1-D sweep along the last axis of ``field``.
+
+        Boundaries are open: outflow leaves the domain and inflow
+        carries the background concentration ``boundary``.
+        """
+        lower, diag, upper = self._sweep_coefficients(vel, spacing, dt)
+        co = dt / spacing
+        cd = self.diffusivity * dt / spacing**2
+        rhs = field.copy()
+        # Ghost-cell inflow at the two ends.
+        rhs[..., 0] += (np.maximum(vel[..., 0], 0.0) * co + cd) * boundary
+        rhs[..., -1] += (np.maximum(-vel[..., -1], 0.0) * co + cd) * boundary
+        return _thomas_batch(lower, diag, upper, rhs)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        conc: np.ndarray,
+        u_field: np.ndarray,
+        dt: float,
+        boundary: float = 0.0,
+    ) -> Tuple[np.ndarray, float]:
+        """Advance ``conc`` (n_species, nx*ny) by ``dt`` via Lx then Ly.
+
+        ``u_field``: (nx*ny, 2) cell velocities; ``boundary`` is the
+        inflow (background) concentration at the open domain edges.
+        Returns the new concentrations and the deterministic op count.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        conc = np.atleast_2d(np.asarray(conc, dtype=float))
+        g = self.grid
+        if conc.shape[1] != g.npoints:
+            raise ValueError(
+                f"conc has {conc.shape[1]} points, grid has {g.npoints}"
+            )
+        nspec = conc.shape[0]
+        c = conc.reshape(nspec, g.nx, g.ny)
+        ux = np.asarray(u_field)[:, 0].reshape(g.nx, g.ny)
+        uy = np.asarray(u_field)[:, 1].reshape(g.nx, g.ny)
+
+        # Lx: sweep along x (axis 1).  Move x last: (nspec, ny, nx).
+        cx = np.swapaxes(c, 1, 2)
+        vx = np.broadcast_to(ux.T, cx.shape[1:])
+        cx = self._sweep(cx, np.broadcast_to(vx, cx.shape), g.dx, dt, boundary)
+        c = np.swapaxes(cx, 1, 2)
+
+        # Ly: sweep along y (axis 2, already last).
+        vy = np.broadcast_to(uy, c.shape)
+        c = self._sweep(c, vy, g.dy, dt, boundary)
+
+        ops = 2.0 * nspec * g.npoints * OPS_PER_CELL_SWEEP
+        return c.reshape(nspec, g.npoints), float(ops)
+
+    def total_mass(self, conc: np.ndarray) -> np.ndarray:
+        conc = np.atleast_2d(conc)
+        return conc.sum(axis=1) * self.grid.dx * self.grid.dy
+
+    def degree_of_parallelism(self, layers: int) -> int:
+        """Independent work units per sweep: layers x cross-dimension."""
+        return layers * min(self.grid.nx, self.grid.ny)

@@ -1,0 +1,160 @@
+"""SUPG finite-element horizontal transport.
+
+Airshed solves horizontal transport with the Streamline Upwind
+Petrov-Galerkin (SUPG) finite element method of Odman & Russell on the
+multiscale grid.  The crucial structural property (paper, Sections 2-3):
+the 2-D operator couples *all* grid points of a layer in one implicit
+solve, so the transport phase parallelises only over layers — 5-way
+parallelism for the paper's datasets — unlike 1-D splitting operators.
+
+Implementation: P1 elements on the Delaunay mesh, lumped mass matrix,
+element-wise constant velocity, streamline stabilisation
+``tau_e = h_e / (2|u_e|)``, and a theta-scheme (Crank-Nicolson by
+default) whose implicit matrix is factorised once per hour per layer and
+reused across species and steps — mirroring how the Fortran code
+amortises its solver setup over the 35 species.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.grid.mesh import TriMesh
+
+__all__ = ["SUPGTransport", "TransportOperator"]
+
+#: Abstract ops per nonzero of the LU factors per triangular solve.
+OPS_PER_NNZ_SOLVE = 4.0
+#: Abstract ops per nonzero of the assembled matrix for the rhs product.
+OPS_PER_NNZ_MATVEC = 2.0
+#: Abstract ops per nonzero for the factorisation itself.
+OPS_PER_NNZ_FACTOR = 30.0
+
+
+class SUPGTransport:
+    """Assembles SUPG advection-diffusion operators on a mesh."""
+
+    def __init__(self, mesh: TriMesh, diffusivity: float, theta: float = 0.5):
+        if diffusivity < 0:
+            raise ValueError("diffusivity must be non-negative")
+        if not (0.0 <= theta <= 1.0):
+            raise ValueError("theta must lie in [0, 1]")
+        self.mesh = mesh
+        self.diffusivity = float(diffusivity)
+        self.theta = float(theta)
+        self._mass = sp.diags(mesh.node_areas).tocsc()
+
+    # ------------------------------------------------------------------
+    def element_velocities(self, u_nodes: np.ndarray) -> np.ndarray:
+        """Element-mean velocity from nodal values."""
+        u_nodes = np.asarray(u_nodes, dtype=float)
+        if u_nodes.shape != (self.mesh.npoints, 2):
+            raise ValueError(
+                f"u_nodes must be ({self.mesh.npoints}, 2); got {u_nodes.shape}"
+            )
+        return u_nodes[self.mesh.triangles].mean(axis=1)
+
+    def assemble(self, u_nodes: np.ndarray) -> sp.csr_matrix:
+        """Spatial operator ``A = C_adv + K_diff + S_supg`` (n x n).
+
+        The semi-discrete system is ``M dc/dt + A c = 0``.
+        """
+        mesh = self.mesh
+        tris = mesh.triangles
+        areas = mesh.areas
+        grads = mesh.grads  # (m, 3, 2)
+        u_e = self.element_velocities(u_nodes)  # (m, 2)
+
+        m = mesh.ntriangles
+        # u . grad(phi_j) per element and local basis function: (m, 3)
+        ug = np.einsum("me,mje->mj", u_e, grads)
+
+        rows = np.repeat(tris, 3, axis=1).reshape(m, 9)
+        cols = np.tile(tris, (1, 3)).reshape(m, 9)
+
+        # Advection (Galerkin): integral phi_i (u.grad phi_j) = A/3 * ug_j.
+        adv = np.repeat(areas[:, None] / 3.0, 9, axis=1).reshape(m, 9) * np.tile(
+            ug, (1, 3)
+        ).reshape(m, 9)
+
+        # Diffusion: K * A * (g_i . g_j).
+        gg = np.einsum("mie,mje->mij", grads, grads)  # (m, 3, 3)
+        diff = self.diffusivity * areas[:, None] * gg.reshape(m, 9)
+
+        # SUPG stabilisation: tau * A * (u.g_i)(u.g_j),
+        # tau = h_e / (2 |u_e|) with h_e = sqrt(2 A_e).
+        speed = np.linalg.norm(u_e, axis=1)
+        h_e = np.sqrt(2.0 * areas)
+        tau = np.where(speed > 1e-14, h_e / (2.0 * np.maximum(speed, 1e-14)), 0.0)
+        supg = (tau * areas)[:, None] * np.einsum(
+            "mi,mj->mij", ug, ug
+        ).reshape(m, 9)
+
+        data = (adv + diff + supg).ravel()
+        A = sp.coo_matrix(
+            (data, (rows.ravel(), cols.ravel())),
+            shape=(mesh.npoints, mesh.npoints),
+        )
+        return A.tocsr()
+
+    def prepare(self, u_nodes: np.ndarray, dt: float) -> "TransportOperator":
+        """Factorise the theta-scheme for a given wind and step size."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        A = self.assemble(u_nodes).tocsc()
+        Mdt = self._mass / dt
+        lhs = (Mdt + self.theta * A).tocsc()
+        rhs = (Mdt - (1.0 - self.theta) * A).tocsr()
+        lu = splu(lhs)
+        factor_nnz = int(lu.nnz)
+        prep_ops = factor_nnz * OPS_PER_NNZ_FACTOR + A.nnz * 6.0
+        return TransportOperator(
+            mesh=self.mesh,
+            lu=lu,
+            rhs=rhs,
+            factor_nnz=factor_nnz,
+            prep_ops=prep_ops,
+        )
+
+
+@dataclass
+class TransportOperator:
+    """A factorised transport step, reusable across species and steps."""
+
+    mesh: TriMesh
+    lu: object
+    rhs: sp.csr_matrix
+    factor_nnz: int
+    prep_ops: float
+
+    def step(self, conc: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Advance ``conc`` (n_species, n_points) one step.
+
+        Returns the new concentrations and the deterministic op count
+        (one multi-RHS triangular solve across all species).
+        """
+        conc = np.asarray(conc, dtype=float)
+        single = conc.ndim == 1
+        c = conc[None, :] if single else conc
+        if c.shape[1] != self.mesh.npoints:
+            raise ValueError(
+                f"conc has {c.shape[1]} points, mesh has {self.mesh.npoints}"
+            )
+        b = self.rhs @ c.T  # (n, nspec)
+        out = self.lu.solve(np.ascontiguousarray(b))
+        nspec = c.shape[0]
+        ops = nspec * (
+            self.factor_nnz * OPS_PER_NNZ_SOLVE + self.rhs.nnz * OPS_PER_NNZ_MATVEC
+        )
+        result = out.T
+        return (result[0] if single else result, float(ops))
+
+    def total_mass(self, conc: np.ndarray) -> np.ndarray:
+        """Area-weighted total mass per species (conservation checks)."""
+        conc = np.atleast_2d(conc)
+        return conc @ self.mesh.node_areas

@@ -1,0 +1,39 @@
+"""Physical constants and small unit helpers shared across the package.
+
+The Airshed model mixes several unit systems (km for the horizontal grid,
+m for vertical layers, ppm for gas concentrations, seconds for simulated
+machine time).  Everything in :mod:`repro` uses the conventions collected
+here so that modules do not have to re-declare magic numbers.
+"""
+
+from __future__ import annotations
+
+#: Machine word size used by the paper's Cray measurements (bytes).
+DEFAULT_WORDSIZE: int = 8
+
+#: Seconds per hour; the Airshed outer loop advances one hour per iteration.
+SECONDS_PER_HOUR: float = 3600.0
+
+#: Kilometres -> metres.
+KM: float = 1000.0
+
+#: Conversion of a concentration in ppm to molecules/cm^3 at standard
+#: surface conditions (approximate; used only to give the synthetic
+#: chemistry realistic magnitudes).
+PPM_TO_MOLEC_CM3: float = 2.46e13
+
+#: Universal gas constant (J / (mol K)); used by Arrhenius rate laws.
+R_GAS: float = 8.314
+
+#: Boltzmann-ish reference temperature for rate evaluation (K).
+T_REF: float = 298.0
+
+
+def ppm(value: float) -> float:
+    """Identity helper that documents a literal as a ppm mixing ratio."""
+    return float(value)
+
+
+def per_second(value: float) -> float:
+    """Identity helper that documents a literal as a first-order rate."""
+    return float(value)

@@ -1,0 +1,38 @@
+"""Virtual parallel machine substrate.
+
+Simulates the three machines of the paper (Cray T3E, Cray T3D, Intel
+Paragon) at the fidelity of the paper's own performance model: per-node
+compute rates plus the ``Ct = L*m + G*b + H*c`` communication model.
+"""
+
+from repro.vm.cluster import Cluster, Subgroup, Transfer
+from repro.vm.machine import (
+    CRAY_T3D,
+    CRAY_T3E,
+    INTEL_PARAGON,
+    MACHINES,
+    MachineSpec,
+    get_machine,
+)
+from repro.vm.metrics import NodeUsage, UtilizationReport, utilization
+from repro.vm.node import VirtualNode
+from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
+
+__all__ = [
+    "Cluster",
+    "Subgroup",
+    "Transfer",
+    "MachineSpec",
+    "CRAY_T3E",
+    "CRAY_T3D",
+    "INTEL_PARAGON",
+    "MACHINES",
+    "get_machine",
+    "VirtualNode",
+    "NodeTraffic",
+    "NodeUsage",
+    "PhaseRecord",
+    "Timeline",
+    "UtilizationReport",
+    "utilization",
+]

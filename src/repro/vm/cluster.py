@@ -1,0 +1,286 @@
+"""The simulated parallel machine.
+
+A :class:`Cluster` is ``P`` :class:`~repro.vm.node.VirtualNode` objects
+plus a :class:`~repro.vm.machine.MachineSpec` that prices work.  The
+application (via the Fx runtime) *executes real numpy computation* and
+reports deterministic work/traffic counts; the cluster converts those
+counts into simulated seconds using the paper's cost model and maintains
+per-node clocks.
+
+Timing semantics
+----------------
+* **Compute phases** advance each participating node independently by its
+  own cost — nodes in different task subgroups overlap freely, which is
+  what makes the Section 5 pipelined task parallelism effective.
+* **Communication phases** are collective over their participant group:
+  they start when the last participant arrives (``max`` of clocks), every
+  participant leaves at ``start + max_i Ct_i`` where
+  ``Ct_i = L*(m_sent_i + m_recv_i) + G*max(b_sent_i, b_recv_i) + H*c_i``
+  is the per-node cost of the paper's model (Section 4.2) and the phase
+  is paced by the most loaded node.
+* **I/O phases** run sequentially on one node; callers may pass a
+  blocking group whose members wait for the I/O node (the pure
+  data-parallel Airshed) or let other subgroups keep running (the
+  task-parallel variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.vm.machine import MachineSpec
+from repro.vm.node import VirtualNode
+from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
+
+__all__ = ["Transfer", "Cluster", "Subgroup"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer inside a communication phase.
+
+    ``src == dst`` denotes a purely local copy: it contributes ``nbytes``
+    to the node's ``H`` term and no messages.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    messages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.messages < 0:
+            raise ValueError("messages must be non-negative")
+
+
+class Cluster:
+    """A simulated distributed-memory machine with ``nprocs`` nodes."""
+
+    def __init__(self, machine: MachineSpec, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one node")
+        self.machine = machine
+        self.nprocs = int(nprocs)
+        self.nodes: List[VirtualNode] = [VirtualNode(i) for i in range(nprocs)]
+        self.timeline = Timeline()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def clock(self, node_id: int) -> float:
+        return self.nodes[node_id].clock
+
+    def time(self, node_ids: Optional[Iterable[int]] = None) -> float:
+        """Simulated time: max clock over the given nodes (default: all)."""
+        ids = range(self.nprocs) if node_ids is None else node_ids
+        return max((self.nodes[i].clock for i in ids), default=0.0)
+
+    def all_node_ids(self) -> Tuple[int, ...]:
+        return tuple(range(self.nprocs))
+
+    def subgroup(self, node_ids: Sequence[int]) -> "Subgroup":
+        return Subgroup(self, node_ids)
+
+    def _check_ids(self, node_ids: Iterable[int]) -> Tuple[int, ...]:
+        ids = tuple(sorted(set(int(i) for i in node_ids)))
+        if not ids:
+            raise ValueError("empty node group")
+        if ids[0] < 0 or ids[-1] >= self.nprocs:
+            raise ValueError(f"node ids {ids} out of range for P={self.nprocs}")
+        return ids
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def charge_compute(self, name: str, ops_by_node: Mapping[int, float]) -> PhaseRecord:
+        """Advance each node independently by the cost of its own ops."""
+        ids = self._check_ids(ops_by_node.keys())
+        start = self.time(ids)
+        for i in ids:
+            self.nodes[i].advance(self.machine.compute_cost(ops_by_node[i]))
+        record = PhaseRecord(
+            name=name,
+            kind="compute",
+            start=start,
+            end=self.time(ids),
+            node_ids=ids,
+            ops={i: float(ops_by_node[i]) for i in ids},
+        )
+        self.timeline.append(record)
+        return record
+
+    def charge_replicated_compute(self, name: str, ops: float,
+                                  node_ids: Optional[Sequence[int]] = None) -> PhaseRecord:
+        """Every node in the group performs the same (replicated) work.
+
+        Used for the aerosol step, which the paper replicates because it
+        cannot be parallelised.
+        """
+        ids = self.all_node_ids() if node_ids is None else self._check_ids(node_ids)
+        return self.charge_compute(name, {i: ops for i in ids})
+
+    def charge_communication(
+        self,
+        name: str,
+        transfers: Sequence[Transfer],
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> PhaseRecord:
+        """Collective communication phase priced by the paper's model.
+
+        ``node_ids`` defaults to every node mentioned in ``transfers``;
+        pass an explicit group to synchronise bystanders that exchange
+        nothing (e.g. nodes holding no data in a skinny distribution).
+        """
+        traffic: Dict[int, NodeTraffic] = {}
+
+        def rec(i: int) -> NodeTraffic:
+            return traffic.setdefault(i, NodeTraffic())
+
+        for t in transfers:
+            if t.src == t.dst:
+                rec(t.src).bytes_copied += t.nbytes
+                continue
+            s, d = rec(t.src), rec(t.dst)
+            s.messages_sent += t.messages
+            s.bytes_sent += t.nbytes
+            d.messages_received += t.messages
+            d.bytes_received += t.nbytes
+
+        if node_ids is None:
+            ids = self._check_ids(traffic.keys()) if traffic else self.all_node_ids()
+        else:
+            ids = self._check_ids(node_ids)
+            for i in traffic:
+                if i not in ids:
+                    raise ValueError(f"transfer endpoint {i} outside group {ids}")
+
+        start = self.time(ids)
+        cost = 0.0
+        for i in ids:
+            t = traffic.get(i, NodeTraffic())
+            cost = max(
+                cost,
+                self.machine.comm_cost(t.messages, t.bytes_moved, t.bytes_copied),
+            )
+        end = start + cost
+        for i in ids:
+            self.nodes[i].sync_to(end)
+        record = PhaseRecord(
+            name=name, kind="comm", start=start, end=end, node_ids=ids, traffic=traffic
+        )
+        self.timeline.append(record)
+        return record
+
+    def charge_io(
+        self,
+        name: str,
+        nbytes: float,
+        ops: float = 0.0,
+        node_id: int = 0,
+        blocking_group: Optional[Sequence[int]] = None,
+    ) -> PhaseRecord:
+        """Sequential I/O processing on ``node_id``.
+
+        If ``blocking_group`` is given, those nodes wait until the I/O
+        completes (the behaviour of the pure data-parallel Airshed, where
+        every node sits idle during ``inputhour``/``outputhour``).
+        """
+        (nid,) = self._check_ids([node_id])
+        start = self.nodes[nid].clock
+        cost = self.machine.io_cost(nbytes, ops)
+        self.nodes[nid].advance(cost)
+        ids: Tuple[int, ...] = (nid,)
+        if blocking_group is not None:
+            ids = self._check_ids(set(blocking_group) | {nid})
+            end = max(self.time(ids), self.nodes[nid].clock)
+            for i in ids:
+                self.nodes[i].sync_to(end)
+        record = PhaseRecord(
+            name=name,
+            kind="io",
+            start=start,
+            end=self.time(ids),
+            node_ids=ids,
+            # For I/O records, ops holds the I/O node's busy seconds
+            # (the phase duration can exceed it when the group waits).
+            ops={nid: cost},
+        )
+        self.timeline.append(record)
+        return record
+
+    def barrier(self, node_ids: Optional[Sequence[int]] = None) -> float:
+        """Synchronise a group: everyone's clock moves to the group max."""
+        ids = self.all_node_ids() if node_ids is None else self._check_ids(node_ids)
+        when = self.time(ids)
+        for i in ids:
+            self.nodes[i].sync_to(when)
+        return when
+
+
+class Subgroup:
+    """A view of a subset of cluster nodes (an Fx processor subgroup).
+
+    Subgroups are how Fx expresses task parallelism: independent tasks
+    are placed on disjoint subgroups whose clocks advance independently.
+    """
+
+    def __init__(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        self.cluster = cluster
+        self.node_ids = cluster._check_ids(node_ids)
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def machine(self) -> MachineSpec:
+        return self.cluster.machine
+
+    def time(self) -> float:
+        return self.cluster.time(self.node_ids)
+
+    def barrier(self) -> float:
+        return self.cluster.barrier(self.node_ids)
+
+    def wait_until(self, when: float) -> None:
+        """Stall every node of the subgroup until simulated time ``when``.
+
+        Models a blocking dependency on work done elsewhere (e.g. a
+        pipeline stage waiting for its upstream item).
+        """
+        for i in self.node_ids:
+            self.cluster.nodes[i].sync_to(when)
+
+    def charge_compute(self, name: str, ops_by_rank: Mapping[int, float]) -> PhaseRecord:
+        """Charge compute with *ranks local to the subgroup* (0..size-1)."""
+        mapped = {self.node_ids[r]: ops for r, ops in ops_by_rank.items()}
+        return self.cluster.charge_compute(name, mapped)
+
+    def charge_replicated_compute(self, name: str, ops: float) -> PhaseRecord:
+        return self.cluster.charge_replicated_compute(name, ops, self.node_ids)
+
+    def charge_communication(self, name: str, transfers: Sequence[Transfer]) -> PhaseRecord:
+        """Charge communication with subgroup-local ranks in transfers."""
+        mapped = [
+            Transfer(self.node_ids[t.src], self.node_ids[t.dst], t.nbytes, t.messages)
+            for t in transfers
+        ]
+        return self.cluster.charge_communication(
+            name, mapped, node_ids=self.node_ids
+        )
+
+    def charge_io(self, name: str, nbytes: float, ops: float = 0.0,
+                  rank: int = 0, blocking: bool = True) -> PhaseRecord:
+        return self.cluster.charge_io(
+            name,
+            nbytes,
+            ops=ops,
+            node_id=self.node_ids[rank],
+            blocking_group=self.node_ids if blocking else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Subgroup(nodes={self.node_ids})"

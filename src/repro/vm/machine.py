@@ -1,0 +1,172 @@
+"""Machine models for the simulated parallel computers.
+
+The paper reports results on three machines — an Intel Paragon XP/S, a
+Cray T3D, and a Cray T3E — and shows (Section 4) that both computation
+and communication behaviour is captured by a handful of per-machine
+constants:
+
+* computation: a per-node execution rate (``seconds_per_op`` here),
+* communication: ``Ct = L*m + G*b + H*c`` where ``m`` is the number of
+  messages, ``b`` the bytes sent/received, and ``c`` the bytes copied
+  locally during a redistribution.
+
+We reproduce exactly that model.  The T3E communication parameters are
+the values the paper estimated (Section 4.3):
+``L = 5.2e-5 s/msg``, ``G = 2.47e-8 s/B``, ``H = 2.04e-8 s/B``.
+The compute rates are calibrated so that the absolute execution times of
+the Los Angeles dataset land in the ranges of Figure 2: the Cray T3D is
+"just under a factor of 2" faster than the Paragon, and the T3E is
+"approximately a factor of 10" faster than the Paragon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.units import DEFAULT_WORDSIZE
+
+__all__ = [
+    "MachineSpec",
+    "CRAY_T3E",
+    "CRAY_T3D",
+    "INTEL_PARAGON",
+    "MACHINES",
+    "get_machine",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters describing one target parallel machine.
+
+    Attributes
+    ----------
+    name:
+        Human readable machine name (``"Cray T3E"`` etc.).
+    latency:
+        ``L`` in the paper's cost model: seconds charged per message,
+        covering startup and header processing on the end points.
+    gap:
+        ``G``: seconds per byte moved across the network, dominated by
+        per-byte end-point costs (copying into/out of the interconnect).
+    copy_cost:
+        ``H``: seconds per byte for purely local copies performed during
+        a logical redistribution (data that does not leave the node).
+    seconds_per_op:
+        Per-node compute rate: seconds charged for one abstract work
+        unit ("op").  Application kernels report deterministic op counts
+        and the cluster converts them to simulated seconds with this.
+    io_seconds_per_byte:
+        Sequential I/O processing rate used by ``inputhour`` /
+        ``outputhour``.  The paper treats I/O processing as sequential
+        computation; its cost is proportional to the hourly data volume.
+    wordsize:
+        Machine word size ``W`` in bytes (8 on all three machines).
+    """
+
+    name: str
+    latency: float
+    gap: float
+    copy_cost: float
+    seconds_per_op: float
+    io_seconds_per_byte: float
+    wordsize: int = DEFAULT_WORDSIZE
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.gap < 0 or self.copy_cost < 0:
+            raise ValueError("communication parameters must be non-negative")
+        if self.seconds_per_op <= 0:
+            raise ValueError("seconds_per_op must be positive")
+        if self.wordsize <= 0:
+            raise ValueError("wordsize must be positive")
+
+    def comm_cost(self, messages: int, bytes_moved: int, bytes_copied: int = 0) -> float:
+        """Evaluate ``Ct = L*m + G*b + H*c`` (paper, Section 4.2, eq. 2)."""
+        if messages < 0 or bytes_moved < 0 or bytes_copied < 0:
+            raise ValueError("traffic quantities must be non-negative")
+        return (
+            self.latency * messages
+            + self.gap * bytes_moved
+            + self.copy_cost * bytes_copied
+        )
+
+    def compute_cost(self, ops: float) -> float:
+        """Simulated seconds for ``ops`` abstract work units on one node."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops * self.seconds_per_op
+
+    def io_cost(self, nbytes: float, ops: float = 0.0) -> float:
+        """Simulated seconds of sequential I/O processing.
+
+        I/O processing in Airshed is a mix of byte shuffling (reading and
+        unpacking the hourly inputs, packing outputs) and a little
+        sequential computation; both contributions are charged.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes * self.io_seconds_per_byte + self.compute_cost(ops)
+
+    def scaled(self, compute_factor: float = 1.0, comm_factor: float = 1.0) -> "MachineSpec":
+        """Derive a hypothetical machine with scaled compute/comm speed.
+
+        ``compute_factor > 1`` means a *slower* machine (costs multiply).
+        Useful for what-if studies and tests.
+        """
+        return replace(
+            self,
+            name=f"{self.name} (x{compute_factor:g} compute, x{comm_factor:g} comm)",
+            latency=self.latency * comm_factor,
+            gap=self.gap * comm_factor,
+            copy_cost=self.copy_cost * comm_factor,
+            seconds_per_op=self.seconds_per_op * compute_factor,
+            io_seconds_per_byte=self.io_seconds_per_byte * compute_factor,
+        )
+
+
+#: Cray T3E — communication constants straight from the paper (§4.3);
+#: compute/I/O rates calibrated so the LA run lands in Figure 2's range.
+CRAY_T3E = MachineSpec(
+    name="Cray T3E",
+    latency=5.2e-5,
+    gap=2.47e-8,
+    copy_cost=2.04e-8,
+    seconds_per_op=2.4e-8,
+    io_seconds_per_byte=6.0e-7,
+)
+
+#: Cray T3D — roughly 5x slower per node than the T3E ("just under a
+#: factor of 2 faster than the Paragon"), with a slower network.
+CRAY_T3D = MachineSpec(
+    name="Cray T3D",
+    latency=9.0e-5,
+    gap=6.0e-8,
+    copy_cost=6.5e-8,
+    seconds_per_op=1.25e-7,
+    io_seconds_per_byte=3.1e-6,
+)
+
+#: Intel Paragon XP/S — about 10x slower per node than the T3E, with the
+#: highest message latency of the three.
+INTEL_PARAGON = MachineSpec(
+    name="Intel Paragon",
+    latency=1.4e-4,
+    gap=1.1e-7,
+    copy_cost=1.2e-7,
+    seconds_per_op=2.4e-7,
+    io_seconds_per_byte=6.0e-6,
+)
+
+MACHINES = {
+    "t3e": CRAY_T3E,
+    "t3d": CRAY_T3D,
+    "paragon": INTEL_PARAGON,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine profile by short name (``t3e``/``t3d``/``paragon``)."""
+    key = name.strip().lower()
+    if key not in MACHINES:
+        raise KeyError(f"unknown machine {name!r}; choose from {sorted(MACHINES)}")
+    return MACHINES[key]

@@ -1,0 +1,88 @@
+"""Derived metrics over a simulated run's timeline.
+
+Utilisation, load imbalance and per-node busy-time accounting — the
+quantities a performance engineer reads off a real machine's profiler,
+computed here from the simulated phase records.  Used by the analysis
+layer and the CLI's ``report`` command.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.vm.traffic import Timeline
+
+__all__ = ["NodeUsage", "UtilizationReport", "utilization"]
+
+
+@dataclass
+class NodeUsage:
+    """Busy-time breakdown for one node."""
+
+    node_id: int
+    compute: float = 0.0
+    io: float = 0.0
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.io
+
+
+@dataclass
+class UtilizationReport:
+    """Machine-wide utilisation summary of one run."""
+
+    total_time: float
+    nodes: Dict[int, NodeUsage]
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_busy(self) -> float:
+        return sum(n.busy for n in self.nodes.values())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of node-seconds spent busy (0..1)."""
+        capacity = self.total_time * self.nprocs
+        return self.total_busy / capacity if capacity > 0 else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max(busy) / mean(busy); 1.0 = perfectly balanced."""
+        busys = [n.busy for n in self.nodes.values()]
+        mean = sum(busys) / len(busys) if busys else 0.0
+        return max(busys) / mean if mean > 0 else 1.0
+
+    def busiest_node(self) -> int:
+        return max(self.nodes.values(), key=lambda n: n.busy).node_id
+
+
+def utilization(timeline: Timeline, nprocs: int) -> UtilizationReport:
+    """Compute per-node busy time from compute and I/O phase records.
+
+    Communication phases are treated as coordination (not busy time):
+    the report answers "how much useful work did each node do", which
+    is the number that exposes Amdahl losses.  Per-node compute time is
+    reconstructed from each phase's op counts and the phase duration
+    (ops scale linearly within a phase).
+    """
+    nodes: Dict[int, NodeUsage] = {i: NodeUsage(i) for i in range(nprocs)}
+    for rec in timeline:
+        if rec.kind == "compute" and rec.ops:
+            max_ops = max(rec.ops.values())
+            if max_ops <= 0:
+                continue
+            for node_id, ops in rec.ops.items():
+                nodes[node_id].compute += rec.duration * ops / max_ops
+        elif rec.kind == "io":
+            # Sequential I/O busies exactly one node; its busy seconds
+            # are recorded in the phase's ops field (the duration can be
+            # longer when a blocking group waited for stragglers).
+            for node_id, seconds in rec.ops.items():
+                nodes[node_id].io += seconds
+    return UtilizationReport(total_time=timeline.total_time(), nodes=nodes)

@@ -1,0 +1,41 @@
+"""A single simulated processing node.
+
+A :class:`VirtualNode` carries a simulated clock (in seconds) and a local
+key/value store that the materialised execution mode of
+:class:`~repro.fx.darray.DistributedArray` uses to hold physical array
+blocks.  All timing decisions live in :class:`~repro.vm.cluster.Cluster`;
+the node only records the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["VirtualNode"]
+
+
+class VirtualNode:
+    """One node of the simulated parallel machine."""
+
+    __slots__ = ("node_id", "clock", "store")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        #: Simulated time (seconds) at which this node becomes idle.
+        self.clock: float = 0.0
+        #: Local memory: name -> arbitrary payload (array blocks, buffers).
+        self.store: Dict[str, Any] = {}
+
+    def advance(self, seconds: float) -> None:
+        """Advance the node's clock by a non-negative amount."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} s")
+        self.clock += seconds
+
+    def sync_to(self, when: float) -> None:
+        """Move the clock forward to ``when`` (no-op if already later)."""
+        if when > self.clock:
+            self.clock = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualNode(id={self.node_id}, clock={self.clock:.6f})"

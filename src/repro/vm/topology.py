@@ -1,0 +1,164 @@
+"""Interconnect topology models — validating the endpoint assumption.
+
+The paper's communication model (Section 4.2) rests on an explicit
+assumption: "on today's high performance interconnection networks,
+communication performance is typically limited by the communication
+overhead on the end-points, and not by the aggregate bandwidth of the
+actual interconnect."
+
+All three machines were k-ary n-cube networks (Paragon: 2-D mesh; T3D/
+T3E: 3-D torus).  This module models them at the link level — dimension-
+ordered routing, per-link byte loads, the bisection-limited time of a
+communication phase — so the assumption can be *checked* rather than
+taken on faith: for every Airshed redistribution we can compute the
+ratio of link-limited time to endpoint-limited time and show it stays
+below one (see ``benchmarks/test_ablation_endpoint_assumption.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.vm.cluster import Transfer
+from repro.vm.machine import MachineSpec
+
+__all__ = ["TorusTopology", "LinkAnalysis", "analyze_contention",
+           "torus_for", "T3E_LINK_COST", "PARAGON_LINK_COST"]
+
+#: Per-byte link costs (s/B).  T3E links sustained ~500 MB/s per
+#: direction; the Paragon mesh ~175 MB/s.
+T3E_LINK_COST = 2.0e-9
+PARAGON_LINK_COST = 5.7e-9
+
+
+@dataclass(frozen=True)
+class TorusTopology:
+    """A k-ary n-cube with dimension-ordered (e-cube) routing.
+
+    ``dims`` are the torus extents (their product is the node count);
+    ``link_cost`` is seconds per byte per link traversal.
+    """
+
+    dims: Tuple[int, ...]
+    link_cost: float
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError("torus dims must be positive")
+        if self.link_cost < 0:
+            raise ValueError("link cost must be non-negative")
+
+    @property
+    def nprocs(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, ...]:
+        if not (0 <= node < self.nprocs):
+            raise ValueError(f"node {node} out of range")
+        out = []
+        for d in self.dims:
+            out.append(node % d)
+            node //= d
+        return tuple(out)
+
+    def node_of(self, coords: Sequence[int]) -> int:
+        node = 0
+        mul = 1
+        for c, d in zip(coords, self.dims):
+            node += (c % d) * mul
+            mul *= d
+        return node
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Dimension-ordered shortest-path links (torus wraparound)."""
+        if src == dst:
+            return []
+        cur = list(self.coords(src))
+        target = self.coords(dst)
+        links: List[Tuple[int, int]] = []
+        for axis, d in enumerate(self.dims):
+            while cur[axis] != target[axis]:
+                fwd = (target[axis] - cur[axis]) % d
+                step = 1 if fwd <= d - fwd else -1
+                nxt = cur.copy()
+                nxt[axis] = (cur[axis] + step) % d
+                links.append((self.node_of(cur), self.node_of(nxt)))
+                cur = nxt
+        return links
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    # ------------------------------------------------------------------
+    def link_loads(self, transfers: Sequence[Transfer]) -> Dict[Tuple[int, int], int]:
+        """Bytes carried by each directed link for a transfer set."""
+        loads: Dict[Tuple[int, int], int] = {}
+        for t in transfers:
+            if t.src == t.dst or t.nbytes == 0:
+                continue
+            for link in self.route(t.src, t.dst):
+                loads[link] = loads.get(link, 0) + t.nbytes
+        return loads
+
+    def link_time(self, transfers: Sequence[Transfer]) -> float:
+        """Phase time were the network the only constraint: the busiest
+        link serialises its bytes."""
+        loads = self.link_loads(transfers)
+        return max(loads.values(), default=0) * self.link_cost
+
+
+def torus_for(nprocs: int, link_cost: float, ndims: int = 2) -> TorusTopology:
+    """A near-square torus with at least ``nprocs`` nodes."""
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    side = max(1, round(nprocs ** (1.0 / ndims)))
+    dims = [side] * ndims
+    i = 0
+    while math.prod(dims) < nprocs:
+        dims[i % ndims] += 1
+        i += 1
+    return TorusTopology(dims=tuple(dims), link_cost=link_cost)
+
+
+@dataclass(frozen=True)
+class LinkAnalysis:
+    """Endpoint vs link-limited comparison for one phase."""
+
+    endpoint_time: float
+    link_time: float
+    max_link_bytes: int
+
+    @property
+    def contention_ratio(self) -> float:
+        """< 1 means the endpoint model (the paper's) is the binding
+        constraint; > 1 means the network would actually dominate."""
+        if self.endpoint_time <= 0:
+            return 0.0 if self.link_time == 0 else float("inf")
+        return self.link_time / self.endpoint_time
+
+
+def analyze_contention(
+    machine: MachineSpec,
+    topology: TorusTopology,
+    transfers: Sequence[Transfer],
+) -> LinkAnalysis:
+    """Compare the paper's endpoint cost with the link-limited cost."""
+    from repro.vm.cluster import Cluster
+
+    # Endpoint time: reuse the cluster's exact pricing on a scratch machine.
+    cluster = Cluster(machine, topology.nprocs)
+    rec = cluster.charge_communication(
+        "probe", list(transfers), node_ids=range(topology.nprocs)
+    )
+    loads = topology.link_loads(transfers)
+    return LinkAnalysis(
+        endpoint_time=rec.duration,
+        link_time=max(loads.values(), default=0) * topology.link_cost,
+        max_link_bytes=max(loads.values(), default=0),
+    )

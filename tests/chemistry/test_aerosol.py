@@ -1,0 +1,104 @@
+"""Tests for the globally-coupled aerosol step."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import AerosolModel, cit_mechanism
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+def state(mech, npts=6, sulf=0.01, nh3=0.05, aero=0.0):
+    c = np.zeros((mech.n_species, npts))
+    c[mech.index["SULF"]] = sulf
+    c[mech.index["NH3"]] = nh3
+    c[mech.index["AERO"]] = aero
+    return c
+
+
+class TestAerosolStep:
+    def test_converts_sulfate_to_aerosol(self, mech):
+        model = AerosolModel(mech)
+        c = state(mech)
+        model.step(c)
+        assert np.all(c[mech.index["SULF"]] < 0.01)
+        assert np.all(c[mech.index["AERO"]] > 0.0)
+
+    def test_neutralisation_stoichiometry(self, mech):
+        """2 NH3 consumed per SULF converted; sulfur conserved."""
+        model = AerosolModel(mech)
+        c = state(mech)
+        s0 = c[mech.index["SULF"]].copy()
+        n0 = c[mech.index["NH3"]].copy()
+        model.step(c)
+        ds = s0 - c[mech.index["SULF"]]
+        dn = n0 - c[mech.index["NH3"]]
+        assert np.allclose(dn, 2.0 * ds)
+        assert np.allclose(c[mech.index["AERO"]], ds)
+
+    def test_nh3_limited_regime(self, mech):
+        model = AerosolModel(mech)
+        c = state(mech, sulf=0.1, nh3=0.01)
+        model.step(c)
+        assert np.all(c[mech.index["NH3"]] >= 0)
+        assert np.all(c[mech.index["SULF"]] >= 0)
+
+    def test_global_coupling(self, mech):
+        """The conversion at point 0 depends on aerosol at OTHER points.
+
+        This is the property that makes the step non-parallelisable:
+        computing it on a partition gives a different answer.
+        """
+        model = AerosolModel(mech)
+        low = state(mech, npts=4, aero=0.0)
+        high = state(mech, npts=4, aero=0.0)
+        high[mech.index["AERO"], 1:] = 0.5  # loading elsewhere only
+        model.step(low)
+        model.step(high)
+        # Point 0 starts identical in both, yet converts more when the
+        # rest of the domain is loaded.
+        assert (
+            high[mech.index["AERO"], 0] > low[mech.index["AERO"], 0]
+        )
+
+    def test_partition_differs_from_global(self, mech):
+        """Running per-partition disagrees with the replicated result."""
+        model = AerosolModel(mech)
+        c_global = state(mech, npts=4)
+        c_global[mech.index["AERO"], 2:] = 0.3
+        c_parts = c_global.copy()
+        model.step(c_global)
+        model.step(c_parts[:, :2])  # partition 1
+        model.step(c_parts[:, 2:])  # partition 2
+        assert not np.allclose(c_global, c_parts)
+
+    def test_work_is_small_and_proportional(self, mech):
+        model = AerosolModel(mech)
+        ops4 = model.step(state(mech, npts=4))
+        ops8 = model.step(state(mech, npts=8))
+        assert ops8 == pytest.approx(2 * ops4)
+
+    def test_3d_array_supported(self, mech):
+        model = AerosolModel(mech)
+        c = np.zeros((mech.n_species, 5, 7))
+        c[mech.index["SULF"]] = 0.01
+        c[mech.index["NH3"]] = 0.05
+        ops = model.step(c)
+        assert np.all(c[mech.index["AERO"]] > 0)
+        assert ops == pytest.approx(5 * 7 * 8.0)
+
+
+class TestValidation:
+    def test_bad_params(self, mech):
+        with pytest.raises(ValueError):
+            AerosolModel(mech, base_rate=0.0)
+        with pytest.raises(ValueError):
+            AerosolModel(mech, sink_scale=0.0)
+
+    def test_bad_species_dim(self, mech):
+        model = AerosolModel(mech)
+        with pytest.raises(ValueError):
+            model.step(np.zeros((10, 4)))

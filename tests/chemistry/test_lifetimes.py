@@ -1,0 +1,75 @@
+"""Tests for mechanism analysis utilities (lifetimes, reaction maps)."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import cit_mechanism
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+def polluted_midday(mech):
+    c = np.zeros((mech.n_species, 1))
+    for s, v in {
+        "NO": 0.03, "NO2": 0.06, "O3": 0.08, "CO": 1.5, "HCHO": 0.01,
+        "PAR": 0.3, "OLE": 0.01, "OH": 2e-7, "HO2": 2e-5,
+    }.items():
+        c[mech.index[s]] = v
+    return c
+
+
+class TestLifetimes:
+    def test_stiffness_spread_spans_orders_of_magnitude(self, mech):
+        """The premise of the hybrid solver: radicals live < 1 min,
+        reservoir species for hours, at the same point."""
+        c = polluted_midday(mech)
+        k = mech.rate_constants(298.0, 1.0)
+        tau = mech.species_lifetimes(c, k)[:, 0]
+        oh = tau[mech.index["OH"]]
+        no3 = tau[mech.index["NO3"]]
+        co = tau[mech.index["CO"]]
+        pan = tau[mech.index["PAN"]]
+        assert oh < 10.0            # radical: seconds
+        assert no3 < 10.0
+        assert co > 3600.0          # reservoir: hours+
+        assert co / oh > 1e4        # the stiffness span
+
+    def test_inert_species_infinite_lifetime(self, mech):
+        c = polluted_midday(mech)
+        k = mech.rate_constants(298.0, 1.0)
+        tau = mech.species_lifetimes(c, k)[:, 0]
+        assert np.isinf(tau[mech.index["AERO"]])  # no gas-phase sink
+
+    def test_night_extends_photolytic_lifetimes(self, mech):
+        c = polluted_midday(mech)
+        k_day = mech.rate_constants(298.0, 1.0)
+        k_night = mech.rate_constants(298.0, 0.0)
+        tau_day = mech.species_lifetimes(c, k_day)[:, 0]
+        tau_night = mech.species_lifetimes(c, k_night)[:, 0]
+        i = mech.index["NO2"]
+        assert tau_night[i] > 2 * tau_day[i]
+
+
+class TestReactionMaps:
+    def test_ozone_reactions(self, mech):
+        r = mech.reactions_of("O3")
+        assert "R1" in r["producing"]   # NO2 photolysis
+        assert "R2" in r["consuming"]   # NO titration
+        assert len(r["consuming"]) >= 4
+
+    def test_every_species_reachable(self, mech):
+        """No orphan species: everything is produced, consumed or
+        explicitly externally driven (emissions/boundary only)."""
+        external_only = {"AERO"}  # produced by the aerosol module
+        for s in mech.species:
+            r = mech.reactions_of(s)
+            if s in external_only:
+                continue
+            assert r["consuming"] or r["producing"], s
+
+    def test_unknown_species(self, mech):
+        with pytest.raises(ValueError):
+            mech.reactions_of("KRYPTONITE")

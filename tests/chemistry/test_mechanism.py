@@ -1,0 +1,138 @@
+"""Tests for the 35-species mechanism and rate laws."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    SPECIES_35,
+    Arrhenius,
+    Mechanism,
+    Photolysis,
+    Reaction,
+    cit_mechanism,
+)
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+class TestRateLaws:
+    def test_arrhenius_at_reference(self):
+        k = Arrhenius(A=2.0, ea_over_R=0.0)
+        assert k(298.0, 0.5) == pytest.approx(2.0)
+
+    def test_arrhenius_temperature_dependence(self):
+        k = Arrhenius(A=1.0, ea_over_R=1000.0)
+        assert k(310.0, 0.0) > k(290.0, 0.0)
+
+    def test_arrhenius_power_term(self):
+        k = Arrhenius(A=1.0, n=2.0)
+        assert k(600.0, 0.0) == pytest.approx(4.0)
+
+    def test_arrhenius_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Arrhenius(A=-1.0)
+        with pytest.raises(ValueError):
+            Arrhenius(A=1.0)(0.0, 0.0)
+
+    def test_photolysis_scales_with_sun(self):
+        j = Photolysis(J_max=1e-2)
+        assert j(298.0, 0.0) == 0.0
+        assert j(298.0, 0.5) == pytest.approx(5e-3)
+        assert j(298.0, 1.0) == pytest.approx(1e-2)
+
+    def test_photolysis_clamps_sun(self):
+        j = Photolysis(J_max=1e-2)
+        assert j(298.0, 2.0) == pytest.approx(1e-2)
+        assert j(298.0, -1.0) == 0.0
+
+
+class TestMechanismStructure:
+    def test_exactly_35_species(self, mech):
+        assert mech.n_species == 35
+        assert mech.species == SPECIES_35
+
+    def test_reasonable_reaction_count(self, mech):
+        assert 40 <= mech.n_reactions <= 60
+
+    def test_rate_constants_shape_and_sign(self, mech):
+        k_day = mech.rate_constants(298.0, 1.0)
+        k_night = mech.rate_constants(298.0, 0.0)
+        assert k_day.shape == (mech.n_reactions,)
+        assert np.all(k_day >= 0)
+        assert np.all(k_night <= k_day)  # photolysis off at night
+        assert np.sum(k_night < k_day) >= 10  # many photolytic channels
+
+    def test_unknown_species_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Mechanism(["A"], [Reaction("X", ("B",), (("A", 1.0),), Arrhenius(1.0))])
+
+    def test_duplicate_species_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism(["A", "A"], [])
+
+    def test_bad_reactant_count_rejected(self):
+        with pytest.raises(ValueError):
+            Reaction("X", (), (("A", 1.0),), Arrhenius(1.0))
+        with pytest.raises(ValueError):
+            Reaction("X", ("A", "B", "C"), (), Arrhenius(1.0))
+
+    def test_nonpositive_stoichiometry_rejected(self):
+        with pytest.raises(ValueError):
+            Reaction("X", ("A",), (("B", 0.0),), Arrhenius(1.0))
+
+
+class TestKinetics:
+    def test_no2_photolysis_produces_no_and_o3(self, mech):
+        c = np.zeros((35, 1))
+        c[mech.index["NO2"]] = 0.1
+        k = mech.rate_constants(298.0, 1.0)
+        dc = mech.tendency(c, k)
+        assert dc[mech.index["NO"], 0] > 0
+        assert dc[mech.index["O3"], 0] > 0
+        assert dc[mech.index["NO2"], 0] < 0
+
+    def test_titration_consumes_ozone_at_night(self, mech):
+        c = np.zeros((35, 1))
+        c[mech.index["O3"]] = 0.05
+        c[mech.index["NO"]] = 0.05
+        k = mech.rate_constants(298.0, 0.0)
+        dc = mech.tendency(c, k)
+        assert dc[mech.index["O3"], 0] < 0
+        assert dc[mech.index["NO"], 0] < 0
+        assert dc[mech.index["NO2"], 0] > 0
+
+    def test_tendency_zero_for_empty_air(self, mech):
+        c = np.zeros((35, 4))
+        k = mech.rate_constants(298.0, 1.0)
+        assert np.allclose(mech.tendency(c, k), 0.0)
+
+    def test_production_loss_consistent_with_tendency(self, mech):
+        rng = np.random.default_rng(1)
+        c = rng.uniform(0.0, 0.1, size=(35, 6))
+        k = mech.rate_constants(298.0, 0.7)
+        P, L = mech.production_loss(c, k)
+        assert np.allclose(mech.tendency(c, k), P - L * c)
+        assert np.all(P >= 0)
+        assert np.all(L >= 0)
+
+    def test_nitrogen_conserved_by_tendency(self, mech):
+        """d(total N)/dt == 0: every reaction balances nitrogen."""
+        rng = np.random.default_rng(2)
+        c = rng.uniform(0.0, 0.2, size=(35, 8))
+        k = mech.rate_constants(302.0, 0.8)
+        dc = mech.tendency(c, k)
+        idx = mech.nitrogen_indices()
+        dN = (dc[idx[:, 0]] * idx[:, 1][:, None]).sum(axis=0)
+        assert np.allclose(dN, 0.0, atol=1e-12 * np.abs(dc).max())
+
+    def test_vectorisation_matches_pointwise(self, mech):
+        rng = np.random.default_rng(3)
+        c = rng.uniform(0.0, 0.1, size=(35, 5))
+        k = mech.rate_constants(298.0, 0.5)
+        full = mech.tendency(c, k)
+        for p in range(5):
+            single = mech.tendency(c[:, p : p + 1], k)
+            assert np.allclose(full[:, p], single[:, 0])

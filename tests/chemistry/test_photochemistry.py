@@ -1,0 +1,104 @@
+"""Scientific-behaviour tests of the photochemistry.
+
+These check the emergent chemistry regimes rather than individual
+reactions: the photostationary state, VOC sensitivity, nighttime NO3
+chemistry and PAN as a NOx reservoir.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import YoungBorisSolver, cit_mechanism
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+@pytest.fixture(scope="module")
+def solver(mech):
+    return YoungBorisSolver(mech)
+
+
+def base_state(mech, npts=1, **overrides):
+    c = np.zeros((mech.n_species, npts))
+    defaults = {"NO": 0.02, "NO2": 0.05, "O3": 0.03, "CO": 0.5}
+    defaults.update(overrides)
+    for s, v in defaults.items():
+        c[mech.index[s]] = v
+    return c
+
+
+class TestPhotostationaryState:
+    def test_leighton_relationship(self, mech, solver):
+        """Without VOC chemistry, NO/NO2/O3 settle near the Leighton
+        photostationary state: J1*[NO2] ~= k2*[NO]*[O3]."""
+        c = base_state(mech, CO=0.0)
+        out = c
+        for _ in range(4):
+            out = solver.integrate(out, 300.0, 298.0, 1.0)
+        k = mech.rate_constants(298.0, 1.0)
+        j1 = k[0]   # R1: NO2 photolysis
+        k2 = k[1]   # R2: O3 + NO
+        no = out[mech.index["NO"], 0]
+        no2 = out[mech.index["NO2"], 0]
+        o3 = out[mech.index["O3"], 0]
+        assert j1 * no2 == pytest.approx(k2 * no * o3, rel=0.15)
+
+    def test_no_ozone_without_sunlight(self, mech, solver):
+        """Dark chamber with NOx+VOC: ozone cannot form."""
+        c = base_state(mech, O3=0.0, PAR=0.5, OLE=0.02)
+        out = solver.integrate(c, 1800.0, 298.0, 0.0)
+        assert out[mech.index["O3"], 0] < 1e-6
+
+
+class TestVOCSensitivity:
+    def test_voc_addition_raises_ozone(self, mech, solver):
+        """More VOC at fixed NOx -> more O3 (ridge-line behaviour)."""
+        low = base_state(mech, PAR=0.05)
+        high = base_state(mech, PAR=0.8, OLE=0.02, XYL=0.02)
+        out_low, out_high = low, high
+        for _ in range(6):
+            out_low = solver.integrate(out_low, 600.0, 300.0, 1.0)
+            out_high = solver.integrate(out_high, 600.0, 300.0, 1.0)
+        assert (
+            out_high[mech.index["O3"], 0] > out_low[mech.index["O3"], 0]
+        )
+
+
+class TestNighttimeChemistry:
+    def test_n2o5_forms_at_night_with_ozone_excess(self, mech, solver):
+        """NO3/N2O5 build up only without sunlight and without NO."""
+        c = base_state(mech, NO=0.0, NO2=0.05, O3=0.08)
+        night = solver.integrate(c, 3600.0, 285.0, 0.0)
+        day = solver.integrate(c, 3600.0, 285.0, 1.0)
+        n2o5_night = night[mech.index["N2O5"], 0]
+        n2o5_day = day[mech.index["N2O5"], 0]
+        assert n2o5_night > 5 * max(n2o5_day, 1e-12)
+
+    def test_hno3_accumulates_via_n2o5_hydrolysis(self, mech, solver):
+        c = base_state(mech, NO=0.0, NO2=0.05, O3=0.08)
+        out = c
+        for _ in range(4):
+            out = solver.integrate(out, 3600.0, 285.0, 0.0)
+        assert out[mech.index["HNO3"], 0] > 1e-4
+
+
+class TestPANReservoir:
+    def test_pan_forms_warm_day(self, mech, solver):
+        c = base_state(mech, ALD2=0.02, PAR=0.3)
+        out = c
+        for _ in range(6):
+            out = solver.integrate(out, 600.0, 298.0, 1.0)
+        assert out[mech.index["PAN"], 0] > 1e-5
+
+    def test_pan_decomposes_faster_when_hot(self, mech):
+        """PAN thermal decomposition is strongly T-dependent."""
+        k_cold = None
+        k_hot = None
+        for r in cit_mechanism().reactions:
+            if r.label == "R28":
+                k_cold = r.rate(280.0, 0.0)
+                k_hot = r.rate(310.0, 0.0)
+        assert k_hot > 20 * k_cold

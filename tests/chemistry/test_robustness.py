@@ -1,0 +1,142 @@
+"""Failure-injection and robustness tests for the chemistry stack."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    AerosolModel,
+    VerticalDiffusion,
+    YoungBorisSolver,
+    cit_mechanism,
+    default_kz_profile,
+    default_layer_heights,
+)
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+class TestSolverRobustness:
+    def test_empty_point_set(self, mech):
+        solver = YoungBorisSolver(mech)
+        out = solver.integrate(np.zeros((35, 0)), 60.0, 298.0, 1.0)
+        assert out.shape == (35, 0)
+
+    def test_extreme_pollution_does_not_blow_up(self, mech):
+        """10 ppm NOx / 100 ppm VOC (far beyond any real episode)."""
+        solver = YoungBorisSolver(mech)
+        c = np.zeros((35, 2))
+        c[mech.index["NO"]] = 10.0
+        c[mech.index["NO2"]] = 10.0
+        c[mech.index["PAR"]] = 100.0
+        c[mech.index["OLE"]] = 10.0
+        out = solver.integrate(c, 600.0, 310.0, 1.0)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0)
+        assert out.max() < 1e4
+
+    def test_denormal_concentrations(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = np.full((35, 2), 1e-300)
+        out = solver.integrate(c, 600.0, 298.0, 1.0)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0)
+
+    def test_cold_and_hot_temperatures(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = np.zeros((35, 1))
+        c[mech.index["O3"]] = 0.05
+        c[mech.index["NO"]] = 0.01
+        for T in (230.0, 273.0, 320.0):
+            out = solver.integrate(c, 300.0, T, 0.5)
+            assert np.all(np.isfinite(out)), T
+
+    def test_iteration_budget_forced_completion(self, mech):
+        """Even with a tiny max_substeps the integration covers dt."""
+        solver = YoungBorisSolver(mech, max_substeps=3)
+        c = np.zeros((35, 1))
+        c[mech.index["NO2"]] = 0.1
+        from repro.chemistry import ChemistryStats
+
+        stats = ChemistryStats()
+        out = solver.integrate(c, 3600.0, 298.0, 1.0, stats=stats)
+        assert np.all(np.isfinite(out))
+        assert stats.max_substeps <= 4 * 3 + 1
+
+    def test_mixed_clean_and_dirty_points(self, mech):
+        """Per-point adaptivity: a dirty point does not corrupt a clean
+        point integrated in the same call."""
+        solver = YoungBorisSolver(mech)
+        clean = np.zeros((35, 1))
+        clean[mech.index["O3"]] = 0.03
+        dirty = np.zeros((35, 1))
+        dirty[mech.index["NO"]] = 0.5
+        dirty[mech.index["OLE"]] = 0.5
+        both = np.concatenate([clean, dirty], axis=1)
+        out_both = solver.integrate(both, 600.0, 298.0, 1.0)
+        out_clean = solver.integrate(clean, 600.0, 298.0, 1.0)
+        assert np.allclose(out_both[:, 0], out_clean[:, 0], rtol=1e-10)
+
+
+class TestVerticalRobustness:
+    def test_zero_diffusivity_is_identity(self):
+        vd = VerticalDiffusion(
+            heights=default_layer_heights(4), kz=np.zeros(3)
+        )
+        c = np.random.default_rng(0).uniform(0, 1, (2, 4, 3))
+        out, _ = vd.step(c, 600.0)
+        assert np.allclose(out, c)
+
+    def test_huge_diffusivity_fully_mixes(self):
+        h = default_layer_heights(4)
+        vd = VerticalDiffusion(heights=h, kz=np.full(3, 1e6))
+        c = np.zeros((1, 4, 1))
+        c[0, 0, 0] = 1.0
+        out, _ = vd.step(c, 3600.0)
+        # Well-mixed: concentration uniform (mass-weighted).
+        expected = (c[0, :, 0] * h).sum() / h.sum()
+        assert np.allclose(out[0, :, 0], expected, rtol=1e-3)
+
+    def test_tiny_dt_near_identity(self):
+        vd = VerticalDiffusion(
+            heights=default_layer_heights(5), kz=default_kz_profile(5)
+        )
+        c = np.random.default_rng(1).uniform(0, 1, (2, 5, 3))
+        out, _ = vd.step(c, 1e-6)
+        assert np.allclose(out, c, atol=1e-9)
+
+
+class TestAerosolRobustness:
+    def test_no_precursors_is_noop(self, mech):
+        model = AerosolModel(mech)
+        c = np.zeros((35, 5))
+        before = c.copy()
+        model.step(c)
+        assert np.array_equal(c, before)
+
+    def test_saturated_sink_caps_efficiency(self, mech):
+        """Huge existing aerosol load: conversion capped at 100%."""
+        model = AerosolModel(mech)
+        c = np.zeros((35, 2))
+        c[mech.index["SULF"]] = 0.01
+        c[mech.index["NH3"]] = 0.1
+        c[mech.index["AERO"]] = 100.0
+        model.step(c)
+        assert np.all(c[mech.index["SULF"]] >= -1e-15)
+        assert np.all(c[mech.index["NH3"]] >= -1e-15)
+
+    def test_idempotent_when_depleted(self, mech):
+        model = AerosolModel(mech, base_rate=1.0)
+        c = np.zeros((35, 1))
+        c[mech.index["SULF"]] = 0.01
+        c[mech.index["NH3"]] = 0.1
+        model.step(c)
+        first = c.copy()
+        # SULF fully consumed at 100% efficiency; second step is a no-op
+        # on sulfate.
+        model.step(c)
+        assert c[mech.index["AERO"], 0] == pytest.approx(
+            first[mech.index["AERO"], 0]
+        )

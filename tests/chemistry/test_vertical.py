@@ -1,0 +1,128 @@
+"""Tests for implicit vertical diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    VerticalDiffusion,
+    default_kz_profile,
+    default_layer_heights,
+)
+
+
+def make(nlayers=5, deposition=None):
+    return VerticalDiffusion(
+        heights=default_layer_heights(nlayers),
+        kz=default_kz_profile(nlayers),
+        deposition=deposition,
+    )
+
+
+class TestDefaults:
+    def test_layer_heights_grow(self):
+        h = default_layer_heights(5)
+        assert len(h) == 5
+        assert np.all(np.diff(h) > 0)
+        assert h[0] == pytest.approx(50.0)
+
+    def test_kz_profile_length(self):
+        assert len(default_kz_profile(5)) == 4
+        assert len(default_kz_profile(1)) == 0
+
+    def test_bad_nlayers(self):
+        with pytest.raises(ValueError):
+            default_layer_heights(0)
+        with pytest.raises(ValueError):
+            default_kz_profile(0)
+
+
+class TestDiffusion:
+    def test_uniform_column_is_steady_state(self):
+        vd = make()
+        c = np.full((3, 5, 4), 0.07)
+        out, ops = vd.step(c, 600.0)
+        assert np.allclose(out, 0.07)
+        assert ops > 0
+
+    def test_mass_conserved_without_deposition(self):
+        vd = make()
+        rng = np.random.default_rng(5)
+        c = rng.uniform(0, 0.1, size=(3, 5, 6))
+        before = vd.column_mass(c)
+        out, _ = vd.step(c, 600.0)
+        after = vd.column_mass(out)
+        assert np.allclose(after, before, rtol=1e-10)
+
+    def test_diffusion_smooths_gradients(self):
+        vd = make()
+        c = np.zeros((1, 5, 1))
+        c[0, 0, 0] = 1.0  # all mass in the surface layer
+        out, _ = vd.step(c, 1200.0)
+        assert out[0, 0, 0] < 1.0
+        assert np.all(out[0, 1:, 0] > 0.0)
+        # Monotone decay with height for an initial surface pulse.
+        assert np.all(np.diff(out[0, :, 0]) <= 1e-12)
+
+    def test_longer_dt_mixes_more(self):
+        vd = make()
+        c = np.zeros((1, 5, 1))
+        c[0, 0, 0] = 1.0
+        short, _ = vd.step(c, 60.0)
+        long_, _ = vd.step(c, 3600.0)
+        assert long_[0, 0, 0] < short[0, 0, 0]
+
+    def test_deposition_removes_mass(self):
+        dep = np.array([0.01, 0.0])
+        vd = make(deposition=dep)
+        c = np.full((2, 5, 3), 0.05)
+        before = vd.column_mass(c)
+        out, _ = vd.step(c, 600.0)
+        after = vd.column_mass(out)
+        assert np.all(after[0] < before[0])          # deposited species
+        assert np.allclose(after[1], before[1])       # inert species
+
+    def test_single_layer_noop_without_deposition(self):
+        vd = VerticalDiffusion(heights=np.array([100.0]), kz=np.zeros(0))
+        c = np.full((2, 1, 3), 0.3)
+        out, _ = vd.step(c, 600.0)
+        assert np.allclose(out, c)
+
+    def test_nonnegative(self):
+        vd = make(deposition=np.array([0.05]))
+        c = np.zeros((1, 5, 2))
+        c[0, 2] = 1.0
+        out, _ = vd.step(c, 3600.0)
+        assert np.all(out >= 0)
+
+
+class TestValidation:
+    def test_bad_heights(self):
+        with pytest.raises(ValueError):
+            VerticalDiffusion(heights=np.array([1.0, -1.0]), kz=np.array([1.0]))
+
+    def test_kz_length_mismatch(self):
+        with pytest.raises(ValueError):
+            VerticalDiffusion(heights=np.array([1.0, 2.0]), kz=np.zeros(0))
+
+    def test_negative_kz(self):
+        with pytest.raises(ValueError):
+            VerticalDiffusion(heights=np.array([1.0, 2.0]), kz=np.array([-1.0]))
+
+    def test_bad_conc_shape(self):
+        vd = make(5)
+        with pytest.raises(ValueError):
+            vd.step(np.zeros((3, 4, 2)), 60.0)
+
+    def test_bad_dt(self):
+        vd = make(5)
+        with pytest.raises(ValueError):
+            vd.step(np.zeros((3, 5, 2)), -1.0)
+
+    def test_deposition_length_mismatch(self):
+        vd = make(5, deposition=np.array([0.01]))
+        with pytest.raises(ValueError):
+            vd.step(np.zeros((2, 5, 3)), 60.0)
+
+    def test_negative_deposition(self):
+        with pytest.raises(ValueError):
+            make(5, deposition=np.array([-0.01]))

@@ -1,0 +1,212 @@
+"""Tests for the Young-Boris hybrid stiff integrator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry import (
+    Arrhenius,
+    ChemistryStats,
+    Mechanism,
+    Photolysis,
+    Reaction,
+    YoungBorisSolver,
+    cit_mechanism,
+)
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+def urban_state(mech, npts=4, seed=0):
+    """A plausible polluted initial state (ppm)."""
+    rng = np.random.default_rng(seed)
+    c = np.zeros((mech.n_species, npts))
+    base = {
+        "NO": 0.05, "NO2": 0.08, "O3": 0.04, "CO": 2.0, "HCHO": 0.01,
+        "ALD2": 0.01, "ETH": 0.02, "OLE": 0.01, "PAR": 0.4, "TOL": 0.02,
+        "XYL": 0.02, "ISOP": 0.005, "SO2": 0.02, "NH3": 0.01, "MEOH": 0.005,
+        "ETOH": 0.005, "MEK": 0.005,
+    }
+    for s, v in base.items():
+        c[mech.index[s]] = v * rng.uniform(0.5, 1.5, size=npts)
+    return c
+
+
+class TestDecayProblem:
+    """Analytically checkable single-species problems."""
+
+    def make_decay(self, k_value):
+        mech = Mechanism(
+            ["A", "B"],
+            [Reaction("decay", ("A",), (("B", 1.0),), Arrhenius(k_value))],
+        )
+        return mech
+
+    @pytest.mark.parametrize("k,dt", [(0.01, 10.0), (5.0, 2.0), (100.0, 1.0)])
+    def test_exponential_decay_accuracy(self, k, dt):
+        """Both stiff and non-stiff regimes track exp(-k t)."""
+        mech = self.make_decay(k)
+        solver = YoungBorisSolver(mech)
+        c = np.array([[1.0], [0.0]])
+        out = solver.integrate(c, dt, 298.0, 0.0)
+        exact = np.exp(-k * dt)
+        # The hybrid scheme is ~2nd order non-stiff and exact-asymptotic
+        # stiff; the transition regime carries the largest error.
+        assert out[0, 0] == pytest.approx(exact, abs=max(0.08 * exact, 1e-9))
+        # Mass conserved A + B = 1.
+        assert out[0, 0] + out[1, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_stiff_equilibrium(self):
+        """A <-> with fast source and sink relaxes to P/L."""
+        mech = Mechanism(
+            ["A", "SRC"],
+            [
+                Reaction("prod", ("SRC",), (("SRC", 1.0), ("A", 1.0)), Arrhenius(50.0)),
+                Reaction("sink", ("A",), (), Arrhenius(500.0)),
+            ],
+        )
+        solver = YoungBorisSolver(mech)
+        c = np.array([[0.0], [1.0]])
+        out = solver.integrate(c, 10.0, 298.0, 0.0)
+        # Equilibrium: P = 50 * 1, L = 500 -> A_eq = 0.1.
+        assert out[0, 0] == pytest.approx(0.1, rel=0.05)
+
+
+class TestFullMechanism:
+    def test_concentrations_stay_nonnegative(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech)
+        out = solver.integrate(c, 300.0, 298.0, 1.0)
+        assert np.all(out >= 0.0)
+
+    def test_daytime_produces_ozone(self, mech):
+        """The classic smog result: NOx + VOC + sunshine -> O3."""
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech)
+        o3_before = c[mech.index["O3"]].copy()
+        out = c
+        for _ in range(6):
+            out = solver.integrate(out, 600.0, 300.0, 1.0)
+        assert np.all(out[mech.index["O3"]] > o3_before)
+
+    def test_night_titrates_ozone(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech)
+        out = solver.integrate(c, 1800.0, 290.0, 0.0)
+        assert np.all(out[mech.index["O3"]] < c[mech.index["O3"]])
+
+    def test_nitrogen_conserved(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech)
+        n_before = mech.nitrogen_total(c)
+        out = solver.integrate(c, 600.0, 298.0, 1.0)
+        n_after = mech.nitrogen_total(out)
+        assert np.allclose(n_after, n_before, rtol=1e-2)
+
+    def test_emissions_increase_concentration(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = np.zeros((mech.n_species, 2))
+        E = np.zeros_like(c)
+        E[mech.index["CO"]] = 1e-4
+        out = solver.integrate(c, 100.0, 298.0, 0.0, emissions=E)
+        assert np.all(out[mech.index["CO"]] > 0.009)
+
+    def test_input_not_modified(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech)
+        c_copy = c.copy()
+        solver.integrate(c, 60.0, 298.0, 1.0)
+        assert np.array_equal(c, c_copy)
+
+    def test_1d_input_roundtrip(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech, npts=1)[:, 0]
+        out = solver.integrate(c, 60.0, 298.0, 1.0)
+        assert out.shape == (mech.n_species,)
+
+
+class TestWorkAccounting:
+    def test_stats_recorded(self, mech):
+        solver = YoungBorisSolver(mech)
+        stats = ChemistryStats()
+        c = urban_state(mech, npts=8)
+        solver.integrate(c, 300.0, 298.0, 1.0, stats=stats)
+        assert stats.points == 8
+        assert stats.substeps_total >= 8 * solver.min_substeps
+        assert stats.max_substeps <= solver.max_substeps
+        assert stats.ops > 0
+
+    def test_work_is_deterministic(self, mech):
+        solver = YoungBorisSolver(mech)
+        c = urban_state(mech, npts=8)
+        s1, s2 = ChemistryStats(), ChemistryStats()
+        solver.integrate(c, 300.0, 298.0, 1.0, stats=s1)
+        solver.integrate(c, 300.0, 298.0, 1.0, stats=s2)
+        assert s1.substeps_total == s2.substeps_total
+        assert s1.ops == s2.ops
+
+    def test_polluted_points_take_more_substeps(self, mech):
+        """Dirty air is stiffer -> more substeps -> chemistry load varies."""
+        solver = YoungBorisSolver(mech)
+        clean = np.zeros((mech.n_species, 1))
+        clean[mech.index["O3"]] = 0.03
+        dirty = urban_state(mech, npts=1)
+        k = mech.rate_constants(298.0, 1.0)
+        n_clean = solver.choose_substeps(clean, k, 300.0)
+        n_dirty = solver.choose_substeps(dirty, k, 300.0)
+        assert n_dirty[0] >= n_clean[0]
+
+    def test_stats_merge(self):
+        a = ChemistryStats(substeps_total=5, max_substeps=3, points=2, ops=10.0)
+        b = ChemistryStats(substeps_total=7, max_substeps=9, points=1, ops=5.0)
+        a.merge(b)
+        assert a.substeps_total == 12
+        assert a.max_substeps == 9
+        assert a.points == 3
+        assert a.ops == 15.0
+
+
+class TestValidation:
+    def test_bad_dt(self, mech):
+        solver = YoungBorisSolver(mech)
+        with pytest.raises(ValueError):
+            solver.integrate(np.zeros((35, 1)), 0.0, 298.0, 1.0)
+
+    def test_bad_species_count(self, mech):
+        solver = YoungBorisSolver(mech)
+        with pytest.raises(ValueError):
+            solver.integrate(np.zeros((12, 1)), 60.0, 298.0, 1.0)
+
+    def test_bad_emissions_shape(self, mech):
+        solver = YoungBorisSolver(mech)
+        with pytest.raises(ValueError):
+            solver.integrate(
+                np.zeros((35, 2)), 60.0, 298.0, 1.0, emissions=np.zeros((35, 3))
+            )
+
+    def test_bad_solver_params(self, mech):
+        with pytest.raises(ValueError):
+            YoungBorisSolver(mech, eps=0.0)
+        with pytest.raises(ValueError):
+            YoungBorisSolver(mech, min_substeps=0)
+        with pytest.raises(ValueError):
+            YoungBorisSolver(mech, min_substeps=10, max_substeps=5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dt=st.floats(min_value=10.0, max_value=900.0),
+    sun=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_nonnegative_and_finite(dt, sun, seed):
+    mech = cit_mechanism()
+    solver = YoungBorisSolver(mech)
+    c = urban_state(mech, npts=3, seed=seed)
+    out = solver.integrate(c, dt, 298.0, sun)
+    assert np.all(np.isfinite(out))
+    assert np.all(out >= 0.0)

@@ -1,0 +1,38 @@
+"""Shared fixtures: a tiny dataset so model tests stay fast."""
+
+import pytest
+
+from repro.datasets import DatasetSpec
+from repro.grid import RefinementCore
+from repro.model import AirshedConfig, SequentialAirshed
+
+TINY_SPEC = DatasetSpec(
+    name="tiny",
+    domain=(120.0, 90.0),
+    base_shape=(4, 3),
+    npoints=12 + 3 * 14,  # 54 points
+    cores=(RefinementCore(40.0, 40.0, 5.0, 20.0),),
+    layers=3,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return TINY_SPEC.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_dataset):
+    return AirshedConfig(dataset=tiny_dataset, hours=3, start_hour=7, max_steps=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_config):
+    """One sequential reference run, shared across the module."""
+    return SequentialAirshed(tiny_config).run()
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_result):
+    return tiny_result.trace

@@ -1,0 +1,98 @@
+"""Tests for dataset generation (LA and NE)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_la, make_ne
+
+
+@pytest.fixture(scope="module")
+def la():
+    return make_la()
+
+
+class TestShapes:
+    def test_la_paper_dimensions(self, la):
+        """Paper: A(35, 5, 700) for Los Angeles."""
+        assert la.shape == (35, 5, 700)
+        assert la.array_nbytes() == 35 * 5 * 700 * 8
+
+    @pytest.mark.slow
+    def test_ne_paper_dimensions(self):
+        """Paper: A(35, 5, 3328) for the North East US."""
+        ne = make_ne()
+        assert ne.shape == (35, 5, 3328)
+
+    def test_mesh_matches_grid(self, la):
+        assert la.mesh.npoints == la.grid.npoints == 700
+
+
+class TestHourlyConditions:
+    def test_deterministic(self, la):
+        h1, h2 = la.hourly(9), la.hourly(9)
+        assert np.array_equal(h1.emissions, h2.emissions)
+        assert h1.temperature == h2.temperature
+
+    def test_diurnal_sun_cycle(self, la):
+        assert la.hourly(0).sun == 0.0          # night
+        assert la.hourly(13).sun > 0.9           # midday
+        assert la.hourly(23).sun == 0.0
+
+    def test_rush_hour_emissions_peak(self, la):
+        e_night = la.hourly(3).emissions.sum()
+        e_rush = la.hourly(8).emissions.sum()
+        assert e_rush > 2.0 * e_night
+
+    def test_emissions_concentrated_at_cores(self, la):
+        E = la.hourly(8).emissions
+        mech = la.mechanism
+        no = E[mech.index["NO"]]
+        # peak emission near the main core, low at domain corner
+        core = la.grid.cores[0]
+        d = np.hypot(
+            la.grid.points[:, 0] - core.x, la.grid.points[:, 1] - core.y
+        )
+        assert no[d < 30].mean() > 10 * no[d > 150].mean()
+
+    def test_biogenic_isoprene_daylight_only(self, la):
+        mech = la.mechanism
+        assert la.hourly(13).emissions[mech.index["ISOP"]].sum() > 0
+        # At night only the (traffic) anthropogenic part remains: zero
+        # for isoprene, which is purely biogenic here.
+        assert la.hourly(2).emissions[mech.index["ISOP"]].sum() == 0.0
+
+    def test_boundary_is_clean_air(self, la):
+        b = la.hourly(6).boundary
+        mech = la.mechanism
+        assert b[mech.index["O3"]] == pytest.approx(0.04)
+        assert b[mech.index["NO"]] < 1e-3
+
+    def test_nbytes_positive(self, la):
+        assert la.hourly(0).nbytes() > la.npoints * la.n_species * 8
+
+
+class TestInitialConditions:
+    def test_shape_and_nonnegative(self, la):
+        c0 = la.initial_conditions()
+        assert c0.shape == la.shape
+        assert np.all(c0 >= 0)
+
+    def test_pollution_decays_with_altitude(self, la):
+        c0 = la.initial_conditions()
+        no2 = c0[la.mechanism.index["NO2"]]
+        assert no2[0].mean() > no2[-1].mean()
+
+    def test_background_everywhere(self, la):
+        c0 = la.initial_conditions()
+        o3 = c0[la.mechanism.index["O3"]]
+        assert np.all(o3 >= 0.039)
+
+
+class TestRuntimeSteps:
+    def test_steps_within_bounds(self, la):
+        for hour in range(24):
+            n = la.steps_per_hour(hour)
+            assert 2 <= n <= 12
+
+    def test_steps_deterministic(self, la):
+        assert la.steps_per_hour(7) == la.steps_per_hour(7)

@@ -1,0 +1,132 @@
+"""Tests for elevated point sources."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import default_layer_heights
+from repro.datasets import (
+    DatasetSpec,
+    PointSource,
+    elevated_emissions,
+    injection_layer,
+)
+from repro.grid import RefinementCore
+from repro.model import AirshedConfig, SequentialAirshed
+
+POWER_PLANT = PointSource(
+    x=30.0, y=40.0, plume_height=180.0,
+    strengths={"NO": 5e-5, "SO2": 8e-5},
+    name="coastal-plant",
+)
+
+SPEC_WITH_PLANT = DatasetSpec(
+    name="plant-city",
+    domain=(120.0, 90.0),
+    base_shape=(4, 3),
+    npoints=12 + 3 * 14,
+    cores=(RefinementCore(40.0, 40.0, 5.0, 20.0),),
+    layers=3,
+    seed=1,
+    point_sources=(POWER_PLANT,),
+)
+
+
+class TestPointSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PointSource(0, 0, -1.0, {"NO": 1e-5})
+        with pytest.raises(ValueError):
+            PointSource(0, 0, 100.0, {})
+        with pytest.raises(ValueError):
+            PointSource(0, 0, 100.0, {"NO": -1e-5})
+
+    def test_diurnal_range(self):
+        loads = [POWER_PLANT.diurnal(h) for h in range(24)]
+        assert all(0.8 <= v <= 1.0 for v in loads)
+        assert max(loads) > min(loads)  # mild daytime peak
+
+
+class TestInjectionLayer:
+    def test_layer_selection(self):
+        heights = default_layer_heights(4)  # 50, 100, 200, 400 m
+        assert injection_layer(10.0, heights) == 0
+        assert injection_layer(50.0, heights) == 0   # boundary -> below
+        assert injection_layer(60.0, heights) == 1
+        assert injection_layer(180.0, heights) == 2
+        assert injection_layer(10_000.0, heights) == 3  # clamped to top
+
+
+class TestElevatedField:
+    def test_no_sources_is_none(self):
+        E = elevated_emissions(
+            (), 8, np.zeros((5, 2)), default_layer_heights(3), {"NO": 0}, 35
+        )
+        assert E is None
+
+    def test_injection_into_correct_cell(self):
+        points = np.array([[10.0, 10.0], [30.0, 40.0], [80.0, 70.0]])
+        heights = default_layer_heights(3)  # 50, 100, 200
+        E = elevated_emissions(
+            (POWER_PLANT,), 12, points, heights, {"NO": 0, "SO2": 1}, 2
+        )
+        # Plume at 180 m -> layer 2; nearest point is index 1.
+        assert E.shape == (2, 3, 3)
+        assert E[0, 2, 1] > 0 and E[1, 2, 1] > 0
+        assert E[:, 0:2, :].sum() == 0
+        assert E[:, :, [0, 2]].sum() == 0
+
+    def test_unknown_species_rejected(self):
+        src = PointSource(0, 0, 100.0, {"UNOBTAINIUM": 1e-5})
+        with pytest.raises(ValueError, match="unknown species"):
+            elevated_emissions(
+                (src,), 0, np.zeros((2, 2)), default_layer_heights(3),
+                {"NO": 0}, 35,
+            )
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        with_plant = SPEC_WITH_PLANT.build()
+        base_spec = DatasetSpec(
+            **{**SPEC_WITH_PLANT.__dict__, "point_sources": ()}
+        )
+        without_plant = base_spec.build()
+        cfg_kwargs = dict(hours=3, start_hour=10, max_steps=3)
+        res_with = SequentialAirshed(
+            AirshedConfig(dataset=with_plant, **cfg_kwargs)
+        ).run()
+        res_without = SequentialAirshed(
+            AirshedConfig(dataset=without_plant, **cfg_kwargs)
+        ).run()
+        return with_plant, res_with, res_without
+
+    def test_hourly_record_roundtrips(self):
+        from repro.io import pack_hourly, unpack_hourly
+
+        ds = SPEC_WITH_PLANT.build()
+        cond = ds.hourly(12)
+        assert cond.elevated is not None
+        back = unpack_hourly(pack_hourly(cond))
+        assert np.array_equal(back.elevated, cond.elevated)
+
+    def test_plume_species_appear_aloft(self, runs):
+        ds, res_with, res_without = runs
+        mech = ds.mechanism
+        # SO2 in the injection layer (2) is higher with the plant.
+        so2_with = res_with.final_conc[mech.index["SO2"], 2]
+        so2_without = res_without.final_conc[mech.index["SO2"], 2]
+        assert so2_with.max() > so2_without.max() * 1.05
+
+    def test_surface_less_affected_than_aloft(self, runs):
+        ds, res_with, res_without = runs
+        mech = ds.mechanism
+        d_aloft = (
+            res_with.final_conc[mech.index["SO2"], 2]
+            - res_without.final_conc[mech.index["SO2"], 2]
+        ).max()
+        d_surface = (
+            res_with.final_conc[mech.index["SO2"], 0]
+            - res_without.final_conc[mech.index["SO2"], 0]
+        ).max()
+        assert d_aloft > d_surface

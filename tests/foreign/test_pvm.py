@@ -1,0 +1,96 @@
+"""Tests for the PVM-like message-passing library."""
+
+import numpy as np
+import pytest
+
+from repro.foreign import PvmError, PvmSystem
+from repro.vm import Cluster, MachineSpec
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.01, copy_cost=0.001,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+@pytest.fixture
+def pvm():
+    cluster = Cluster(TOY, 4)
+    return PvmSystem(cluster.subgroup(range(4)))
+
+
+class TestSendRecv:
+    def test_roundtrip_array(self, pvm):
+        data = np.arange(10.0)
+        t0, t1 = pvm.task(0), pvm.task(1)
+        t0.send(t1.tid, data, tag=5)
+        out = t1.recv(src_tid=t0.tid, tag=5)
+        assert np.array_equal(out, data)
+
+    def test_payload_is_copied(self, pvm):
+        data = np.arange(4.0)
+        pvm.task(0).send(pvm.task(1).tid, data)
+        data[:] = -1.0
+        out = pvm.task(1).recv()
+        assert np.array_equal(out, np.arange(4.0))
+
+    def test_send_charges_network(self, pvm):
+        cluster = pvm.group.cluster
+        pvm.task(0).send(pvm.task(1).tid, np.zeros(100))
+        rec = cluster.timeline.records(name="pvm:send")[0]
+        assert rec.traffic[0].bytes_sent == 800
+        assert rec.duration == pytest.approx(1.0 + 0.01 * 800)
+
+    def test_tag_filtering(self, pvm):
+        t0, t1 = pvm.task(0), pvm.task(1)
+        t0.send(t1.tid, 1.0, tag=1)
+        t0.send(t1.tid, 2.0, tag=2)
+        assert t1.recv(tag=2) == 2.0
+        assert t1.recv(tag=1) == 1.0
+
+    def test_recv_missing_raises(self, pvm):
+        with pytest.raises(PvmError, match="deadlock"):
+            pvm.task(2).recv()
+
+    def test_bad_tid(self, pvm):
+        with pytest.raises(PvmError):
+            pvm.task(0).send(0x99999, 1.0)
+        with pytest.raises(PvmError):
+            pvm.task(9)
+
+    def test_unsupported_payload(self, pvm):
+        with pytest.raises(PvmError):
+            pvm.task(0).send(pvm.task(1).tid, object())
+
+    def test_work_charges_one_node(self, pvm):
+        cluster = pvm.group.cluster
+        pvm.task(2).work(5.0)
+        assert cluster.clock(2) == pytest.approx(5.0)
+        assert cluster.clock(0) == 0.0
+
+
+class TestCollectives:
+    def test_scatter_rows(self, pvm):
+        data = np.arange(20.0).reshape(10, 2)
+        chunks = pvm.scatter_rows(0, data)
+        assert len(chunks) == 4
+        assert np.array_equal(np.vstack(chunks), data)
+        # Workers can receive their chunks.
+        for rank in (1, 2, 3):
+            got = pvm.task(rank).recv(src_tid=pvm.task(0).tid, tag=1)
+            assert np.array_equal(got, chunks[rank])
+
+    def test_gather_sum(self, pvm):
+        partial = {r: np.array([float(r), 1.0]) for r in range(4)}
+        total = pvm.gather_sum(0, partial)
+        assert np.allclose(total, [0 + 1 + 2 + 3, 4.0])
+
+    def test_master_worker_pattern(self, pvm):
+        """A full scatter -> compute -> gather cycle."""
+        data = np.arange(12.0).reshape(12, 1)
+        chunks = pvm.scatter_rows(0, data, tag=7)
+        partial = {}
+        for rank in range(4):
+            task = pvm.task(rank)
+            chunk = chunks[0] if rank == 0 else task.recv(tag=7)
+            partial[rank] = np.array([chunk.sum()])
+            task.work(float(len(chunk)))
+        total = pvm.gather_sum(0, partial, tag=8)
+        assert total[0] == pytest.approx(data.sum())

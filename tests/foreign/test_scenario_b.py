@@ -1,0 +1,99 @@
+"""Tests for the scenario-B (direct scatter) foreign data path."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import cit_mechanism
+from repro.foreign import (
+    ForeignModuleBinding,
+    PopExpPvm,
+    PopulationRaster,
+    Scenario,
+    exposure_sequential,
+)
+from repro.vm import Cluster, MachineSpec
+
+TOY = MachineSpec("toy", latency=1e-4, gap=1e-8, copy_cost=5e-9,
+                  seconds_per_op=1e-8, io_seconds_per_byte=1e-7)
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+def setup(n_native=4, n_foreign=3, scenario=Scenario.B):
+    cluster = Cluster(TOY, n_native + n_foreign)
+    native = cluster.subgroup(range(n_native))
+    foreign = cluster.subgroup(range(n_native, n_native + n_foreign))
+    return ForeignModuleBinding(native, foreign, scenario=scenario), cluster, foreign
+
+
+class TestTransferScattered:
+    def test_blocks_reassemble_to_payload(self, mech):
+        binding, _, _ = setup()
+        payload = np.arange(35.0 * 30).reshape(35, 30)
+        blocks = binding.transfer_scattered(payload, axis=1)
+        assert len(blocks) == 3
+        assert np.array_equal(np.concatenate(blocks, axis=1), payload)
+
+    def test_wrong_scenario_rejected(self, mech):
+        binding, _, _ = setup(scenario=Scenario.A)
+        with pytest.raises(ValueError):
+            binding.transfer_scattered(np.zeros((2, 6)))
+
+    def test_charges_direct_messages(self, mech):
+        binding, cluster, _ = setup(n_native=4, n_foreign=2)
+        binding.transfer_scattered(np.zeros((4, 8)), axis=1)
+        rec = cluster.timeline.records(name="foreign:B")[0]
+        # 4 native senders x 2 foreign receivers.
+        assert rec.total_messages_sent() == 8
+
+    def test_cheaper_than_scenario_a(self, mech):
+        payload = np.zeros((35, 1000))
+        binding_b, cluster_b, _ = setup(scenario=Scenario.B)
+        binding_a, cluster_a, _ = setup(scenario=Scenario.A)
+        binding_b.transfer_scattered(payload, axis=1)
+        binding_a.transfer_to_foreign(payload)
+        t_b = cluster_b.time()
+        t_a = cluster_a.time()
+        assert t_b < t_a
+
+
+class TestScatteredPopExp:
+    def test_matches_sequential(self, mech):
+        rng = np.random.default_rng(3)
+        npts = 40
+        field = np.zeros((mech.n_species, npts))
+        field[mech.index["O3"]] = rng.uniform(0, 0.2, npts)
+        population = PopulationRaster(population=rng.uniform(0, 1e5, npts))
+        ref = exposure_sequential([field], population, mech)
+
+        binding, cluster, foreign = setup()
+        popexp = PopExpPvm(foreign, population, mech)
+        blocks = binding.transfer_scattered(field, axis=1)
+        hourly = popexp.process_hour_scattered(blocks)
+        assert np.allclose(hourly, ref)
+
+    def test_skips_internal_scatter_messages(self, mech):
+        """Scenario B removes the foreign module's internal scatter:
+        only the gather messages remain inside the PVM program."""
+        rng = np.random.default_rng(4)
+        npts = 30
+        field = np.zeros((mech.n_species, npts))
+        field[mech.index["O3"]] = rng.uniform(0, 0.2, npts)
+        population = PopulationRaster(population=rng.uniform(0, 1e3, npts))
+
+        binding, cluster, foreign = setup(n_foreign=3)
+        popexp = PopExpPvm(foreign, population, mech)
+        blocks = binding.transfer_scattered(field, axis=1)
+        popexp.process_hour_scattered(blocks)
+        pvm_sends = cluster.timeline.records(name="pvm:send")
+        assert len(pvm_sends) == 2  # gather only (2 workers -> master)
+
+    def test_wrong_block_count_rejected(self, mech):
+        _, _, foreign = setup(n_foreign=3)
+        population = PopulationRaster(population=np.ones(10))
+        popexp = PopExpPvm(foreign, population, mech)
+        with pytest.raises(ValueError):
+            popexp.process_hour_scattered([np.zeros((35, 5))] * 2)

@@ -1,0 +1,218 @@
+"""Tests for HPF-style distributions and ownership maps."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fx import DistKind, Distribution
+
+
+class TestDistributionConstruction:
+    def test_replicated_spec(self):
+        d = Distribution.replicated(3)
+        assert d.is_replicated
+        assert d.spec() == "(*,*,*)"
+
+    def test_block_spec(self):
+        assert Distribution.block(3, 1).spec() == "(*,BLOCK,*)"
+        assert Distribution.block(3, 2).spec() == "(*,*,BLOCK)"
+
+    def test_cyclic_spec(self):
+        assert Distribution.cyclic(2, 0).spec() == "(CYCLIC,*)"
+        assert Distribution.block_cyclic(2, 1, 4).spec() == "(*,CYCLIC(4))"
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.block(2, 5)
+        with pytest.raises(ValueError):
+            Distribution(ndim=0)
+        with pytest.raises(ValueError):
+            Distribution.block_cyclic(2, 0, 0)
+
+
+class TestBlockLayout:
+    """HPF BLOCK: chunk size ceil(n/P); trailing nodes may be empty."""
+
+    def test_even_partition(self):
+        lay = Distribution.block(1, 0).layout((8,), 4)
+        assert [lay.block_bounds(i) for i in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8)
+        ]
+
+    def test_uneven_partition_ceil_semantics(self):
+        lay = Distribution.block(1, 0).layout((5,), 4)
+        # ceil(5/4)=2: blocks 2,2,1,0
+        assert [lay.local_count(i) for i in range(4)] == [2, 2, 1, 0]
+
+    def test_more_procs_than_extent(self):
+        """The Airshed transport situation: 5 layers, 128 nodes."""
+        lay = Distribution.block(3, 1).layout((35, 5, 700), 128)
+        counts = [len(lay.owned_indices(i)) for i in range(128)]
+        assert sum(counts) == 5
+        assert counts[:5] == [1, 1, 1, 1, 1]
+        assert all(c == 0 for c in counts[5:])
+        assert lay.degree_of_parallelism() == 5
+
+    def test_other_size(self):
+        lay = Distribution.block(3, 1).layout((35, 5, 700), 8)
+        assert lay.other_size() == 35 * 700
+        assert lay.local_count(0) == 35 * 700  # 1 layer each for P=8
+
+    def test_max_local_count_matches_paper_ceil(self):
+        """max local data = ceil(layers/min(layers,P)) * species * nodes."""
+        for P in (2, 4, 8, 16):
+            lay = Distribution.block(3, 1).layout((35, 5, 700), P)
+            expected = math.ceil(5 / min(5, P)) * 35 * 700
+            assert lay.max_local_count() == expected
+
+    def test_owner_of(self):
+        lay = Distribution.block(1, 0).layout((10,), 4)
+        # ceil(10/4)=3: 0,1,2->n0; 3,4,5->n1; 6,7,8->n2; 9->n3
+        assert [lay.owner_of(i) for i in range(10)] == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+        with pytest.raises(ValueError):
+            lay.owner_of(10)
+
+    def test_local_slice_is_view(self):
+        lay = Distribution.block(2, 0).layout((6, 3), 3)
+        a = np.arange(18.0).reshape(6, 3)
+        v = a[lay.local_slice(1)]
+        assert np.shares_memory(v, a)
+        assert np.array_equal(v, a[2:4])
+
+
+class TestCyclicLayout:
+    def test_cyclic_ownership(self):
+        lay = Distribution.cyclic(1, 0).layout((7,), 3)
+        assert list(lay.owned_indices(0)) == [0, 3, 6]
+        assert list(lay.owned_indices(1)) == [1, 4]
+        assert list(lay.owned_indices(2)) == [2, 5]
+
+    def test_cyclic_owner_of(self):
+        lay = Distribution.cyclic(1, 0).layout((7,), 3)
+        for i in range(7):
+            assert lay.owner_of(i) == i % 3
+
+    def test_cyclic_local_slice(self):
+        lay = Distribution.cyclic(1, 0).layout((7,), 3)
+        a = np.arange(7)
+        assert np.array_equal(a[lay.local_slice(1)], [1, 4])
+
+
+class TestBlockCyclicLayout:
+    def test_block_cyclic_ownership(self):
+        lay = Distribution.block_cyclic(1, 0, 2).layout((10,), 2)
+        assert list(lay.owned_indices(0)) == [0, 1, 4, 5, 8, 9]
+        assert list(lay.owned_indices(1)) == [2, 3, 6, 7]
+
+    def test_block_cyclic_owner_of(self):
+        lay = Distribution.block_cyclic(1, 0, 2).layout((10,), 2)
+        assert [lay.owner_of(i) for i in range(10)] == [0, 0, 1, 1, 0, 0, 1, 1, 0, 0]
+
+    def test_block_cyclic_no_view(self):
+        lay = Distribution.block_cyclic(1, 0, 2).layout((10,), 2)
+        with pytest.raises(ValueError):
+            lay.local_slice(0)
+
+
+class TestReplicatedLayout:
+    def test_everyone_holds_everything(self):
+        lay = Distribution.replicated(3).layout((35, 5, 700), 16)
+        assert lay.is_replicated
+        assert lay.local_count(7) == 35 * 5 * 700
+        assert lay.degree_of_parallelism() == 1
+
+    def test_owned_indices_undefined(self):
+        lay = Distribution.replicated(2).layout((4, 4), 2)
+        with pytest.raises(ValueError):
+            lay.owned_indices(0)
+
+    def test_local_slice_full(self):
+        lay = Distribution.replicated(2).layout((4, 4), 2)
+        a = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(a[lay.local_slice(1)], a)
+
+
+class TestLayoutValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Distribution.block(2, 0).layout((3,), 2)
+
+    def test_bad_nprocs(self):
+        with pytest.raises(ValueError):
+            Distribution.block(1, 0).layout((4,), 0)
+
+    def test_negative_extent(self):
+        with pytest.raises(ValueError):
+            Distribution.block(1, 0).layout((-1,), 2)
+
+    def test_node_out_of_range(self):
+        lay = Distribution.block(1, 0).layout((4,), 2)
+        with pytest.raises(ValueError):
+            lay.owned_indices(2)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: ownership is a partition for every distribution kind.
+# ---------------------------------------------------------------------------
+dist_kinds = st.sampled_from(["block", "cyclic", "block_cyclic"])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=64),
+    nprocs=st.integers(min_value=1, max_value=12),
+    kind=dist_kinds,
+    block_size=st.integers(min_value=1, max_value=5),
+)
+def test_ownership_partitions_indices(n, nprocs, kind, block_size):
+    """Every index is owned by exactly one node."""
+    if kind == "block":
+        d = Distribution.block(1, 0)
+    elif kind == "cyclic":
+        d = Distribution.cyclic(1, 0)
+    else:
+        d = Distribution.block_cyclic(1, 0, block_size)
+    lay = d.layout((n,), nprocs)
+    all_owned = np.concatenate(
+        [lay.owned_indices(i) for i in range(nprocs)]
+    ) if nprocs else np.array([])
+    assert sorted(all_owned.tolist()) == list(range(n))
+    # owner_of agrees with owned_indices
+    for i in range(nprocs):
+        for idx in lay.owned_indices(i):
+            assert lay.owner_of(int(idx)) == i
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    nprocs=st.integers(min_value=1, max_value=12),
+    kind=dist_kinds,
+    block_size=st.integers(min_value=1, max_value=5),
+)
+def test_max_local_count_is_true_maximum(n, nprocs, kind, block_size):
+    if kind == "block":
+        d = Distribution.block(1, 0)
+    elif kind == "cyclic":
+        d = Distribution.cyclic(1, 0)
+    else:
+        d = Distribution.block_cyclic(1, 0, block_size)
+    lay = d.layout((n,), nprocs)
+    assert lay.max_local_count() == max(lay.local_count(i) for i in range(nprocs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    nprocs=st.integers(min_value=1, max_value=10),
+)
+def test_degree_of_parallelism_counts_nonempty_nodes(n, nprocs):
+    lay = Distribution.block(1, 0).layout((n,), nprocs)
+    nonempty = sum(1 for i in range(nprocs) if lay.local_count(i) > 0)
+    assert lay.degree_of_parallelism() == min(n, nprocs)
+    # For BLOCK with ceil semantics, non-empty node count can be less
+    # than min(n, P) (e.g. n=5, P=4 -> 3 non-empty), but never more.
+    assert nonempty <= lay.degree_of_parallelism()

@@ -1,0 +1,157 @@
+"""Tests for optimal task-pipeline processor allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fx.mapping import (
+    StageModel,
+    best_airshed_mapping,
+    optimal_pipeline_mapping,
+)
+from repro.model import replay_data_parallel, replay_task_parallel
+from repro.model.taskparallel import replay_best_configuration
+from repro.vm import INTEL_PARAGON
+
+
+class TestStageModel:
+    def test_time_model(self):
+        s = StageModel("main", sequential=1.0, parallel_work=10.0,
+                       max_parallelism=5)
+        assert s.time(1) == pytest.approx(11.0)
+        assert s.time(5) == pytest.approx(3.0)
+        assert s.time(50) == pytest.approx(3.0)  # saturates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageModel("x", sequential=-1.0)
+        with pytest.raises(ValueError):
+            StageModel("x", 0.0, max_parallelism=0)
+        with pytest.raises(ValueError):
+            StageModel("x", 0.0).time(0)
+
+
+class TestOptimalMapping:
+    def test_balanced_stages_split_evenly(self):
+        stages = [
+            StageModel("a", 0.0, parallel_work=10.0, max_parallelism=100),
+            StageModel("b", 0.0, parallel_work=10.0, max_parallelism=100),
+        ]
+        m = optimal_pipeline_mapping(stages, 8)
+        assert m.allocation == (4, 4)
+        assert m.period == pytest.approx(2.5)
+
+    def test_heavy_stage_gets_more_nodes(self):
+        stages = [
+            StageModel("light", 0.0, parallel_work=10.0, max_parallelism=100),
+            StageModel("heavy", 0.0, parallel_work=90.0, max_parallelism=100),
+        ]
+        m = optimal_pipeline_mapping(stages, 10)
+        assert m.allocation == (1, 9)
+
+    def test_sequential_stage_gets_one_node(self):
+        stages = [
+            StageModel("io", 1.0),  # sequential: extra nodes useless
+            StageModel("main", 0.0, parallel_work=100.0, max_parallelism=64),
+        ]
+        m = optimal_pipeline_mapping(stages, 16)
+        assert m.allocation[0] == 1
+        assert m.allocation[1] == 15
+
+    def test_period_is_bottleneck_stage(self):
+        stages = [
+            StageModel("a", 3.0),
+            StageModel("b", 0.0, parallel_work=8.0, max_parallelism=8),
+        ]
+        m = optimal_pipeline_mapping(stages, 9)
+        assert m.period == pytest.approx(3.0)  # stage a dominates
+
+    def test_saturation_leaves_nodes_idle_rather_than_hurting(self):
+        """If parallelism saturates, extra nodes neither help nor hurt."""
+        stages = [StageModel("a", 0.0, parallel_work=10.0, max_parallelism=2)]
+        m = optimal_pipeline_mapping(stages, 64)
+        assert m.period == pytest.approx(5.0)
+
+    def test_needs_enough_nodes(self):
+        with pytest.raises(ValueError):
+            optimal_pipeline_mapping([StageModel("a", 1.0)] * 3, 2)
+        with pytest.raises(ValueError):
+            optimal_pipeline_mapping([], 4)
+
+
+class TestOptimalityAgainstBruteForce:
+    """The DP must match exhaustive search on small instances."""
+
+    @staticmethod
+    def brute_force(stages, nprocs):
+        from itertools import product as iproduct
+
+        best = None
+        S = len(stages)
+        for alloc in iproduct(range(1, nprocs + 1), repeat=S):
+            if sum(alloc) > nprocs:
+                continue
+            period = max(st.time(p) for st, p in zip(stages, alloc))
+            if best is None or period < best[0]:
+                best = (period, alloc)
+        return best[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nstages=st.integers(min_value=1, max_value=3),
+        nprocs=st.integers(min_value=3, max_value=10),
+        data=st.data(),
+    )
+    def test_dp_matches_brute_force(self, nstages, nprocs, data):
+        stages = []
+        for i in range(nstages):
+            stages.append(StageModel(
+                name=f"s{i}",
+                sequential=data.draw(st.floats(min_value=0.0, max_value=5.0)),
+                parallel_work=data.draw(st.floats(min_value=0.0, max_value=50.0)),
+                max_parallelism=data.draw(st.integers(min_value=1, max_value=12)),
+            ))
+        dp = optimal_pipeline_mapping(stages, nprocs)
+        ref = self.brute_force(stages, nprocs)
+        assert dp.period == pytest.approx(ref, rel=1e-12)
+
+
+class TestBestAirshedMapping:
+    IN = StageModel("in", 2.0)
+    MAIN = StageModel("main", 0.5, parallel_work=200.0, max_parallelism=1000)
+    OUT = StageModel("out", 1.0)
+
+    def test_small_machine_prefers_data_parallel(self):
+        mode, m = best_airshed_mapping(self.IN, self.MAIN, self.OUT, 2)
+        assert mode == "data-parallel"
+
+    def test_large_machine_prefers_pipeline(self):
+        mode, m = best_airshed_mapping(self.IN, self.MAIN, self.OUT, 64)
+        assert mode == "pipelined"
+        assert m.allocation[0] == 1 and m.allocation[2] == 1
+
+    def test_pipeline_period_below_serial(self):
+        mode, piped = best_airshed_mapping(self.IN, self.MAIN, self.OUT, 64)
+        serial = self.IN.time(64) + self.MAIN.time(64) + self.OUT.time(64)
+        assert piped.period < serial
+
+
+class TestReplayBestConfiguration:
+    def test_never_worse_than_either_baseline(self, tiny_trace):
+        for P in (4, 8, 32):
+            mode, best = replay_best_configuration(
+                tiny_trace, INTEL_PARAGON, P
+            )
+            dp = replay_data_parallel(tiny_trace, INTEL_PARAGON, P).total_time
+            assert best.total_time <= dp + 1e-9
+            if P >= 3:
+                tp = replay_task_parallel(tiny_trace, INTEL_PARAGON, P).total_time
+                assert best.total_time <= tp + 1e-9
+
+    def test_small_P_picks_data_parallel(self, tiny_trace):
+        mode, _ = replay_best_configuration(tiny_trace, INTEL_PARAGON, 4)
+        assert mode == "data-parallel"
+
+    def test_large_P_picks_pipeline(self, tiny_trace):
+        mode, _ = replay_best_configuration(tiny_trace, INTEL_PARAGON, 32)
+        assert mode.startswith("pipelined")

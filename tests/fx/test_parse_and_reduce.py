@@ -1,0 +1,121 @@
+"""Tests for HPF directive parsing and the do&merge parallel reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fx import DistributedArray, Distribution, parallel_reduce
+from repro.vm import Cluster, MachineSpec
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.01, copy_cost=0.001,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+class TestDirectiveParsing:
+    @pytest.mark.parametrize("text,ndim,dim", [
+        ("(*,*,*)", 3, None),
+        ("(*,BLOCK,*)", 3, 1),
+        ("(*,*,BLOCK)", 3, 2),
+        ("(BLOCK,*)", 2, 0),
+        ("(CYCLIC,*)", 2, 0),
+        ("(*,CYCLIC(4))", 2, 1),
+    ])
+    def test_parse_valid(self, text, ndim, dim):
+        d = Distribution.parse(text)
+        assert d.ndim == ndim
+        assert d.dim == dim
+
+    def test_parse_case_and_whitespace_insensitive(self):
+        d = Distribution.parse("  ( * , block , * ) ")
+        assert d == Distribution.block(3, 1)
+
+    def test_roundtrip_with_spec(self):
+        for d in (
+            Distribution.replicated(3),
+            Distribution.block(3, 1),
+            Distribution.cyclic(2, 0),
+            Distribution.block_cyclic(2, 1, 4),
+        ):
+            assert Distribution.parse(d.spec()) == d
+
+    @pytest.mark.parametrize("bad", [
+        "*,BLOCK,*",            # no parens
+        "()",                   # empty
+        "(*,,*)",               # empty dim
+        "(BLOCK,BLOCK)",        # two distributed dims
+        "(*,WEIRD)",            # unknown token
+        "(*,CYCLIC(x))",        # bad block size
+    ])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ValueError):
+            Distribution.parse(bad)
+
+
+def make(shape, dist, P):
+    cluster = Cluster(TOY, P)
+    data = np.arange(float(np.prod(shape))).reshape(shape)
+    return DistributedArray("A", data, dist, cluster.subgroup(range(P))), cluster
+
+
+class TestParallelReduce:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_sum_matches_sequential(self, P):
+        arr, _ = make((4, 12), Distribution.block(2, 1), P)
+
+        def kernel(local, idx, rank):
+            return local.sum(keepdims=True), 1.0
+
+        total = parallel_reduce(arr, "sum", kernel)
+        assert total[0] == pytest.approx(np.arange(48.0).sum())
+
+    def test_max_reduction(self):
+        arr, _ = make((3, 9), Distribution.block(2, 1), 3)
+        total = parallel_reduce(
+            arr, "max",
+            lambda l, i, r: (np.array([l.max()]), 1.0),
+            combine=np.maximum,
+        )
+        assert total[0] == 26.0
+
+    def test_reduction_charges_tree_messages(self):
+        arr, cluster = make((2, 8), Distribution.block(2, 1), 4)
+        parallel_reduce(arr, "s", lambda l, i, r: (np.zeros(1), 1.0))
+        reduce_recs = cluster.timeline.records(name="s:reduce")
+        total_msgs = sum(r.total_messages_sent() for r in reduce_recs)
+        assert total_msgs == 3  # P-1 combines for P=4
+        bcast = cluster.timeline.records(name="s:bcast")
+        assert sum(r.total_messages_sent() for r in bcast) == 3
+
+    def test_empty_ranks_skipped(self):
+        """More nodes than extent: empty ranks contribute nothing."""
+        arr, _ = make((2, 3), Distribution.block(2, 1), 8)
+        total = parallel_reduce(arr, "s", lambda l, i, r: (l.sum(keepdims=True), 1.0))
+        assert total[0] == pytest.approx(np.arange(6.0).sum())
+
+    def test_replicated_rejected(self):
+        arr, _ = make((2, 4), Distribution.replicated(2), 2)
+        with pytest.raises(ValueError):
+            parallel_reduce(arr, "s", lambda l, i, r: (np.zeros(1), 0.0))
+
+    def test_negative_ops_rejected(self):
+        arr, _ = make((2, 4), Distribution.block(2, 1), 2)
+        with pytest.raises(ValueError):
+            parallel_reduce(arr, "s", lambda l, i, r: (np.zeros(1), -1.0))
+
+    def test_single_node(self):
+        arr, cluster = make((2, 4), Distribution.block(2, 1), 1)
+        total = parallel_reduce(arr, "s", lambda l, i, r: (l.sum(keepdims=True), 1.0))
+        assert total[0] == pytest.approx(np.arange(8.0).sum())
+        assert cluster.timeline.communication_steps() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    P=st.integers(min_value=1, max_value=9),
+)
+def test_property_reduce_equals_numpy_sum(n, P):
+    arr, _ = make((2, n), Distribution.block(2, 1), P)
+    total = parallel_reduce(arr, "s", lambda l, i, r: (l.sum(keepdims=True), 1.0))
+    assert total[0] == pytest.approx(np.arange(2.0 * n).sum())

@@ -1,0 +1,95 @@
+"""Tests for owner-computes parallel loops and replicated computations."""
+
+import numpy as np
+import pytest
+
+from repro.fx import DistributedArray, Distribution, parallel_do, replicated_do
+from repro.vm import Cluster, MachineSpec
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.0, copy_cost=0.0,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+def make(shape, dist, P):
+    cluster = Cluster(TOY, P)
+    data = np.arange(float(np.prod(shape))).reshape(shape)
+    return DistributedArray("A", data, dist, cluster.subgroup(range(P))), cluster
+
+
+class TestParallelDo:
+    def test_kernel_updates_canonical_data_once(self):
+        arr, _ = make((4, 8), Distribution.block(2, 1), 4)
+        before = arr.data.copy()
+
+        def kernel(local, idx, rank):
+            local += 1.0
+            return float(local.size)
+
+        parallel_do(arr, "inc", kernel)
+        assert np.array_equal(arr.data, before + 1.0)
+
+    def test_per_node_costs_reflect_load_imbalance(self):
+        """5 layers on 4 nodes: one node gets 2 layers, one gets 0."""
+        arr, cluster = make((3, 5, 7), Distribution.block(3, 1), 4)
+
+        def kernel(local, idx, rank):
+            return float(len(idx))  # 1 op per owned layer
+
+        rec = parallel_do(arr, "transport", kernel)
+        assert rec.ops == {0: 2.0, 1: 2.0, 2: 1.0, 3: 0.0}
+        assert cluster.clock(0) == pytest.approx(2.0)
+        assert cluster.clock(3) == pytest.approx(0.0)
+        assert rec.duration == pytest.approx(2.0)
+
+    def test_kernel_sees_global_indices(self):
+        arr, _ = make((2, 6), Distribution.block(2, 1), 3)
+        seen = {}
+
+        def kernel(local, idx, rank):
+            seen[rank] = list(idx)
+            return 0.0
+
+        parallel_do(arr, "scan", kernel)
+        assert seen == {0: [0, 1], 1: [2, 3], 2: [4, 5]}
+
+    def test_replicated_array_rejected(self):
+        arr, _ = make((2, 6), Distribution.replicated(2), 3)
+        with pytest.raises(ValueError):
+            parallel_do(arr, "x", lambda l, i, r: 0.0)
+
+    def test_materialized_array_rejected(self):
+        arr, _ = make((2, 6), Distribution.block(2, 1), 3)
+        arr.materialize()
+        with pytest.raises(ValueError):
+            parallel_do(arr, "x", lambda l, i, r: 0.0)
+
+    def test_negative_ops_rejected(self):
+        arr, _ = make((2, 6), Distribution.block(2, 1), 3)
+        with pytest.raises(ValueError):
+            parallel_do(arr, "x", lambda l, i, r: -1.0)
+
+
+class TestReplicatedDo:
+    def test_runs_once_charges_everyone(self):
+        arr, cluster = make((2, 6), Distribution.replicated(2), 3)
+        calls = []
+
+        def kernel(data):
+            calls.append(1)
+            data *= 2.0
+            return 5.0
+
+        rec = replicated_do(arr, "aerosol", kernel)
+        assert len(calls) == 1  # real work done once
+        assert all(cluster.clock(i) == pytest.approx(5.0) for i in range(3))
+        assert rec.ops == {0: 5.0, 1: 5.0, 2: 5.0}
+
+    def test_ops_override(self):
+        arr, cluster = make((2, 6), Distribution.replicated(2), 2)
+        replicated_do(arr, "aerosol", lambda d: 100.0, ops=3.0)
+        assert cluster.clock(0) == pytest.approx(3.0)
+
+    def test_distributed_array_rejected(self):
+        arr, _ = make((2, 6), Distribution.block(2, 1), 3)
+        with pytest.raises(ValueError):
+            replicated_do(arr, "x", lambda d: 0.0)

@@ -1,0 +1,87 @@
+"""Tests for the FxRuntime façade."""
+
+import numpy as np
+import pytest
+
+from repro.fx import Distribution, FxRuntime, dist_label
+from repro.vm import CRAY_T3E, MachineSpec
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.1, copy_cost=0.01,
+                  seconds_per_op=1.0, io_seconds_per_byte=0.5)
+
+
+class TestDistLabel:
+    def test_airshed_names(self):
+        assert dist_label(Distribution.replicated(3)) == "D_Repl"
+        assert dist_label(Distribution.block(3, 1)) == "D_Trans"
+        assert dist_label(Distribution.block(3, 2)) == "D_Chem"
+        assert dist_label(Distribution.block(3, 0)) == "D_dim0"
+
+
+class TestRuntime:
+    def test_redistribute_charges_named_phase(self):
+        rt = FxRuntime(TOY, 4)
+        arr = rt.darray("A", np.zeros((3, 5, 11)), Distribution.replicated(3))
+        rec = rt.redistribute(arr, Distribution.block(3, 1))
+        assert rec is not None
+        assert rec.name == "D_Repl->D_Trans"
+        assert rec.kind == "comm"
+        assert arr.distribution == Distribution.block(3, 1)
+
+    def test_noop_redistribution_returns_none(self):
+        rt = FxRuntime(TOY, 4)
+        arr = rt.darray("A", np.zeros((3, 5, 11)), Distribution.block(3, 1))
+        assert rt.redistribute(arr, Distribution.block(3, 1)) is None
+        assert rt.timeline.communication_steps() == 0
+
+    def test_repl_to_trans_has_no_network_traffic(self):
+        rt = FxRuntime(TOY, 4)
+        arr = rt.darray("A", np.zeros((3, 5, 11)), Distribution.replicated(3))
+        rec = rt.redistribute(arr, Distribution.block(3, 1))
+        assert rec.total_bytes_sent() == 0
+        assert rec.total_bytes_copied() > 0
+
+    def test_sequential_io_phase(self):
+        rt = FxRuntime(TOY, 4)
+        rec = rt.sequential_io("inputhour", nbytes=100)
+        assert rec.name == "io:inputhour"
+        assert all(rt.cluster.clock(i) == pytest.approx(50.0) for i in range(4))
+
+    def test_breakdown_buckets(self):
+        rt = FxRuntime(TOY, 2)
+        arr = rt.darray("A", np.ones((3, 4, 6)), Distribution.block(3, 2))
+        rt.parallel_do(arr, "chemistry", lambda l, i, r: 2.0)
+        rt.redistribute(arr, Distribution.replicated(3))
+        rt.replicated_do(arr, "aerosol", lambda d: 1.0)
+        rt.redistribute(arr, Distribution.block(3, 1))
+        rt.parallel_do(arr, "transport", lambda l, i, r: 3.0)
+        rt.sequential_io("outputhour", nbytes=10)
+        b = rt.breakdown()
+        assert b["chemistry"] == pytest.approx(2.0 + 1.0)  # + aerosol
+        assert b["transport"] == pytest.approx(3.0)
+        assert b["io"] == pytest.approx(5.0)
+        assert b["communication"] > 0
+        assert b["other"] == 0.0
+
+    def test_breakdown_sums_to_total(self):
+        rt = FxRuntime(TOY, 2)
+        arr = rt.darray("A", np.ones((3, 4, 6)), Distribution.block(3, 2))
+        rt.parallel_do(arr, "chemistry", lambda l, i, r: float(l.size))
+        rt.redistribute(arr, Distribution.replicated(3))
+        rt.sequential_io("out", nbytes=4)
+        b = rt.breakdown()
+        assert sum(b.values()) == pytest.approx(rt.time())
+
+    def test_split_and_subgroup_arrays(self):
+        rt = FxRuntime(TOY, 6)
+        io_grp, main_grp = rt.split([2, 4])
+        arr = rt.darray("A", np.zeros((3, 4, 8)), Distribution.block(3, 2),
+                        group=main_grp)
+        assert arr.group.size == 4
+        rec = rt.parallel_do(arr, "chemistry", lambda l, i, r: 1.0)
+        assert rec.node_ids == (2, 3, 4, 5)
+
+    def test_uses_paper_machine(self):
+        rt = FxRuntime(CRAY_T3E, 8)
+        assert rt.machine.name == "Cray T3E"
+        assert rt.nprocs == 8

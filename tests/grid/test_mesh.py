@@ -1,0 +1,99 @@
+"""Tests for triangulation and P1 finite-element geometry."""
+
+import numpy as np
+import pytest
+
+from repro.grid import RefinementCore, generate_multiscale_grid, triangulate
+
+
+@pytest.fixture(scope="module")
+def unit_square_mesh():
+    xs, ys = np.meshgrid(np.linspace(0, 1, 5), np.linspace(0, 1, 5))
+    pts = np.column_stack([xs.ravel(), ys.ravel()])
+    return triangulate(pts)
+
+
+class TestGeometry:
+    def test_total_area(self, unit_square_mesh):
+        assert unit_square_mesh.areas.sum() == pytest.approx(1.0)
+
+    def test_areas_positive(self, unit_square_mesh):
+        assert np.all(unit_square_mesh.areas > 0)
+
+    def test_node_areas_partition_domain(self, unit_square_mesh):
+        assert unit_square_mesh.node_areas.sum() == pytest.approx(1.0)
+        assert np.all(unit_square_mesh.node_areas > 0)
+
+    def test_gradients_sum_to_zero(self, unit_square_mesh):
+        """P1 basis functions partition unity, so gradients cancel."""
+        total = unit_square_mesh.grads.sum(axis=1)
+        assert np.allclose(total, 0.0, atol=1e-12)
+
+    def test_gradient_reproduces_linear_function(self, unit_square_mesh):
+        """grad of f = 2x + 3y must be (2, 3) on every element."""
+        m = unit_square_mesh
+        f = 2.0 * m.points[:, 0] + 3.0 * m.points[:, 1]
+        grad_f = np.einsum("tie,ti->te", m.grads, f[m.triangles])
+        assert np.allclose(grad_f[:, 0], 2.0, atol=1e-10)
+        assert np.allclose(grad_f[:, 1], 3.0, atol=1e-10)
+
+    def test_triangles_ccw(self, unit_square_mesh):
+        m = unit_square_mesh
+        p0 = m.points[m.triangles[:, 0]]
+        p1 = m.points[m.triangles[:, 1]]
+        p2 = m.points[m.triangles[:, 2]]
+        det = (p1[:, 0] - p0[:, 0]) * (p2[:, 1] - p0[:, 1]) - (
+            p2[:, 0] - p0[:, 0]
+        ) * (p1[:, 1] - p0[:, 1])
+        assert np.all(det > 0)
+
+    def test_boundary_nodes_on_hull(self, unit_square_mesh):
+        m = unit_square_mesh
+        for idx in m.boundary:
+            x, y = m.points[idx]
+            assert (
+                min(abs(x), abs(x - 1), abs(y), abs(y - 1)) < 1e-12
+            ), f"node {idx} at ({x},{y}) not on the square boundary"
+
+    def test_edge_lengths_positive(self, unit_square_mesh):
+        assert np.all(unit_square_mesh.edge_lengths() > 0)
+
+
+class TestInterpolation:
+    def test_linear_exactness(self, unit_square_mesh):
+        m = unit_square_mesh
+        nodal = 4.0 * m.points[:, 0] - m.points[:, 1] + 0.5
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(0.05, 0.95, size=(40, 2))
+        vals = m.interpolate(nodal, xy)
+        assert np.allclose(vals, 4.0 * xy[:, 0] - xy[:, 1] + 0.5, atol=1e-10)
+
+    def test_outside_hull_uses_nearest(self, unit_square_mesh):
+        m = unit_square_mesh
+        nodal = m.points[:, 0]
+        vals = m.interpolate(nodal, np.array([[5.0, 5.0]]))
+        assert vals[0] == pytest.approx(1.0)  # nearest node is a corner
+
+
+class TestMultiscaleMesh:
+    def test_mesh_on_multiscale_grid(self):
+        grid = generate_multiscale_grid(
+            (100.0, 100.0), (5, 5), 100,
+            [RefinementCore(50, 50, 5, 20)],
+        )
+        mesh = triangulate(grid.points)
+        assert mesh.npoints == 100
+        assert mesh.ntriangles > 100
+        # The hull of the cell centres is inset by half a coarse cell on
+        # each side, so the meshed area is somewhat below the domain area.
+        assert 0.5 * grid.total_area() < mesh.areas.sum() <= grid.total_area()
+
+
+class TestValidation:
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            triangulate(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            triangulate(np.zeros((5, 3)))

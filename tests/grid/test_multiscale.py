@@ -1,0 +1,105 @@
+"""Tests for quadtree multiscale grid generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import MultiscaleGrid, RefinementCore, generate_multiscale_grid
+
+CORES = [RefinementCore(x=100.0, y=80.0, weight=10.0, sigma=30.0)]
+
+
+def make(target=196, base=(7, 7), domain=(280.0, 210.0), cores=CORES):
+    return generate_multiscale_grid(domain, base, target, cores)
+
+
+class TestGeneration:
+    def test_exact_target_count(self):
+        grid = make(target=196)
+        assert grid.npoints == 196
+
+    def test_base_grid_only(self):
+        grid = make(target=49)
+        assert grid.npoints == 49
+        assert np.all(grid.levels == 0)
+        assert np.allclose(grid.areas, grid.areas[0])
+
+    def test_area_is_conserved(self):
+        grid = make(target=196)
+        assert grid.total_area() == pytest.approx(280.0 * 210.0)
+
+    def test_points_inside_domain(self):
+        grid = make(target=196)
+        assert np.all(grid.points[:, 0] > 0) and np.all(grid.points[:, 0] < 280)
+        assert np.all(grid.points[:, 1] > 0) and np.all(grid.points[:, 1] < 210)
+
+    def test_points_unique(self):
+        grid = make(target=196)
+        rounded = {tuple(np.round(p, 9)) for p in grid.points}
+        assert len(rounded) == grid.npoints
+
+    def test_refinement_concentrates_near_core(self):
+        grid = make(target=196)
+        d = np.hypot(grid.points[:, 0] - 100.0, grid.points[:, 1] - 80.0)
+        near = grid.areas[d < 40.0]
+        far = grid.areas[d > 120.0]
+        assert near.mean() < far.mean()
+        assert grid.finest_cell_size < grid.coarsest_cell_size
+
+    def test_deterministic(self):
+        g1, g2 = make(), make()
+        assert np.array_equal(g1.points, g2.points)
+        assert np.array_equal(g1.areas, g2.areas)
+
+    def test_equivalent_uniform_is_larger(self):
+        grid = make(target=196)
+        assert grid.equivalent_uniform_npoints() > grid.npoints
+
+
+class TestValidation:
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="% 3"):
+            make(target=50)  # 50 - 49 = 1, not divisible by 3
+
+    def test_target_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            make(target=10)
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_multiscale_grid((0.0, 10.0), (2, 2), 4, CORES)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            generate_multiscale_grid((10.0, 10.0), (0, 2), 4, CORES)
+
+
+class TestPaperDatasetShapes:
+    """The two datasets' exact point counts are reachable by splits."""
+
+    def test_la_700_points(self):
+        # 700 = 10*10 + 3*200
+        grid = generate_multiscale_grid(
+            (400.0, 300.0), (10, 10), 700,
+            [RefinementCore(120, 120, 10, 40), RefinementCore(260, 150, 6, 50)],
+        )
+        assert grid.npoints == 700
+
+    def test_ne_3328_points(self):
+        # 3328 = 16*13 + 3*1040
+        grid = generate_multiscale_grid(
+            (1100.0, 800.0), (16, 13), 3328,
+            [RefinementCore(300, 300, 10, 80), RefinementCore(700, 500, 8, 90)],
+        )
+        assert grid.npoints == 3328
+
+
+@settings(max_examples=25, deadline=None)
+@given(nsplits=st.integers(min_value=0, max_value=60))
+def test_property_count_and_area(nsplits):
+    target = 36 + 3 * nsplits
+    grid = generate_multiscale_grid((120.0, 90.0), (6, 6), target, CORES)
+    assert grid.npoints == target
+    assert grid.total_area() == pytest.approx(120.0 * 90.0)
+    assert grid.levels.max() >= (1 if nsplits else 0)

@@ -1,0 +1,60 @@
+"""Tests for the uniform-grid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    RefinementCore,
+    UniformGrid,
+    generate_multiscale_grid,
+    uniform_from_multiscale,
+)
+
+
+class TestUniformGrid:
+    def test_points_layout(self):
+        g = UniformGrid(domain=(10.0, 6.0), nx=5, ny=3)
+        pts = g.points()
+        assert pts.shape == (15, 2)
+        assert pts[0] == pytest.approx([1.0, 1.0])
+        assert pts[-1] == pytest.approx([9.0, 5.0])
+
+    def test_spacing(self):
+        g = UniformGrid(domain=(10.0, 6.0), nx=5, ny=3)
+        assert g.dx == pytest.approx(2.0)
+        assert g.dy == pytest.approx(2.0)
+
+    def test_areas_sum_to_domain(self):
+        g = UniformGrid(domain=(10.0, 6.0), nx=5, ny=3)
+        assert g.areas().sum() == pytest.approx(60.0)
+
+    def test_field_roundtrip(self):
+        g = UniformGrid(domain=(4.0, 4.0), nx=4, ny=4)
+        flat = np.arange(16.0)
+        assert np.array_equal(g.from_field(g.to_field(flat)), flat)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformGrid(domain=(4.0, 4.0), nx=1, ny=4)
+        with pytest.raises(ValueError):
+            UniformGrid(domain=(-4.0, 4.0), nx=4, ny=4)
+
+
+class TestAccuracyEquivalent:
+    def test_uniform_needs_more_points(self):
+        """The paper's efficiency argument for multiscale grids."""
+        grid = generate_multiscale_grid(
+            (200.0, 150.0), (8, 6), 48 + 3 * 50,
+            [RefinementCore(60, 60, 8, 25)],
+        )
+        uni = uniform_from_multiscale(grid)
+        assert uni.npoints == grid.equivalent_uniform_npoints()
+        assert uni.npoints > 3 * grid.npoints
+
+    def test_matches_finest_resolution(self):
+        grid = generate_multiscale_grid(
+            (200.0, 150.0), (8, 6), 48 + 3 * 50,
+            [RefinementCore(60, 60, 8, 25)],
+        )
+        uni = uniform_from_multiscale(grid)
+        assert uni.dx <= grid.finest_cell_size * 1.01

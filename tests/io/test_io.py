@@ -1,0 +1,74 @@
+"""Tests for the I/O processing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_la
+from repro.io import (
+    inputhour,
+    outputhour,
+    pack_concentrations,
+    pack_hourly,
+    pretrans,
+    unpack_concentrations,
+    unpack_hourly,
+)
+from repro.transport import SUPGTransport
+
+
+@pytest.fixture(scope="module")
+def la():
+    return make_la()
+
+
+class TestFiles:
+    def test_hourly_roundtrip(self, la):
+        cond = la.hourly(9)
+        blob = pack_hourly(cond)
+        back = unpack_hourly(blob)
+        assert back.hour == cond.hour
+        assert back.temperature == cond.temperature
+        assert back.sun == cond.sun
+        assert np.array_equal(back.emissions, cond.emissions)
+        assert np.array_equal(back.boundary, cond.boundary)
+
+    def test_concentration_roundtrip(self, la):
+        conc = la.initial_conditions()
+        blob = pack_concentrations(7, conc)
+        hour, back = unpack_concentrations(blob)
+        assert hour == 7
+        assert np.array_equal(back, conc)
+
+    def test_blob_sizes_scale_with_data(self, la):
+        small = pack_concentrations(0, np.zeros((2, 2, 10)))
+        big = pack_concentrations(0, np.zeros((35, 5, 700)))
+        assert len(big) > 10 * len(small)
+
+
+class TestHourlyPhases:
+    def test_inputhour_parses_and_accounts(self, la):
+        res = inputhour(la, 8)
+        assert res.conditions.hour == 8
+        assert res.nbytes > 0
+        assert res.ops == pytest.approx(res.nbytes)
+
+    def test_pretrans_builds_per_layer_operators(self, la):
+        tr = SUPGTransport(la.mesh, diffusivity=la.wind.diffusivity)
+        ops_list, ops = pretrans(la, tr, hour=8, dt=300.0)
+        assert len(ops_list) == la.layers
+        assert ops > 0
+        # Layers have different winds (shear), hence different operators.
+        c = np.ones((1, la.npoints))
+        out0, _ = ops_list[0].step(c)
+        out4, _ = ops_list[4].step(c)
+        assert np.allclose(out0, 1.0, atol=1e-9)
+        assert np.allclose(out4, 1.0, atol=1e-9)
+
+    def test_outputhour_packs(self, la):
+        conc = la.initial_conditions()
+        blob, nbytes, ops = outputhour(3, conc)
+        assert nbytes == len(blob)
+        assert ops == pytest.approx(0.5 * nbytes)
+        hour, back = unpack_concentrations(blob)
+        assert hour == 3
+        assert np.array_equal(back, conc)

@@ -1,0 +1,102 @@
+"""Tests for checkpoint/restart: split runs must equal unbroken runs."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.model import AirshedConfig, SequentialAirshed
+from repro.model.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    resume_config,
+    save_checkpoint,
+)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tiny_config, tiny_result, tmp_path):
+        path = tmp_path / "ck.npz"
+        saved = save_checkpoint(tiny_config, tiny_result, path)
+        loaded = load_checkpoint(path)
+        assert loaded.dataset_name == saved.dataset_name == "tiny"
+        assert loaded.hours_completed == tiny_config.hours
+        assert np.array_equal(loaded.conc, tiny_result.final_conc)
+
+    def test_reject_non_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, magic="something-else", x=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_next_start_hour_wraps(self):
+        ck = Checkpoint("d", hours_completed=5, start_hour=22,
+                        conc=np.zeros((1, 1, 1)))
+        assert ck.next_start_hour() == 3
+
+
+class TestRestartEquivalence:
+    def test_split_run_equals_unbroken_run(self, tiny_dataset):
+        """hours 0-3 in one go == hours 0-1, checkpoint, hours 2-3."""
+        full_cfg = AirshedConfig(dataset=tiny_dataset, hours=4,
+                                 start_hour=7, max_steps=4)
+        full = SequentialAirshed(full_cfg).run()
+
+        first_cfg = replace(full_cfg, hours=2)
+        first = SequentialAirshed(first_cfg).run()
+        ck = Checkpoint(
+            dataset_name=tiny_dataset.name, hours_completed=2,
+            start_hour=7, conc=first.final_conc,
+        )
+        second_cfg = resume_config(full_cfg, ck)
+        assert second_cfg.hours == 2
+        assert second_cfg.start_hour == 9
+        second = SequentialAirshed(second_cfg).run()
+
+        assert np.array_equal(second.final_conc, full.final_conc)
+        assert second.hourly_mean["O3"] == full.hourly_mean["O3"][2:]
+
+    def test_resume_through_file(self, tiny_dataset, tmp_path):
+        full_cfg = AirshedConfig(dataset=tiny_dataset, hours=3,
+                                 start_hour=7, max_steps=4)
+        full = SequentialAirshed(full_cfg).run()
+
+        first_cfg = replace(full_cfg, hours=1)
+        first = SequentialAirshed(first_cfg).run()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(first_cfg, first, path)
+
+        resumed = resume_config(full_cfg, load_checkpoint(path))
+        second = SequentialAirshed(resumed).run()
+        assert np.array_equal(second.final_conc, full.final_conc)
+
+
+class TestValidation:
+    def test_wrong_dataset_rejected(self, tiny_config):
+        ck = Checkpoint("other", 1, 7, np.zeros(tiny_config.dataset.shape))
+        with pytest.raises(ValueError, match="dataset"):
+            resume_config(tiny_config, ck)
+
+    def test_wrong_shape_rejected(self, tiny_config):
+        ck = Checkpoint("tiny", 1, 7, np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            resume_config(tiny_config, ck)
+
+    def test_exhausted_checkpoint_rejected(self, tiny_config):
+        ck = Checkpoint("tiny", tiny_config.hours, 7,
+                        np.zeros(tiny_config.dataset.shape))
+        with pytest.raises(ValueError, match="covers"):
+            resume_config(tiny_config, ck)
+
+    def test_config_rejects_bad_initial_conc(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            AirshedConfig(dataset=tiny_dataset, initial_conc=np.zeros((1, 2)))
+
+    def test_config_accepts_matching_initial_conc(self, tiny_dataset):
+        cfg = AirshedConfig(
+            dataset=tiny_dataset,
+            initial_conc=np.zeros(tiny_dataset.shape),
+        )
+        assert np.array_equal(
+            cfg.starting_concentrations(), np.zeros(tiny_dataset.shape)
+        )

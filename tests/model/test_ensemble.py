@@ -1,0 +1,79 @@
+"""Tests for emission-uncertainty ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.model import AirshedConfig
+from repro.model.ensemble import EmissionEnsemble, PerturbedDataset
+
+
+class TestPerturbedDataset:
+    def test_factors_deterministic_per_seed(self, tiny_dataset):
+        a = PerturbedDataset(tiny_dataset, member_seed=3, sigma=0.3)
+        b = PerturbedDataset(tiny_dataset, member_seed=3, sigma=0.3)
+        c = PerturbedDataset(tiny_dataset, member_seed=4, sigma=0.3)
+        assert np.array_equal(a.emission_factors, b.emission_factors)
+        assert not np.array_equal(a.emission_factors, c.emission_factors)
+
+    def test_emissions_scaled(self, tiny_dataset):
+        p = PerturbedDataset(tiny_dataset, member_seed=1, sigma=0.5)
+        base = tiny_dataset.hourly(8).emissions
+        pert = p.hourly(8).emissions
+        expected = base * p.emission_factors[:, None]
+        assert np.allclose(pert, expected)
+
+    def test_zero_sigma_is_identity(self, tiny_dataset):
+        p = PerturbedDataset(tiny_dataset, member_seed=1, sigma=0.0)
+        assert np.allclose(p.emission_factors, 1.0)
+        assert np.array_equal(
+            p.hourly(9).emissions, tiny_dataset.hourly(9).emissions
+        )
+
+    def test_negative_sigma_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            PerturbedDataset(tiny_dataset, member_seed=0, sigma=-0.1)
+
+
+class TestEnsemble:
+    @pytest.fixture(scope="class")
+    def summary(self, tiny_dataset):
+        config = AirshedConfig(dataset=tiny_dataset, hours=2, start_hour=9,
+                               max_steps=3)
+        return EmissionEnsemble(config, members=4, sigma=0.4, seed=2).run()
+
+    def test_summary_shapes(self, summary):
+        assert summary.members == 4
+        assert summary.mean["O3"].shape == (2,)
+        assert summary.std["O3"].shape == (2,)
+        assert summary.peaks["O3"].shape == (4,)
+
+    def test_spread_is_nonzero(self, summary):
+        """Perturbed inventories actually change the outcome."""
+        assert summary.std["O3"].max() > 0
+        assert summary.relative_spread("NO2") > 0
+
+    def test_peak_interval_brackets_members(self, summary):
+        lo, hi = summary.peak_interval("O3", quantile=1.0)
+        assert lo == pytest.approx(summary.peaks["O3"].min())
+        assert hi == pytest.approx(summary.peaks["O3"].max())
+        assert lo <= summary.mean["O3"].max() * 1.5
+
+    def test_reproducible(self, tiny_dataset, summary):
+        config = AirshedConfig(dataset=tiny_dataset, hours=2, start_hour=9,
+                               max_steps=3)
+        again = EmissionEnsemble(config, members=4, sigma=0.4, seed=2).run()
+        assert np.array_equal(again.peaks["O3"], summary.peaks["O3"])
+
+    def test_unknown_species(self, summary):
+        with pytest.raises(KeyError):
+            summary.peak_interval("XENON")
+
+    def test_validation(self, tiny_dataset):
+        config = AirshedConfig(dataset=tiny_dataset, hours=1)
+        with pytest.raises(ValueError):
+            EmissionEnsemble(config, members=1)
+        with pytest.raises(ValueError):
+            EmissionEnsemble(config, sigma=-1.0)
+        ens = EmissionEnsemble(config, members=3)
+        with pytest.raises(ValueError):
+            ens.member_config(3)

@@ -1,0 +1,46 @@
+"""Tests for the pipelined task-parallel Airshed."""
+
+import pytest
+
+from repro.model import replay_data_parallel, replay_task_parallel
+from repro.vm import CRAY_T3E, INTEL_PARAGON
+
+
+class TestTaskParallel:
+    def test_needs_enough_nodes(self, tiny_trace):
+        with pytest.raises(ValueError):
+            replay_task_parallel(tiny_trace, CRAY_T3E, 2)
+        with pytest.raises(ValueError):
+            replay_task_parallel(tiny_trace, CRAY_T3E, 8, io_nodes=0)
+
+    def test_runs_and_decomposes(self, tiny_trace):
+        t = replay_task_parallel(tiny_trace, INTEL_PARAGON, 8)
+        assert t.total_time > 0
+        assert t.breakdown["chemistry"] > 0
+        assert t.breakdown["io"] > 0
+
+    def test_beats_data_parallel_at_scale(self, tiny_trace):
+        """Paper Figure 9: task parallelism wins once I/O bottlenecks."""
+        P = 32
+        dp = replay_data_parallel(tiny_trace, INTEL_PARAGON, P).total_time
+        tp = replay_task_parallel(tiny_trace, INTEL_PARAGON, P).total_time
+        assert tp < dp
+
+    def test_loses_at_small_node_counts(self, tiny_trace):
+        """Giving 2 of 4 nodes to I/O starves the main computation."""
+        dp = replay_data_parallel(tiny_trace, INTEL_PARAGON, 4).total_time
+        tp = replay_task_parallel(tiny_trace, INTEL_PARAGON, 4).total_time
+        assert tp > dp
+
+    def test_io_overlap_hides_io_time(self, tiny_trace):
+        """In steady state the pipeline hides I/O behind compute: the
+        task-parallel makespan is below data-parallel compute + io."""
+        P = 32
+        dp = replay_data_parallel(tiny_trace, INTEL_PARAGON, P)
+        tp = replay_task_parallel(tiny_trace, INTEL_PARAGON, P)
+        hidden = dp.breakdown["io"] - (tp.total_time - (dp.total_time - dp.breakdown["io"]))
+        assert hidden > 0  # some of the io cost vanished from the critical path
+
+    def test_more_io_nodes_supported(self, tiny_trace):
+        t = replay_task_parallel(tiny_trace, INTEL_PARAGON, 16, io_nodes=2)
+        assert t.total_time > 0

@@ -1,0 +1,51 @@
+"""Tests for the live (real-numerics) task-parallel driver."""
+
+import numpy as np
+import pytest
+
+from repro.model import replay_task_parallel
+from repro.model.taskparallel import TaskParallelAirshed
+from repro.vm import CRAY_T3E, INTEL_PARAGON
+
+
+class TestLiveTaskParallel:
+    @pytest.fixture(scope="class")
+    def live(self, tiny_config):
+        return TaskParallelAirshed(tiny_config, INTEL_PARAGON, 8).run()
+
+    def test_matches_sequential_numerics(self, live, tiny_result):
+        """Pipelining changes timing, never the answer."""
+        result, _ = live
+        assert np.allclose(
+            result.final_conc, tiny_result.final_conc, rtol=1e-10, atol=1e-16
+        )
+        for s in ("O3", "NO2", "AERO"):
+            assert np.allclose(
+                result.hourly_mean[s], tiny_result.hourly_mean[s]
+            )
+
+    def test_records_equivalent_trace(self, live, tiny_trace):
+        result, _ = live
+        assert result.trace.nhours == tiny_trace.nhours
+        for h_live, h_seq in zip(result.trace.hours, tiny_trace.hours):
+            assert h_live.nsteps == h_seq.nsteps
+            assert h_live.input_bytes == h_seq.input_bytes
+
+    def test_live_timing_matches_replay_of_own_trace(self, live):
+        """The replay path and the live path price identically."""
+        result, live_timing = live
+        rep = replay_task_parallel(result.trace, INTEL_PARAGON, 8)
+        assert rep.total_time == pytest.approx(live_timing.total_time, rel=1e-9)
+
+    def test_pipeline_beats_pure_data_parallel_at_scale(self, tiny_config):
+        from repro.model import DataParallelAirshed
+
+        _, dp = DataParallelAirshed(tiny_config, INTEL_PARAGON, 24).run()
+        _, tp = TaskParallelAirshed(tiny_config, INTEL_PARAGON, 24).run()
+        assert tp.total_time < dp.total_time
+
+    def test_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            TaskParallelAirshed(tiny_config, CRAY_T3E, 2)
+        with pytest.raises(ValueError):
+            TaskParallelAirshed(tiny_config, CRAY_T3E, 8, io_nodes=0)

@@ -1,0 +1,95 @@
+"""Tests for the closed-form communication model vs the exact simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fx import Distribution, plan_redistribution
+from repro.perfmodel import ArrayGeometry, CommunicationModel
+from repro.vm import CRAY_T3E, Cluster
+
+GEO = ArrayGeometry(species=35, layers=5, npoints=700, wordsize=8)
+
+
+@pytest.fixture
+def model():
+    return CommunicationModel(CRAY_T3E, GEO)
+
+
+class TestClosedForms:
+    def test_repl_to_trans_formula(self, model):
+        """Ct = H * ceil(layers/min(layers,P)) * species * nodes * W."""
+        for P in (2, 4, 8, 64):
+            expected = CRAY_T3E.copy_cost * math.ceil(5 / min(5, P)) * 35 * 700 * 8
+            assert model.repl_to_trans(P) == pytest.approx(expected)
+
+    def test_repl_to_trans_drops_then_flattens(self, model):
+        """LA: 2 layers/node at P=4 -> 1 at P=8, constant after."""
+        assert model.repl_to_trans(4) == pytest.approx(2 * model.repl_to_trans(8))
+        assert model.repl_to_trans(8) == model.repl_to_trans(128)
+
+    def test_trans_to_chem_latency_grows_with_P(self, model):
+        """Beyond P=layers the byte term is constant, latency rises."""
+        c8, c128 = model.trans_to_chem(8), model.trans_to_chem(128)
+        assert c128 > c8
+        assert c128 - c8 == pytest.approx(CRAY_T3E.latency * 120)
+
+    def test_chem_to_repl_is_most_expensive(self, model):
+        """Figure 5: the all-gather dominates the three steps."""
+        for P in (4, 8, 32, 128):
+            chem_repl = model.chem_to_repl(P)
+            assert chem_repl > model.trans_to_chem(P)
+            assert chem_repl > model.repl_to_trans(P)
+
+    def test_chem_to_repl_formula(self, model):
+        P = 16
+        expected = 2 * CRAY_T3E.latency * P + CRAY_T3E.gap * 35 * 5 * 700 * 8
+        assert model.chem_to_repl(P) == pytest.approx(expected)
+
+    def test_cost_dispatch(self, model):
+        assert model.cost("D_Repl->D_Trans", 8) == model.repl_to_trans(8)
+        assert set(model.all_costs(8)) == set(model.STEP_NAMES)
+        with pytest.raises(KeyError):
+            model.cost("D_Foo->D_Bar", 8)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(species=0, layers=5, npoints=700)
+        with pytest.raises(ValueError):
+            GEO.max_layer_block_bytes(0)
+
+
+class TestClosedFormVsExactSimulator:
+    """The paper's formulas approximate the exact transfer sets well."""
+
+    @pytest.mark.parametrize("P", [2, 4, 8, 16, 32])
+    def test_repl_to_trans_matches_simulator(self, model, P):
+        t = self._simulate(Distribution.replicated(3), Distribution.block(3, 1), P)
+        assert t == pytest.approx(model.repl_to_trans(P), rel=1e-9)
+
+    @pytest.mark.parametrize("P", [2, 4, 8, 16, 32])
+    def test_trans_to_chem_close_to_simulator(self, model, P):
+        t = self._simulate(Distribution.block(3, 1), Distribution.block(3, 2), P)
+        # The formula counts the sender's whole block (it keeps a tile
+        # locally) but ignores received messages; agreement within ~10%
+        # except at very small P where the local tile is large.
+        assert t == pytest.approx(model.trans_to_chem(P), rel=0.35)
+        assert t <= model.trans_to_chem(P) * 1.10
+
+    @pytest.mark.parametrize("P", [2, 4, 8, 16, 32])
+    def test_chem_to_repl_close_to_simulator(self, model, P):
+        t = self._simulate(Distribution.block(3, 2), Distribution.replicated(3), P)
+        # Formula counts the full array received; exact receive misses
+        # the node's own block (factor (P-1)/P) plus an H copy term.
+        assert t == pytest.approx(model.chem_to_repl(P), rel=0.6)
+
+    @staticmethod
+    def _simulate(src, dst, P) -> float:
+        cluster = Cluster(CRAY_T3E, P)
+        plan = plan_redistribution(
+            src.layout((35, 5, 700), P), dst.layout((35, 5, 700), P), 8
+        )
+        rec = cluster.charge_communication("x", list(plan.transfers),
+                                           node_ids=range(P))
+        return rec.duration

@@ -1,0 +1,172 @@
+"""Tests for the computation model, calibration and the full predictor."""
+
+import numpy as np
+import pytest
+
+from repro.model import replay_data_parallel
+from repro.perfmodel import (
+    PerformancePredictor,
+    block_phase_time,
+    fit_comm_parameters,
+    fit_compute_rate,
+    simple_phase_time,
+)
+from repro.vm import CRAY_T3E, INTEL_PARAGON, Cluster, MachineSpec, Transfer
+
+sys_machine = MachineSpec("unit", latency=1.0, gap=1.0, copy_cost=1.0,
+                          seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+class TestComputationModel:
+    def test_simple_model_amdahl(self):
+        t = simple_phase_time(CRAY_T3E, 1e6, parallelism=700, P=8)
+        assert t == pytest.approx(CRAY_T3E.compute_cost(1e6) / 8)
+
+    def test_simple_model_parallelism_cap(self):
+        """5-way parallel work does not speed up past 5 nodes."""
+        t5 = simple_phase_time(CRAY_T3E, 1e6, parallelism=5, P=5)
+        t64 = simple_phase_time(CRAY_T3E, 1e6, parallelism=5, P=64)
+        assert t64 == t5
+
+    def test_simple_model_validation(self):
+        with pytest.raises(ValueError):
+            simple_phase_time(CRAY_T3E, 1.0, parallelism=0, P=4)
+
+    def test_block_model_uneven_layers(self):
+        """5 equal layers on 4 nodes: one node carries 2 -> 2/5 of seq."""
+        ops = np.full(5, 100.0)
+        t4 = block_phase_time(sys_machine, ops, 4)
+        t8 = block_phase_time(sys_machine, ops, 8)
+        assert t4 == pytest.approx(200.0)
+        assert t8 == pytest.approx(100.0)
+        assert block_phase_time(sys_machine, ops, 128) == pytest.approx(100.0)
+
+    def test_block_model_skewed_points(self):
+        ops = np.array([10.0, 1.0, 1.0, 1.0])
+        assert block_phase_time(sys_machine, ops, 2) == pytest.approx(11.0)
+        assert block_phase_time(sys_machine, ops, 4) == pytest.approx(10.0)
+
+    def test_block_model_empty(self):
+        assert block_phase_time(sys_machine, np.zeros(0), 4) == 0.0
+
+
+class TestCalibration:
+    def test_recovers_machine_constants(self):
+        """Fit L, G, H from micro-benchmark-style comm phases.
+
+        Like any calibration, the samples need to separate the terms:
+        latency-bound phases (many tiny messages), bandwidth-bound
+        phases (one big message) and copy-only phases.
+        """
+        cluster = Cluster(CRAY_T3E, 8)
+        rng = np.random.default_rng(0)
+        for i in range(36):
+            kind = i % 3
+            if kind == 0:  # latency probe: many 8-byte messages
+                transfers = [Transfer(0, 1, 8, messages=int(rng.integers(5, 200)))]
+            elif kind == 1:  # bandwidth probe: one large message
+                transfers = [Transfer(0, 1, int(rng.integers(100_000, 5_000_000)))]
+            else:  # copy probe
+                transfers = [Transfer(2, 2, int(rng.integers(100_000, 5_000_000)))]
+            cluster.charge_communication("probe", transfers, node_ids=range(8))
+        fit = fit_comm_parameters([cluster.timeline])
+        assert fit.latency == pytest.approx(CRAY_T3E.latency, rel=0.05)
+        assert fit.gap == pytest.approx(CRAY_T3E.gap, rel=0.05)
+        assert fit.copy_cost == pytest.approx(CRAY_T3E.copy_cost, rel=0.05)
+        assert fit.samples == 36
+
+    def test_recovers_copy_cost_from_copy_phases(self):
+        cluster = Cluster(CRAY_T3E, 4)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            nb = int(rng.integers(10_000, 5_000_000))
+            cluster.charge_communication(
+                "copy", [Transfer(0, 0, nb)], node_ids=range(4)
+            )
+            cluster.charge_communication(
+                "net", [Transfer(0, 1, nb)], node_ids=range(4)
+            )
+        fit = fit_comm_parameters([cluster.timeline])
+        assert fit.copy_cost == pytest.approx(CRAY_T3E.copy_cost, rel=0.05)
+
+    def test_fit_needs_samples(self):
+        cluster = Cluster(CRAY_T3E, 2)
+        with pytest.raises(ValueError):
+            fit_comm_parameters([cluster.timeline])
+
+    def test_compute_rate_fit(self):
+        cluster = Cluster(CRAY_T3E, 4)
+        cluster.charge_compute("w", {0: 1e6, 1: 2e6})
+        cluster.charge_compute("w", {2: 5e5})
+        rate = fit_compute_rate([cluster.timeline])
+        assert rate == pytest.approx(CRAY_T3E.seconds_per_op, rel=1e-9)
+
+    def test_compute_rate_needs_records(self):
+        cluster = Cluster(CRAY_T3E, 2)
+        with pytest.raises(ValueError):
+            fit_compute_rate([cluster.timeline])
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self, tiny_trace):
+        return PerformancePredictor(tiny_trace, CRAY_T3E)
+
+    def test_prediction_close_to_simulation(self, tiny_trace, predictor):
+        """Figure 6/7 claim: model tracks measurement across P."""
+        for P in (1, 2, 4, 8, 16):
+            measured = replay_data_parallel(tiny_trace, CRAY_T3E, P)
+            predicted = predictor.predict(P)
+            assert predicted.total == pytest.approx(
+                measured.total_time, rel=0.15
+            ), f"P={P}"
+            pb = predicted.compute_breakdown()
+            assert pb["chemistry"] == pytest.approx(
+                measured.breakdown["chemistry"], rel=0.05
+            )
+            assert pb["transport"] == pytest.approx(
+                measured.breakdown["transport"], rel=0.05
+            )
+            assert pb["io"] == pytest.approx(measured.breakdown["io"], rel=0.05)
+
+    def test_computation_predictions_tighter_than_comm(self, tiny_trace, predictor):
+        """Paper: 'values for the computation phases appear to be closer
+        to the predictions than the communication phases'."""
+        P = 8
+        measured = replay_data_parallel(tiny_trace, CRAY_T3E, P)
+        predicted = predictor.predict(P)
+        comp_err = abs(
+            predicted.compute_breakdown()["chemistry"]
+            - measured.breakdown["chemistry"]
+        ) / measured.breakdown["chemistry"]
+        comm_err = abs(
+            predicted.communication - measured.breakdown["communication"]
+        ) / measured.breakdown["communication"]
+        assert comp_err < comm_err
+
+    def test_redistribution_counts(self, tiny_trace, predictor):
+        counts = predictor.redistribution_counts()
+        assert sum(counts.values()) == tiny_trace.expected_comm_steps()
+
+    def test_speedup_curve_monotone(self, predictor):
+        curve = predictor.speedup_curve([1, 2, 4, 8, 16])
+        vals = list(curve.values())
+        assert vals == sorted(vals)
+        assert curve[1] == pytest.approx(1.0)
+
+    def test_simple_vs_exact_models_agree_roughly(self, predictor):
+        for P in (2, 8):
+            exact = predictor.predict_total(P, exact=True)
+            simple = predictor.predict_total(P, exact=False)
+            assert simple == pytest.approx(exact, rel=0.35)
+
+    def test_extrapolation_use_case(self, tiny_trace):
+        """Calibrate at small P, predict large P (the paper's pitch)."""
+        predictor = PerformancePredictor(tiny_trace, INTEL_PARAGON)
+        measured64 = replay_data_parallel(tiny_trace, INTEL_PARAGON, 64)
+        predicted64 = predictor.predict(64)
+        assert predicted64.total == pytest.approx(measured64.total_time, rel=0.25)
+
+    def test_invalid_P(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict(0)

@@ -1,0 +1,56 @@
+"""Tests for the machine-balance what-if studies."""
+
+import pytest
+
+from repro.perfmodel.whatif import (
+    BalancePoint,
+    comm_fraction_sweep,
+    network_balance_margin,
+)
+from repro.vm import CRAY_T3E
+
+
+class TestCommFractionSweep:
+    def test_fraction_monotone_in_network_slowdown(self, tiny_trace):
+        sweep = comm_fraction_sweep(
+            tiny_trace, CRAY_T3E, 16, [1.0, 4.0, 16.0, 64.0]
+        )
+        vals = [sweep[f] for f in (1.0, 4.0, 16.0, 64.0)]
+        assert vals == sorted(vals)
+        assert all(0.0 < v < 1.0 for v in vals)
+
+    def test_base_fraction_is_small(self, tiny_trace):
+        """On the calibrated machines communication is a small share —
+        the paper's 'balanced architectures' observation."""
+        sweep = comm_fraction_sweep(tiny_trace, CRAY_T3E, 16, [1.0])
+        assert sweep[1.0] < 0.15
+
+    def test_bad_factor_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            comm_fraction_sweep(tiny_trace, CRAY_T3E, 8, [0.0])
+
+
+class TestBalanceMargin:
+    def test_margin_exists_and_is_consistent(self, tiny_trace):
+        bp = network_balance_margin(tiny_trace, CRAY_T3E, 16, threshold=0.25)
+        assert isinstance(bp, BalancePoint)
+        assert bp.slowdown_factor > 1.0
+        # At the crossing factor the fraction is ~ the threshold.
+        frac = comm_fraction_sweep(
+            tiny_trace, CRAY_T3E, 16, [bp.slowdown_factor]
+        )[bp.slowdown_factor]
+        assert frac == pytest.approx(0.25, abs=0.02)
+
+    def test_margin_shrinks_with_more_nodes(self, tiny_trace):
+        """More nodes -> less compute per node -> thinner margin."""
+        m4 = network_balance_margin(tiny_trace, CRAY_T3E, 4).slowdown_factor
+        m32 = network_balance_margin(tiny_trace, CRAY_T3E, 32).slowdown_factor
+        assert m32 < m4
+
+    def test_already_over_threshold(self, tiny_trace):
+        bp = network_balance_margin(tiny_trace, CRAY_T3E, 16, threshold=1e-6)
+        assert bp.slowdown_factor == 1.0
+
+    def test_bad_threshold(self, tiny_trace):
+        with pytest.raises(ValueError):
+            network_balance_margin(tiny_trace, CRAY_T3E, 8, threshold=1.5)

@@ -1,0 +1,97 @@
+"""Tests for the analysis layer (figures, reports)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    all_figures,
+    figure2,
+    figure4,
+    figure6,
+    figure9,
+    format_table,
+    timing_report,
+    trace_summary,
+)
+from repro.model import replay_data_parallel
+from repro.vm import CRAY_T3E, utilization
+
+NODES = (2, 4, 8)
+
+
+class TestFigures:
+    def test_figure2_structure(self, tiny_trace):
+        header, rows = figure2(tiny_trace, node_counts=NODES)
+        assert header[0] == "nodes"
+        assert len(header) == 4  # nodes + 3 machines
+        assert [r[0] for r in rows] == list(NODES)
+        for row in rows:
+            assert all(v > 0 for v in row[1:])
+
+    def test_figure4_rows_sum_close_to_total(self, tiny_trace):
+        header, rows = figure4(tiny_trace, node_counts=NODES)
+        for row in rows:
+            P = row[0]
+            total = replay_data_parallel(tiny_trace, CRAY_T3E, P).total_time
+            assert sum(row[1:]) == pytest.approx(total, rel=0.02)
+
+    def test_figure6_measured_vs_predicted_pairs(self, tiny_trace):
+        header, rows = figure6(tiny_trace, node_counts=(4,))
+        assert len(rows) == 3  # three comm steps
+        for _, step, measured, predicted in rows:
+            assert predicted == pytest.approx(measured, rel=0.5), step
+
+    def test_figure9_speedups(self, tiny_trace):
+        header, rows = figure9(tiny_trace, node_counts=(4, 8))
+        for row in rows:
+            assert row[1] > 1.0  # data-parallel speedup over 1 node
+            assert not math.isnan(row[2])
+
+    def test_all_figures_keys(self, tiny_trace):
+        figs = all_figures(tiny_trace)
+        assert set(figs) == {
+            "fig2_machines", "fig4_components", "fig5_redistribution",
+            "fig6_comm_predicted", "fig7_comp_predicted", "fig9_taskparallel",
+        }
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+        assert "2.5" in text and "0.125" in text
+
+    def test_format_table_empty(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_trace_summary_contents(self, tiny_trace):
+        text = trace_summary(tiny_trace)
+        assert "tiny" in text
+        assert "redistributions" in text
+        assert "chemistry" in text
+
+    def test_timing_report_contents(self, tiny_trace):
+        timing = replay_data_parallel(tiny_trace, CRAY_T3E, 4)
+        text = timing_report(timing)
+        assert "Cray T3E" in text
+        assert "chemistry" in text
+        assert "comm steps" in text
+
+    def test_timing_report_with_utilization(self, tiny_trace):
+        from repro.fx.runtime import FxRuntime
+        from repro.model.dataparallel import HourReplayer
+
+        rt = FxRuntime(CRAY_T3E, 4)
+        replayer = HourReplayer(rt.world, tiny_trace)
+        for hour in tiny_trace.hours:
+            replayer.run_hour(hour)
+        from repro.model.dataparallel import _timing_from_runtime
+
+        util = utilization(rt.timeline, 4)
+        text = timing_report(_timing_from_runtime(rt), util)
+        assert "utilisation" in text
+        assert "imbalance" in text

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pickle
+
+import pytest
+
+from repro.cli import DATASETS, build_parser, main
+
+
+@pytest.fixture(scope="module")
+def demo_trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.pkl"
+    rc = main([
+        "simulate", "--dataset", "demo", "--hours", "1",
+        "--trace", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_valid_trace(self, demo_trace_file):
+        from repro.model import WorkloadTrace
+
+        with demo_trace_file.open("rb") as fh:
+            trace = pickle.load(fh)
+        assert isinstance(trace, WorkloadTrace)
+        assert trace.nhours == 1
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "mars"])
+
+    def test_dataset_registry(self):
+        assert set(DATASETS) == {"la", "ne", "demo"}
+
+
+class TestReplay:
+    def test_data_parallel(self, demo_trace_file, capsys):
+        rc = main(["replay", "--trace", str(demo_trace_file),
+                   "--machine", "t3e", "--nodes", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "data-parallel" in out
+        assert "Cray T3E" in out
+
+    def test_task_parallel(self, demo_trace_file, capsys):
+        rc = main(["replay", "--trace", str(demo_trace_file),
+                   "--machine", "paragon", "--nodes", "16", "--mode", "task"])
+        assert rc == 0
+        assert "task-parallel" in capsys.readouterr().out
+
+    def test_best_mode(self, demo_trace_file, capsys):
+        rc = main(["replay", "--trace", str(demo_trace_file),
+                   "--machine", "paragon", "--nodes", "4", "--mode", "best"])
+        assert rc == 0
+        assert "configuration:" in capsys.readouterr().out
+
+    def test_bad_trace_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", "--trace", str(tmp_path / "nope.pkl")])
+
+    def test_non_trace_pickle_rejected(self, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        with bad.open("wb") as fh:
+            pickle.dump({"not": "a trace"}, fh)
+        with pytest.raises(SystemExit):
+            main(["replay", "--trace", str(bad)])
+
+
+class TestPredict:
+    def test_prediction_table(self, demo_trace_file, capsys):
+        rc = main(["predict", "--trace", str(demo_trace_file),
+                   "--machine", "t3d", "--nodes", "4", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        assert "error" in out
+
+
+class TestFigures:
+    def test_writes_all_figure_files(self, demo_trace_file, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        rc = main(["figures", "--trace", str(demo_trace_file),
+                   "--out", str(out_dir)])
+        assert rc == 0
+        names = {p.name for p in out_dir.glob("*.txt")}
+        assert names == {
+            "fig2_machines.txt", "fig4_components.txt",
+            "fig5_redistribution.txt", "fig6_comm_predicted.txt",
+            "fig7_comp_predicted.txt", "fig9_taskparallel.txt",
+        }
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["replay", "--trace", "x.pkl"])
+        assert args.machine == "t3e"
+        assert args.nodes == 16
+        assert args.mode == "data"

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion.
+
+Marked slow (each runs real numerics for several simulated hours); run
+with ``pytest -m slow`` or as part of the full suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "machine_comparison",
+        "policy_scenario",
+        "performance_prediction",
+        "popexp_coupling",
+        "diurnal_cycle",
+    } <= names

@@ -1,0 +1,87 @@
+"""Tests for the text Gantt rendering."""
+
+import pytest
+
+from repro.analysis import gantt_rows, render_gantt
+from repro.vm import Cluster, MachineSpec, Transfer
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.1, copy_cost=0.01,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(TOY, 4)
+    c.charge_compute("work", {0: 10.0, 1: 10.0})
+    c.charge_io("in", nbytes=5, node_id=2)
+    c.charge_communication("x", [Transfer(0, 1, 10)], node_ids=[0, 1])
+    return c
+
+
+class TestGanttRows:
+    def test_rows_attribute_phases_to_groups(self, cluster):
+        rows = gantt_rows(cluster.timeline, {"a": [0, 1], "b": [2, 3]})
+        kinds_a = {k for _, _, k in rows["a"]}
+        kinds_b = {k for _, _, k in rows["b"]}
+        assert kinds_a == {"compute", "comm"}
+        assert kinds_b == {"io"}
+
+    def test_cross_group_phase_touches_both(self):
+        c = Cluster(TOY, 2)
+        c.charge_communication("x", [Transfer(0, 1, 10)])
+        rows = gantt_rows(c.timeline, {"a": [0], "b": [1]})
+        assert len(rows["a"]) == len(rows["b"]) == 1
+
+
+class TestRender:
+    def test_render_structure(self, cluster):
+        text = render_gantt(
+            cluster.timeline, {"grpA": [0, 1], "grpB": [2, 3]}, width=40
+        )
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("grpA |")
+        assert lines[1].lstrip().startswith("grpB |")
+        assert "#" in lines[0]       # compute glyph
+        assert "I" in lines[1]       # io glyph
+        assert "compute" in lines[-1]  # legend
+
+    def test_bar_width_respected(self, cluster):
+        text = render_gantt(cluster.timeline, {"a": [0, 1]}, width=25)
+        bar = text.splitlines()[0].split("|")[1]
+        assert len(bar) == 25
+
+    def test_idle_dots(self, cluster):
+        text = render_gantt(cluster.timeline, {"idle": [3]}, width=30)
+        bar = text.splitlines()[0].split("|")[1]
+        assert set(bar) == {"."}
+
+    def test_empty_timeline(self):
+        c = Cluster(TOY, 2)
+        assert "empty" in render_gantt(c.timeline, {"a": [0]})
+
+    def test_pipeline_shows_overlap(self, tiny_trace):
+        """The Figure 8 picture: main busy while io stages tick."""
+        from repro.fx.runtime import FxRuntime
+        from repro.model.dataparallel import HourReplayer
+        from repro.fx.tasks import PipelineStage
+        import numpy as np
+
+        rt = FxRuntime(TOY, 6)
+        a, b, c = rt.split([1, 4, 1])
+        rep = HourReplayer(b, tiny_trace)
+        hours = tiny_trace.hours
+        stages = [
+            PipelineStage("in", a, lambda i: a.charge_io(
+                "io:in", hours[i].input_bytes, ops=hours[i].input_ops)),
+            PipelineStage("main", b, lambda i: rep.run_hour(hours[i], gather=False)),
+            PipelineStage("out", c, lambda i: c.charge_io(
+                "io:out", hours[i].output_bytes, ops=hours[i].output_ops)),
+        ]
+        rt.pipeline(stages).execute(len(hours))
+        text = render_gantt(
+            rt.timeline,
+            {"in": a.node_ids, "main": b.node_ids, "out": c.node_ids},
+            width=60,
+        )
+        main_bar = text.splitlines()[1].split("|")[1]
+        assert main_bar.count("#") > 30  # main stage mostly busy

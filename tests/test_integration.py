@@ -1,0 +1,86 @@
+"""End-to-end integration tests across every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AirshedConfig,
+    CRAY_T3E,
+    INTEL_PARAGON,
+    DataParallelAirshed,
+    PerformancePredictor,
+    SequentialAirshed,
+    replay_data_parallel,
+    replay_task_parallel,
+    run_integrated,
+)
+
+
+class TestFullStack:
+    """One coherent story: simulate -> distribute -> predict -> couple."""
+
+    @pytest.fixture(scope="class")
+    def stack(self, tiny_dataset):
+        config = AirshedConfig(dataset=tiny_dataset, hours=2, start_hour=8,
+                               max_steps=3)
+        seq = SequentialAirshed(config).run()
+        par, live_timing = DataParallelAirshed(config, CRAY_T3E, 6).run()
+        return config, seq, par, live_timing
+
+    def test_three_execution_paths_agree(self, stack):
+        config, seq, par, live_timing = stack
+        # sequential == live parallel numerics
+        assert np.allclose(seq.final_conc, par.final_conc, rtol=1e-10)
+        # live timing == replay timing
+        rep = replay_data_parallel(par.trace, CRAY_T3E, 6)
+        assert rep.total_time == pytest.approx(live_timing.total_time,
+                                               rel=1e-12)
+
+    def test_prediction_tracks_all_machines(self, stack):
+        _, seq, _, _ = stack
+        for machine in (CRAY_T3E, INTEL_PARAGON):
+            predictor = PerformancePredictor(seq.trace, machine)
+            for P in (2, 8, 32):
+                measured = replay_data_parallel(seq.trace, machine, P)
+                assert predictor.predict_total(P) == pytest.approx(
+                    measured.total_time, rel=0.2
+                ), (machine.name, P)
+
+    def test_pipeline_and_coupling_compose(self, stack, tiny_dataset):
+        config, seq, _, _ = stack
+        tp = replay_task_parallel(seq.trace, INTEL_PARAGON, 16)
+        assert tp.total_time > 0
+        native = run_integrated(seq.trace, tiny_dataset, INTEL_PARAGON, 16,
+                                mode="native")
+        foreign = run_integrated(seq.trace, tiny_dataset, INTEL_PARAGON, 16,
+                                 mode="foreign")
+        assert np.allclose(native.exposure, foreign.exposure)
+        assert foreign.total_time >= native.total_time
+
+    def test_figures_regenerate_from_fresh_trace(self, stack):
+        from repro.analysis import all_figures
+
+        _, seq, _, _ = stack
+        figs = all_figures(seq.trace)
+        assert len(figs) == 6
+        for name, (header, rows) in figs.items():
+            assert rows, name
+
+
+@pytest.mark.slow
+class TestNortheastDataset:
+    """The paper's larger dataset, exercised end to end (slow)."""
+
+    def test_ne_full_stack(self):
+        from repro.datasets import make_ne
+
+        ds = make_ne()
+        assert ds.shape == (35, 5, 3328)
+        config = AirshedConfig(dataset=ds, hours=1, start_hour=12,
+                               max_steps=2)
+        seq = SequentialAirshed(config).run()
+        assert np.all(np.isfinite(seq.final_conc))
+        assert seq.trace.npoints == 3328
+        t4 = replay_data_parallel(seq.trace, CRAY_T3E, 4).total_time
+        t64 = replay_data_parallel(seq.trace, CRAY_T3E, 64).total_time
+        assert t64 < t4

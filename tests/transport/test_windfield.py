@@ -1,0 +1,87 @@
+"""Tests for the analytic wind field."""
+
+import numpy as np
+import pytest
+
+from repro.transport import WindField
+
+
+@pytest.fixture
+def wind():
+    return WindField(domain=(200.0, 150.0))
+
+
+class TestVelocity:
+    def test_shape(self, wind):
+        pts = np.array([[10.0, 10.0], [100.0, 75.0], [190.0, 140.0]])
+        u = wind.velocity(pts, layer=0, hour=3.0)
+        assert u.shape == (3, 2)
+
+    def test_divergence_free_numerically(self, wind):
+        """du/dx + dv/dy == 0 for the synoptic + solid-body field."""
+        eps = 1e-4
+        p = np.array([[80.0, 60.0]])
+        px = p + [[eps, 0.0]]
+        py = p + [[0.0, eps]]
+        u0, ux, uy = (wind.velocity(q, 0, 5.0) for q in (p, px, py))
+        div = (ux[0, 0] - u0[0, 0]) / eps + (uy[0, 1] - u0[0, 1]) / eps
+        assert abs(div) < 1e-8
+
+    def test_rotates_with_hour(self, wind):
+        p = np.array([[100.0, 75.0]])  # domain centre: vortex term vanishes
+        u0 = wind.velocity(p, 0, 0.0)
+        u6 = wind.velocity(p, 0, 6.0)  # quarter period
+        assert u0[0, 0] == pytest.approx(wind.base_speed)
+        assert u6[0, 1] == pytest.approx(wind.base_speed)
+
+    def test_shear_scales_with_layer(self, wind):
+        p = np.array([[50.0, 50.0]])
+        u0 = np.linalg.norm(wind.velocity(p, 0, 2.0))
+        u4 = np.linalg.norm(wind.velocity(p, 4, 2.0))
+        assert u4 == pytest.approx(u0 * 2.0)  # 1 + 0.25*4
+
+    def test_deterministic(self, wind):
+        p = np.array([[30.0, 30.0]])
+        assert np.array_equal(wind.velocity(p, 1, 7.0), wind.velocity(p, 1, 7.0))
+
+    def test_bad_points_shape(self, wind):
+        with pytest.raises(ValueError):
+            wind.velocity(np.zeros((3, 3)))
+
+
+class TestMaxSpeedAndCFL:
+    def test_max_speed_bounds_actual(self, wind):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform([0, 0], [200, 150], size=(500, 2))
+        for layer in (0, 4):
+            umax = wind.max_speed(layer, 9.0)
+            speeds = np.linalg.norm(wind.velocity(pts, layer, 9.0), axis=1)
+            assert speeds.max() <= umax + 1e-12
+
+    def test_cfl_steps_scale_with_resolution(self, wind):
+        coarse = wind.cfl_steps_per_hour(20.0, 4, 0.0)
+        fine = wind.cfl_steps_per_hour(2.0, 4, 0.0)
+        assert fine > coarse
+        assert coarse >= 1
+
+    def test_cfl_rejects_bad_cell(self, wind):
+        with pytest.raises(ValueError):
+            wind.cfl_steps_per_hour(0.0, 0, 0.0)
+
+    def test_zero_wind_one_step(self):
+        calm = WindField(domain=(100.0, 100.0), base_speed=0.0, vortex_speed=0.0)
+        assert calm.cfl_steps_per_hour(5.0, 0, 0.0) == 1
+
+
+class TestValidation:
+    def test_bad_domain(self):
+        with pytest.raises(ValueError):
+            WindField(domain=(0.0, 10.0))
+
+    def test_bad_speed(self):
+        with pytest.raises(ValueError):
+            WindField(domain=(10.0, 10.0), base_speed=-1.0)
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            WindField(domain=(10.0, 10.0), period_hours=0.0)

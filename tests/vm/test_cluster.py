@@ -1,0 +1,157 @@
+"""Tests for the simulated cluster's timing semantics."""
+
+import pytest
+
+from repro.vm import Cluster, MachineSpec, Transfer
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.5, copy_cost=0.25,
+                  seconds_per_op=2.0, io_seconds_per_byte=0.1)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(TOY, 4)
+
+
+class TestCompute:
+    def test_compute_advances_nodes_independently(self, cluster):
+        cluster.charge_compute("work", {0: 1.0, 1: 3.0})
+        assert cluster.clock(0) == pytest.approx(2.0)
+        assert cluster.clock(1) == pytest.approx(6.0)
+        assert cluster.clock(2) == 0.0
+
+    def test_replicated_compute_charges_everyone(self, cluster):
+        cluster.charge_replicated_compute("aerosol", 2.0)
+        assert all(cluster.clock(i) == pytest.approx(4.0) for i in range(4))
+
+    def test_phase_record_captures_ops(self, cluster):
+        rec = cluster.charge_compute("work", {0: 1.0, 2: 2.0})
+        assert rec.kind == "compute"
+        assert rec.ops == {0: 1.0, 2: 2.0}
+        assert rec.node_ids == (0, 2)
+
+    def test_rejects_out_of_range_node(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.charge_compute("bad", {7: 1.0})
+
+
+class TestCommunication:
+    def test_phase_paced_by_most_loaded_node(self, cluster):
+        # node0 sends 10B to node1 (1 msg) and node2 sends 2B to node3.
+        rec = cluster.charge_communication(
+            "x", [Transfer(0, 1, 10), Transfer(2, 3, 2)]
+        )
+        # node0: L*1 + G*10 = 1 + 5 = 6; node1 same receiving; node2: 1+1=2.
+        assert rec.duration == pytest.approx(6.0)
+        # Collective: every participating node leaves at the same time.
+        assert all(cluster.clock(i) == pytest.approx(6.0) for i in range(4))
+
+    def test_local_copy_uses_H_only(self, cluster):
+        rec = cluster.charge_communication(
+            "copy", [Transfer(1, 1, 100)], node_ids=[0, 1, 2, 3]
+        )
+        assert rec.duration == pytest.approx(0.25 * 100)
+        t = rec.traffic[1]
+        assert t.messages == 0
+        assert t.bytes_copied == 100
+
+    def test_send_and_receive_bytes_use_max_direction(self, cluster):
+        # node0 sends 10B to 1 and receives 8B from 2: byte term is max(10,8).
+        rec = cluster.charge_communication(
+            "x", [Transfer(0, 1, 10), Transfer(2, 0, 8)]
+        )
+        # node0 cost: L*(1+1) + G*max(10, 8) = 2 + 5 = 7
+        assert rec.duration == pytest.approx(7.0)
+
+    def test_collective_starts_at_latest_participant(self, cluster):
+        cluster.charge_compute("warm", {0: 5.0})  # node0 at t=10
+        rec = cluster.charge_communication("x", [Transfer(0, 1, 2)])
+        assert rec.start == pytest.approx(10.0)
+        assert cluster.clock(1) == pytest.approx(10.0 + 1.0 + 1.0)
+
+    def test_group_can_include_silent_nodes(self, cluster):
+        rec = cluster.charge_communication(
+            "x", [Transfer(0, 1, 2)], node_ids=[0, 1, 2]
+        )
+        assert cluster.clock(2) == pytest.approx(rec.end)
+        assert cluster.clock(3) == 0.0
+
+    def test_transfer_outside_group_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.charge_communication("x", [Transfer(0, 3, 2)], node_ids=[0, 1])
+
+    def test_zero_transfers_with_default_group_is_barrier(self, cluster):
+        cluster.charge_compute("w", {1: 2.0})
+        cluster.charge_communication("sync", [])
+        assert all(cluster.clock(i) == pytest.approx(4.0) for i in range(4))
+
+
+class TestIO:
+    def test_sequential_io_on_one_node(self, cluster):
+        rec = cluster.charge_io("inputhour", nbytes=100, node_id=0)
+        assert cluster.clock(0) == pytest.approx(10.0)
+        assert cluster.clock(1) == 0.0
+        assert rec.kind == "io"
+
+    def test_blocking_io_stalls_the_group(self, cluster):
+        cluster.charge_io("inputhour", nbytes=100, node_id=0,
+                          blocking_group=[0, 1, 2, 3])
+        assert all(cluster.clock(i) == pytest.approx(10.0) for i in range(4))
+
+    def test_blocking_io_waits_for_late_members(self, cluster):
+        cluster.charge_compute("warm", {3: 50.0})  # node3 at t=100
+        cluster.charge_io("in", nbytes=100, node_id=0, blocking_group=range(4))
+        # io finished at t=10 on node0, but group syncs to node3's t=100.
+        assert all(cluster.clock(i) == pytest.approx(100.0) for i in range(4))
+
+
+class TestBarrierAndTimeline:
+    def test_barrier_syncs_group(self, cluster):
+        cluster.charge_compute("w", {0: 1.0, 1: 2.0})
+        cluster.barrier([0, 1])
+        assert cluster.clock(0) == cluster.clock(1) == pytest.approx(4.0)
+        assert cluster.clock(2) == 0.0
+
+    def test_timeline_aggregations(self, cluster):
+        cluster.charge_compute("chemistry", {0: 1.0})
+        cluster.charge_compute("chemistry", {0: 1.0})
+        cluster.charge_communication("D_Chem->D_Repl", [Transfer(0, 1, 2)])
+        by_name = cluster.timeline.time_by_name()
+        assert by_name["chemistry"] == pytest.approx(4.0)
+        assert cluster.timeline.communication_steps() == 1
+        assert cluster.timeline.time_by_kind()["compute"] == pytest.approx(4.0)
+        assert cluster.timeline.total_time() == pytest.approx(cluster.time())
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            Cluster(TOY, 0)
+
+
+class TestSubgroup:
+    def test_subgroup_rank_mapping(self, cluster):
+        grp = cluster.subgroup([2, 3])
+        grp.charge_compute("w", {0: 1.0, 1: 2.0})
+        assert cluster.clock(2) == pytest.approx(2.0)
+        assert cluster.clock(3) == pytest.approx(4.0)
+        assert cluster.clock(0) == 0.0
+
+    def test_subgroup_communication_uses_local_ranks(self, cluster):
+        grp = cluster.subgroup([1, 3])
+        rec = grp.charge_communication("x", [Transfer(0, 1, 10)])
+        assert 1 in rec.traffic and 3 in rec.traffic
+        assert rec.traffic[1].bytes_sent == 10
+        assert rec.traffic[3].bytes_received == 10
+
+    def test_subgroups_overlap_in_time(self, cluster):
+        """Disjoint subgroups progress independently (task parallelism)."""
+        a = cluster.subgroup([0, 1])
+        b = cluster.subgroup([2, 3])
+        a.charge_compute("io", {0: 10.0})
+        b.charge_compute("main", {0: 10.0, 1: 10.0})
+        # Total time is max, not sum, of the two tasks.
+        assert cluster.time() == pytest.approx(20.0)
+
+    def test_subgroup_io(self, cluster):
+        grp = cluster.subgroup([1, 2])
+        grp.charge_io("out", nbytes=10, rank=1, blocking=True)
+        assert cluster.clock(1) == cluster.clock(2) == pytest.approx(1.0)

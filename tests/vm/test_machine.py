@@ -1,0 +1,79 @@
+"""Tests for machine profiles and the L/G/H cost model."""
+
+import pytest
+
+from repro.vm import CRAY_T3D, CRAY_T3E, INTEL_PARAGON, MachineSpec, get_machine
+
+
+class TestMachineSpec:
+    def test_comm_cost_linear_model(self):
+        m = MachineSpec("toy", latency=1.0, gap=0.1, copy_cost=0.01,
+                        seconds_per_op=1e-9, io_seconds_per_byte=1e-9)
+        assert m.comm_cost(2, 30, 100) == pytest.approx(2.0 + 3.0 + 1.0)
+
+    def test_comm_cost_zero_traffic_is_free(self):
+        assert CRAY_T3E.comm_cost(0, 0, 0) == 0.0
+
+    def test_comm_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CRAY_T3E.comm_cost(-1, 0, 0)
+        with pytest.raises(ValueError):
+            CRAY_T3E.comm_cost(0, -1, 0)
+        with pytest.raises(ValueError):
+            CRAY_T3E.comm_cost(0, 0, -1)
+
+    def test_compute_cost_scales_linearly(self):
+        assert CRAY_T3E.compute_cost(2e6) == pytest.approx(2 * CRAY_T3E.compute_cost(1e6))
+
+    def test_compute_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CRAY_T3E.compute_cost(-1.0)
+
+    def test_io_cost_combines_bytes_and_ops(self):
+        c = CRAY_T3E.io_cost(1000, ops=500)
+        assert c == pytest.approx(
+            1000 * CRAY_T3E.io_seconds_per_byte + 500 * CRAY_T3E.seconds_per_op
+        )
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", latency=-1, gap=0, copy_cost=0,
+                        seconds_per_op=1, io_seconds_per_byte=1)
+        with pytest.raises(ValueError):
+            MachineSpec("bad", latency=0, gap=0, copy_cost=0,
+                        seconds_per_op=0, io_seconds_per_byte=1)
+        with pytest.raises(ValueError):
+            MachineSpec("bad", latency=0, gap=0, copy_cost=0,
+                        seconds_per_op=1, io_seconds_per_byte=1, wordsize=0)
+
+    def test_scaled_machine(self):
+        slow = CRAY_T3E.scaled(compute_factor=10.0)
+        assert slow.seconds_per_op == pytest.approx(10 * CRAY_T3E.seconds_per_op)
+        assert slow.latency == pytest.approx(CRAY_T3E.latency)
+        slow_net = CRAY_T3E.scaled(comm_factor=3.0)
+        assert slow_net.gap == pytest.approx(3 * CRAY_T3E.gap)
+        assert slow_net.seconds_per_op == pytest.approx(CRAY_T3E.seconds_per_op)
+
+
+class TestPaperParameters:
+    """The T3E constants are the paper's Section 4.3 estimates."""
+
+    def test_t3e_parameters_match_paper(self):
+        assert CRAY_T3E.latency == pytest.approx(5.2e-5)
+        assert CRAY_T3E.gap == pytest.approx(2.47e-8)
+        assert CRAY_T3E.copy_cost == pytest.approx(2.04e-8)
+        assert CRAY_T3E.wordsize == 8
+
+    def test_machine_speed_ordering(self):
+        """Paper: T3D just under 2x Paragon; T3E ~10x Paragon."""
+        t3d_vs_paragon = INTEL_PARAGON.seconds_per_op / CRAY_T3D.seconds_per_op
+        t3e_vs_paragon = INTEL_PARAGON.seconds_per_op / CRAY_T3E.seconds_per_op
+        assert 1.5 < t3d_vs_paragon < 2.0
+        assert 8.0 < t3e_vs_paragon < 12.0
+
+    def test_registry_lookup(self):
+        assert get_machine("t3e") is CRAY_T3E
+        assert get_machine("T3D") is CRAY_T3D
+        assert get_machine(" paragon ") is INTEL_PARAGON
+        with pytest.raises(KeyError):
+            get_machine("sp2")

@@ -1,0 +1,90 @@
+"""Tests for utilisation and load-imbalance metrics."""
+
+import pytest
+
+from repro.vm import Cluster, MachineSpec, Transfer, utilization
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.5, copy_cost=0.25,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+class TestUtilization:
+    def test_perfectly_balanced_compute(self):
+        cluster = Cluster(TOY, 4)
+        cluster.charge_compute("w", {i: 10.0 for i in range(4)})
+        rep = utilization(cluster.timeline, 4)
+        assert rep.utilization == pytest.approx(1.0)
+        assert rep.load_imbalance == pytest.approx(1.0)
+
+    def test_imbalanced_compute(self):
+        cluster = Cluster(TOY, 2)
+        cluster.charge_compute("w", {0: 10.0, 1: 5.0})
+        rep = utilization(cluster.timeline, 2)
+        # Node 0 busy 10s, node 1 busy 5s, total time 10s.
+        assert rep.nodes[0].compute == pytest.approx(10.0)
+        assert rep.nodes[1].compute == pytest.approx(5.0)
+        assert rep.utilization == pytest.approx(15.0 / 20.0)
+        assert rep.load_imbalance == pytest.approx(10.0 / 7.5)
+        assert rep.busiest_node() == 0
+
+    def test_sequential_io_counts_one_node(self):
+        cluster = Cluster(TOY, 4)
+        cluster.charge_io("in", nbytes=10, node_id=0, blocking_group=range(4))
+        rep = utilization(cluster.timeline, 4)
+        assert rep.nodes[0].io == pytest.approx(10.0)
+        assert rep.nodes[1].io == 0.0
+        assert rep.utilization == pytest.approx(0.25)
+
+    def test_blocking_wait_not_counted_as_busy(self):
+        """A group stalled on late members doesn't inflate I/O busy."""
+        cluster = Cluster(TOY, 2)
+        cluster.charge_compute("warm", {1: 100.0})
+        cluster.charge_io("in", nbytes=10, node_id=0, blocking_group=[0, 1])
+        rep = utilization(cluster.timeline, 2)
+        assert rep.nodes[0].io == pytest.approx(10.0)
+
+    def test_communication_not_busy(self):
+        cluster = Cluster(TOY, 2)
+        cluster.charge_communication("x", [Transfer(0, 1, 100)])
+        rep = utilization(cluster.timeline, 2)
+        assert rep.total_busy == 0.0
+        assert rep.total_time > 0
+
+    def test_amdahl_visible_in_utilization(self):
+        """Data-parallel Airshed: utilisation decays with P because of
+        the sequential I/O — the Figure 9 story in one number."""
+        from repro.fx.runtime import FxRuntime
+        from repro.model.dataparallel import HourReplayer
+
+        def util_at(trace, P):
+            rt = FxRuntime(TOY, P)
+            replayer = HourReplayer(rt.world, trace)
+            for hour in trace.hours:
+                rt.sequential_io("in", hour.input_bytes, ops=hour.input_ops)
+                replayer.run_hour(hour)
+            return utilization(rt.timeline, P).utilization
+
+        import numpy as np
+        from repro.model import StepTrace, HourTrace, WorkloadTrace
+
+        trace = WorkloadTrace(dataset_name="t", shape=(2, 3, 12))
+        trace.hours.append(
+            HourTrace(
+                hour=0, input_bytes=50, input_ops=0.0, pretrans_ops=0.0,
+                nsteps=1,
+                steps=[StepTrace(
+                    transport1_ops=np.full(3, 5.0),
+                    chemistry_ops=np.full(12, 5.0),
+                    aerosol_ops=1.0,
+                    transport2_ops=np.full(3, 5.0),
+                )],
+                output_bytes=0, output_ops=0.0,
+            )
+        )
+        assert util_at(trace, 2) > util_at(trace, 12)
+
+    def test_empty_timeline(self):
+        cluster = Cluster(TOY, 3)
+        rep = utilization(cluster.timeline, 3)
+        assert rep.utilization == 0.0
+        assert rep.load_imbalance == 1.0

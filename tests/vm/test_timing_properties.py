@@ -1,0 +1,175 @@
+"""Property-based tests of the simulated machine's timing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import Cluster, MachineSpec, Transfer
+
+TOY = MachineSpec("toy", latency=0.5, gap=0.01, copy_cost=0.005,
+                  seconds_per_op=1.0, io_seconds_per_byte=0.1)
+
+
+@st.composite
+def phase_sequences(draw):
+    """Random sequences of compute/comm/io phases on a small cluster."""
+    P = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=12))
+    phases = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["compute", "comm", "io"]))
+        if kind == "compute":
+            ops = {
+                i: draw(st.floats(min_value=0.0, max_value=50.0))
+                for i in range(P)
+            }
+            phases.append(("compute", ops))
+        elif kind == "comm":
+            nt = draw(st.integers(min_value=1, max_value=4))
+            transfers = [
+                Transfer(
+                    draw(st.integers(0, P - 1)),
+                    draw(st.integers(0, P - 1)),
+                    draw(st.integers(0, 5000)),
+                )
+                for _ in range(nt)
+            ]
+            phases.append(("comm", transfers))
+        else:
+            phases.append(
+                ("io", (draw(st.integers(0, 1000)), draw(st.integers(0, P - 1))))
+            )
+    return P, phases
+
+
+def run_phases(P, phases):
+    cluster = Cluster(TOY, P)
+    for kind, payload in phases:
+        if kind == "compute":
+            cluster.charge_compute("w", payload)
+        elif kind == "comm":
+            cluster.charge_communication("c", payload, node_ids=range(P))
+        else:
+            nbytes, node = payload
+            cluster.charge_io("io", nbytes, node_id=node,
+                              blocking_group=range(P))
+    return cluster
+
+
+class TestTimingInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(phase_sequences())
+    def test_clocks_never_regress_and_records_are_causal(self, seq):
+        P, phases = seq
+        cluster = run_phases(P, phases)
+        # Every record ends no earlier than it starts.
+        for rec in cluster.timeline:
+            assert rec.end >= rec.start - 1e-12
+        # The timeline total equals the latest clock.
+        assert cluster.timeline.total_time() == pytest.approx(cluster.time())
+
+    @settings(max_examples=80, deadline=None)
+    @given(phase_sequences())
+    def test_time_decomposition_covers_total(self, seq):
+        """Phase durations sum to at least the makespan (they overlap
+        only through per-node concurrency, never through gaps that the
+        aggregation would miss)."""
+        P, phases = seq
+        cluster = run_phases(P, phases)
+        total = cluster.time()
+        summed = sum(r.duration for r in cluster.timeline)
+        assert summed >= total - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(phase_sequences())
+    def test_determinism(self, seq):
+        P, phases = seq
+        c1 = run_phases(P, phases)
+        c2 = run_phases(P, phases)
+        assert c1.time() == c2.time()
+        for i in range(P):
+            assert c1.clock(i) == c2.clock(i)
+
+    @settings(max_examples=60, deadline=None)
+    @given(phase_sequences(), st.floats(min_value=1.5, max_value=10.0))
+    def test_slower_machine_is_never_faster(self, seq, factor):
+        """Monotonicity: scaling every machine cost up scales every
+        clock up (or leaves it equal when the phase cost was zero)."""
+        P, phases = seq
+        fast = run_phases(P, phases)
+        slow_machine = TOY.scaled(compute_factor=factor, comm_factor=factor)
+
+        cluster = Cluster(slow_machine, P)
+        for kind, payload in phases:
+            if kind == "compute":
+                cluster.charge_compute("w", payload)
+            elif kind == "comm":
+                cluster.charge_communication("c", payload, node_ids=range(P))
+            else:
+                nbytes, node = payload
+                cluster.charge_io("io", nbytes, node_id=node,
+                                  blocking_group=range(P))
+        assert cluster.time() >= fast.time() - 1e-12
+
+
+class TestReplayScalingProperties:
+    """Whole-application properties over random small traces."""
+
+    @staticmethod
+    def random_trace(rng, layers, npoints, hours, steps):
+        from repro.model import HourTrace, StepTrace, WorkloadTrace
+
+        trace = WorkloadTrace(dataset_name="rnd", shape=(5, layers, npoints))
+        for h in range(hours):
+            step_list = [
+                StepTrace(
+                    transport1_ops=rng.uniform(1, 10, layers),
+                    chemistry_ops=rng.uniform(1, 10, npoints),
+                    aerosol_ops=float(rng.uniform(0, 2)),
+                    transport2_ops=rng.uniform(1, 10, layers),
+                )
+                for _ in range(steps)
+            ]
+            trace.hours.append(
+                HourTrace(
+                    hour=h, input_bytes=int(rng.integers(10, 1000)),
+                    input_ops=float(rng.uniform(0, 10)),
+                    pretrans_ops=float(rng.uniform(0, 10)),
+                    nsteps=steps, steps=step_list,
+                    output_bytes=int(rng.integers(10, 1000)),
+                    output_ops=float(rng.uniform(0, 10)),
+                )
+            )
+        return trace
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        layers=st.integers(1, 6),
+        npoints=st.integers(1, 30),
+        hours=st.integers(1, 3),
+        steps=st.integers(1, 3),
+    )
+    def test_compute_time_monotone_in_P(self, seed, layers, npoints, hours, steps):
+        """More nodes never increase any compute phase's time."""
+        from repro.model import replay_data_parallel
+
+        rng = np.random.default_rng(seed)
+        trace = self.random_trace(rng, layers, npoints, hours, steps)
+        prev_chem = prev_trans = float("inf")
+        for P in (1, 2, 4, 8):
+            b = replay_data_parallel(trace, TOY, P).breakdown
+            assert b["chemistry"] <= prev_chem + 1e-9
+            assert b["transport"] <= prev_trans + 1e-9
+            prev_chem, prev_trans = b["chemistry"], b["transport"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_comm_steps_match_formula(self, seed):
+        from repro.model import replay_data_parallel
+
+        rng = np.random.default_rng(seed)
+        trace = self.random_trace(rng, 3, 10, 2, 2)
+        rep = replay_data_parallel(trace, TOY, 4)
+        assert rep.comm_steps == trace.expected_comm_steps()

@@ -1,0 +1,100 @@
+"""Tests for the torus topology and contention analysis."""
+
+import pytest
+
+from repro.vm import CRAY_T3E, Transfer
+from repro.vm.topology import (
+    LinkAnalysis,
+    T3E_LINK_COST,
+    TorusTopology,
+    analyze_contention,
+    torus_for,
+)
+
+
+class TestTorusGeometry:
+    def test_coords_roundtrip(self):
+        topo = TorusTopology(dims=(4, 3, 2), link_cost=1e-9)
+        for node in range(topo.nprocs):
+            assert topo.node_of(topo.coords(node)) == node
+
+    def test_nprocs(self):
+        assert TorusTopology((4, 4), 1e-9).nprocs == 16
+
+    def test_route_is_shortest_with_wraparound(self):
+        topo = TorusTopology(dims=(8,), link_cost=1e-9)
+        # 0 -> 6 is 2 hops backwards around the ring, not 6 forwards.
+        assert topo.hop_count(0, 6) == 2
+        assert topo.hop_count(0, 4) == 4
+        assert topo.hop_count(3, 3) == 0
+
+    def test_route_links_are_adjacent(self):
+        topo = TorusTopology(dims=(4, 4), link_cost=1e-9)
+        for src, dst in [(0, 15), (5, 10), (1, 14)]:
+            path = topo.route(src, dst)
+            assert path[0][0] == src
+            assert path[-1][1] == dst
+            for (a, b), (c, d) in zip(path, path[1:]):
+                assert b == c
+            for a, b in path:
+                ca, cb = topo.coords(a), topo.coords(b)
+                diff = sum(
+                    min(abs(x - y), dd - abs(x - y))
+                    for x, y, dd in zip(ca, cb, topo.dims)
+                )
+                assert diff == 1  # one hop per link
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorusTopology(dims=(), link_cost=1e-9)
+        with pytest.raises(ValueError):
+            TorusTopology(dims=(0, 4), link_cost=1e-9)
+        with pytest.raises(ValueError):
+            TorusTopology(dims=(4,), link_cost=-1.0)
+        with pytest.raises(ValueError):
+            TorusTopology(dims=(4,), link_cost=1e-9).coords(9)
+
+    def test_torus_for_covers_nprocs(self):
+        for P in (1, 7, 16, 100, 128):
+            topo = torus_for(P, 1e-9, ndims=3)
+            assert topo.nprocs >= P
+
+
+class TestLinkLoads:
+    def test_single_transfer_loads_path(self):
+        topo = TorusTopology(dims=(4,), link_cost=1e-9)
+        loads = topo.link_loads([Transfer(0, 2, 100)])
+        assert sum(loads.values()) == 200  # 2 hops x 100 B
+        assert topo.link_time([Transfer(0, 2, 100)]) == pytest.approx(1e-7)
+
+    def test_local_copy_no_load(self):
+        topo = TorusTopology(dims=(4,), link_cost=1e-9)
+        assert topo.link_loads([Transfer(1, 1, 100)]) == {}
+
+    def test_contended_link_serialises(self):
+        """Two transfers sharing a link double its bytes."""
+        topo = TorusTopology(dims=(8,), link_cost=1e-9)
+        t = [Transfer(0, 2, 100), Transfer(1, 3, 100)]
+        # Both use link (1->2) or (2->3)? 0->2: links 0-1,1-2; 1->3: 1-2,2-3.
+        loads = topo.link_loads(t)
+        assert loads[(1, 2)] == 200
+
+
+class TestContentionAnalysis:
+    def test_endpoint_dominates_for_modest_traffic(self):
+        topo = torus_for(8, T3E_LINK_COST, ndims=3)
+        transfers = [Transfer(0, i, 10_000) for i in range(1, 8)]
+        la = analyze_contention(CRAY_T3E, topo, transfers)
+        assert la.contention_ratio < 1.0
+
+    def test_link_would_dominate_on_slow_network(self):
+        slow = TorusTopology(dims=(8,), link_cost=1e-5)
+        transfers = [Transfer(0, 4, 1_000_000)]
+        la = analyze_contention(CRAY_T3E, slow, transfers)
+        assert la.contention_ratio > 1.0
+
+    def test_empty_phase(self):
+        topo = torus_for(4, T3E_LINK_COST)
+        la = analyze_contention(CRAY_T3E, topo, [])
+        assert la.link_time == 0.0
+        assert la.max_link_bytes == 0
