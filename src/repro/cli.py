@@ -7,9 +7,13 @@
     python -m repro replay   --trace trace.pkl --machine paragon --nodes 64 --mode best
     python -m repro predict  --trace trace.pkl --machine t3e --nodes 16 32 64 128
     python -m repro figures  --trace trace.pkl --out results/
+    python -m repro trace    --dataset la --machine t3e --nodes 8 --out trace.json
 
 ``simulate`` runs the real numerics and saves a workload trace;
-everything downstream replays/predicts from the trace.
+everything downstream replays/predicts from the trace.  ``trace`` runs
+a simulated parallel execution with the span tracer attached and
+exports a Chrome-trace JSON (open in ``chrome://tracing`` or Perfetto);
+see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -31,8 +35,14 @@ from repro.model import (
     replay_task_parallel,
 )
 from repro.model.taskparallel import replay_best_configuration
+from repro.observe import (
+    Tracer,
+    predicted_vs_observed,
+    write_chrome_trace,
+    write_csv,
+)
 from repro.perfmodel import PerformancePredictor
-from repro.vm import get_machine, utilization
+from repro.vm import get_machine, usage_from_spans, utilization
 
 __all__ = ["main"]
 
@@ -128,6 +138,60 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    if args.workload:
+        trace = _load_trace(args.workload)
+    else:
+        if args.dataset not in DATASETS:
+            raise SystemExit(
+                f"unknown dataset {args.dataset!r}; choose from {sorted(DATASETS)}"
+            )
+        print(f"building dataset {args.dataset!r}...")
+        dataset = DATASETS[args.dataset]()
+        config = AirshedConfig(
+            dataset=dataset, hours=args.hours, start_hour=args.start_hour
+        )
+        print(f"recording workload: {args.hours} hours of real numerics...")
+        trace = SequentialAirshed(config).run().trace
+
+    tracer = Tracer()
+    if args.mode == "task":
+        timing = replay_task_parallel(
+            trace, machine, args.nodes, io_nodes=args.io_nodes, tracer=tracer
+        )
+        mode = f"task-parallel (io_nodes={args.io_nodes})"
+    else:
+        timing = replay_data_parallel(trace, machine, args.nodes, tracer=tracer)
+        mode = "data-parallel"
+
+    out = write_chrome_trace(tracer, args.out)
+    print(f"{mode} on {timing.machine}, {args.nodes} nodes: "
+          f"{timing.total_time:.2f} s simulated")
+    report = usage_from_spans(tracer.spans, args.nodes)
+    print(f"{len(tracer.spans)} spans "
+          f"({int(tracer.counters.value('phases:compute'))} compute, "
+          f"{int(tracer.counters.value('phases:comm'))} comm, "
+          f"{int(tracer.counters.value('phases:io'))} io phases); "
+          f"utilisation {100 * report.utilization:.1f}%, "
+          f"comm {100 * report.comm_fraction:.1f}%, "
+          f"idle {100 * report.idle_fraction:.1f}%")
+    print(f"chrome trace written to {out} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.csv:
+        print(f"span CSV written to {write_csv(tracer, args.csv)}")
+    if args.compare:
+        if args.mode == "task":
+            print("\nnote: §4 predictions assume the data-parallel structure")
+        predictor = PerformancePredictor(trace, machine)
+        header, rows = predicted_vs_observed(
+            predictor.predict(args.nodes), tracer
+        )
+        print()
+        print(format_table(header, rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +224,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", required=True)
     p.add_argument("--out", default="figures")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a simulated parallel execution, export a Chrome trace",
+    )
+    p.add_argument("--dataset", default="demo", help="la | ne | demo")
+    p.add_argument("--hours", type=int, default=4)
+    p.add_argument("--start-hour", type=int, default=6)
+    p.add_argument("--workload",
+                   help="replay a pickled WorkloadTrace instead of simulating")
+    p.add_argument("--machine", default="t3e", help="t3e | t3d | paragon")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--mode", choices=["data", "task"], default="data")
+    p.add_argument("--io-nodes", type=int, default=1)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome-trace JSON output path")
+    p.add_argument("--csv", help="also write a flat per-span CSV here")
+    p.add_argument("--compare", action="store_true",
+                   help="print the §4 predicted-vs-observed table")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

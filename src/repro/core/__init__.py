@@ -47,6 +47,12 @@ from repro.model import (
     replay_data_parallel,
     replay_task_parallel,
 )
+from repro.observe import (
+    Tracer,
+    predicted_vs_observed,
+    write_chrome_trace,
+    write_csv,
+)
 from repro.perfmodel import (
     ArrayGeometry,
     CommunicationModel,
@@ -87,13 +93,17 @@ __all__ = [
     "PopulationRaster",
     "Scenario",
     "SequentialAirshed",
+    "Tracer",
     "WorkloadTrace",
     "fit_comm_parameters",
     "fit_compute_rate",
     "get_machine",
     "make_la",
     "make_ne",
+    "predicted_vs_observed",
     "replay_data_parallel",
     "replay_task_parallel",
     "run_integrated",
+    "write_chrome_trace",
+    "write_csv",
 ]

@@ -27,6 +27,8 @@ from repro.fx.distribution import Distribution
 from repro.fx.ploop import Kernel, parallel_do, replicated_do
 from repro.fx.redistribute import RedistributionPlan
 from repro.fx.tasks import Pipeline, PipelineStage, split_cluster
+from repro.observe.compare import breakdown as _span_breakdown
+from repro.observe.tracer import Tracer
 from repro.vm.cluster import Cluster, Subgroup
 from repro.vm.machine import MachineSpec
 from repro.vm.traffic import PhaseRecord, Timeline
@@ -48,8 +50,10 @@ def dist_label(distribution: Distribution) -> str:
 class FxRuntime:
     """Execution context for one Fx program on one simulated machine."""
 
-    def __init__(self, machine: MachineSpec, nprocs: int) -> None:
-        self.cluster = Cluster(machine, nprocs)
+    def __init__(
+        self, machine: MachineSpec, nprocs: int, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.cluster = Cluster(machine, nprocs, tracer=tracer)
         self.world = self.cluster.subgroup(range(nprocs))
 
     # ------------------------------------------------------------------
@@ -66,6 +70,14 @@ class FxRuntime:
     @property
     def timeline(self) -> Timeline:
         return self.cluster.timeline
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.cluster.tracer
+
+    def span(self, name: str, kind: str = "region", **attrs):
+        """Open a region span on the run's tracer (context manager)."""
+        return self.tracer.span(name, kind=kind, **attrs)
 
     def time(self) -> float:
         return self.cluster.time()
@@ -146,23 +158,11 @@ class FxRuntime:
     def breakdown(self) -> Dict[str, float]:
         """The paper's Figure 4 decomposition of total execution time.
 
-        Buckets: ``chemistry``, ``transport``, ``io`` and
+        Buckets: ``chemistry`` (the tiny replicated aerosol step folded
+        in, as in the paper), ``transport``, ``io`` and
         ``communication``; anything else lands in ``other`` so nothing
-        is silently dropped.
+        is silently dropped.  Computed from the observability event
+        stream (:func:`repro.observe.breakdown`), which mirrors the
+        timeline exactly.
         """
-        out = {"chemistry": 0.0, "transport": 0.0, "io": 0.0,
-               "communication": 0.0, "other": 0.0}
-        for rec in self.timeline:
-            if rec.kind == "comm":
-                out["communication"] += rec.duration
-            elif rec.kind == "io":
-                out["io"] += rec.duration
-            elif rec.name.startswith("chemistry") or rec.name == "aerosol":
-                # The paper folds the (tiny, replicated) aerosol step
-                # into the chemistry component.
-                out["chemistry"] += rec.duration
-            elif rec.name.startswith("transport"):
-                out["transport"] += rec.duration
-            else:
-                out["other"] += rec.duration
-        return out
+        return _span_breakdown(self.tracer)

@@ -37,6 +37,7 @@ from repro.model.config import AirshedConfig
 from repro.model.physics import AirshedPhysics
 from repro.model.results import AirshedResult, HourTrace, StepTrace, WorkloadTrace
 from repro.model.sequential import TRACKED_SPECIES
+from repro.observe.tracer import Tracer
 from repro.vm.cluster import Subgroup
 from repro.vm.machine import MachineSpec
 
@@ -99,16 +100,20 @@ def charge_output_gather(
 
 
 def _timing_from_runtime(rt: FxRuntime) -> ParallelTiming:
-    comm: Dict[str, float] = {}
-    for rec in rt.timeline.records(kind="comm"):
-        comm[rec.name] = comm.get(rec.name, 0.0) + rec.duration
+    # All aggregates come from the observability event stream; the
+    # totals mirror the timeline's records exactly.
+    comm = {
+        name: secs
+        for (kind, name), secs in rt.tracer.phase_totals.items()
+        if kind == "comm"
+    }
     return ParallelTiming(
         machine=rt.machine.name,
         nprocs=rt.nprocs,
         total_time=rt.time(),
         breakdown=rt.breakdown(),
         comm_by_step=comm,
-        comm_steps=rt.timeline.communication_steps(),
+        comm_steps=int(rt.tracer.counters.value("phases:comm")),
     )
 
 
@@ -118,10 +123,16 @@ def _timing_from_runtime(rt: FxRuntime) -> ParallelTiming:
 class DataParallelAirshed:
     """Execute the Airshed model on the simulated cluster, for real."""
 
-    def __init__(self, config: AirshedConfig, machine: MachineSpec, nprocs: int):
+    def __init__(
+        self,
+        config: AirshedConfig,
+        machine: MachineSpec,
+        nprocs: int,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = config
         self.physics = AirshedPhysics(config)
-        self.runtime = FxRuntime(machine, nprocs)
+        self.runtime = FxRuntime(machine, nprocs, tracer=tracer)
 
     def run(self) -> Tuple[AirshedResult, ParallelTiming]:
         cfg = self.config
@@ -137,33 +148,35 @@ class DataParallelAirshed:
         for h_idx in range(cfg.hours):
             hour = cfg.hour_of_day(h_idx)
 
-            # I/O processing is sequential: every node waits (this is
-            # the bottleneck task parallelism later removes).
-            inres = inputhour(ds, hour)
-            conditions = inres.conditions
-            nsteps, dt = phys.hour_steps(hour)
-            operators, pre_ops = pretrans(ds, phys.transport, hour, dt / 2.0)
-            rt.sequential_io("inputhour", inres.nbytes, ops=inres.ops)
-            rt.sequential_io("pretrans", 0.0, ops=pre_ops)
+            with rt.span(f"hour:{hour:02d}", kind="hour", hour=hour):
+                # I/O processing is sequential: every node waits (this is
+                # the bottleneck task parallelism later removes).
+                inres = inputhour(ds, hour)
+                conditions = inres.conditions
+                nsteps, dt = phys.hour_steps(hour)
+                operators, pre_ops = pretrans(ds, phys.transport, hour, dt / 2.0)
+                rt.sequential_io("inputhour", inres.nbytes, ops=inres.ops)
+                rt.sequential_io("pretrans", 0.0, ops=pre_ops)
 
-            steps: List[StepTrace] = []
-            for _ in range(nsteps):
-                t1 = self._transport_phase(conc, operators, conditions)
-                chem_ops = self._chemistry_phase(conc, conditions, dt)
-                aero_ops = self._aerosol_phase(conc)
-                t2 = self._transport_phase(conc, operators, conditions)
-                steps.append(
-                    StepTrace(
-                        transport1_ops=t1,
-                        chemistry_ops=chem_ops,
-                        aerosol_ops=aero_ops,
-                        transport2_ops=t2,
+                steps: List[StepTrace] = []
+                for j in range(nsteps):
+                    with rt.span(f"step:{j}", kind="step", index=j):
+                        t1 = self._transport_phase(conc, operators, conditions)
+                        chem_ops = self._chemistry_phase(conc, conditions, dt)
+                        aero_ops = self._aerosol_phase(conc)
+                        t2 = self._transport_phase(conc, operators, conditions)
+                    steps.append(
+                        StepTrace(
+                            transport1_ops=t1,
+                            chemistry_ops=chem_ops,
+                            aerosol_ops=aero_ops,
+                            transport2_ops=t2,
+                        )
                     )
-                )
 
-            charge_output_gather(conc)
-            _, out_bytes, out_ops = outputhour(hour, conc.data)
-            rt.sequential_io("outputhour", out_bytes, ops=out_ops)
+                charge_output_gather(conc)
+                _, out_bytes, out_ops = outputhour(hour, conc.data)
+                rt.sequential_io("outputhour", out_bytes, ops=out_ops)
 
             trace.hours.append(
                 HourTrace(
@@ -281,28 +294,41 @@ class HourReplayer:
         The pipelined task-parallel driver passes ``gather=False`` — the
         inter-stage handoff is the gather there.
         """
-        for step in hour.steps:
-            self._to(D_TRANS)
-            self._charge_distributed("transport", step.transport1_ops)
-            self._to(D_CHEM)
-            self._charge_distributed("chemistry", step.chemistry_ops)
-            self._to(D_REPL)
-            self.group.charge_replicated_compute("aerosol", step.aerosol_ops)
-            self._to(D_TRANS)
-            self._charge_distributed("transport", step.transport2_ops)
+        tracer = self.group.cluster.tracer
+        for j, step in enumerate(hour.steps):
+            with tracer.span(
+                f"step:{j}", kind="step", clock=self.group.time, index=j
+            ):
+                self._to(D_TRANS)
+                self._charge_distributed("transport", step.transport1_ops)
+                self._to(D_CHEM)
+                self._charge_distributed("chemistry", step.chemistry_ops)
+                self._to(D_REPL)
+                self.group.charge_replicated_compute("aerosol", step.aerosol_ops)
+                self._to(D_TRANS)
+                self._charge_distributed("transport", step.transport2_ops)
         if gather:
             self.gather_output()
 
 
 def replay_data_parallel(
-    trace: WorkloadTrace, machine: MachineSpec, nprocs: int
+    trace: WorkloadTrace,
+    machine: MachineSpec,
+    nprocs: int,
+    tracer: Optional[Tracer] = None,
 ) -> ParallelTiming:
-    """Simulate the data-parallel Airshed from a recorded trace."""
-    rt = FxRuntime(machine, nprocs)
+    """Simulate the data-parallel Airshed from a recorded trace.
+
+    Pass a fresh :class:`~repro.observe.tracer.Tracer` to capture the
+    run's span stream (for ``repro trace`` export and the
+    predicted-vs-observed overlay).
+    """
+    rt = FxRuntime(machine, nprocs, tracer=tracer)
     replayer = HourReplayer(rt.world, trace)
     for hour in trace.hours:
-        rt.sequential_io("inputhour", hour.input_bytes, ops=hour.input_ops)
-        rt.sequential_io("pretrans", 0.0, ops=hour.pretrans_ops)
-        replayer.run_hour(hour)
-        rt.sequential_io("outputhour", hour.output_bytes, ops=hour.output_ops)
+        with rt.span(f"hour:{hour.hour:02d}", kind="hour", hour=hour.hour):
+            rt.sequential_io("inputhour", hour.input_bytes, ops=hour.input_ops)
+            rt.sequential_io("pretrans", 0.0, ops=hour.pretrans_ops)
+            replayer.run_hour(hour)
+            rt.sequential_io("outputhour", hour.output_bytes, ops=hour.output_ops)
     return _timing_from_runtime(rt)

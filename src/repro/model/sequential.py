@@ -20,7 +20,7 @@ simulator replays for any machine and node count.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.io.hourly import inputhour, outputhour, pretrans
 from repro.model.config import AirshedConfig
 from repro.model.physics import AirshedPhysics
 from repro.model.results import AirshedResult, HourTrace, StepTrace, WorkloadTrace
+from repro.observe.tracer import Tracer
 
 __all__ = ["SequentialAirshed", "TRACKED_SPECIES"]
 
@@ -36,11 +37,18 @@ TRACKED_SPECIES = ("O3", "NO", "NO2", "PAN", "HCHO", "AERO")
 
 
 class SequentialAirshed:
-    """Run the Airshed model on one (real) processor."""
+    """Run the Airshed model on one (real) processor.
 
-    def __init__(self, config: AirshedConfig):
+    The run emits wall-clock spans (hours, steps, phases) into
+    ``self.tracer`` — a real profile of the numerics, in the same format
+    the simulated drivers produce, exportable with
+    :func:`repro.observe.write_chrome_trace`.
+    """
+
+    def __init__(self, config: AirshedConfig, tracer: Optional[Tracer] = None):
         self.config = config
         self.physics = AirshedPhysics(config)
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def run(self) -> AirshedResult:
         cfg = self.config
@@ -53,32 +61,44 @@ class SequentialAirshed:
         hourly_mean: Dict[str, List[float]] = {s: [] for s in TRACKED_SPECIES}
         surfaces: List[np.ndarray] = []
 
+        span = self.tracer.span
         for h_idx in range(cfg.hours):
             hour = cfg.hour_of_day(h_idx)
 
-            # --- inputhour + pretrans (the I/O processing phase) -------
-            inres = inputhour(ds, hour)
-            conditions = inres.conditions
-            nsteps, dt = phys.hour_steps(hour)
-            operators, pre_ops = pretrans(ds, phys.transport, hour, dt / 2.0)
+            with span(f"hour:{hour:02d}", kind="hour", hour=hour):
+                # --- inputhour + pretrans (the I/O processing phase) ---
+                with span("io:inputhour", kind="io"):
+                    inres = inputhour(ds, hour)
+                conditions = inres.conditions
+                nsteps, dt = phys.hour_steps(hour)
+                with span("io:pretrans", kind="io"):
+                    operators, pre_ops = pretrans(ds, phys.transport, hour, dt / 2.0)
 
-            steps: List[StepTrace] = []
-            for _ in range(nsteps):
-                t1 = self._transport_all(conc, operators, conditions)
-                conc, chem_ops = phys.chemistry_columns(conc, conditions, dt)
-                aero_ops = phys.aerosol_step(conc)
-                t2 = self._transport_all(conc, operators, conditions)
-                steps.append(
-                    StepTrace(
-                        transport1_ops=t1,
-                        chemistry_ops=chem_ops,
-                        aerosol_ops=aero_ops,
-                        transport2_ops=t2,
+                steps: List[StepTrace] = []
+                for j in range(nsteps):
+                    with span(f"step:{j}", kind="step", index=j):
+                        with span("transport", kind="compute"):
+                            t1 = self._transport_all(conc, operators, conditions)
+                        with span("chemistry", kind="compute"):
+                            conc, chem_ops = phys.chemistry_columns(
+                                conc, conditions, dt
+                            )
+                        with span("aerosol", kind="compute"):
+                            aero_ops = phys.aerosol_step(conc)
+                        with span("transport", kind="compute"):
+                            t2 = self._transport_all(conc, operators, conditions)
+                    steps.append(
+                        StepTrace(
+                            transport1_ops=t1,
+                            chemistry_ops=chem_ops,
+                            aerosol_ops=aero_ops,
+                            transport2_ops=t2,
+                        )
                     )
-                )
 
-            # --- outputhour ---------------------------------------------
-            _, out_bytes, out_ops = outputhour(hour, conc)
+                # --- outputhour ---------------------------------------
+                with span("io:outputhour", kind="io"):
+                    _, out_bytes, out_ops = outputhour(hour, conc)
             trace.hours.append(
                 HourTrace(
                     hour=hour,

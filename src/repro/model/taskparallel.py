@@ -35,6 +35,7 @@ from repro.model.dataparallel import (
 from repro.model.physics import AirshedPhysics
 from repro.model.results import AirshedResult, HourTrace, StepTrace, WorkloadTrace
 from repro.model.sequential import TRACKED_SPECIES
+from repro.observe.tracer import Tracer
 from repro.vm.machine import MachineSpec
 
 __all__ = [
@@ -49,12 +50,15 @@ def replay_task_parallel(
     machine: MachineSpec,
     nprocs: int,
     io_nodes: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> ParallelTiming:
     """Simulate the pipelined task-parallel Airshed from a trace.
 
     ``io_nodes`` nodes are dedicated to each of the input and output
     stages (1 in the paper); the remaining ``nprocs - 2*io_nodes`` nodes
-    run the main computation.
+    run the main computation.  Pass a fresh
+    :class:`~repro.observe.tracer.Tracer` to capture the span stream;
+    stage regions use their subgroup's own simulated clock.
     """
     if io_nodes < 1:
         raise ValueError("io_nodes must be >= 1")
@@ -64,7 +68,7 @@ def replay_task_parallel(
             f"task parallelism needs at least {2 * io_nodes + 1} nodes; got {nprocs}"
         )
 
-    rt = FxRuntime(machine, nprocs)
+    rt = FxRuntime(machine, nprocs, tracer=tracer)
     in_grp, main_grp, out_grp = rt.split([io_nodes, main_nodes, io_nodes])
     replayer = HourReplayer(main_grp, trace)
 
@@ -75,16 +79,19 @@ def replay_task_parallel(
         h = hours[i]
         # The input task also performs the pre-transport setup for the
         # hour it is feeding to the main computation.
-        in_grp.charge_io("io:inputhour", h.input_bytes, ops=h.input_ops)
-        in_grp.charge_io("io:pretrans", 0.0, ops=h.pretrans_ops)
+        with rt.tracer.span(f"input:{i}", kind="stage", clock=in_grp.time, item=i):
+            in_grp.charge_io("io:inputhour", h.input_bytes, ops=h.input_ops)
+            in_grp.charge_io("io:pretrans", 0.0, ops=h.pretrans_ops)
 
     def run_main(i: int) -> None:
         # The pipeline handoff to the output stage is the gather.
-        replayer.run_hour(hours[i], gather=False)
+        with rt.tracer.span(f"main:{i}", kind="stage", clock=main_grp.time, item=i):
+            replayer.run_hour(hours[i], gather=False)
 
     def run_output(i: int) -> None:
         h = hours[i]
-        out_grp.charge_io("io:outputhour", h.output_bytes, ops=h.output_ops)
+        with rt.tracer.span(f"output:{i}", kind="stage", clock=out_grp.time, item=i):
+            out_grp.charge_io("io:outputhour", h.output_bytes, ops=h.output_ops)
 
     stages = [
         PipelineStage(
@@ -146,7 +153,8 @@ class TaskParallelAirshed:
     """
 
     def __init__(self, config: AirshedConfig, machine: MachineSpec,
-                 nprocs: int, io_nodes: int = 1):
+                 nprocs: int, io_nodes: int = 1,
+                 tracer: Optional[Tracer] = None):
         if io_nodes < 1:
             raise ValueError("io_nodes must be >= 1")
         if nprocs - 2 * io_nodes < 1:
@@ -155,7 +163,7 @@ class TaskParallelAirshed:
             )
         self.config = config
         self.physics = AirshedPhysics(config)
-        self.runtime = FxRuntime(machine, nprocs)
+        self.runtime = FxRuntime(machine, nprocs, tracer=tracer)
         self.in_grp, self.main_grp, self.out_grp = self.runtime.split(
             [io_nodes, nprocs - 2 * io_nodes, io_nodes]
         )
@@ -185,8 +193,11 @@ class TaskParallelAirshed:
             inres = inputhour(ds, hour)
             nsteps, dt = phys.hour_steps(hour)
             operators, pre_ops = pretrans(ds, phys.transport, hour, dt / 2.0)
-            self.in_grp.charge_io("io:inputhour", inres.nbytes, ops=inres.ops)
-            self.in_grp.charge_io("io:pretrans", 0.0, ops=pre_ops)
+            with rt.tracer.span(
+                f"input:{i}", kind="stage", clock=self.in_grp.time, item=i
+            ):
+                self.in_grp.charge_io("io:inputhour", inres.nbytes, ops=inres.ops)
+                self.in_grp.charge_io("io:pretrans", 0.0, ops=pre_ops)
             prepared[i] = (inres, operators, nsteps, dt)
             hour_traces[i] = {
                 "input_bytes": inres.nbytes, "input_ops": inres.ops,
@@ -197,15 +208,18 @@ class TaskParallelAirshed:
             inres, operators, nsteps, dt = prepared.pop(i)
             conditions = inres.conditions
             steps: List[StepTrace] = []
-            for _ in range(nsteps):
-                t1 = self._transport_phase(conc, operators, conditions)
-                chem = self._chemistry_phase(conc, conditions, dt)
-                aero = self._aerosol_phase(conc)
-                t2 = self._transport_phase(conc, operators, conditions)
-                steps.append(StepTrace(
-                    transport1_ops=t1, chemistry_ops=chem,
-                    aerosol_ops=aero, transport2_ops=t2,
-                ))
+            with rt.tracer.span(
+                f"main:{i}", kind="stage", clock=self.main_grp.time, item=i
+            ):
+                for _ in range(nsteps):
+                    t1 = self._transport_phase(conc, operators, conditions)
+                    chem = self._chemistry_phase(conc, conditions, dt)
+                    aero = self._aerosol_phase(conc)
+                    t2 = self._transport_phase(conc, operators, conditions)
+                    steps.append(StepTrace(
+                        transport1_ops=t1, chemistry_ops=chem,
+                        aerosol_ops=aero, transport2_ops=t2,
+                    ))
             snapshots[i] = (conditions.hour, conc.data.copy())
             hour_traces[i]["nsteps"] = nsteps
             hour_traces[i]["steps"] = steps
@@ -215,7 +229,10 @@ class TaskParallelAirshed:
         def run_output(i: int) -> None:
             hour, snapshot = snapshots.pop(i)
             _, out_bytes, out_ops = outputhour(hour, snapshot)
-            self.out_grp.charge_io("io:outputhour", out_bytes, ops=out_ops)
+            with rt.tracer.span(
+                f"output:{i}", kind="stage", clock=self.out_grp.time, item=i
+            ):
+                self.out_grp.charge_io("io:outputhour", out_bytes, ops=out_ops)
             h = hour_traces.pop(i)
             trace.hours.append(HourTrace(
                 hour=hour,

@@ -1,0 +1,43 @@
+"""Observability subsystem: span tracing, counters and trace export.
+
+One event stream underlies everything the performance analysis needs:
+
+* :class:`Tracer` / :class:`Span` — per-node busy intervals emitted by
+  the simulated cluster, nested under program-level region spans opened
+  by the Fx runtime and the model drivers;
+* :class:`CounterSet` — messages, bytes, redistributions and per-phase
+  wall-time totals accumulated from the same stream;
+* :mod:`repro.observe.export` — Chrome-trace JSON (``chrome://tracing``
+  / Perfetto) and flat CSV exporters;
+* :mod:`repro.observe.compare` — overlay of §4 analytic predictions on
+  observed spans (the predicted-vs-measured tables).
+
+See ``docs/OBSERVABILITY.md`` for the API walkthrough and the span
+naming conventions.
+"""
+
+from repro.observe.compare import breakdown, predicted_vs_observed
+from repro.observe.counters import Counter, CounterSet, Histogram
+from repro.observe.export import (
+    chrome_trace,
+    chrome_trace_events,
+    csv_rows,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.observe.tracer import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Counter",
+    "CounterSet",
+    "Histogram",
+    "chrome_trace",
+    "chrome_trace_events",
+    "csv_rows",
+    "write_chrome_trace",
+    "write_csv",
+    "breakdown",
+    "predicted_vs_observed",
+]

@@ -1,0 +1,74 @@
+"""Overlay analytic predictions on an observed span stream.
+
+The paper's Section 4 validation compares per-component predicted times
+against measured times.  ``breakdown`` reduces a tracer's phase stream
+to the Figure-4 component buckets; ``predicted_vs_observed`` lines those
+up against a :class:`~repro.perfmodel.predict.PredictedTimes`, producing
+the predicted/measured/error table directly from a trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.observe.tracer import Tracer
+
+__all__ = ["breakdown", "predicted_vs_observed"]
+
+#: Order of the paper's Figure 4 components in comparison tables.
+COMPONENTS = ("chemistry", "transport", "io", "communication")
+
+
+def breakdown(tracer: Tracer) -> Dict[str, float]:
+    """Figure-4 component buckets from the phase stream.
+
+    Buckets: ``chemistry`` (the replicated aerosol step folded in, as in
+    the paper), ``transport``, ``io``, ``communication``; anything else
+    lands in ``other`` so nothing is silently dropped.
+    """
+    out = {
+        "chemistry": 0.0,
+        "transport": 0.0,
+        "io": 0.0,
+        "communication": 0.0,
+        "other": 0.0,
+    }
+    for (kind, name), secs in tracer.phase_totals.items():
+        if kind == "comm":
+            out["communication"] += secs
+        elif kind == "io":
+            out["io"] += secs
+        elif name.startswith("chemistry") or name == "aerosol":
+            out["chemistry"] += secs
+        elif name.startswith("transport"):
+            out["transport"] += secs
+        else:
+            out["other"] += secs
+    return out
+
+
+def predicted_vs_observed(
+    predicted, tracer: Tracer
+) -> Tuple[List[str], List[Sequence]]:
+    """Per-component predicted-vs-observed table (header, rows).
+
+    ``predicted`` is a :class:`~repro.perfmodel.predict.PredictedTimes`
+    (anything with a ``compute_breakdown()`` returning the Figure-4
+    buckets works).  Returns rows of
+    ``(component, predicted s, observed s, error %)`` plus a total row,
+    ready for :func:`repro.analysis.format_table`.
+    """
+    pred = predicted.compute_breakdown()
+    obs = breakdown(tracer)
+    header = ["component", "predicted s", "observed s", "error %"]
+    rows: List[Sequence] = []
+    for component in COMPONENTS:
+        p = pred.get(component, 0.0)
+        o = obs.get(component, 0.0)
+        err = 100.0 * (p - o) / o if o else 0.0
+        rows.append([component, p, o, err])
+    p_tot = sum(pred.get(c, 0.0) for c in COMPONENTS)
+    o_tot = sum(obs.get(c, 0.0) for c in COMPONENTS)
+    err_tot = 100.0 * (p_tot - o_tot) / o_tot if o_tot else 0.0
+    rows.append(["total", p_tot, o_tot, err_tot])
+    return header, rows

@@ -1,0 +1,129 @@
+"""Counters and histograms over the observability event stream.
+
+A :class:`CounterSet` is the metric half of the tracer: monotonic
+:class:`Counter` totals (messages sent, bytes moved, redistributions,
+phases executed) plus :class:`Histogram` summaries of observed values
+(per-phase wall durations).  The :class:`~repro.vm.cluster.Cluster`
+feeds one via :meth:`~repro.observe.tracer.Tracer.observe_phase`, so the
+counts agree exactly with the :class:`~repro.vm.traffic.Timeline` the
+accounting used to live in.
+
+Naming conventions (see ``docs/OBSERVABILITY.md``):
+
+* traffic counters — ``messages_sent``, ``messages_received``,
+  ``bytes_sent``, ``bytes_received``, ``bytes_copied``;
+* ``redistributions`` — communication phases whose name contains
+  ``"->"`` (the paper's ``D_Repl->D_Trans`` family);
+* ``phases:<kind>`` — number of phases per kind (compute/comm/io);
+* ``phase_seconds:<name>`` — histogram of wall durations per phase name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Counter", "Histogram", "CounterSet"]
+
+
+class Counter:
+    """A named monotonic total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Summary statistics of a stream of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}: n={self.count}, total={self.total:g})"
+
+
+class CounterSet:
+    """A registry of counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> float:
+        """Current total of a counter (0 if it never fired)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def add_traffic(self, traffic) -> None:
+        """Accumulate one node's :class:`~repro.vm.traffic.NodeTraffic`."""
+        self.inc("messages_sent", traffic.messages_sent)
+        self.inc("messages_received", traffic.messages_received)
+        self.inc("bytes_sent", traffic.bytes_sent)
+        self.inc("bytes_received", traffic.bytes_received)
+        self.inc("bytes_copied", traffic.bytes_copied)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every counter and histogram (for export)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,144 @@
+"""Trace exporters: Chrome-trace JSON and flat CSV.
+
+The Chrome trace loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev: one row ("thread") per simulated node plus a
+``program`` row for the driver's region spans (hours, steps, pipeline
+stages).  Event durations are the node's *busy* seconds, so waiting
+inside a collective shows up as visible gaps — idle time is never
+painted over.
+
+Timestamps are microseconds, as the format requires; span metadata
+(attrs, the enclosing phase interval) rides along in ``args``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.observe.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "csv_rows",
+    "write_csv",
+    "CSV_HEADER",
+]
+
+#: Process id used for all events (one simulated machine = one process).
+PID = 1
+
+CSV_HEADER = [
+    "span_id",
+    "parent_id",
+    "name",
+    "kind",
+    "node",
+    "start_s",
+    "end_s",
+    "duration_s",
+    "busy_s",
+]
+
+
+def _driver_tid(tracer: Tracer) -> int:
+    """Thread id for program-level region spans: one past the last node."""
+    nodes = [s.node for s in tracer.spans if s.node is not None]
+    return (max(nodes) + 1) if nodes else 0
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict]:
+    """The ``traceEvents`` list: metadata + one complete event per span."""
+    driver = _driver_tid(tracer)
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": "airshed (simulated machine)"},
+        }
+    ]
+    tids = sorted({driver} | {s.node for s in tracer.spans if s.node is not None})
+    for tid in tids:
+        label = "program" if tid == driver else f"node {tid}"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    for span in tracer.spans:
+        tid = span.node if span.node is not None else driver
+        args: Dict = {"kind": span.kind}
+        if span.busy is not None:
+            args["busy_s"] = span.busy
+            args["phase_end_s"] = span.end
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.busy_seconds * 1e6,
+                "pid": PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> Dict:
+    """Full Chrome-trace JSON object (object form, with counters)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": tracer.counters.snapshot(),
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> Path:
+    """Serialise the trace to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer)) + "\n")
+    return path
+
+
+def csv_rows(tracer: Tracer) -> List[List]:
+    """Flat rows (one per span) matching :data:`CSV_HEADER`."""
+    rows: List[List] = []
+    for s in tracer.spans:
+        rows.append(
+            [
+                s.span_id,
+                s.parent_id if s.parent_id is not None else "",
+                s.name,
+                s.kind,
+                s.node if s.node is not None else "",
+                repr(s.start),
+                repr(s.end),
+                repr(s.duration),
+                repr(s.busy_seconds),
+            ]
+        )
+    return rows
+
+
+def write_csv(tracer: Tracer, path) -> Path:
+    path = Path(path)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_HEADER)
+    writer.writerows(csv_rows(tracer))
+    path.write_text(buf.getvalue())
+    return path

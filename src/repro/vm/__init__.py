@@ -14,7 +14,12 @@ from repro.vm.machine import (
     MachineSpec,
     get_machine,
 )
-from repro.vm.metrics import NodeUsage, UtilizationReport, utilization
+from repro.vm.metrics import (
+    NodeUsage,
+    UtilizationReport,
+    usage_from_spans,
+    utilization,
+)
 from repro.vm.node import VirtualNode
 from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
 
@@ -34,5 +39,6 @@ __all__ = [
     "PhaseRecord",
     "Timeline",
     "UtilizationReport",
+    "usage_from_spans",
     "utilization",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.observe.tracer import Tracer
 from repro.vm.machine import MachineSpec
 from repro.vm.node import VirtualNode
 from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
@@ -59,13 +60,19 @@ class Transfer:
 class Cluster:
     """A simulated distributed-memory machine with ``nprocs`` nodes."""
 
-    def __init__(self, machine: MachineSpec, nprocs: int) -> None:
+    def __init__(
+        self, machine: MachineSpec, nprocs: int, tracer: Optional[Tracer] = None
+    ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one node")
         self.machine = machine
         self.nprocs = int(nprocs)
         self.nodes: List[VirtualNode] = [VirtualNode(i) for i in range(nprocs)]
         self.timeline = Timeline()
+        #: Span/counter stream mirroring the timeline at per-node
+        #: resolution; pass a Tracer to collect region spans too.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer.set_clock(self.time)
 
     # ------------------------------------------------------------------
     # introspection
@@ -100,7 +107,13 @@ class Cluster:
         ids = self._check_ids(ops_by_node.keys())
         start = self.time(ids)
         for i in ids:
-            self.nodes[i].advance(self.machine.compute_cost(ops_by_node[i]))
+            before = self.nodes[i].clock
+            cost = self.machine.compute_cost(ops_by_node[i])
+            self.nodes[i].advance(cost)
+            self.tracer.emit(
+                name, "compute", before, before + cost, node=i, busy=cost,
+                ops=float(ops_by_node[i]),
+            )
         record = PhaseRecord(
             name=name,
             kind="compute",
@@ -110,6 +123,7 @@ class Cluster:
             ops={i: float(ops_by_node[i]) for i in ids},
         )
         self.timeline.append(record)
+        self.tracer.observe_phase(name, "compute", record.duration)
         return record
 
     def charge_replicated_compute(self, name: str, ops: float,
@@ -158,20 +172,26 @@ class Cluster:
                     raise ValueError(f"transfer endpoint {i} outside group {ids}")
 
         start = self.time(ids)
-        cost = 0.0
+        costs: Dict[int, float] = {}
         for i in ids:
             t = traffic.get(i, NodeTraffic())
-            cost = max(
-                cost,
-                self.machine.comm_cost(t.messages, t.bytes_moved, t.bytes_copied),
+            costs[i] = self.machine.comm_cost(
+                t.messages, t.bytes_moved, t.bytes_copied
             )
+        cost = max(costs.values())
         end = start + cost
         for i in ids:
             self.nodes[i].sync_to(end)
+            self.tracer.emit(name, "comm", start, end, node=i, busy=costs[i])
         record = PhaseRecord(
-            name=name, kind="comm", start=start, end=end, node_ids=ids, traffic=traffic
+            name=name, kind="comm", start=start, end=end, node_ids=ids,
+            traffic=traffic,
+            # For communication records, ops holds each node's busy
+            # seconds (its own Ct_i); the phase is paced by the max.
+            ops=costs,
         )
         self.timeline.append(record)
+        self.tracer.observe_phase(name, "comm", record.duration, traffic=traffic)
         return record
 
     def charge_io(
@@ -192,6 +212,10 @@ class Cluster:
         start = self.nodes[nid].clock
         cost = self.machine.io_cost(nbytes, ops)
         self.nodes[nid].advance(cost)
+        self.tracer.emit(
+            name, "io", start, start + cost, node=nid, busy=cost,
+            nbytes=float(nbytes),
+        )
         ids: Tuple[int, ...] = (nid,)
         if blocking_group is not None:
             ids = self._check_ids(set(blocking_group) | {nid})
@@ -209,6 +233,7 @@ class Cluster:
             ops={nid: cost},
         )
         self.timeline.append(record)
+        self.tracer.observe_phase(name, "io", record.duration)
         return record
 
     def barrier(self, node_ids: Optional[Sequence[int]] = None) -> float:

@@ -3,18 +3,26 @@
 Utilisation, load imbalance and per-node busy-time accounting — the
 quantities a performance engineer reads off a real machine's profiler,
 computed here from the simulated phase records.  Used by the analysis
-layer and the CLI's ``report`` command.
+layer and the CLI's ``report``/``trace`` commands.
+
+Busy time is bucketed three ways, and the buckets are exact: ``compute``
+and ``io`` are useful work, ``comm`` is each node's own share of
+collective communication (its ``Ct_i``), and anything left before
+``total_time`` is genuine idle (waiting on stragglers or on sequential
+I/O) — it is never misattributed to a bucket.  The same totals are
+available from the observability span stream
+(:func:`usage_from_spans`); the two agree to floating point.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.vm.traffic import Timeline
 
-__all__ = ["NodeUsage", "UtilizationReport", "utilization"]
+__all__ = ["NodeUsage", "UtilizationReport", "utilization", "usage_from_spans"]
 
 
 @dataclass
@@ -24,9 +32,16 @@ class NodeUsage:
     node_id: int
     compute: float = 0.0
     io: float = 0.0
+    comm: float = 0.0
 
     @property
     def busy(self) -> float:
+        """Seconds the node was doing *anything* (not idle)."""
+        return self.compute + self.io + self.comm
+
+    @property
+    def useful(self) -> float:
+        """Seconds of useful work (compute + I/O; excludes communication)."""
         return self.compute + self.io
 
 
@@ -46,10 +61,31 @@ class UtilizationReport:
         return sum(n.busy for n in self.nodes.values())
 
     @property
+    def total_useful(self) -> float:
+        return sum(n.useful for n in self.nodes.values())
+
+    @property
     def utilization(self) -> float:
-        """Fraction of node-seconds spent busy (0..1)."""
+        """Fraction of node-seconds spent on useful work (0..1).
+
+        Communication is excluded: this is the number that exposes
+        Amdahl losses, matching the paper's efficiency discussion.
+        """
         capacity = self.total_time * self.nprocs
-        return self.total_busy / capacity if capacity > 0 else 0.0
+        return self.total_useful / capacity if capacity > 0 else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of node-seconds spent communicating (0..1)."""
+        capacity = self.total_time * self.nprocs
+        comm = sum(n.comm for n in self.nodes.values())
+        return comm / capacity if capacity > 0 else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of node-seconds spent idle (waiting)."""
+        capacity = self.total_time * self.nprocs
+        return 1.0 - self.total_busy / capacity if capacity > 0 else 0.0
 
     @property
     def load_imbalance(self) -> float:
@@ -63,13 +99,13 @@ class UtilizationReport:
 
 
 def utilization(timeline: Timeline, nprocs: int) -> UtilizationReport:
-    """Compute per-node busy time from compute and I/O phase records.
+    """Compute per-node busy time from the phase records.
 
-    Communication phases are treated as coordination (not busy time):
-    the report answers "how much useful work did each node do", which
-    is the number that exposes Amdahl losses.  Per-node compute time is
-    reconstructed from each phase's op counts and the phase duration
-    (ops scale linearly within a phase).
+    Per-node compute time is reconstructed from each phase's op counts
+    and the phase duration (ops scale linearly within a phase); I/O and
+    communication phases record each node's busy seconds directly (see
+    :class:`~repro.vm.traffic.PhaseRecord`).  Time a node spent waiting
+    inside a phase lands in no bucket — it is idle.
     """
     nodes: Dict[int, NodeUsage] = {i: NodeUsage(i) for i in range(nprocs)}
     for rec in timeline:
@@ -85,4 +121,39 @@ def utilization(timeline: Timeline, nprocs: int) -> UtilizationReport:
             # longer when a blocking group waited for stragglers).
             for node_id, seconds in rec.ops.items():
                 nodes[node_id].io += seconds
+        elif rec.kind == "comm":
+            # Each node is busy for its own Ct_i, then waits for the
+            # phase-pacing node; the wait is idle, not communication.
+            for node_id, seconds in rec.ops.items():
+                nodes[node_id].comm += seconds
     return UtilizationReport(total_time=timeline.total_time(), nodes=nodes)
+
+
+def usage_from_spans(
+    spans: Iterable, nprocs: int, total_time: Optional[float] = None
+) -> UtilizationReport:
+    """Build the same report from an observability span stream.
+
+    ``spans`` is an iterable of :class:`~repro.observe.tracer.Span`
+    (e.g. ``tracer.spans``); only node spans contribute.  This is the
+    single-event-stream path the ``repro trace`` command uses, and it
+    agrees with :func:`utilization` over the originating timeline to
+    floating-point tolerance.
+    """
+    nodes: Dict[int, NodeUsage] = {i: NodeUsage(i) for i in range(nprocs)}
+    latest = 0.0
+    for s in spans:
+        latest = max(latest, s.end)
+        if s.node is None:
+            continue
+        busy = s.busy_seconds
+        usage = nodes[s.node]
+        if s.kind == "compute":
+            usage.compute += busy
+        elif s.kind == "io":
+            usage.io += busy
+        elif s.kind == "comm":
+            usage.comm += busy
+    return UtilizationReport(
+        total_time=latest if total_time is None else total_time, nodes=nodes
+    )

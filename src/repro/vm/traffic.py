@@ -74,7 +74,11 @@ class PhaseRecord:
     traffic:
         Per-node traffic (communication phases only).
     ops:
-        Per-node op counts (compute phases only).
+        Per-node phase data, keyed by node id.  For **compute** phases:
+        op counts.  For **comm** phases: each node's busy seconds (its
+        own ``Ct_i``; the phase duration is the maximum).  For **io**
+        phases: the I/O node's busy seconds (the duration can be longer
+        when a blocking group waited for stragglers).
     """
 
     name: str

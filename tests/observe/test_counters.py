@@ -1,0 +1,97 @@
+"""Tests for counter/histogram aggregation over the event stream."""
+
+import pytest
+
+from repro.observe import CounterSet, Tracer
+from repro.vm.traffic import NodeTraffic
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        cs = CounterSet()
+        cs.inc("messages_sent", 3)
+        cs.inc("messages_sent", 2)
+        assert cs.value("messages_sent") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert CounterSet().value("nope") == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().inc("x", -1)
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        cs = CounterSet()
+        for v in (2.0, 4.0, 9.0):
+            cs.observe("phase_seconds:chemistry", v)
+        h = cs.histogram("phase_seconds:chemistry")
+        assert h.count == 3
+        assert h.total == pytest.approx(15.0)
+        assert h.mean == pytest.approx(5.0)
+        assert (h.min, h.max) == (2.0, 9.0)
+
+    def test_empty_histogram(self):
+        h = CounterSet().histogram("empty")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.to_dict()["min"] == 0.0
+
+
+class TestPhaseFeeding:
+    def test_redistributions_counted_by_arrow_name(self):
+        tracer = Tracer()
+        tracer.observe_phase("D_Repl->D_Trans", "comm", 0.1)
+        tracer.observe_phase("D_Trans->D_Chem", "comm", 0.1)
+        tracer.observe_phase("gather:outputhour", "comm", 0.1)
+        assert tracer.counters.value("redistributions") == 2
+        assert tracer.counters.value("phases:comm") == 3
+
+    def test_traffic_totals(self):
+        tracer = Tracer()
+        traffic = {
+            0: NodeTraffic(messages_sent=2, bytes_sent=100),
+            1: NodeTraffic(messages_received=2, bytes_received=100,
+                           bytes_copied=7),
+        }
+        tracer.observe_phase("x", "comm", 0.5, traffic=traffic)
+        c = tracer.counters
+        assert c.value("messages_sent") == 2
+        assert c.value("messages_received") == 2
+        assert c.value("bytes_sent") == 100
+        assert c.value("bytes_received") == 100
+        assert c.value("bytes_copied") == 7
+
+    def test_snapshot_shape(self):
+        tracer = Tracer()
+        tracer.observe_phase("chemistry", "compute", 1.0)
+        snap = tracer.counters.snapshot()
+        assert snap["counters"]["phases:compute"] == 1
+        assert snap["histograms"]["phase_seconds:chemistry"]["total"] == 1.0
+
+
+class TestClusterFeedsCounters:
+    def test_counts_match_planner_traffic(self):
+        """Cluster phases drive the same totals the timeline records."""
+        from repro.vm import Cluster, MachineSpec, Transfer
+
+        toy = MachineSpec("toy", latency=1.0, gap=0.5, copy_cost=0.25,
+                          seconds_per_op=1.0, io_seconds_per_byte=1.0)
+        cluster = Cluster(toy, 2)
+        cluster.charge_compute("w", {0: 1.0, 1: 2.0})
+        cluster.charge_communication(
+            "D_Trans->D_Chem", [Transfer(0, 1, 64), Transfer(0, 0, 8)]
+        )
+        cluster.charge_io("io:in", nbytes=4, node_id=0)
+        c = cluster.tracer.counters
+        assert c.value("messages_sent") == 1
+        assert c.value("bytes_sent") == 64
+        assert c.value("bytes_copied") == 8
+        assert c.value("redistributions") == 1
+        assert c.value("phases:compute") == 1
+        assert c.value("phases:io") == 1
+        # Per-phase wall-time totals mirror the timeline.
+        assert cluster.tracer.time_by_phase() == pytest.approx(
+            cluster.timeline.time_by_name()
+        )

@@ -1,0 +1,117 @@
+"""Tests for the Chrome-trace and CSV exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.observe import (
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    csv_rows,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.observe.export import CSV_HEADER
+from repro.vm import Cluster, MachineSpec, Transfer
+
+TOY = MachineSpec("toy", latency=1.0, gap=0.5, copy_cost=0.25,
+                  seconds_per_op=1.0, io_seconds_per_byte=1.0)
+
+
+def small_run() -> Tracer:
+    cluster = Cluster(TOY, 3)
+    tracer = cluster.tracer
+    with tracer.span("hour:06", kind="hour", hour=6):
+        cluster.charge_compute("chemistry", {0: 2.0, 1: 1.0, 2: 3.0})
+        cluster.charge_communication("D_Chem->D_Repl", [Transfer(0, 1, 16)])
+        cluster.charge_io("io:out", nbytes=4, node_id=0,
+                          blocking_group=range(3))
+    return tracer
+
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
+
+
+class TestChromeTrace:
+    def test_schema_validity(self):
+        tracer = small_run()
+        doc = chrome_trace(tracer)
+        # Serialisable, and structurally a Chrome trace (object form).
+        parsed = json.loads(json.dumps(doc))
+        assert isinstance(parsed["traceEvents"], list)
+        for ev in parsed["traceEvents"]:
+            assert REQUIRED_EVENT_KEYS <= set(ev)
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0
+                assert ev["dur"] >= 0
+                assert ev["cat"]
+
+    def test_one_complete_event_per_span(self):
+        tracer = small_run()
+        events = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert len(events) == len(tracer.spans)
+
+    def test_node_and_program_threads_named(self):
+        tracer = small_run()
+        meta = {
+            e["tid"]: e["args"]["name"]
+            for e in chrome_trace_events(tracer)
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert meta[0] == "node 0"
+        assert meta[2] == "node 2"
+        assert "program" in meta.values()
+
+    def test_timestamps_are_microseconds(self):
+        tracer = Tracer()
+        tracer.emit("x", "compute", 1.5, 2.0, node=0, busy=0.5)
+        (ev,) = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert ev["ts"] == pytest.approx(1.5e6)
+        assert ev["dur"] == pytest.approx(0.5e6)
+
+    def test_durations_are_busy_seconds(self):
+        """Collective waits are gaps, not painted-over busy time."""
+        tracer = Tracer()
+        tracer.emit("x", "comm", 0.0, 10.0, node=0, busy=2.0)
+        (ev,) = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert ev["dur"] == pytest.approx(2.0e6)
+        assert ev["args"]["busy_s"] == pytest.approx(2.0)
+        assert ev["args"]["phase_end_s"] == pytest.approx(10.0)
+
+    def test_counters_in_other_data(self):
+        doc = chrome_trace(small_run())
+        counters = doc["otherData"]["counters"]
+        assert counters["phases:compute"] == 1
+        assert counters["messages_sent"] == 1
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(small_run(), tmp_path / "trace.json")
+        parsed = json.loads(path.read_text())
+        assert parsed["displayTimeUnit"] == "ms"
+        assert parsed["traceEvents"]
+
+
+class TestCsv:
+    def test_header_and_rows(self, tmp_path):
+        tracer = small_run()
+        rows = csv_rows(tracer)
+        assert len(rows) == len(tracer.spans)
+        path = write_csv(tracer, tmp_path / "spans.csv")
+        with path.open() as fh:
+            parsed = list(csv.reader(fh))
+        assert parsed[0] == CSV_HEADER
+        assert len(parsed) == len(tracer.spans) + 1
+        # start/end/duration columns parse back as floats.
+        for row in parsed[1:]:
+            float(row[5]), float(row[6]), float(row[7]), float(row[8])
+
+    def test_region_rows_have_empty_node(self):
+        tracer = small_run()
+        by_name = {r[2]: r for r in csv_rows(tracer)}
+        assert by_name["hour:06"][4] == ""
+        assert by_name["chemistry"][4] != ""

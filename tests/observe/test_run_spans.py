@@ -1,0 +1,119 @@
+"""End-to-end span coverage for a data-parallel replay.
+
+The acceptance invariant lives here: per-phase durations in the
+exported Chrome trace must agree with the ``UtilizationReport`` totals
+computed from the timeline, because both are views of the same charges.
+"""
+
+import collections
+
+import pytest
+
+from repro.model import replay_data_parallel
+from repro.observe import Tracer, chrome_trace_events
+from repro.vm import get_machine, usage_from_spans, utilization
+
+NODES = 4
+
+EXPECTED_PHASES = {
+    ("compute", "transport"),
+    ("compute", "chemistry"),
+    ("compute", "aerosol"),
+    ("comm", "D_Repl->D_Trans"),
+    ("comm", "D_Trans->D_Chem"),
+    ("comm", "D_Chem->D_Repl"),
+    ("comm", "gather:outputhour"),
+    ("io", "io:inputhour"),
+    ("io", "io:pretrans"),
+    ("io", "io:outputhour"),
+}
+
+
+@pytest.fixture(scope="module")
+def traced_replay(tiny_trace):
+    tracer = Tracer()
+    timing = replay_data_parallel(tiny_trace, get_machine("t3e"), NODES,
+                                  tracer=tracer)
+    return tracer, timing
+
+
+class TestSpanSet:
+    def test_expected_phase_spans_emitted(self, traced_replay):
+        tracer, _ = traced_replay
+        emitted = {(s.kind, s.name) for s in tracer.spans}
+        assert EXPECTED_PHASES <= emitted
+        # Region spans bracket the node-level phases.
+        hours = {n for k, n in emitted if k == "hour"}
+        steps = {n for k, n in emitted if k == "step"}
+        assert hours == {"hour:07", "hour:08", "hour:09"}
+        assert steps and all(n.startswith("step:") for n in steps)
+
+    def test_phase_spans_cover_every_node(self, traced_replay):
+        tracer, _ = traced_replay
+        for name in ("transport", "chemistry", "D_Trans->D_Chem"):
+            nodes = {s.node for s in tracer.filter(name=name)}
+            assert nodes == set(range(NODES))
+
+    def test_steps_nest_under_hours(self, traced_replay):
+        tracer, _ = traced_replay
+        by_id = {s.span_id: s for s in tracer.spans}
+        steps = tracer.filter(kind="step")
+        assert steps
+        for s in steps:
+            assert by_id[s.parent_id].kind == "hour"
+
+    def test_span_times_bounded_by_total(self, traced_replay):
+        tracer, timing = traced_replay
+        assert tracer.total_time() == pytest.approx(timing.total_time)
+        for s in tracer.spans:
+            assert 0.0 <= s.start <= s.end <= timing.total_time + 1e-9
+
+
+class TestAgreementWithUtilization:
+    def test_phase_totals_match_timing_breakdown(self, traced_replay, tiny_trace):
+        tracer, timing = traced_replay
+        by_kind = tracer.time_by_kind()
+        assert by_kind["io"] == pytest.approx(timing.component("io"))
+        assert by_kind["comm"] == pytest.approx(
+            timing.component("communication")
+        )
+        assert sum(by_kind.values()) == pytest.approx(
+            sum(timing.breakdown.values())
+        )
+
+    def test_chrome_durations_match_utilization_buckets(self, traced_replay):
+        """Sum of exported per-node durs == UtilizationReport buckets."""
+        tracer, _ = traced_replay
+        report = utilization_from_replay(tracer)
+        observed = collections.defaultdict(lambda: collections.defaultdict(float))
+        for ev in chrome_trace_events(tracer):
+            if ev["ph"] != "X":
+                continue
+            kind = ev["args"]["kind"]
+            if kind not in ("compute", "io", "comm"):
+                continue  # region spans live on the driver thread
+            observed[ev["tid"]][kind] += ev["dur"] / 1e6
+        for node_id, usage in report.nodes.items():
+            assert observed[node_id]["compute"] == pytest.approx(usage.compute)
+            assert observed[node_id]["io"] == pytest.approx(usage.io)
+            assert observed[node_id]["comm"] == pytest.approx(usage.comm)
+
+    def test_span_report_matches_timeline_report(self, tiny_trace):
+        from repro.fx.runtime import FxRuntime
+        from repro.model.dataparallel import HourReplayer
+
+        rt = FxRuntime(get_machine("t3e"), NODES)
+        replayer = HourReplayer(rt.world, tiny_trace)
+        for hour in tiny_trace.hours:
+            rt.sequential_io("io:inputhour", hour.input_bytes,
+                             ops=hour.input_ops)
+            replayer.run_hour(hour)
+        a = utilization(rt.timeline, NODES)
+        b = usage_from_spans(rt.tracer.spans, NODES)
+        assert b.utilization == pytest.approx(a.utilization)
+        assert b.comm_fraction == pytest.approx(a.comm_fraction)
+        assert b.load_imbalance == pytest.approx(a.load_imbalance)
+
+
+def utilization_from_replay(tracer):
+    return usage_from_spans(tracer.spans, NODES)

@@ -92,6 +92,66 @@ class TestFigures:
         }
 
 
+class TestTrace:
+    def test_writes_chrome_trace(self, demo_trace_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--workload", str(demo_trace_file),
+                   "--machine", "t3e", "--nodes", "8", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["counters"]["phases:compute"] > 0
+        text = capsys.readouterr().out
+        assert "utilisation" in text
+        assert "data-parallel" in text
+
+    def test_trace_utilization_matches_export(self, demo_trace_file, tmp_path):
+        """Per-node dur sums in the JSON equal the metric buckets."""
+        import collections
+        import json
+
+        from repro.model import replay_data_parallel
+        from repro.observe import Tracer
+        from repro.vm import get_machine, usage_from_spans
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--workload", str(demo_trace_file),
+                   "--machine", "t3e", "--nodes", "4", "--out", str(out)])
+        assert rc == 0
+        busy = collections.defaultdict(float)
+        for ev in json.loads(out.read_text())["traceEvents"]:
+            if ev["ph"] == "X" and ev["args"]["kind"] in ("compute", "io", "comm"):
+                busy[ev["tid"]] += ev["dur"] / 1e6
+        tracer = Tracer()
+        replay_data_parallel(pickle.loads(demo_trace_file.read_bytes()),
+                             get_machine("t3e"), 4, tracer=tracer)
+        report = usage_from_spans(tracer.spans, 4)
+        for node_id, usage in report.nodes.items():
+            assert busy[node_id] == pytest.approx(usage.busy)
+
+    def test_task_mode_with_csv_and_compare(self, demo_trace_file, tmp_path,
+                                            capsys):
+        out = tmp_path / "trace.json"
+        csv_path = tmp_path / "spans.csv"
+        rc = main(["trace", "--workload", str(demo_trace_file),
+                   "--nodes", "6", "--mode", "task", "--out", str(out),
+                   "--csv", str(csv_path), "--compare"])
+        assert rc == 0
+        assert csv_path.read_text().startswith("span_id,")
+        text = capsys.readouterr().out
+        assert "task-parallel" in text
+        assert "predicted" in text
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.dataset == "demo"
+        assert args.machine == "t3e"
+        assert args.nodes == 8
+        assert args.out == "trace.json"
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,58 @@
+"""Docs consistency checks: links resolve, documented commands exist."""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([ROOT / "README.md", *(ROOT / "docs").glob("*.md")])
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CLI_RE = re.compile(r"python -m repro +(\w+)")
+
+
+def doc_ids():
+    return [str(p.relative_to(ROOT)) for p in DOC_FILES]
+
+
+def test_required_docs_exist():
+    assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (ROOT / "docs" / "OBSERVABILITY.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids())
+def test_relative_links_resolve(doc):
+    """Every relative markdown link points at a real file."""
+    broken = []
+    for target in LINK_RE.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not path.exists():
+            broken.append(target)
+    assert not broken, f"broken links in {doc.name}: {broken}"
+
+
+def _parser_subcommands():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise AssertionError("CLI has no subparsers")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids())
+def test_documented_cli_subcommands_exist(doc):
+    documented = set(CLI_RE.findall(doc.read_text()))
+    unknown = documented - _parser_subcommands()
+    assert not unknown, f"{doc.name} documents unknown subcommands: {unknown}"
+
+
+def test_trace_subcommand_is_documented():
+    """The observability entry point is reachable from the README."""
+    assert "trace" in _parser_subcommands()
+    assert "python -m repro trace" in (ROOT / "README.md").read_text()

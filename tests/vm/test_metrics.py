@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.vm import Cluster, MachineSpec, Transfer, utilization
+from repro.vm import Cluster, MachineSpec, Transfer, usage_from_spans, utilization
 
 TOY = MachineSpec("toy", latency=1.0, gap=0.5, copy_cost=0.25,
                   seconds_per_op=1.0, io_seconds_per_byte=1.0)
@@ -43,12 +43,52 @@ class TestUtilization:
         rep = utilization(cluster.timeline, 2)
         assert rep.nodes[0].io == pytest.approx(10.0)
 
-    def test_communication_not_busy(self):
+    def test_communication_in_comm_bucket(self):
+        """Comm time lands in its own bucket, not in useful work."""
         cluster = Cluster(TOY, 2)
         cluster.charge_communication("x", [Transfer(0, 1, 100)])
         rep = utilization(cluster.timeline, 2)
-        assert rep.total_busy == 0.0
+        # Ct = L*1 + G*100 = 51 on each endpoint.
+        assert rep.nodes[0].comm == pytest.approx(51.0)
+        assert rep.nodes[1].comm == pytest.approx(51.0)
+        assert rep.total_useful == 0.0
+        assert rep.utilization == 0.0
+        assert rep.comm_fraction == pytest.approx(1.0)
         assert rep.total_time > 0
+
+    def test_buckets_sum_to_busy(self):
+        """compute + io + comm == busy on every node; the rest is idle."""
+        cluster = Cluster(TOY, 2)
+        cluster.charge_compute("w", {0: 4.0, 1: 2.0})
+        cluster.charge_communication("x", [Transfer(0, 1, 8)])
+        cluster.charge_io("in", nbytes=3, node_id=1, blocking_group=[0, 1])
+        rep = utilization(cluster.timeline, 2)
+        for usage in rep.nodes.values():
+            assert usage.busy == pytest.approx(
+                usage.compute + usage.io + usage.comm
+            )
+            assert usage.comm > 0
+        # Node 1's comm cost is smaller than node 0's wait; no bucket
+        # absorbs the difference — it is idle time.
+        capacity = rep.total_time * rep.nprocs
+        idle = capacity - rep.total_busy
+        assert idle > 0
+        assert rep.idle_fraction == pytest.approx(idle / capacity)
+
+    def test_span_stream_matches_timeline(self):
+        """usage_from_spans agrees with utilization over the timeline."""
+        cluster = Cluster(TOY, 3)
+        cluster.charge_compute("w", {0: 5.0, 1: 3.0, 2: 1.0})
+        cluster.charge_communication("x", [Transfer(0, 2, 16), Transfer(1, 2, 4)])
+        cluster.charge_io("out", nbytes=7, node_id=2, blocking_group=range(3))
+        from_timeline = utilization(cluster.timeline, 3)
+        from_spans = usage_from_spans(cluster.tracer.spans, 3)
+        assert from_spans.total_time == pytest.approx(from_timeline.total_time)
+        for i in range(3):
+            a, b = from_spans.nodes[i], from_timeline.nodes[i]
+            assert a.compute == pytest.approx(b.compute)
+            assert a.io == pytest.approx(b.io)
+            assert a.comm == pytest.approx(b.comm)
 
     def test_amdahl_visible_in_utilization(self):
         """Data-parallel Airshed: utilisation decays with P because of

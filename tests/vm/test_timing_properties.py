@@ -151,18 +151,27 @@ class TestReplayScalingProperties:
         hours=st.integers(1, 3),
         steps=st.integers(1, 3),
     )
-    def test_compute_time_monotone_in_P(self, seed, layers, npoints, hours, steps):
-        """More nodes never increase any compute phase's time."""
+    def test_compute_time_bounded_by_sequential(self, seed, layers, npoints,
+                                                hours, steps):
+        """Partitioned compute stays between perfect speedup and the
+        one-node time.
+
+        (Strict monotonicity in P does not hold: BLOCK boundaries shift
+        with P, and a repartition can co-locate two heavy layers on one
+        node — e.g. layer ops (0, 0, 1, 10, 0) cost max 10 on 2 nodes
+        but 11 on 4.  The sequential time is the true upper bound.)
+        """
         from repro.model import replay_data_parallel
 
         rng = np.random.default_rng(seed)
         trace = self.random_trace(rng, layers, npoints, hours, steps)
-        prev_chem = prev_trans = float("inf")
-        for P in (1, 2, 4, 8):
+        seq = replay_data_parallel(trace, TOY, 1).breakdown
+        for P in (2, 4, 8):
             b = replay_data_parallel(trace, TOY, P).breakdown
-            assert b["chemistry"] <= prev_chem + 1e-9
-            assert b["transport"] <= prev_trans + 1e-9
-            prev_chem, prev_trans = b["chemistry"], b["transport"]
+            for comp in ("chemistry", "transport"):
+                assert b[comp] <= seq[comp] + 1e-9
+                # The slowest node carries at least the mean share.
+                assert b[comp] >= seq[comp] / P - 1e-9
 
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(0, 1000))
