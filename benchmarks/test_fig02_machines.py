@@ -9,7 +9,6 @@ Paper claims reproduced here:
 * the T3D is just under 2x faster than the Paragon, the T3E ~10x.
 """
 
-import math
 
 import numpy as np
 import pytest

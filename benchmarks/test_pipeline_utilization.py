@@ -9,7 +9,6 @@ sequential I/O has left the critical path.
 
 import pytest
 
-from conftest import write_series
 from repro.analysis import render_gantt
 from repro.fx.runtime import FxRuntime
 from repro.fx.tasks import PipelineStage

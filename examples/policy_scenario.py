@@ -13,9 +13,7 @@ question — reporting peak ozone and population exposure for each.
 Run:  python examples/policy_scenario.py
 """
 
-import numpy as np
 
-from repro.chemistry import cit_mechanism
 from repro.core import AirshedConfig, DatasetSpec, SequentialAirshed
 from repro.datasets.generators import Dataset
 from repro.foreign import PopulationRaster, exposure_sequential

@@ -9,7 +9,6 @@ of the peak ozone — the honest version of the single number
 Run:  python examples/uncertainty.py
 """
 
-import numpy as np
 
 from repro.cli import DEMO_SPEC
 from repro.core import AirshedConfig

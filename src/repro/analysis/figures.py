@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.model import (
-    ParallelTiming,
     WorkloadTrace,
     replay_data_parallel,
     replay_task_parallel,

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
-from repro.model.results import AirshedResult, WorkloadTrace
+from repro.model.results import WorkloadTrace
 from repro.model.dataparallel import ParallelTiming
 from repro.vm.metrics import UtilizationReport
 

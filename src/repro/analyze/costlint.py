@@ -1,0 +1,200 @@
+"""Pass 3 — redistribution-cost lint (FX02x).
+
+Compiles the program's communication plan (exact transfer sets from the
+redistribution planner, priced with the paper's ``L·m + G·b + H·c``
+model) and annotates each step with the Section 4.2 closed-form
+equations where one exists, so the lint output doubles as the paper's
+cost table.  Two diagnostics:
+
+* **FX020** — a step exceeds a configured per-occurrence budget
+  (messages, network bytes, or seconds); the paper's all-gather
+  ``D_Chem->D_Repl`` is the classic offender.
+* **FX021** (info) — a cheaper layout order exists: a back-to-back
+  redistribution pair ``X -> Y -> Z`` whose intermediate layout is
+  never read costs more than the direct ``X -> Z`` hop.
+
+The ``D_Repl -> D_Trans -> D_Chem -> D_Repl`` cycle of the Airshed
+main loop is the canonical fixture: every shipped step stays within
+reasonable budgets, and no cheaper order exists because each layout in
+the cycle is consumed by a compute phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.analyze.directives import phase_reads_array
+from repro.analyze.program import CommStep, FxProgram, price_transfers
+from repro.fx.redistribute import plan_redistribution
+from repro.fx.runtime import dist_label
+from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
+
+__all__ = ["CostBudget", "lint_costs", "cost_table"]
+
+
+@dataclass(frozen=True)
+class CostBudget:
+    """Per-occurrence limits for one communication step (None = no limit)."""
+
+    max_step_messages: Optional[int] = None
+    max_step_bytes: Optional[int] = None
+    max_step_seconds: Optional[float] = None
+
+    def violations(self, step: CommStep) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if (self.max_step_messages is not None
+                and step.messages > self.max_step_messages):
+            out["messages"] = {"actual": step.messages,
+                               "budget": self.max_step_messages}
+        if (self.max_step_bytes is not None
+                and step.network_bytes > self.max_step_bytes):
+            out["network_bytes"] = {"actual": step.network_bytes,
+                                    "budget": self.max_step_bytes}
+        if (self.max_step_seconds is not None
+                and step.seconds > self.max_step_seconds):
+            out["seconds"] = {"actual": step.seconds,
+                              "budget": self.max_step_seconds}
+        return out
+
+
+def _closed_form(program: FxProgram, step: CommStep) -> Optional[float]:
+    """Section 4.2 closed-form seconds for a named step, if modelled."""
+    if step.array is None or step.name not in CommunicationModel.STEP_NAMES:
+        return None
+    array = program.array(step.array)
+    if len(array.shape) != 3:
+        return None
+    species, layers, npoints = array.shape
+    geometry = ArrayGeometry(species, layers, npoints, wordsize=array.itemsize)
+    model = CommunicationModel(program.machine, geometry)
+    return model.cost(step.name, program.group_size(array))
+
+
+def cost_table(
+    program: FxProgram, plan: Optional[List[CommStep]] = None
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate the plan per step name, with closed-form annotation."""
+    if plan is None:
+        plan = program.comm_plan()
+    table: Dict[str, Dict[str, Any]] = {}
+    for step in plan:
+        row = table.get(step.name)
+        if row is None:
+            row = table[step.name] = {
+                "kind": step.kind,
+                "occurrences": 0,
+                "messages": step.messages,
+                "network_bytes": step.network_bytes,
+                "copied_bytes": step.copied_bytes,
+                "seconds": step.seconds,
+            }
+            closed = _closed_form(program, step)
+            if closed is not None:
+                row["closed_form_seconds"] = closed
+        row["occurrences"] += 1
+        # Occurrences of a named step are normally identical; keep the
+        # worst case if a program varies them.
+        for key, value in (("messages", step.messages),
+                           ("network_bytes", step.network_bytes),
+                           ("copied_bytes", step.copied_bytes),
+                           ("seconds", step.seconds)):
+            row[key] = max(row[key], value)
+    return table
+
+
+def _cheaper_orders(program: FxProgram) -> List[Diagnostic]:
+    """FX021: direct hop beats an unread-intermediate two-hop chain."""
+    diags: List[Diagnostic] = []
+    #: array -> (phase index, source dist, target dist) of the pending
+    #: redistribution whose target layout has not been read yet.
+    pending: Dict[str, Tuple[int, Any, Any]] = {}
+    for index, phase, layouts in program.walk():
+        for name in list(pending):
+            if phase_reads_array(phase, name):
+                del pending[name]
+        if phase.op != "redistribute":
+            continue
+        name = phase.array
+        try:
+            array = program.array(name)
+        except KeyError:
+            continue
+        source, target = layouts[name], phase.target
+        if target.ndim != len(array.shape) or source.ndim != target.ndim:
+            pending.pop(name, None)
+            continue
+        if source == target:
+            continue  # identity, elided
+        chain = pending.get(name)
+        if chain is not None:
+            first_index, first_source, mid = chain
+            if first_source.ndim == target.ndim:
+                cost_via = _hop_cost(program, array, first_source, mid) \
+                    + _hop_cost(program, array, mid, target)
+                cost_direct = _hop_cost(program, array, first_source, target)
+                if cost_direct < cost_via:
+                    diags.append(Diagnostic(
+                        "FX021",
+                        f"redistributing {name!r} "
+                        f"{dist_label(first_source)} -> {dist_label(mid)} "
+                        f"-> {dist_label(target)} costs {cost_via:.6f} s; "
+                        f"the direct {dist_label(first_source)} -> "
+                        f"{dist_label(target)} hop costs "
+                        f"{cost_direct:.6f} s",
+                        phase=phase.name, phase_index=index,
+                        details={"array": name,
+                                 "via": [first_source.spec(), mid.spec(),
+                                         target.spec()],
+                                 "via_seconds": cost_via,
+                                 "direct_seconds": cost_direct},
+                    ))
+        pending[name] = (index, source, target)
+    return diags
+
+
+def _hop_cost(program: FxProgram, array, source, target) -> float:
+    if source == target:
+        return 0.0
+    plan = plan_redistribution(
+        program.layout_of(array, source),
+        program.layout_of(array, target),
+        array.itemsize,
+    )
+    return price_transfers(program.machine, list(plan.transfers))
+
+
+def lint_costs(
+    program: FxProgram,
+    budget: Optional[CostBudget] = None,
+    plan: Optional[List[CommStep]] = None,
+) -> Tuple[List[Diagnostic], Dict[str, Dict[str, Any]]]:
+    """Run the cost-lint pass; returns (diagnostics, cost table)."""
+    if plan is None:
+        plan = program.comm_plan()
+    table = cost_table(program, plan)
+    diags: List[Diagnostic] = []
+    if budget is not None:
+        flagged = set()
+        for step in plan:
+            if step.name in flagged:
+                continue
+            over = budget.violations(step)
+            if over:
+                flagged.add(step.name)
+                limits = ", ".join(
+                    f"{key} {v['actual']} > {v['budget']}"
+                    for key, v in over.items()
+                )
+                diags.append(Diagnostic(
+                    "FX020",
+                    f"communication step {step.name!r} exceeds the cost "
+                    f"budget: {limits} "
+                    f"(x{table[step.name]['occurrences']} occurrences)",
+                    phase=step.name, phase_index=step.phase_index,
+                    details={"step": step.name, "violations": over,
+                             "occurrences": table[step.name]["occurrences"]},
+                ))
+    diags.extend(_cheaper_orders(program))
+    return diags, table

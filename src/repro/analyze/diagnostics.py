@@ -1,0 +1,169 @@
+"""Diagnostics: stable codes, severities and the analysis report.
+
+Every finding of the three analysis passes is a :class:`Diagnostic`
+with a stable ``FXnnn`` code, so tooling (CI, editors, the trace
+cross-check) can filter and assert on specific classes of problems.
+The code space is partitioned by pass:
+
+* ``FX00x`` — directive consistency (layouts and subgroups),
+* ``FX01x`` — task-graph races,
+* ``FX02x`` — redistribution cost lint,
+* ``FX03x`` — static-plan vs executed-trace cross-check.
+
+See ``docs/ANALYZE.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "DIAGNOSTIC_CODES",
+]
+
+
+class Severity(IntEnum):
+    """Diagnostic severity; orderable (ERROR > WARNING > INFO)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: code -> (default severity, one-line title).
+DIAGNOSTIC_CODES: Dict[str, tuple] = {
+    "FX001": (Severity.ERROR, "layout mismatch between producer and consumer"),
+    "FX002": (Severity.WARNING, "redundant back-to-back redistribution"),
+    "FX003": (Severity.WARNING, "dead layout: produced but never read"),
+    "FX004": (Severity.ERROR, "subgroup/cluster size violation"),
+    "FX005": (Severity.INFO, "layout leaves nodes idle (extent < group size)"),
+    "FX010": (Severity.ERROR, "write-write race between overlapping stages"),
+    "FX011": (Severity.ERROR, "read-write race between overlapping stages"),
+    "FX012": (Severity.ERROR, "stale read: owning layout changed without redistribution"),
+    "FX020": (Severity.WARNING, "redistribution exceeds cost budget"),
+    "FX021": (Severity.INFO, "cheaper layout order exists"),
+    "FX030": (Severity.ERROR, "executed trace diverges from static communication plan"),
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    code: str
+    message: str
+    severity: Optional[Severity] = None
+    phase: Optional[str] = None        # phase or stage name, if localised
+    phase_index: Optional[int] = None  # position in the program's phase list
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity is None:
+            self.severity = DIAGNOSTIC_CODES[self.code][0]
+
+    @property
+    def title(self) -> str:
+        return DIAGNOSTIC_CODES[self.code][1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.phase is not None:
+            out["phase"] = self.phase
+        if self.phase_index is not None:
+            out["phase_index"] = self.phase_index
+        if self.details:
+            out["details"] = self.details
+        return out
+
+    def render(self) -> str:
+        where = f" [{self.phase}]" if self.phase else ""
+        return f"{self.code} {self.severity.label}{where}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Combined result of the analysis passes over one program."""
+
+    program: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Cost annotations per unique communication step (the cost linter's
+    #: table): name -> {occurrences, messages, network_bytes, ...}.
+    cost_table: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Summary facts about the analyzed program (nprocs, hours, ...).
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def extend(self, diags: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Severity-based process exit code: 0 clean/info, 1 warning, 2 error."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return 1 if worst is Severity.WARNING else 2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "summary": self.summary,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "cost_table": self.cost_table,
+            "exit_code": self.exit_code,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"analysis of {self.program}"]
+        for key, value in self.summary.items():
+            lines.append(f"  {key}: {value}")
+        if self.cost_table:
+            lines.append("communication plan:")
+            for name, row in self.cost_table.items():
+                lines.append(
+                    f"  {name}: x{row['occurrences']}, "
+                    f"{row['messages']} msgs, "
+                    f"{row['network_bytes']} net B, "
+                    f"{row['copied_bytes']} copied B, "
+                    f"{row['seconds']:.6f} s/occurrence"
+                )
+        if not self.diagnostics:
+            lines.append("no diagnostics: program is clean")
+        else:
+            counts = {s.label: len(self.by_severity(s)) for s in Severity}
+            lines.append(
+                "diagnostics: "
+                + ", ".join(f"{n} {label}" for label, n in counts.items() if n)
+            )
+            for d in sorted(self.diagnostics,
+                            key=lambda d: (-int(d.severity), d.code)):
+                lines.append("  " + d.render())
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Pass 1 — directive consistency (FX00x).
+
+Walks the program's phase sequence tracking each array's current
+distribution directive, exactly as the Fx compiler's front end tracks
+the effect of ``DISTRIBUTE``/``REDISTRIBUTE`` statements, and reports:
+
+* **FX001** — layout mismatch: a redistribution target or a compute
+  phase's required layout whose rank does not match the array, or a
+  directive whose distributed dimension is out of range for the shape.
+* **FX002** — redundant back-to-back redistribution: a layout is
+  established and the very next phase touching the array redistributes
+  it again without anything reading the intermediate layout.
+* **FX003** — dead layout: a trailing redistribution whose target
+  layout is never read before the program ends.
+* **FX004** — subgroup/cluster size violation: task-region sizes that
+  exceed the machine, empty task regions, or arrays homed on an
+  undeclared task.
+* **FX005** (info) — a compute phase whose layout's distributed extent
+  is smaller than the processor group, leaving nodes idle (Airshed's
+  5-layer transport on 64 nodes is the canonical case).
+
+Identity redistributions (target equals the current directive) compile
+to empty plans and are elided by the runtime, so — matching the
+compiler — they are skipped rather than diagnosed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.analyze.program import FxProgram, PhaseDecl
+from repro.fx.runtime import dist_label
+
+__all__ = ["check_directives", "phase_reads_array"]
+
+
+def phase_reads_array(phase: PhaseDecl, array: str) -> bool:
+    """Whether ``phase`` consumes the array's current layout.
+
+    Compute and gather phases over the array read it by construction;
+    any phase may also name it in its declared ``reads`` set.
+    """
+    if array in phase.reads:
+        return True
+    return phase.op in ("compute", "gather") and phase.array == array
+
+
+def _check_tasks(program: FxProgram) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    if program.nprocs < 1:
+        diags.append(Diagnostic(
+            "FX004",
+            f"program {program.name!r} targets a machine with "
+            f"{program.nprocs} nodes; at least one is required",
+            details={"nprocs": program.nprocs},
+        ))
+    total = 0
+    for task in program.tasks:
+        total += task.size
+        if task.size < 1:
+            diags.append(Diagnostic(
+                "FX004",
+                f"task region {task.name!r} has size {task.size}; "
+                "every task region needs at least one node",
+                phase=task.name,
+            ))
+    if program.tasks and total > program.nprocs:
+        diags.append(Diagnostic(
+            "FX004",
+            f"task regions need {total} nodes but the machine has "
+            f"{program.nprocs}",
+            details={"required": total, "nprocs": program.nprocs},
+        ))
+    task_names = {t.name for t in program.tasks}
+    for array in program.arrays:
+        if array.group is not None and array.group not in task_names:
+            diags.append(Diagnostic(
+                "FX004",
+                f"array {array.name!r} is homed on undeclared task "
+                f"{array.group!r}",
+                details={"array": array.name, "task": array.group},
+            ))
+    return diags
+
+
+def check_directives(program: FxProgram) -> List[Diagnostic]:
+    """Run the directive-consistency pass over one program."""
+    diags = _check_tasks(program)
+    known_tasks = {t.name for t in program.tasks}
+    known_arrays = {a.name for a in program.arrays}
+    #: (array, dist spec, group size) combos already reported as FX005.
+    idle_seen = set()
+    #: phase index of the redistribution that established each array's
+    #: current layout, while that layout is still unread.
+    unread_since: dict = {}
+
+    for index, phase, layouts in program.walk():
+        if phase.task is not None and phase.task not in known_tasks:
+            diags.append(Diagnostic(
+                "FX004",
+                f"phase {phase.name!r} runs on undeclared task {phase.task!r}",
+                phase=phase.name, phase_index=index,
+            ))
+        if phase.array is not None and phase.array not in known_arrays:
+            diags.append(Diagnostic(
+                "FX001",
+                f"phase {phase.name!r} references undeclared array "
+                f"{phase.array!r}",
+                phase=phase.name, phase_index=index,
+            ))
+            continue
+
+        # Resolve reads: any array whose current layout this phase uses.
+        for name in list(unread_since):
+            if phase_reads_array(phase, name):
+                del unread_since[name]
+
+        if phase.op == "redistribute":
+            array = program.array(phase.array)
+            source = layouts[phase.array]
+            target = phase.target
+            if target.ndim != len(array.shape):
+                diags.append(Diagnostic(
+                    "FX001",
+                    f"redistribution {phase.name!r} targets a {target.ndim}-d "
+                    f"directive but array {array.name!r} is "
+                    f"{len(array.shape)}-d ({array.shape})",
+                    phase=phase.name, phase_index=index,
+                    details={"array": array.name,
+                             "target": target.spec(),
+                             "shape": list(array.shape)},
+                ))
+                continue
+            if source.ndim == target.ndim and source == target:
+                continue  # identity: the compiler emits no code
+            pending = unread_since.get(phase.array)
+            if pending is not None:
+                prev_index, prev_target = pending
+                diags.append(Diagnostic(
+                    "FX002",
+                    f"array {array.name!r} is redistributed to "
+                    f"{dist_label(target)} while the previous layout "
+                    f"{dist_label(prev_target)} (phase {prev_index}) was "
+                    "never read",
+                    phase=phase.name, phase_index=index,
+                    details={"array": array.name,
+                             "previous_phase_index": prev_index,
+                             "unread_layout": prev_target.spec()},
+                ))
+            unread_since[phase.array] = (index, target)
+        elif phase.op == "compute":
+            layout: Optional = phase.layout
+            if phase.array is not None and layout is not None:
+                array = program.array(phase.array)
+                if layout.ndim != len(array.shape):
+                    diags.append(Diagnostic(
+                        "FX001",
+                        f"compute phase {phase.name!r} requires a "
+                        f"{layout.ndim}-d layout but array {array.name!r} "
+                        f"is {len(array.shape)}-d",
+                        phase=phase.name, phase_index=index,
+                    ))
+                elif not layout.is_replicated:
+                    group = program.group_size(array)
+                    extent = array.shape[layout.dim]
+                    key = (array.name, layout.spec(), group)
+                    if extent < group and key not in idle_seen:
+                        idle_seen.add(key)
+                        diags.append(Diagnostic(
+                            "FX005",
+                            f"phase {phase.name!r} distributes "
+                            f"{array.name!r} as {dist_label(layout)} with "
+                            f"extent {extent} over {group} nodes; "
+                            f"{group - extent} nodes stay idle",
+                            phase=phase.name, phase_index=index,
+                            details={"array": array.name, "extent": extent,
+                                     "group": group},
+                        ))
+
+    # Anything still unread at program end is a dead trailing layout.
+    for name, (index, target) in unread_since.items():
+        diags.append(Diagnostic(
+            "FX003",
+            f"array {name!r} is left in layout {dist_label(target)} "
+            f"(phase {index}) that nothing reads before the program ends",
+            phase_index=index,
+            details={"array": name, "layout": target.spec()},
+        ))
+    return diags

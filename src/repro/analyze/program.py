@@ -1,0 +1,286 @@
+"""The analyzable program description (the analyzer's IR).
+
+An :class:`FxProgram` is a declarative model of one Fx program: its
+arrays and their starting distributions, its task regions (pipeline
+stages with declared input/output sets), and the flat sequence of
+phases the program executes — redistributions, owner-computes loops,
+sequential I/O, output gathers and inter-stage handoffs.  The model
+drivers are registered as programs in :mod:`repro.analyze.programs`;
+test fixtures build programs directly.
+
+The IR is deliberately *static*: it references
+:class:`~repro.fx.distribution.Distribution` directives (not live
+arrays) and can therefore be checked without running anything.  The
+:meth:`FxProgram.comm_plan` method compiles the phase sequence into the
+ordered list of communication steps the Fx runtime would charge —
+identity redistributions are elided exactly as the runtime elides empty
+plans — which the cost linter prices and the trace cross-check compares
+against real span streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.fx.distribution import ArrayLayout, Distribution
+from repro.fx.redistribute import plan_redistribution
+from repro.fx.runtime import dist_label
+from repro.vm.cluster import Transfer
+from repro.vm.machine import MachineSpec
+from repro.vm.traffic import NodeTraffic
+
+__all__ = [
+    "ArrayDecl",
+    "TaskDecl",
+    "PhaseDecl",
+    "CommStep",
+    "FxProgram",
+    "price_transfers",
+]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A distributed array: global shape, element size and home group."""
+
+    name: str
+    shape: Tuple[int, ...]
+    itemsize: int = 8
+    initial: Distribution = None  # type: ignore[assignment]
+    #: Task (stage) whose subgroup owns the array; ``None`` = the whole
+    #: machine.
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.initial is None:
+            object.__setattr__(
+                self, "initial", Distribution.replicated(len(self.shape))
+            )
+
+
+@dataclass(frozen=True)
+class TaskDecl:
+    """One task region (pipeline stage) with its declared I/O sets."""
+
+    name: str
+    size: int
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    #: Variables whose per-item ownership passes to the *next* stage.
+    handoff: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class PhaseDecl:
+    """One phase of the program's execution sequence.
+
+    ``op`` selects the phase flavour:
+
+    * ``"redistribute"`` — change ``array`` to the ``target`` directive;
+    * ``"compute"`` — a loop over ``array`` requiring directive
+      ``layout`` (owner-computes) or replicated execution;
+    * ``"io"`` — sequential I/O processing;
+    * ``"gather"`` — copy ``array`` to one node without changing its
+      live distribution (the end-of-hour output gather);
+    * ``"handoff"`` — inter-stage pipeline transfer of ``nbytes``.
+    """
+
+    op: str
+    name: str
+    array: Optional[str] = None
+    target: Optional[Distribution] = None
+    layout: Optional[Distribution] = None
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    task: Optional[str] = None
+    nbytes: int = 0
+
+    OPS = ("redistribute", "compute", "io", "gather", "handoff")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.OPS:
+            raise ValueError(f"unknown phase op {self.op!r}")
+        if self.op in ("redistribute", "gather") and self.array is None:
+            raise ValueError(f"{self.op} phase {self.name!r} needs an array")
+        if self.op == "redistribute" and self.target is None:
+            raise ValueError(f"redistribute phase {self.name!r} needs a target")
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One predicted communication step of the compiled plan."""
+
+    name: str
+    kind: str              # "redistribute" | "gather" | "handoff"
+    phase_index: int
+    messages: int
+    network_bytes: int
+    copied_bytes: int
+    seconds: float
+    array: Optional[str] = None
+
+
+def price_transfers(machine: MachineSpec, transfers: List[Transfer]) -> float:
+    """Phase duration the cluster would charge for a transfer set.
+
+    Mirrors :meth:`repro.vm.cluster.Cluster.charge_communication`: each
+    node pays ``Ct = L*m + G*max(sent, recv) + H*copied`` and the phase
+    is paced by the most loaded node.
+    """
+    traffic: Dict[int, NodeTraffic] = {}
+
+    def rec(i: int) -> NodeTraffic:
+        return traffic.setdefault(i, NodeTraffic())
+
+    for t in transfers:
+        if t.src == t.dst:
+            rec(t.src).bytes_copied += t.nbytes
+            continue
+        s, d = rec(t.src), rec(t.dst)
+        s.messages_sent += t.messages
+        s.bytes_sent += t.nbytes
+        d.messages_received += t.messages
+        d.bytes_received += t.nbytes
+    if not traffic:
+        return 0.0
+    return max(
+        machine.comm_cost(t.messages, t.bytes_moved, t.bytes_copied)
+        for t in traffic.values()
+    )
+
+
+@dataclass
+class FxProgram:
+    """A complete static description of one Fx program."""
+
+    name: str
+    machine: MachineSpec
+    nprocs: int
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    tasks: List[TaskDecl] = field(default_factory=list)
+    phases: List[PhaseDecl] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"program {self.name!r} has no array {name!r}")
+
+    def task(self, name: str) -> TaskDecl:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"program {self.name!r} has no task {name!r}")
+
+    def group_size(self, array: ArrayDecl) -> int:
+        """Processor-group size the array is distributed over."""
+        if array.group is None:
+            return self.nprocs
+        return self.task(array.group).size
+
+    def layout_of(self, array: ArrayDecl, dist: Distribution) -> ArrayLayout:
+        return dist.layout(array.shape, self.group_size(array))
+
+    # ------------------------------------------------------------------
+    # layout walk
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Tuple[int, PhaseDecl, Dict[str, Distribution]]]:
+        """Yield ``(index, phase, layouts_before)`` over the sequence.
+
+        ``layouts_before`` maps array name to its current directive
+        *before* the phase executes.  Redistribution phases update the
+        tracked directive even when inconsistent (the checker reports,
+        the walk continues), mirroring a compiler that recovers after a
+        diagnosed error.
+        """
+        current: Dict[str, Distribution] = {
+            a.name: a.initial for a in self.arrays
+        }
+        for index, phase in enumerate(self.phases):
+            yield index, phase, dict(current)
+            if phase.op == "redistribute":
+                current[phase.array] = phase.target
+
+    # ------------------------------------------------------------------
+    # the compiled communication plan
+    # ------------------------------------------------------------------
+    def comm_plan(self) -> List[CommStep]:
+        """Ordered communication steps the runtime would charge.
+
+        Identity redistributions and replicated gathers compile to
+        empty transfer sets; the Fx runtime elides them, so they do not
+        appear here either.  Phases with inconsistent layouts (a
+        diagnosable FX001) are skipped — the plan models the program
+        the checker would accept.
+        """
+        steps: List[CommStep] = []
+        for index, phase, layouts in self.walk():
+            if phase.op == "redistribute":
+                array = self.array(phase.array)
+                source, target = layouts[phase.array], phase.target
+                if source.ndim != target.ndim or source == target:
+                    continue
+                plan = plan_redistribution(
+                    self.layout_of(array, source),
+                    self.layout_of(array, target),
+                    array.itemsize,
+                )
+                if plan.is_empty():
+                    continue
+                transfers = list(plan.transfers)
+                steps.append(CommStep(
+                    name=f"{dist_label(source)}->{dist_label(target)}",
+                    kind="redistribute",
+                    phase_index=index,
+                    messages=plan.message_count(),
+                    network_bytes=plan.network_bytes(),
+                    copied_bytes=plan.copied_bytes(),
+                    seconds=price_transfers(self.machine, transfers),
+                    array=phase.array,
+                ))
+            elif phase.op == "gather":
+                array = self.array(phase.array)
+                source = layouts[phase.array]
+                if source.is_replicated:
+                    continue  # the I/O node already holds everything
+                layout = self.layout_of(array, source)
+                transfers = [
+                    Transfer(rank, 0, layout.local_nbytes(rank, array.itemsize))
+                    for rank in range(layout.nprocs)
+                    if layout.local_nbytes(rank, array.itemsize)
+                ]
+                if not transfers:
+                    continue
+                net = sum(t.nbytes for t in transfers if t.src != t.dst)
+                copied = sum(t.nbytes for t in transfers if t.src == t.dst)
+                steps.append(CommStep(
+                    name=phase.name,
+                    kind="gather",
+                    phase_index=index,
+                    messages=sum(
+                        t.messages for t in transfers if t.src != t.dst
+                    ),
+                    network_bytes=net,
+                    copied_bytes=copied,
+                    seconds=price_transfers(self.machine, transfers),
+                    array=phase.array,
+                ))
+            elif phase.op == "handoff":
+                if phase.nbytes <= 0:
+                    continue
+                transfers = [Transfer(0, 1, phase.nbytes)]
+                steps.append(CommStep(
+                    name=phase.name,
+                    kind="handoff",
+                    phase_index=index,
+                    messages=1,
+                    network_bytes=phase.nbytes,
+                    copied_bytes=0,
+                    seconds=price_transfers(self.machine, transfers),
+                ))
+        return steps

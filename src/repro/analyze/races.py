@@ -1,0 +1,164 @@
+"""Pass 2 — task-graph race detection (FX01x).
+
+The pipelined task-parallel Airshed overlaps its stages: while the main
+computation runs hour ``i``, the input stage prepares hour ``i+1`` and
+the output stage writes hour ``i-1``.  Two stages that can be active at
+the same simulated time race on any variable both touch — unless the
+variable's per-item ownership is explicitly passed down the pipeline
+with the inter-stage handoff (the declared ``handoff`` sets), which is
+the sanctioned producer/consumer flow of an Fx task region.
+
+The pass builds the stage × item dependency DAG implied by the
+pipeline's execution rule (stage ``s`` waits for its own item ``i-1``
+and for stage ``s-1``'s item ``i``) and reports:
+
+* **FX010** — write-write: two overlappable stages both write a
+  variable whose ownership is not handed between them.
+* **FX011** — read-write: one overlappable stage reads what another
+  writes, without a handoff carrying it.
+* **FX012** — stale read: a compute phase requires a layout that is not
+  the array's current directive at that point of the sequence (the
+  owning layout changed without a redistribution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.analyze.program import FxProgram
+from repro.fx.runtime import dist_label
+
+__all__ = ["check_races", "task_graph", "overlappable_pairs", "sanctioned_vars"]
+
+
+def task_graph(
+    program: FxProgram, nitems: int = 3
+) -> Dict[Tuple[str, int], Set[Tuple[str, int]]]:
+    """The stage × item dependency DAG of the pipeline.
+
+    Node ``(stage, item)`` depends on ``(stage, item-1)`` (a stage is
+    internally sequential) and on ``(prev_stage, item)`` (the upstream
+    item must be finished and handed off).  Any two nodes *not* ordered
+    by the transitive closure can overlap in pipelined execution.
+    """
+    deps: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+    names = [t.name for t in program.tasks]
+    for i in range(nitems):
+        for s, name in enumerate(names):
+            node = (name, i)
+            deps[node] = set()
+            if i > 0:
+                deps[node].add((name, i - 1))
+            if s > 0:
+                deps[node].add((names[s - 1], i))
+    return deps
+
+
+def sanctioned_vars(program: FxProgram, i: int, j: int) -> FrozenSet[str]:
+    """Variables whose ownership flows from stage ``i`` to stage ``j``.
+
+    A variable is sanctioned between the two stages iff every stage from
+    ``i`` up to (excluding) ``j`` forwards it in its declared
+    ``handoff`` set — an unbroken chain of inter-stage transfers.
+    """
+    assert i < j
+    out: FrozenSet[str] = program.tasks[i].handoff
+    for k in range(i + 1, j):
+        out = out & program.tasks[k].handoff
+    return out
+
+
+def overlappable_pairs(program: FxProgram) -> Set[Tuple[str, str]]:
+    """Stage pairs with at least one unordered ``(stage, item)`` pair.
+
+    Computed from the transitive closure of :func:`task_graph` over
+    ``len(stages) + 1`` items (enough for every steady-state phase
+    shift of the pipeline to appear).  Two nodes neither of which
+    reaches the other can execute at the same simulated time.
+    """
+    deps = task_graph(program, nitems=len(program.tasks) + 1)
+    order = {t.name: s for s, t in enumerate(program.tasks)}
+    reach: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+    for node in sorted(deps, key=lambda n: (n[1], order[n[0]])):
+        closed: Set[Tuple[str, int]] = set(deps[node])
+        for dep in deps[node]:
+            closed |= reach.get(dep, set())
+        reach[node] = closed
+    pairs: Set[Tuple[str, str]] = set()
+    nodes = list(deps)
+    for x in nodes:
+        for y in nodes:
+            if x[0] >= y[0]:
+                continue
+            if y not in reach[x] and x not in reach[y]:
+                pairs.add((x[0], y[0]))
+    return pairs
+
+
+def _stage_conflicts(program: FxProgram) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    tasks = program.tasks
+    overlaps = overlappable_pairs(program)
+    for i in range(len(tasks)):
+        for j in range(i + 1, len(tasks)):
+            a, b = tasks[i], tasks[j]
+            if (a.name, b.name) not in overlaps and \
+                    (b.name, a.name) not in overlaps:
+                continue
+            ok = sanctioned_vars(program, i, j)
+            ww = (a.writes & b.writes) - ok
+            rw = ((a.reads & b.writes) | (a.writes & b.reads)) - ok - ww
+            pair = f"{a.name}/{b.name}"
+            if ww:
+                diags.append(Diagnostic(
+                    "FX010",
+                    f"stages {a.name!r} and {b.name!r} can overlap in "
+                    f"pipelined execution and both write "
+                    f"{sorted(ww)} with no handoff between them",
+                    phase=pair,
+                    details={"stages": [a.name, b.name],
+                             "variables": sorted(ww)},
+                ))
+            if rw:
+                diags.append(Diagnostic(
+                    "FX011",
+                    f"stages {a.name!r} and {b.name!r} can overlap in "
+                    f"pipelined execution and share {sorted(rw)} "
+                    "read/write with no handoff carrying it",
+                    phase=pair,
+                    details={"stages": [a.name, b.name],
+                             "variables": sorted(rw)},
+                ))
+    return diags
+
+
+def _stale_reads(program: FxProgram) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for index, phase, layouts in program.walk():
+        if phase.op != "compute" or phase.array is None or phase.layout is None:
+            continue
+        if phase.array not in layouts:
+            continue  # undeclared array: FX001 territory
+        current = layouts[phase.array]
+        required = phase.layout
+        if required.ndim != current.ndim:
+            continue  # rank mismatch is already an FX001
+        if current != required:
+            diags.append(Diagnostic(
+                "FX012",
+                f"compute phase {phase.name!r} reads {phase.array!r} "
+                f"expecting layout {dist_label(required)} but the array "
+                f"is currently {dist_label(current)}; the owning layout "
+                "changed without a redistribution",
+                phase=phase.name, phase_index=index,
+                details={"array": phase.array,
+                         "required": required.spec(),
+                         "current": current.spec()},
+            ))
+    return diags
+
+
+def check_races(program: FxProgram) -> List[Diagnostic]:
+    """Run the race-detection pass over one program."""
+    return _stage_conflicts(program) + _stale_reads(program)

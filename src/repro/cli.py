@@ -8,12 +8,15 @@
     python -m repro predict  --trace trace.pkl --machine t3e --nodes 16 32 64 128
     python -m repro figures  --trace trace.pkl --out results/
     python -m repro trace    --dataset la --machine t3e --nodes 8 --out trace.json
+    python -m repro lint     --driver taskparallel --dataset la --machine t3e -n 64
 
 ``simulate`` runs the real numerics and saves a workload trace;
 everything downstream replays/predicts from the trace.  ``trace`` runs
 a simulated parallel execution with the span tracer attached and
 exports a Chrome-trace JSON (open in ``chrome://tracing`` or Perfetto);
-see ``docs/OBSERVABILITY.md``.
+see ``docs/OBSERVABILITY.md``.  ``lint`` statically analyzes a driver's
+Fx program description — directive consistency, task-graph races,
+redistribution costs — without running it; see ``docs/ANALYZE.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +28,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import all_figures, format_table, timing_report, trace_summary
+from repro.analyze import (
+    CostBudget,
+    analyze_program,
+    available_programs,
+    build_program,
+)
 from repro.datasets import DatasetSpec, make_la, make_ne
 from repro.grid import RefinementCore
 from repro.model import (
@@ -42,7 +51,7 @@ from repro.observe import (
     write_csv,
 )
 from repro.perfmodel import PerformancePredictor
-from repro.vm import get_machine, usage_from_spans, utilization
+from repro.vm import get_machine, usage_from_spans
 
 __all__ = ["main"]
 
@@ -192,6 +201,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    budget = None
+    if (args.max_step_messages is not None
+            or args.max_step_bytes is not None
+            or args.max_step_seconds is not None):
+        budget = CostBudget(
+            max_step_messages=args.max_step_messages,
+            max_step_bytes=args.max_step_bytes,
+            max_step_seconds=args.max_step_seconds,
+        )
+    try:
+        program = build_program(
+            args.driver,
+            dataset=args.dataset,
+            machine=args.machine,
+            nprocs=args.nodes,
+            hours=args.hours,
+            steps_per_hour=args.steps_per_hour,
+            io_nodes=args.io_nodes,
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    report = analyze_program(program, budget=budget,
+                             crosscheck=args.crosscheck)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +284,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare", action="store_true",
                    help="print the §4 predicted-vs-observed table")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically analyze a driver's Fx program description",
+    )
+    p.add_argument("--driver", default="dataparallel",
+                   help=" | ".join(available_programs()))
+    p.add_argument("--dataset", default="la", help="la | ne | demo")
+    p.add_argument("--machine", default="t3e", help="t3e | t3d | paragon")
+    p.add_argument("-n", "--nodes", type=int, default=64)
+    p.add_argument("--hours", type=int, default=4)
+    p.add_argument("--steps-per-hour", type=int, default=6)
+    p.add_argument("--io-nodes", type=int, default=1)
+    p.add_argument("--max-step-messages", type=int,
+                   help="FX020 budget: messages per communication step")
+    p.add_argument("--max-step-bytes", type=int,
+                   help="FX020 budget: network bytes per communication step")
+    p.add_argument("--max-step-seconds", type=float,
+                   help="FX020 budget: seconds per communication step")
+    p.add_argument("--crosscheck", action="store_true",
+                   help="replay the driver on a synthetic workload and "
+                        "verify the executed communication steps match "
+                        "the static plan (FX030)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report instead of text")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

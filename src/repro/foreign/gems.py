@@ -19,18 +19,13 @@ stage attached in one of two configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Optional
+from typing import Literal
 
 import numpy as np
 
 from repro.datasets.generators import Dataset
 from repro.foreign.interface import ForeignModuleBinding, Scenario
-from repro.foreign.popexp import (
-    PopExpFx,
-    PopExpPvm,
-    PopulationRaster,
-    exposure_ops,
-)
+from repro.foreign.popexp import PopExpFx, PopExpPvm, PopulationRaster
 from repro.fx.runtime import FxRuntime
 from repro.fx.tasks import PipelineStage
 from repro.model.dataparallel import HourReplayer, ParallelTiming, _timing_from_runtime

@@ -24,7 +24,7 @@ the performance ablation (Figure 11) and the numerics are real.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, List, Optional
+from typing import List
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.fx.distribution import ArrayLayout, DistKind, Distribution
+from repro.fx.distribution import ArrayLayout, Distribution
 from repro.fx.redistribute import RedistributionPlan, plan_redistribution
 from repro.vm.cluster import Subgroup
 

@@ -20,8 +20,7 @@ never hurt by dedicating I/O nodes — the Figure 9 small-P anomaly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 __all__ = ["StageModel", "optimal_pipeline_mapping", "best_airshed_mapping"]
 

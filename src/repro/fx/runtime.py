@@ -18,14 +18,14 @@ redistributions carry the paper's names (``"D_Repl->D_Trans"`` etc.).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.fx.darray import DistributedArray
 from repro.fx.distribution import Distribution
 from repro.fx.ploop import Kernel, parallel_do, replicated_do
-from repro.fx.redistribute import RedistributionPlan
 from repro.fx.tasks import Pipeline, PipelineStage, split_cluster
 from repro.observe.compare import breakdown as _span_breakdown
 from repro.observe.tracer import Tracer
@@ -33,7 +33,21 @@ from repro.vm.cluster import Cluster, Subgroup
 from repro.vm.machine import MachineSpec
 from repro.vm.traffic import PhaseRecord, Timeline
 
-__all__ = ["FxRuntime", "dist_label"]
+__all__ = ["FxRuntime", "PhaseIO", "dist_label"]
+
+
+@dataclass(frozen=True)
+class PhaseIO:
+    """Declared input/output variable sets of one named phase.
+
+    The Fx compiler derives these from the directives; our drivers
+    declare them explicitly so the static analyzer
+    (:mod:`repro.analyze`) can reason about data flow without executing
+    the program.
+    """
+
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
 
 
 def dist_label(distribution: Distribution) -> str:
@@ -55,6 +69,9 @@ class FxRuntime:
     ) -> None:
         self.cluster = Cluster(machine, nprocs, tracer=tracer)
         self.world = self.cluster.subgroup(range(nprocs))
+        #: Declared data-access sets per phase name (``repro.analyze``
+        #: consumes these; execution ignores them).
+        self.phase_decls: Dict[str, PhaseIO] = {}
 
     # ------------------------------------------------------------------
     # properties
@@ -111,6 +128,24 @@ class FxRuntime:
         if plan.is_empty():
             return None
         return array.group.charge_communication(label, list(plan.transfers))
+
+    # ------------------------------------------------------------------
+    # program description
+    # ------------------------------------------------------------------
+    def declare_phase(
+        self,
+        name: str,
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+    ) -> PhaseIO:
+        """Register the declared read/write sets of a named phase.
+
+        Mirrors the input/output annotations of an Fx task region;
+        purely declarative (no effect on execution or timing).
+        """
+        decl = PhaseIO(reads=frozenset(reads), writes=frozenset(writes))
+        self.phase_decls[name] = decl
+        return decl
 
     # ------------------------------------------------------------------
     # computation

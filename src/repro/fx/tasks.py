@@ -17,7 +17,7 @@ itself and the upstream item are done, plus any inter-stage transfer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.vm.cluster import Cluster, Subgroup, Transfer
 
@@ -27,10 +27,14 @@ __all__ = ["split_cluster", "PipelineStage", "Pipeline", "PipelineResult"]
 def split_cluster(cluster: Cluster, sizes: Sequence[int]) -> List[Subgroup]:
     """Partition the cluster's nodes into consecutive subgroups.
 
-    ``sizes`` must sum to at most ``cluster.nprocs``; leftover nodes are
-    simply unused (matching Fx, where a task region need not cover the
-    whole machine).
+    ``sizes`` must name at least one subgroup and sum to at most
+    ``cluster.nprocs``; leftover nodes are simply unused (matching Fx,
+    where a task region need not cover the whole machine).
     """
+    if not sizes:
+        raise ValueError(
+            "sizes is empty: a task region needs at least one subgroup"
+        )
     if any(s < 1 for s in sizes):
         raise ValueError("every subgroup needs at least one node")
     if sum(sizes) > cluster.nprocs:
@@ -53,12 +57,22 @@ class PipelineStage:
     compute/io/communication phases) and perform any real computation
     the stage owns.  ``output_bytes(item_index)`` sizes the handoff to
     the next stage (0 = no transfer).
+
+    ``reads`` / ``writes`` declare the named variables the stage touches
+    per item — the Fx task-region input/output sets of Section 5.  They
+    do not affect execution; :mod:`repro.analyze` uses them to detect
+    racy overlaps between pipelined stages.  ``handoff`` names the
+    variables whose per-item ownership passes to the *next* stage with
+    the inter-stage transfer (a sanctioned producer/consumer flow).
     """
 
     name: str
     group: Subgroup
     run: Callable[[int], None]
     output_bytes: Callable[[int], int] = field(default=lambda i: 0)
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    handoff: FrozenSet[str] = frozenset()
 
 
 @dataclass

@@ -10,7 +10,6 @@ areas and the boundary node set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 from scipy.spatial import Delaunay

@@ -10,7 +10,7 @@ and op counts that the simulated machine prices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

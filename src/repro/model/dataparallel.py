@@ -24,7 +24,7 @@ with a final ``D_Trans -> D_Repl`` before ``outputhour``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -45,6 +45,7 @@ __all__ = [
     "D_REPL",
     "D_TRANS",
     "D_CHEM",
+    "declare_airshed_phases",
     "ParallelTiming",
     "DataParallelAirshed",
     "HourReplayer",
@@ -55,6 +56,23 @@ __all__ = [
 D_REPL = Distribution.replicated(3)
 D_TRANS = Distribution.block(3, 1)
 D_CHEM = Distribution.block(3, 2)
+
+
+def declare_airshed_phases(rt: FxRuntime) -> None:
+    """Register the main-loop phases' declared read/write sets.
+
+    These are the data-access declarations the Fx compiler would derive
+    from the source; ``repro.analyze`` mirrors them when checking the
+    phase sequence.  Declaration only — execution is unaffected.
+    """
+    rt.declare_phase("io:inputhour", reads={"hourly_inputs"},
+                     writes={"conditions", "operators"})
+    rt.declare_phase("io:pretrans", reads={"conditions"}, writes={"operators"})
+    rt.declare_phase("transport", reads={"conc", "operators", "conditions"},
+                     writes={"conc"})
+    rt.declare_phase("chemistry", reads={"conc", "conditions"}, writes={"conc"})
+    rt.declare_phase("aerosol", reads={"conc"}, writes={"conc"})
+    rt.declare_phase("io:outputhour", reads={"conc"}, writes={"output_files"})
 
 
 @dataclass
@@ -133,6 +151,7 @@ class DataParallelAirshed:
         self.config = config
         self.physics = AirshedPhysics(config)
         self.runtime = FxRuntime(machine, nprocs, tracer=tracer)
+        declare_airshed_phases(self.runtime)
 
     def run(self) -> Tuple[AirshedResult, ParallelTiming]:
         cfg = self.config
@@ -324,6 +343,7 @@ def replay_data_parallel(
     predicted-vs-observed overlay).
     """
     rt = FxRuntime(machine, nprocs, tracer=tracer)
+    declare_airshed_phases(rt)
     replayer = HourReplayer(rt.world, trace)
     for hour in trace.hours:
         with rt.span(f"hour:{hour.hour:02d}", kind="hour", hour=hour.hour):

@@ -13,14 +13,13 @@ an ensemble is exactly reproducible from its seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List
 
 import numpy as np
 
 from repro.datasets.generators import Dataset, HourlyConditions
 from repro.model.config import AirshedConfig
-from repro.model.results import AirshedResult
 from repro.model.sequential import TRACKED_SPECIES, SequentialAirshed
 
 __all__ = ["PerturbedDataset", "EnsembleSummary", "EmissionEnsemble"]

@@ -9,8 +9,7 @@ and every kernel is independent per layer (transport) or per grid column
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

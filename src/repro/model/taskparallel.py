@@ -39,10 +39,36 @@ from repro.observe.tracer import Tracer
 from repro.vm.machine import MachineSpec
 
 __all__ = [
+    "STAGE_IO",
     "replay_task_parallel",
     "replay_best_configuration",
     "TaskParallelAirshed",
 ]
+
+#: Declared per-item data-access sets of the three pipeline stages — the
+#: Fx task-region input/output declarations of Section 5.  Both the
+#: replay and the live driver attach these to their
+#: :class:`~repro.fx.tasks.PipelineStage` objects, and
+#: ``repro.analyze`` mirrors them when building the stage x item task
+#: graph.  ``handoff`` names the variables whose per-item ownership
+#: passes to the next stage with the inter-stage transfer.
+STAGE_IO: Dict[str, Dict[str, frozenset]] = {
+    "input": dict(
+        reads=frozenset({"hourly_inputs"}),
+        writes=frozenset({"prepared"}),
+        handoff=frozenset({"prepared"}),
+    ),
+    "main": dict(
+        reads=frozenset({"prepared", "conc"}),
+        writes=frozenset({"conc", "snapshot"}),
+        handoff=frozenset({"snapshot"}),
+    ),
+    "output": dict(
+        reads=frozenset({"snapshot"}),
+        writes=frozenset({"output_files"}),
+        handoff=frozenset(),
+    ),
+}
 
 
 def replay_task_parallel(
@@ -99,14 +125,17 @@ def replay_task_parallel(
             group=in_grp,
             run=run_input,
             output_bytes=lambda i: hours[i].input_bytes,
+            **STAGE_IO["input"],
         ),
         PipelineStage(
             name="main",
             group=main_grp,
             run=run_main,
             output_bytes=lambda i: array_bytes,
+            **STAGE_IO["main"],
         ),
-        PipelineStage(name="output", group=out_grp, run=run_output),
+        PipelineStage(name="output", group=out_grp, run=run_output,
+                      **STAGE_IO["output"]),
     ]
     rt.pipeline(stages).execute(len(hours))
     return _timing_from_runtime(rt)
@@ -245,12 +274,15 @@ class TaskParallelAirshed:
             PipelineStage(
                 "input", self.in_grp, run_input,
                 output_bytes=lambda i: prepared[i][0].nbytes,
+                **STAGE_IO["input"],
             ),
             PipelineStage(
                 "main", self.main_grp, run_main,
                 output_bytes=lambda i: array_bytes,
+                **STAGE_IO["main"],
             ),
-            PipelineStage("output", self.out_grp, run_output),
+            PipelineStage("output", self.out_grp, run_output,
+                          **STAGE_IO["output"]),
         ]
         rt.pipeline(stages).execute(cfg.hours)
 

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 from typing import Dict, List
 
-from repro.observe.tracer import Span, Tracer
+from repro.observe.tracer import Tracer
 
 __all__ = [
     "chrome_trace",

@@ -20,7 +20,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-import numpy as np
 
 from repro.grid.multiscale import MultiscaleGrid
 from repro.model.results import WorkloadTrace

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
 
 from repro.model.results import WorkloadTrace
 from repro.perfmodel.communication import ArrayGeometry, CommunicationModel

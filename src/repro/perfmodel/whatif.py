@@ -11,7 +11,7 @@ the design.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.model.results import WorkloadTrace
 from repro.perfmodel.predict import PerformancePredictor

@@ -14,7 +14,6 @@ solved with a Thomas algorithm vectorised over all lines and species.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -21,7 +21,7 @@ the Los Angeles dataset land in the ranges of Figure 2: the Cray T3D is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.units import DEFAULT_WORDSIZE
 

@@ -16,9 +16,8 @@ available from the observability span stream
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.vm.traffic import Timeline
 

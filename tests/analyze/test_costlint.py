@@ -1,0 +1,142 @@
+"""Redistribution-cost lint (FX02x): budgets and cheaper-order hints."""
+
+from repro.analyze import (
+    ArrayDecl,
+    CostBudget,
+    FxProgram,
+    PhaseDecl,
+    build_program,
+    cost_table,
+    lint_costs,
+)
+from repro.fx import Distribution
+from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
+from repro.vm import get_machine
+
+T3E = get_machine("t3e")
+SHAPE = (35, 5, 700)
+
+D_REPL = Distribution.replicated(3)
+D_TRANS = Distribution.block(3, 1)
+D_CHEM = Distribution.block(3, 2)
+
+
+def airshed_cycle(nprocs=64):
+    """The paper's canonical D_Repl->D_Trans->D_Chem->D_Repl cycle."""
+    return FxProgram(
+        name="cycle",
+        machine=T3E,
+        nprocs=nprocs,
+        arrays=[ArrayDecl("conc", SHAPE, initial=D_REPL)],
+        phases=[
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+            PhaseDecl(op="redistribute", name="->chem", array="conc",
+                      target=D_CHEM),
+            PhaseDecl(op="compute", name="chemistry", array="conc",
+                      layout=D_CHEM),
+            PhaseDecl(op="redistribute", name="->repl", array="conc",
+                      target=D_REPL),
+            PhaseDecl(op="compute", name="aerosol", array="conc",
+                      layout=D_REPL),
+        ],
+    )
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestCostTable:
+    def test_cycle_has_three_priced_steps(self):
+        table = cost_table(airshed_cycle())
+        assert set(table) == {
+            "D_Repl->D_Trans", "D_Trans->D_Chem", "D_Chem->D_Repl",
+        }
+        for row in table.values():
+            assert row["occurrences"] == 1
+            assert row["seconds"] > 0.0
+
+    def test_allgather_is_the_most_expensive_step(self):
+        """Section 4.2: D_Chem->D_Repl dominates (receiver-bound all-gather)."""
+        table = cost_table(airshed_cycle())
+        gather = table["D_Chem->D_Repl"]
+        assert gather["network_bytes"] > table["D_Trans->D_Chem"]["network_bytes"]
+        assert gather["seconds"] == max(r["seconds"] for r in table.values())
+
+    def test_closed_form_annotation_matches_perfmodel(self):
+        table = cost_table(airshed_cycle(nprocs=64))
+        model = CommunicationModel(T3E, ArrayGeometry(*SHAPE, wordsize=8))
+        for name in ("D_Trans->D_Chem", "D_Chem->D_Repl"):
+            assert table[name]["closed_form_seconds"] == model.cost(name, 64)
+
+
+class TestBudget:
+    def test_no_budget_no_fx020(self):
+        diags, _ = lint_costs(airshed_cycle())
+        assert "FX020" not in codes(diags)
+
+    def test_byte_budget_flags_the_allgather(self):
+        budget = CostBudget(max_step_bytes=1 << 20)
+        diags, _ = lint_costs(airshed_cycle(), budget)
+        flagged = [d for d in diags if d.code == "FX020"]
+        assert any(d.phase == "D_Chem->D_Repl" for d in flagged)
+
+    def test_message_budget(self):
+        budget = CostBudget(max_step_messages=1)
+        diags, _ = lint_costs(airshed_cycle(), budget)
+        assert "FX020" in codes(diags)
+        [d] = [d for d in diags
+               if d.code == "FX020" and d.phase == "D_Chem->D_Repl"]
+        assert "messages" in d.details["violations"]
+
+    def test_generous_budget_is_clean(self):
+        budget = CostBudget(max_step_messages=10**9,
+                            max_step_bytes=10**12,
+                            max_step_seconds=10**6)
+        diags, _ = lint_costs(airshed_cycle(), budget)
+        assert "FX020" not in codes(diags)
+
+    def test_each_step_flagged_once(self):
+        prog = build_program("dataparallel", dataset="la", nprocs=64)
+        budget = CostBudget(max_step_bytes=1)
+        diags, table = lint_costs(prog, budget)
+        flagged = [d.phase for d in diags if d.code == "FX020"]
+        assert len(flagged) == len(set(flagged))
+        assert all(table[name]["occurrences"] >= 1 for name in flagged)
+
+
+class TestCheaperOrder:
+    def test_unread_intermediate_suggests_direct_hop(self):
+        """D_Chem -> D_Trans -> D_Repl with the D_Trans layout never read:
+        going straight to D_Repl is cheaper, so FX021 fires."""
+        prog = FxProgram(
+            name="detour",
+            machine=T3E,
+            nprocs=64,
+            arrays=[ArrayDecl("conc", SHAPE, initial=D_CHEM)],
+            phases=[
+                PhaseDecl(op="redistribute", name="->trans", array="conc",
+                          target=D_TRANS),
+                PhaseDecl(op="redistribute", name="->repl", array="conc",
+                          target=D_REPL),
+                PhaseDecl(op="compute", name="aerosol", array="conc",
+                          layout=D_REPL),
+            ],
+        )
+        diags, _ = lint_costs(prog)
+        hints = [d for d in diags if d.code == "FX021"]
+        assert len(hints) == 1
+        assert hints[0].details["direct_seconds"] < \
+            hints[0].details["via_seconds"]
+
+    def test_consumed_intermediate_is_not_flagged(self):
+        diags, _ = lint_costs(airshed_cycle())
+        assert "FX021" not in codes(diags)
+
+    def test_shipped_dataparallel_has_no_cheaper_order(self):
+        prog = build_program("dataparallel", dataset="la", nprocs=64)
+        diags, _ = lint_costs(prog)
+        assert "FX021" not in codes(diags)

@@ -1,0 +1,181 @@
+"""Directive-consistency pass (FX00x): fixtures that inject each defect."""
+
+import pytest
+
+from repro.analyze import (
+    ArrayDecl,
+    FxProgram,
+    PhaseDecl,
+    TaskDecl,
+    build_program,
+    check_directives,
+)
+from repro.analyze.diagnostics import Severity
+from repro.fx import Distribution
+from repro.vm import get_machine
+
+T3E = get_machine("t3e")
+SHAPE = (35, 5, 700)
+
+D_REPL = Distribution.replicated(3)
+D_TRANS = Distribution.block(3, 1)
+D_CHEM = Distribution.block(3, 2)
+
+
+def program(phases, arrays=None, tasks=None, nprocs=4):
+    return FxProgram(
+        name="fixture",
+        machine=T3E,
+        nprocs=nprocs,
+        arrays=arrays if arrays is not None
+        else [ArrayDecl("conc", SHAPE, initial=D_REPL)],
+        tasks=tasks or [],
+        phases=phases,
+    )
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestLayoutMismatch:
+    def test_ndim_mismatch_is_fx001(self):
+        bad = Distribution.block(2, 0)  # 2-d directive on a 3-d array
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->bad", array="conc",
+                      target=bad),
+        ]))
+        assert "FX001" in codes(diags)
+        [d] = [d for d in diags if d.code == "FX001"]
+        assert d.severity is Severity.ERROR
+        assert "3-d" in d.message
+
+    def test_undeclared_array_is_fx001(self):
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->trans", array="ghost",
+                      target=D_TRANS),
+        ]))
+        assert "FX001" in codes(diags)
+
+    def test_compute_layout_rank_mismatch_is_fx001(self):
+        diags = check_directives(program([
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=Distribution.block(2, 0)),
+        ]))
+        assert "FX001" in codes(diags)
+
+
+class TestRedundantRedistribution:
+    def test_back_to_back_unread_is_fx002(self):
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="redistribute", name="->chem", array="conc",
+                      target=D_CHEM),
+            PhaseDecl(op="compute", name="chemistry", array="conc",
+                      layout=D_CHEM),
+        ]))
+        assert codes(diags) == ["FX002"]
+
+    def test_intervening_read_is_clean(self):
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+            PhaseDecl(op="redistribute", name="->chem", array="conc",
+                      target=D_CHEM),
+            PhaseDecl(op="compute", name="chemistry", array="conc",
+                      layout=D_CHEM),
+        ]))
+        assert diags == []
+
+    def test_identity_redistribution_elided(self):
+        """Target == current directive compiles to nothing: no FX002."""
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->repl", array="conc",
+                      target=D_REPL),
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+        ]))
+        assert diags == []
+
+
+class TestDeadLayout:
+    def test_trailing_unread_layout_is_fx003(self):
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+        ]))
+        assert codes(diags) == ["FX003"]
+
+
+class TestSubgroupViolations:
+    def test_oversubscribed_tasks_is_fx004(self):
+        diags = check_directives(program(
+            [],
+            tasks=[TaskDecl("input", 4), TaskDecl("main", 14),
+                   TaskDecl("output", 4)],
+            nprocs=16,
+        ))
+        assert "FX004" in codes(diags)
+
+    def test_empty_task_region_is_fx004(self):
+        diags = check_directives(program(
+            [], tasks=[TaskDecl("main", 0)], nprocs=16,
+        ))
+        assert "FX004" in codes(diags)
+
+    def test_zero_node_machine_is_fx004(self):
+        diags = check_directives(program([], nprocs=0))
+        assert "FX004" in codes(diags)
+
+    def test_array_on_undeclared_task_is_fx004(self):
+        diags = check_directives(program(
+            [],
+            arrays=[ArrayDecl("conc", SHAPE, group="phantom")],
+        ))
+        assert "FX004" in codes(diags)
+
+    def test_taskparallel_too_few_nodes_flagged(self):
+        """The shipped builder with nprocs=2 leaves main with 0 nodes."""
+        prog = build_program("taskparallel", dataset="la", nprocs=2)
+        assert "FX004" in codes(check_directives(prog))
+
+
+class TestIdleNodes:
+    def test_small_extent_over_large_group_is_fx005(self):
+        diags = check_directives(program([
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+        ], nprocs=64))
+        assert "FX005" in codes(diags)
+        [d] = [d for d in diags if d.code == "FX005"]
+        assert d.severity is Severity.INFO
+        assert d.details["extent"] == 5
+
+    def test_reported_once_per_layout(self):
+        phases = []
+        for _ in range(3):
+            phases.append(PhaseDecl(op="redistribute", name="->trans",
+                                    array="conc", target=D_TRANS))
+            phases.append(PhaseDecl(op="compute", name="transport",
+                                    array="conc", layout=D_TRANS))
+            phases.append(PhaseDecl(op="redistribute", name="->repl",
+                                    array="conc", target=D_REPL))
+            phases.append(PhaseDecl(op="compute", name="aerosol",
+                                    array="conc", layout=D_REPL))
+        diags = check_directives(program(phases, nprocs=64))
+        assert codes(diags).count("FX005") == 1
+
+
+@pytest.mark.parametrize("driver", ["sequential", "dataparallel",
+                                    "taskparallel"])
+def test_shipped_drivers_have_no_directive_errors(driver):
+    prog = build_program(driver, dataset="la", machine="t3e", nprocs=64)
+    diags = check_directives(prog)
+    assert all(d.severity is not Severity.ERROR for d in diags), codes(diags)

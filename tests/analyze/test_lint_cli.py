@@ -1,0 +1,123 @@
+"""`repro lint` end to end: exit codes, JSON output, broken fixtures."""
+
+import json
+
+import pytest
+
+from repro.analyze import ArrayDecl, FxProgram, PhaseDecl, TaskDecl
+from repro.analyze.programs import _REGISTRY, register_program
+from repro.cli import main
+from repro.fx import Distribution
+from repro.vm import get_machine
+
+SHAPE = (35, 5, 700)
+D_REPL = Distribution.replicated(3)
+D_TRANS = Distribution.block(3, 1)
+
+
+def build_racy(machine="t3e", nprocs=16, **_ignored) -> FxProgram:
+    """Two overlappable stages both mutate `conc` with no handoff — the
+    classic adjacent-hours write-write race of an unsynchronised pipeline."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    return FxProgram(
+        name="racy",
+        machine=machine,
+        nprocs=nprocs,
+        arrays=[ArrayDecl("conc", SHAPE)],
+        tasks=[
+            TaskDecl("main", nprocs - 1, writes=frozenset({"conc"})),
+            TaskDecl("output", 1, reads=frozenset({"conc"}),
+                     writes=frozenset({"conc"})),
+        ],
+    )
+
+
+def build_mismatched(machine="t3e", nprocs=16, **_ignored) -> FxProgram:
+    """A redistribution whose 2-d directive cannot apply to the 3-d array."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    return FxProgram(
+        name="mismatched",
+        machine=machine,
+        nprocs=nprocs,
+        arrays=[ArrayDecl("conc", SHAPE, initial=D_REPL)],
+        phases=[
+            PhaseDecl(op="redistribute", name="->bad", array="conc",
+                      target=Distribution.block(2, 0)),
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+        ],
+    )
+
+
+@pytest.fixture()
+def broken_drivers():
+    register_program("test-racy", build_racy)
+    register_program("test-mismatched", build_mismatched)
+    yield
+    del _REGISTRY["test-racy"]
+    del _REGISTRY["test-mismatched"]
+
+
+class TestShippedDrivers:
+    @pytest.mark.parametrize("driver", ["sequential", "dataparallel",
+                                        "taskparallel"])
+    def test_exits_zero(self, driver, capsys):
+        rc = main(["lint", "--driver", driver, "--dataset", "la",
+                   "--machine", "t3e", "-n", "64"])
+        assert rc == 0
+        assert "analysis of" in capsys.readouterr().out
+
+    def test_crosscheck_confirms_77_steps(self, capsys):
+        rc = main(["lint", "--driver", "dataparallel", "--dataset", "la",
+                   "--machine", "t3e", "-n", "64", "--crosscheck", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["predicted_comm_steps"] == 77
+        assert report["summary"]["executed_comm_steps"] == 77
+
+    def test_unknown_driver_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--driver", "mpi"])
+
+
+class TestBrokenFixtures:
+    def test_injected_race_fails(self, broken_drivers, capsys):
+        rc = main(["lint", "--driver", "test-racy"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "FX010" in out
+
+    def test_mismatched_layout_fails(self, broken_drivers, capsys):
+        rc = main(["lint", "--driver", "test-mismatched"])
+        assert rc == 2
+        assert "FX001" in capsys.readouterr().out
+
+    def test_json_enumerates_stable_codes(self, broken_drivers, capsys):
+        rc = main(["lint", "--driver", "test-racy", "--json"])
+        assert rc == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 2
+        entries = {d["code"]: d for d in report["diagnostics"]}
+        assert "FX010" in entries
+        assert entries["FX010"]["severity"] == "error"
+        assert entries["FX010"]["details"]["variables"] == ["conc"]
+
+
+class TestBudgetFlags:
+    def test_budget_violation_exits_one(self, capsys):
+        rc = main(["lint", "--driver", "dataparallel", "--dataset", "la",
+                   "-n", "64", "--max-step-bytes", "1048576"])
+        assert rc == 1
+        assert "FX020" in capsys.readouterr().out
+
+    def test_json_reports_cost_table(self, capsys):
+        rc = main(["lint", "--driver", "dataparallel", "--dataset", "la",
+                   "-n", "64", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "D_Chem->D_Repl" in report["cost_table"]
+        assert report["cost_table"]["D_Chem->D_Repl"]["occurrences"] == 24

@@ -1,0 +1,138 @@
+"""Task-graph race detection (FX01x): the stage x item dependency DAG."""
+
+import pytest
+
+from repro.analyze import (
+    ArrayDecl,
+    FxProgram,
+    PhaseDecl,
+    TaskDecl,
+    build_program,
+    check_races,
+)
+from repro.analyze.races import overlappable_pairs, sanctioned_vars, task_graph
+from repro.fx import Distribution
+from repro.vm import get_machine
+
+T3E = get_machine("t3e")
+SHAPE = (35, 5, 700)
+
+D_REPL = Distribution.replicated(3)
+D_TRANS = Distribution.block(3, 1)
+D_CHEM = Distribution.block(3, 2)
+
+
+def program(tasks, phases=(), arrays=None, nprocs=16):
+    return FxProgram(
+        name="fixture",
+        machine=T3E,
+        nprocs=nprocs,
+        arrays=arrays if arrays is not None
+        else [ArrayDecl("conc", SHAPE, initial=D_REPL)],
+        tasks=list(tasks),
+        phases=list(phases),
+    )
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestTaskGraph:
+    def test_dag_shape(self):
+        prog = program([TaskDecl("a", 1), TaskDecl("b", 1)])
+        deps = task_graph(prog, nitems=2)
+        assert deps[("a", 0)] == set()
+        assert deps[("a", 1)] == {("a", 0)}
+        assert deps[("b", 0)] == {("a", 0)}
+        assert deps[("b", 1)] == {("b", 0), ("a", 1)}
+
+    def test_adjacent_stages_overlap(self):
+        prog = program([TaskDecl("a", 1), TaskDecl("b", 1)])
+        assert ("a", "b") in overlappable_pairs(prog)
+
+    def test_single_stage_never_overlaps_itself(self):
+        prog = program([TaskDecl("only", 4)])
+        assert overlappable_pairs(prog) == set()
+
+    def test_sanctioned_chain_must_be_unbroken(self):
+        prog = program([
+            TaskDecl("a", 1, handoff=frozenset({"x", "y"})),
+            TaskDecl("b", 1, handoff=frozenset({"x"})),
+            TaskDecl("c", 1),
+        ])
+        assert sanctioned_vars(prog, 0, 1) == {"x", "y"}
+        assert sanctioned_vars(prog, 0, 2) == {"x"}
+
+
+class TestStageConflicts:
+    def test_write_write_race_is_fx010(self):
+        prog = program([
+            TaskDecl("input", 1, writes=frozenset({"conc"})),
+            TaskDecl("main", 14, writes=frozenset({"conc"})),
+        ])
+        diags = check_races(prog)
+        assert "FX010" in codes(diags)
+        [d] = [d for d in diags if d.code == "FX010"]
+        assert d.details["variables"] == ["conc"]
+
+    def test_read_write_race_is_fx011(self):
+        prog = program([
+            TaskDecl("main", 14, writes=frozenset({"snapshot"})),
+            TaskDecl("output", 1, reads=frozenset({"snapshot"})),
+        ])
+        assert "FX011" in codes(check_races(prog))
+
+    def test_handoff_sanctions_the_flow(self):
+        """The producer/consumer pattern with a declared handoff is clean."""
+        prog = program([
+            TaskDecl("main", 14, writes=frozenset({"snapshot"}),
+                     handoff=frozenset({"snapshot"})),
+            TaskDecl("output", 1, reads=frozenset({"snapshot"})),
+        ])
+        assert check_races(prog) == []
+
+    def test_disjoint_variables_are_clean(self):
+        prog = program([
+            TaskDecl("a", 1, reads=frozenset({"x"}), writes=frozenset({"y"})),
+            TaskDecl("b", 1, reads=frozenset({"p"}), writes=frozenset({"q"})),
+        ])
+        assert check_races(prog) == []
+
+
+class TestStaleReads:
+    def test_compute_under_wrong_layout_is_fx012(self):
+        """Two stages mutating conc for adjacent hours without a transfer:
+        chemistry runs while the array is still in the transport layout."""
+        prog = program([], phases=[
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+            PhaseDecl(op="compute", name="chemistry", array="conc",
+                      layout=D_CHEM),
+        ])
+        diags = check_races(prog)
+        assert codes(diags) == ["FX012"]
+        [d] = diags
+        assert d.details["required"] != d.details["current"]
+
+    def test_correct_sequence_is_clean(self):
+        prog = program([], phases=[
+            PhaseDecl(op="redistribute", name="->trans", array="conc",
+                      target=D_TRANS),
+            PhaseDecl(op="compute", name="transport", array="conc",
+                      layout=D_TRANS),
+            PhaseDecl(op="redistribute", name="->chem", array="conc",
+                      target=D_CHEM),
+            PhaseDecl(op="compute", name="chemistry", array="conc",
+                      layout=D_CHEM),
+        ])
+        assert check_races(prog) == []
+
+
+@pytest.mark.parametrize("driver", ["sequential", "dataparallel",
+                                    "taskparallel"])
+def test_shipped_drivers_are_race_free(driver):
+    prog = build_program(driver, dataset="la", machine="t3e", nprocs=64)
+    assert check_races(prog) == []

@@ -9,7 +9,6 @@ from repro.chemistry import (
     Arrhenius,
     ChemistryStats,
     Mechanism,
-    Photolysis,
     Reaction,
     YoungBorisSolver,
     cit_mechanism,

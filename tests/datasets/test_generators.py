@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import Dataset, make_la, make_ne
+from repro.datasets import make_la, make_ne
 
 
 @pytest.fixture(scope="module")

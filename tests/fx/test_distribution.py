@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fx import DistKind, Distribution
+from repro.fx import Distribution
 
 
 class TestDistributionConstruction:

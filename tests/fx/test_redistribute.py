@@ -6,7 +6,6 @@ equations of Section 4.2 of the paper for the three Airshed steps.
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -203,8 +202,6 @@ def test_same_dim_repartition_moves_only_the_difference(P, n):
     a = Distribution.block(2, 1).layout(shape, P)
     b = Distribution.cyclic(2, 1).layout(shape, P)
     plan = plan_redistribution(a, b, 8)
-    import numpy as np
-
     for node in range(P):
         owned_before = set(a.owned_indices(node).tolist())
         owned_after = set(b.owned_indices(node).tolist())
@@ -213,3 +210,42 @@ def test_same_dim_repartition_moves_only_the_difference(P, n):
         other = 3 * 8  # non-distributed dim elements x itemsize
         assert plan.bytes_received_by(node) == len(new_indices) * other
         assert plan.bytes_copied_by(node) == len(kept_indices) * other
+
+
+class TestAnalyzerEdgeCases:
+    """Edge cases the static analyzer's plan elision relies on
+    (`repro.analyze` skips steps exactly when the plan is empty)."""
+
+    def test_identity_redistribution_plans_nothing(self):
+        for dist in (D_REPL, D_TRANS, D_CHEM):
+            layout = dist.layout(SHAPE, 8)
+            plan = plan_redistribution(layout, layout, W)
+            assert plan.is_empty()
+            assert plan.network_bytes() == 0
+            assert plan.copied_bytes() == 0
+            assert plan.message_count() == 0
+
+    def test_replicated_to_replicated_is_empty(self):
+        """Two distinct replicated directives still describe the same
+        placement: nothing moves and nothing is copied."""
+        a = Distribution.replicated(3).layout(SHAPE, 8)
+        b = Distribution.replicated(3).layout(SHAPE, 8)
+        assert plan_redistribution(a, b, W).is_empty()
+
+    @pytest.mark.parametrize("src,dst", [
+        (D_REPL, D_TRANS),
+        (D_TRANS, D_CHEM),
+        (D_CHEM, D_REPL),
+    ])
+    def test_single_node_group_never_communicates(self, src, dst):
+        """On a one-node group every layout is total ownership: the plan
+        may copy locally but must not send a single message."""
+        plan = plan_redistribution(
+            src.layout(SHAPE, 1), dst.layout(SHAPE, 1), W
+        )
+        assert plan.message_count() == 0
+        assert plan.network_bytes() == 0
+        total = SPECIES * LAYERS * NODES * W
+        for t in plan.transfers:
+            assert t.src == 0 and t.dst == 0
+        assert plan.copied_bytes() in (0, total)

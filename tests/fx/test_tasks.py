@@ -32,6 +32,12 @@ class TestSplitCluster:
         with pytest.raises(ValueError):
             split_cluster(cluster, [0, 4])
 
+    def test_empty_sizes_rejected(self):
+        """No sizes at all must be a clear error, not zero subgroups."""
+        cluster = Cluster(TOY, 4)
+        with pytest.raises(ValueError, match="at least one subgroup"):
+            split_cluster(cluster, [])
+
 
 def make_stage(name, group, seconds):
     def run(i):

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.grid import MultiscaleGrid, RefinementCore, generate_multiscale_grid
+from repro.grid import RefinementCore, generate_multiscale_grid
 
 CORES = [RefinementCore(x=100.0, y=80.0, weight=10.0, sigma=30.0)]
 

@@ -22,6 +22,7 @@ def doc_ids():
 def test_required_docs_exist():
     assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
     assert (ROOT / "docs" / "OBSERVABILITY.md").is_file()
+    assert (ROOT / "docs" / "ANALYZE.md").is_file()
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids())
@@ -56,3 +57,25 @@ def test_trace_subcommand_is_documented():
     """The observability entry point is reachable from the README."""
     assert "trace" in _parser_subcommands()
     assert "python -m repro trace" in (ROOT / "README.md").read_text()
+
+
+def test_lint_subcommand_is_documented():
+    """The static-analysis entry point is reachable from the README."""
+    assert "lint" in _parser_subcommands()
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro lint" in readme
+    assert "docs/ANALYZE.md" in readme
+
+
+def test_analyze_doc_covers_every_diagnostic_code():
+    """docs/ANALYZE.md's code table must list every registered FXnnn."""
+    from repro.analyze import DIAGNOSTIC_CODES
+
+    text = (ROOT / "docs" / "ANALYZE.md").read_text()
+    missing = [code for code in DIAGNOSTIC_CODES if f"`{code}`" not in text]
+    assert not missing, f"ANALYZE.md misses diagnostic codes: {missing}"
+
+
+def test_analyze_doc_linked_from_architecture():
+    text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    assert "ANALYZE.md" in text

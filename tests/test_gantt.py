@@ -64,7 +64,6 @@ class TestRender:
         from repro.fx.runtime import FxRuntime
         from repro.model.dataparallel import HourReplayer
         from repro.fx.tasks import PipelineStage
-        import numpy as np
 
         rt = FxRuntime(TOY, 6)
         a, b, c = rt.split([1, 4, 1])

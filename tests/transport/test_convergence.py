@@ -1,7 +1,6 @@
 """Numerical convergence and robustness of the transport operators."""
 
 import numpy as np
-import pytest
 
 from repro.grid import UniformGrid, triangulate
 from repro.transport import SUPGTransport, Splitting1DTransport

@@ -4,7 +4,6 @@ import pytest
 
 from repro.vm import CRAY_T3E, Transfer
 from repro.vm.topology import (
-    LinkAnalysis,
     T3E_LINK_COST,
     TorusTopology,
     analyze_contention,
