@@ -1,0 +1,12 @@
+"""Perf microbenchmark suite for the simulator's hot paths.
+
+Run ``python -m benchmarks.perf.suite`` to measure the hot paths
+(trace replay, batched communication charging, redistribution
+planning, one sequential chemistry hour) and write ``BENCH_perf.json``
+at the repo root with before/after medians against the committed
+pre-change baseline (``benchmarks/perf/baseline.json``).
+
+``--quick`` restricts the run to the sub-second benchmarks (the CI
+smoke mode); ``--check-regression F`` exits non-zero when any measured
+median exceeds ``F`` times its baseline.
+"""

@@ -1,0 +1,235 @@
+"""Hot-path perf microbenchmarks with a committed pre-change baseline.
+
+Each benchmark measures one hot path of the simulator with the exact
+setup used to capture ``baseline.json`` *before* the hot-path overhaul
+(batched communication charging, memoized redistribution plans, the
+fused chemistry kernel), so the recorded speedups compare like with
+like:
+
+``replay_2la_t3e_p64``
+    Replay two real LA hours data-parallel on a 64-node Cray T3E.
+``charge_comm_allgather_p64_x10``
+    Charge the ``D_Chem -> D_Repl`` all-gather (4096 transfers) ten
+    times on a fresh 64-node subgroup.
+``chemistry_hour_la``
+    One sequential LA chemistry hour (real numerics); also reports the
+    SHA-256 of the final concentration field, which must equal the
+    baseline hash — the overhaul's contract is *faster, bitwise equal*.
+``plan_redistribution_cold_p64``
+    Plan the main loop's four redistribution pairs from a cold cache.
+``replay_synthetic_2h_t3e_p64``
+    Replay a deterministic synthetic 2-hour trace (no dataset needed;
+    this is the CI smoke benchmark).
+
+Timings are wall-clock medians; the concentration hash is the only
+machine-independent number.  ``tests/perf`` separately pins replayed
+*simulated* timings to machine-independent goldens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.datasets import make_la
+from repro.fx import redistribute
+from repro.fx.distribution import Distribution
+from repro.model import AirshedConfig, SequentialAirshed
+from repro.model.dataparallel import replay_data_parallel
+from repro.model.results import HourTrace, StepTrace, WorkloadTrace
+from repro.vm.cluster import Cluster
+from repro.vm.machine import CRAY_T3E
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).with_name("baseline.json")
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+SHAPE = (35, 5, 700)
+NPROCS = 64
+
+D_CHEM = Distribution.block(3, 2)
+D_REPL = Distribution.replicated(3)
+D_TRANS = Distribution.block(3, 1)
+
+
+def det_trace(shape=SHAPE, hours=2, steps=6, start=6) -> WorkloadTrace:
+    """The deterministic synthetic trace the goldens were captured on."""
+    ns, nl, npts = shape
+    tr = WorkloadTrace(dataset_name="golden", shape=shape)
+    for i in range(hours):
+        st = []
+        for j in range(steps):
+            st.append(StepTrace(
+                transport1_ops=np.arange(nl, dtype=float) * 1000.0 + i + j,
+                chemistry_ops=(np.arange(npts, dtype=float) % 17) * 50.0 + 3.0 * j,
+                aerosol_ops=125000.0 + 10.0 * i,
+                transport2_ops=np.arange(nl, dtype=float) * 900.0 + 2.0 * i + j,
+            ))
+        tr.hours.append(HourTrace(
+            hour=start + i, input_bytes=1 << 21, input_ops=40000.0,
+            pretrans_ops=90000.0, nsteps=steps, steps=st,
+            output_bytes=1 << 20, output_ops=20000.0,
+        ))
+    return tr
+
+
+def _median(fn: Callable[[], None], reps: int) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+# ---------------------------------------------------------------------------
+# benchmarks
+# ---------------------------------------------------------------------------
+def bench_replay_la(reps: int = 7) -> Dict[str, float]:
+    from benchmarks.trace_cache import la_trace
+
+    full = la_trace()
+    trace = WorkloadTrace(dataset_name=full.dataset_name, shape=full.shape,
+                          hours=list(full.hours[:2]))
+    replay_data_parallel(trace, CRAY_T3E, NPROCS)  # warm caches/JIT-ish costs
+    return {"median_s": _median(
+        lambda: replay_data_parallel(trace, CRAY_T3E, NPROCS), reps)}
+
+
+def bench_charge_comm(reps: int = 7) -> Dict[str, float]:
+    plan = redistribute.plan_redistribution(
+        D_CHEM.layout(SHAPE, NPROCS), D_REPL.layout(SHAPE, NPROCS), 8)
+    batch = plan.batch
+
+    def charge_once() -> None:
+        cluster = Cluster(CRAY_T3E, NPROCS)
+        group = cluster.subgroup(range(NPROCS))
+        for _ in range(10):
+            group.charge_communication("D_Chem->D_Repl", batch)
+
+    charge_once()
+    return {"median_s": _median(charge_once, reps)}
+
+
+def bench_chemistry_hour(reps: int = 3) -> Dict[str, object]:
+    cfg = AirshedConfig(dataset=make_la(), hours=1, start_hour=12)
+    times = []
+    digest: Optional[str] = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = SequentialAirshed(cfg).run()
+        times.append(time.perf_counter() - t0)
+        digest = hashlib.sha256(res.final_conc.tobytes()).hexdigest()
+    return {"median_s": statistics.median(times), "final_conc_sha256": digest}
+
+
+def bench_plan_cold(reps: int = 7) -> Dict[str, float]:
+    pairs = [(D_REPL, D_TRANS), (D_TRANS, D_CHEM),
+             (D_CHEM, D_REPL), (D_REPL, D_TRANS)]
+
+    def plan_cold() -> None:
+        redistribute._PLAN_CACHE.clear()
+        for a, b in pairs:
+            redistribute.plan_redistribution(
+                a.layout(SHAPE, NPROCS), b.layout(SHAPE, NPROCS), 8)
+
+    plan_cold()
+    return {"median_s": _median(plan_cold, reps)}
+
+
+def bench_replay_synthetic(reps: int = 9) -> Dict[str, float]:
+    trace = det_trace()
+    replay_data_parallel(trace, CRAY_T3E, NPROCS)
+    return {"median_s": _median(
+        lambda: replay_data_parallel(trace, CRAY_T3E, NPROCS), reps)}
+
+
+#: name -> (runs in --quick mode, benchmark callable)
+BENCHES = {
+    "replay_2la_t3e_p64": (False, bench_replay_la),
+    "charge_comm_allgather_p64_x10": (True, bench_charge_comm),
+    "chemistry_hour_la": (False, bench_chemistry_hour),
+    "plan_redistribution_cold_p64": (True, bench_plan_cold),
+    "replay_synthetic_2h_t3e_p64": (True, bench_replay_synthetic),
+}
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def run_suite(quick: bool = False,
+              baseline_path: Path = BASELINE_PATH) -> Dict[str, object]:
+    baseline = json.loads(baseline_path.read_text())["benchmarks"]
+    results: Dict[str, Dict[str, object]] = {}
+    for name, (in_quick, fn) in BENCHES.items():
+        if quick and not in_quick:
+            continue
+        out = dict(fn())
+        base = baseline.get(name, {})
+        if "median_s" in base:
+            out["baseline_median_s"] = base["median_s"]
+            out["speedup_vs_baseline"] = base["median_s"] / out["median_s"]
+        if "final_conc_sha256" in base:
+            out["baseline_final_conc_sha256"] = base["final_conc_sha256"]
+            out["bitwise_identical"] = (
+                out.get("final_conc_sha256") == base["final_conc_sha256"])
+        results[name] = out
+    return {
+        "benchmarks": results,
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "baseline": str(baseline_path.relative_to(REPO_ROOT))
+            if baseline_path.is_relative_to(REPO_ROOT) else str(baseline_path),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Hot-path perf microbenchmarks (see benchmarks/perf).")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the sub-second benchmarks (CI smoke mode)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument(
+        "--check-regression", type=float, default=None, metavar="FACTOR",
+        help="exit 1 if any median exceeds FACTOR x its baseline median, "
+             "or if the chemistry result is not bitwise identical")
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick, baseline_path=args.baseline)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    failed = []
+    for name, res in report["benchmarks"].items():
+        base = res.get("baseline_median_s")
+        line = f"{name}: {res['median_s']:.6f}s"
+        if base is not None:
+            line += f"  (baseline {base:.6f}s, {res['speedup_vs_baseline']:.2f}x)"
+            if (args.check_regression is not None
+                    and res["median_s"] > args.check_regression * base):
+                failed.append(f"{name} regressed beyond "
+                              f"{args.check_regression:g}x baseline")
+        if res.get("bitwise_identical") is False:
+            failed.append(f"{name} result is not bitwise identical to baseline")
+        print(line)
+    print(f"wrote {args.out}")
+    for msg in failed:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ and cached on disk.  Delete ``benchmarks/_cache`` to force regeneration
 from __future__ import annotations
 
 import pickle
+import warnings
 from pathlib import Path
 
 from repro.datasets import make_la, make_ne
@@ -35,8 +36,20 @@ def _load_or_build(name: str, builder) -> WorkloadTrace:
     CACHE_DIR.mkdir(exist_ok=True)
     path = CACHE_DIR / f"{name}_v{TRACE_VERSION}.pkl"
     if path.exists():
-        with path.open("rb") as fh:
-            return pickle.load(fh)
+        try:
+            with path.open("rb") as fh:
+                trace = pickle.load(fh)
+            if isinstance(trace, WorkloadTrace):
+                return trace
+            warnings.warn(
+                f"trace cache {path} holds {type(trace).__name__}, rebuilding"
+            )
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError) as exc:
+            # A truncated/corrupt pickle, or one written by an old code
+            # layout, must never break the benchmarks: rebuild it.
+            warnings.warn(f"corrupt trace cache {path} ({exc}), rebuilding")
+        path.unlink(missing_ok=True)
     trace = builder()
     with path.open("wb") as fh:
         pickle.dump(trace, fh)

@@ -1,0 +1,337 @@
+"""Allocation-free fast path for the chemistry hot loop.
+
+:class:`FastKernel` evaluates the mechanism's production/loss form and
+the Young–Boris predictor/corrector stages into preallocated workspace
+buffers.  The solver spends ~97% of a sequential Airshed hour here; the
+reference implementation (:meth:`repro.chemistry.mechanism.Mechanism.
+production_loss` plus the solver's ``_substep``) allocates dozens of
+temporaries per substep and touches every array several times.  The
+kernel removes the temporaries and fuses passes while producing
+**bitwise-identical** results.
+
+Each stage has two interchangeable backends:
+
+* a pure-numpy path using ``out=`` buffers (always available), and
+* C fused loops (:mod:`repro.chemistry.cfused`), compiled on demand,
+  that collapse each stage's ufunc chain into a single pass.
+
+Bitwise-identity ground rules (verified empirically on this codebase,
+documented in ``docs/PERFORMANCE.md``):
+
+* elementwise ufuncs with ``out=`` buffers, operand swaps of
+  commutative ops (``x*y`` vs ``y*x``) and shared subexpressions with
+  identical expression trees are all exact;
+* gather -> compute -> scatter on a contiguous subset is exact for
+  ``exp``, division and the other elementwise ops (per-element results
+  do not depend on neighbours);
+* C loops that perform the same IEEE-754 operations in the same
+  per-element order are exact, provided FMA contraction and fast-math
+  are disabled (see ``_cfused.c``);
+* the ``(35, n_r) @ (n_r, m)`` matmuls must be fed the *same* operand
+  content as the reference — BLAS dgemm results for one column depend
+  on the matrix's overall width and the column's position (micro-kernel
+  edge handling), so the matmuls stay in BLAS and only their
+  surroundings are optimized.
+
+Workspace buffers are prefix views of flat arrays, so every view is
+C-contiguous regardless of the active-point count ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.chemistry import cfused
+from repro.chemistry.mechanism import Mechanism
+
+__all__ = ["FastKernel", "asymptotic_subset"]
+
+
+class FastKernel:
+    """Workspace-backed solver stages for one solver instance.
+
+    Not thread-safe: buffers are shared across calls by design.
+
+    Parameters
+    ----------
+    mechanism:
+        The compiled mechanism.
+    use_c:
+        ``None`` (default) auto-detects the C fused kernels; ``False``
+        forces the pure-numpy path (used by the bitwise-equivalence
+        tests); ``True`` requires them and raises if unavailable.
+    """
+
+    #: (ns, m) float buffers handed out by :meth:`mat`.
+    _SPECIES_BUFFERS = (
+        "P0", "L0", "P1", "L1", "Lh", "R0", "t0", "t1", "cp", "c1", "Ea",
+        "c0",
+    )
+
+    def __init__(self, mechanism: Mechanism, use_c: Optional[bool] = None):
+        self.mechanism = mechanism
+        self.ns = mechanism.n_species
+        self.nr = mechanism.n_reactions
+        self._r1 = mechanism._r1
+        self._r2_safe = mechanism._r2_safe
+        self._unimol_rows = mechanism._unimol_rows
+        self._prod = mechanism._prod
+        self._loss = mechanism._loss
+        # int64 copies for the C kernels (r2 < 0 flags unimolecular).
+        self._r1_i64 = np.ascontiguousarray(mechanism._r1, dtype=np.int64)
+        self._r2_i64 = np.ascontiguousarray(mechanism._r2, dtype=np.int64)
+        self._c = cfused.load() if use_c in (None, True) else None
+        if use_c and self._c is None:
+            raise RuntimeError("C fused kernels requested but unavailable")
+        self.capacity = 0
+        self._flat: Dict[str, np.ndarray] = {}
+        self._stiff_flat: np.ndarray = np.zeros(0, dtype=bool)
+        self._stiff_idx: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._err: np.ndarray = np.zeros(0)
+        #: Raw buffer addresses for the C kernels, refreshed by ensure().
+        self._addr: Dict[str, int] = {}
+        #: Per-slot "L still holds the raw loss rate" flags (see
+        #: production_loss(defer_finish=True)).
+        self._pl_pending = [False, False]
+
+    @property
+    def uses_c(self) -> bool:
+        """Whether the C fused backend is active."""
+        return self._c is not None
+
+    # ------------------------------------------------------------------
+    # workspace
+    # ------------------------------------------------------------------
+    def ensure(self, npts: int) -> None:
+        """Grow the workspace to hold ``npts`` points."""
+        if npts <= self.capacity:
+            return
+        self.capacity = int(npts)
+        for name in self._SPECIES_BUFFERS:
+            self._flat[name] = np.empty(self.ns * self.capacity)
+        for name in ("rates", "fac"):
+            self._flat[name] = np.empty(self.nr * self.capacity)
+        self._stiff_flat = np.empty(self.ns * self.capacity, dtype=bool)
+        self._stiff_idx = np.empty(self.ns * self.capacity, dtype=np.int64)
+        self._err = np.empty(self.capacity)
+        self._addr = {name: arr.ctypes.data for name, arr in
+                      self._flat.items()}
+        self._addr["stiff_idx"] = self._stiff_idx.ctypes.data
+        self._addr["err"] = self._err.ctypes.data
+        self._addr["r1"] = self._r1_i64.ctypes.data
+        self._addr["r2"] = self._r2_i64.ctypes.data
+
+    def mat(self, name: str, m: int) -> np.ndarray:
+        """Contiguous ``(ns, m)`` view of the named buffer."""
+        return self._flat[name][: self.ns * m].reshape(self.ns, m)
+
+    def stiff_mask(self, m: int) -> np.ndarray:
+        """Contiguous ``(ns, m)`` bool scratch for stiffness masks."""
+        return self._stiff_flat[: self.ns * m].reshape(self.ns, m)
+
+    # ------------------------------------------------------------------
+    # mechanism evaluation
+    # ------------------------------------------------------------------
+    def production_loss(
+        self, conc: np.ndarray, k: np.ndarray, slot: int,
+        defer_finish: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Production ``P`` and loss coefficient ``L`` into slot buffers.
+
+        Bitwise-identical to ``Mechanism.production_loss`` for 2-D
+        input.  ``slot`` selects the ``(P0, L0)`` or ``(P1, L1)`` buffer
+        pair so predictor and corrector evaluations can coexist.
+
+        With ``defer_finish`` the C backend may leave ``L`` holding the
+        raw loss *rate* and fold the ``L /= max(conc, 1e-30)`` pass
+        into the next :meth:`predictor`/:meth:`corrector` call (saving
+        a full read+write sweep); the returned ``L`` must then not be
+        consumed directly.  The numpy backend always finishes.
+        """
+        m = conc.shape[1]
+        rates = self._flat["rates"][: self.nr * m].reshape(self.nr, m)
+        P = self.mat(f"P{slot}", m)
+        L = self.mat(f"L{slot}", m)
+        self._pl_pending[slot] = False
+        if self._c is not None and conc.flags.c_contiguous:
+            a = self._addr
+            conc_p = conc.ctypes.data
+            self._c.build_rates(self.nr, m, k.ctypes.data, a["r1"],
+                                a["r2"], conc_p, a["rates"])
+            np.matmul(self._prod, rates, out=P)
+            np.matmul(self._loss, rates, out=L)
+            if defer_finish:
+                self._pl_pending[slot] = True
+            else:
+                self._c.pl_finish(self.ns * m, conc_p, a[f"L{slot}"])
+            return P, L
+        fac = self._flat["fac"][: self.nr * m].reshape(self.nr, m)
+        # rates = k * conc[r1]; bimolecular rows gain a conc[r2] factor.
+        np.take(conc, self._r1, axis=0, out=rates)
+        np.multiply(rates, k[:, None], out=rates)
+        np.take(conc, self._r2_safe, axis=0, out=fac)
+        fac[self._unimol_rows] = 1.0
+        np.multiply(rates, fac, out=rates)
+        t = self.mat("t0", m)
+        np.matmul(self._prod, rates, out=P)
+        np.matmul(self._loss, rates, out=L)  # loss *rate* until divided
+        np.maximum(conc, 1e-30, out=t)
+        np.divide(L, t, out=L)
+        return P, L
+
+    # ------------------------------------------------------------------
+    # solver stages
+    # ------------------------------------------------------------------
+    def predictor(
+        self,
+        c0: np.ndarray,
+        h: np.ndarray,
+        Ea: Optional[np.ndarray],
+        thresh: float,
+        floor: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Explicit predictor from the slot-0 ``(P0, L0)`` state.
+
+        Applies ``P0 += Ea`` in place, then computes ``Lh = L0*h``,
+        ``R0 = P0 - L0*c0`` and the floored explicit update
+        ``cp = max(c0 + R0*h, floor)``.  Stiff elements (``Lh >
+        thresh``) are returned as ascending row-major flat indices;
+        their ``cp`` entries are left for the caller to overwrite with
+        the (floored) asymptotic update.  Returns ``(cp, Lh, R0,
+        stiff_flat_indices)``.
+        """
+        m = c0.shape[1]
+        P0, L0 = self.mat("P0", m), self.mat("L0", m)
+        Lh = self.mat("Lh", m)
+        R0 = self.mat("R0", m)
+        cp = self.mat("cp", m)
+        divide = self._pl_pending[0]
+        self._pl_pending[0] = False
+        if self._c is not None and c0.flags.c_contiguous and (
+            Ea is None or Ea.flags.c_contiguous
+        ):
+            a = self._addr
+            n = self._c.predictor(
+                self.ns, m, a["P0"], a["L0"], c0.ctypes.data,
+                h.ctypes.data, None if Ea is None else Ea.ctypes.data,
+                thresh, floor, int(divide),
+                a["Lh"], a["R0"], a["cp"], a["stiff_idx"],
+            )
+            return cp, Lh, R0, self._stiff_idx[:n]
+        if divide:
+            t1 = self.mat("t1", m)
+            np.maximum(c0, 1e-30, out=t1)
+            np.divide(L0, t1, out=L0)
+        if Ea is not None:
+            np.add(P0, Ea, out=P0)
+        np.multiply(L0, h, out=Lh)
+        sm = self.stiff_mask(m)
+        np.greater(Lh, thresh, out=sm)
+        flat = np.flatnonzero(sm)
+        t0 = self.mat("t0", m)
+        np.multiply(L0, c0, out=t0)
+        np.subtract(P0, t0, out=R0)
+        np.multiply(R0, h, out=cp)
+        np.add(c0, cp, out=cp)
+        np.maximum(cp, floor, out=cp)
+        return cp, Lh, R0, flat
+
+    def corrector(
+        self,
+        cp: np.ndarray,
+        c0: np.ndarray,
+        h: np.ndarray,
+        Ea: Optional[np.ndarray],
+        thresh: float,
+        floor: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Trapezoidal corrector from the slot-1 ``(P1, L1)`` state.
+
+        Applies ``P1 += Ea`` in place, forms the averaged loss ``Lm =
+        (L0 + L1)/2`` and ``Lmh = Lm*h``, and the floored trapezoidal
+        update ``c1 = max(c0 + 0.5*h*(R0 + (P1 - L1*cp)), floor)``.
+        Stiff elements (``Lmh > thresh``) are returned as flat indices
+        for the caller's asymptotic overwrite.  Returns ``(c1, Lm, Lmh,
+        stiff_flat_indices)``.
+        """
+        m = c0.shape[1]
+        P1, L1 = self.mat("P1", m), self.mat("L1", m)
+        L0 = self.mat("L0", m)
+        R0 = self.mat("R0", m)
+        Lm = self.mat("t0", m)
+        Lmh = self.mat("Lh", m)  # the predictor's L*h buffer is free now
+        c1 = self.mat("c1", m)
+        divide = self._pl_pending[1]
+        self._pl_pending[1] = False
+        if self._c is not None and c0.flags.c_contiguous and (
+            Ea is None or Ea.flags.c_contiguous
+        ):
+            a = self._addr
+            n = self._c.corrector(
+                self.ns, m, a["P1"], a["L0"], a["L1"], a["R0"], a["cp"],
+                c0.ctypes.data, h.ctypes.data,
+                None if Ea is None else Ea.ctypes.data,
+                thresh, floor, int(divide),
+                a["t0"], a["Lh"], a["c1"], a["stiff_idx"],
+            )
+            return c1, Lm, Lmh, self._stiff_idx[:n]
+        if divide:
+            np.maximum(cp, 1e-30, out=c1)  # c1 is scratch until written
+            np.divide(L1, c1, out=L1)
+        if Ea is not None:
+            np.add(P1, Ea, out=P1)
+        np.add(L0, L1, out=Lm)
+        np.multiply(Lm, 0.5, out=Lm)
+        np.multiply(Lm, h, out=Lmh)
+        sm = self.stiff_mask(m)
+        np.greater(Lmh, thresh, out=sm)
+        flatm = np.flatnonzero(sm)
+        t1 = self.mat("t1", m)
+        np.multiply(L1, cp, out=t1)
+        np.subtract(P1, t1, out=t1)
+        np.add(R0, t1, out=t1)  # (P0 - L0*c0) + (P1 - L1*cp)
+        np.multiply(t1, 0.5 * h, out=t1)
+        np.add(c0, t1, out=c1)
+        np.maximum(c1, floor, out=c1)
+        return c1, Lm, Lmh, flatm
+
+    def errmax(self, c1: np.ndarray, cp: np.ndarray) -> np.ndarray:
+        """Per-point convergence error ``max_i |c1-cp| / denom``.
+
+        ``denom = max(max(c1, cp), 1e-7)`` (CHEMEQ-style).  Must be
+        called after the asymptotic scatters so the stiff elements'
+        final values enter the test.
+        """
+        m = c1.shape[1]
+        if self._c is not None and c1.flags.c_contiguous \
+                and cp.flags.c_contiguous:
+            self._c.errmax(self.ns, m, c1.ctypes.data, cp.ctypes.data,
+                           self._addr["err"])
+            return self._err[:m]
+        t0, t1 = self.mat("t0", m), self.mat("t1", m)
+        np.subtract(c1, cp, out=t0)
+        np.abs(t0, out=t0)
+        np.maximum(c1, cp, out=t1)
+        np.maximum(t1, 1e-7, out=t1)
+        np.divide(t0, t1, out=t0)
+        return t0.max(axis=0)
+
+
+def asymptotic_subset(
+    cf: np.ndarray, Pf: np.ndarray, Lf: np.ndarray, Lhf: np.ndarray
+) -> np.ndarray:
+    """The Young–Boris asymptotic update on gathered flat subsets.
+
+    Mirrors ``YoungBorisSolver._asymptotic`` element-for-element:
+    ``ceq + (c - ceq) * exp(-min(L*h, 50))`` with ``ceq = P/L`` guarded
+    at zero loss.  ``Lhf`` must hold the already-formed ``L*h`` values
+    for the subset (same product the mask was computed from).  ``exp``
+    stays in numpy on all backends: numpy's SIMD ``exp`` is not
+    bitwise-reproducible by libm.
+    """
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        ceq = np.where(Lf > 0, Pf / np.maximum(Lf, 1e-300), 0.0)
+        decay = np.exp(-np.minimum(Lhf, 50.0))
+    return ceq + (cf - ceq) * decay

@@ -79,6 +79,13 @@ class Mechanism:
             [self.index[r.reactants[1]] if len(r.reactants) == 2 else -1
              for r in self.reactions]
         )
+        # Derived index arrays for the fast kernel: bimolecular rows,
+        # a gather-safe second-reactant array (unimolecular -> 0, the
+        # gathered factor is overwritten with 1), and the unimolecular
+        # row list doing that overwrite.
+        self._bimol = self._r2 >= 0
+        self._r2_safe = np.where(self._bimol, self._r2, 0)
+        self._unimol_rows = np.flatnonzero(~self._bimol)
         # Production matrix: (ns, nr) stoichiometry of products.
         prod = np.zeros((ns, nr))
         loss = np.zeros((ns, nr))
@@ -89,6 +96,10 @@ class Mechanism:
                 loss[self.index[s], j] += 1.0
         self._prod = prod
         self._loss = loss
+        # (temperature, sun) -> rate-constant vector; conditions are
+        # constant across an hour's grid points, so the 49 Python-level
+        # rate-law calls happen once per hour instead of per substep.
+        self._k_cache: Dict[Tuple[float, float], np.ndarray] = {}
 
     @property
     def n_species(self) -> int:
@@ -100,8 +111,21 @@ class Mechanism:
 
     # ------------------------------------------------------------------
     def rate_constants(self, temperature: float, sun: float) -> np.ndarray:
-        """``(n_reactions,)`` rate constants for the given conditions."""
-        return np.array([r.rate(temperature, sun) for r in self.reactions])
+        """``(n_reactions,)`` rate constants for the given conditions.
+
+        Memoized per ``(temperature, sun)``; the returned array is
+        shared between callers and marked read-only — copy it before
+        modifying.
+        """
+        key = (float(temperature), float(sun))
+        k = self._k_cache.get(key)
+        if k is None:
+            if len(self._k_cache) >= 1024:
+                self._k_cache.clear()
+            k = np.array([r.rate(temperature, sun) for r in self.reactions])
+            k.setflags(write=False)
+            self._k_cache[key] = k
+        return k
 
     def reaction_rates(self, conc: np.ndarray, k: np.ndarray) -> np.ndarray:
         """``(n_reactions, n_points)`` instantaneous reaction rates."""

@@ -48,8 +48,10 @@ class ChemistryStats:
     max_substeps: int = 0
     points: int = 0
     ops: float = 0.0
-    #: Substep attempts per point of the *last* merged call — the
-    #: per-point work profile the workload trace records.
+    #: Substep attempts per point — the per-point work profile the
+    #: workload trace records.  Merging accumulates elementwise when
+    #: both sides profile the *same* point set (equal lengths); merging
+    #: profiles of different lengths is a usage error and raises.
     per_point_substeps: Optional[np.ndarray] = None
 
     def merge(self, other: "ChemistryStats") -> None:
@@ -58,7 +60,18 @@ class ChemistryStats:
         self.points += other.points
         self.ops += other.ops
         if other.per_point_substeps is not None:
-            self.per_point_substeps = other.per_point_substeps
+            if self.per_point_substeps is None:
+                self.per_point_substeps = other.per_point_substeps.copy()
+            elif self.per_point_substeps.shape == other.per_point_substeps.shape:
+                self.per_point_substeps = (
+                    self.per_point_substeps + other.per_point_substeps
+                )
+            else:
+                raise ValueError(
+                    "cannot merge per_point_substeps profiles of different "
+                    f"shapes {self.per_point_substeps.shape} vs "
+                    f"{other.per_point_substeps.shape}"
+                )
 
 
 class YoungBorisSolver:
@@ -83,6 +96,11 @@ class YoungBorisSolver:
         equilibrium refreshed on a tens-of-seconds cadence to converge.
     floor:
         Concentration floor (ppm); negative excursions are clipped.
+    fast:
+        Use the workspace-backed fast kernel
+        (:mod:`repro.chemistry.kernel`).  Results are bitwise identical
+        to the reference path; ``fast=False`` keeps the original
+        allocation-per-substep implementation for cross-checking.
     """
 
     def __init__(
@@ -94,6 +112,7 @@ class YoungBorisSolver:
         max_substeps: int = 300,
         h_max: float = 20.0,
         floor: float = 0.0,
+        fast: bool = True,
     ) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -108,6 +127,15 @@ class YoungBorisSolver:
         self.max_substeps = int(max_substeps)
         self.h_max = float(h_max)
         self.floor = float(floor)
+        self.fast = bool(fast)
+        self._kern: Optional["FastKernel"] = None
+
+    def _kernel(self) -> "FastKernel":
+        if self._kern is None:
+            from repro.chemistry.kernel import FastKernel
+
+            self._kern = FastKernel(self.mechanism)
+        return self._kern
 
     # ------------------------------------------------------------------
     def choose_substeps(
@@ -120,7 +148,16 @@ class YoungBorisSolver:
         handled stably by the asymptotic update and do not constrain h.
         """
         P, L = self.mechanism.production_loss(conc, k)
-        c = np.atleast_2d(conc)
+        return self._substeps_from(P, L, np.atleast_2d(conc), dt)
+
+    def _substeps_from(
+        self, P: np.ndarray, L: np.ndarray, c: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Substep counts from an already-evaluated ``(P, L)`` state.
+
+        Split out so the fast path can reuse the evaluation for the
+        first substep (the state is unchanged between them).
+        """
         rate = np.abs(P - L * c)
         # Dynamic absolute scale: 1% of the point's largest mixing ratio
         # (so trace species near zero do not force the minimum step).
@@ -167,7 +204,9 @@ class YoungBorisSolver:
         k = self.mechanism.rate_constants(temperature, sun)
         E = None
         if emissions is not None:
-            E = np.atleast_2d(np.asarray(emissions, dtype=float))
+            # C order so the fused kernels can consume it directly; the
+            # values (all that matters bitwise) are unchanged.
+            E = np.ascontiguousarray(np.atleast_2d(emissions), dtype=float)
             if E.shape != c.shape:
                 raise ValueError(
                     f"emissions shape {E.shape} != concentration shape {c.shape}"
@@ -179,29 +218,67 @@ class YoungBorisSolver:
         # criterion of the original paper); otherwise the point retries
         # with half the step.  This is what keeps the stiff (asymptotic)
         # and non-stiff (trapezoidal) updates flux-consistent.
-        nsub0 = self.choose_substeps(c, k, dt) if npts else np.zeros(0, int)
+        fast = self.fast
+        kern = None
+        if fast:
+            kern = self._kernel()
+            kern.ensure(npts)
+        if npts:
+            if fast:
+                # The fast path reuses this evaluation as the first
+                # substep's (P0, L0): the state has not changed.
+                P_init, L_init = kern.production_loss(c, k, 0)
+                nsub0 = self._substeps_from(P_init, L_init, c, dt)
+            else:
+                nsub0 = self.choose_substeps(c, k, dt)
+        else:
+            nsub0 = np.zeros(0, int)
         h = np.minimum(dt / np.maximum(nsub0, 1), self.h_max)
         h_min = dt / self.max_substeps
         remaining = np.full(npts, float(dt))
         attempts = np.zeros(npts, dtype=int)
         accepted = np.zeros(npts, dtype=int)
+        all_idx = np.arange(npts)
         # Hard iteration bound: enough for max_substeps acceptances plus
         # halving cascades; beyond it, steps are force-accepted anyway.
         max_iters = 4 * self.max_substeps
 
-        for _ in range(max_iters):
+        for it in range(max_iters):
             active = remaining > 1e-9 * dt
             if not active.any():
                 break
-            idx = np.where(active)[0]
-            ha = np.minimum(h[idx], remaining[idx])
-            ca = c[:, idx]
-            Ea = E[:, idx] if E is not None else None
-            c1, cp = self._substep(ca, k, ha, Ea)
+            full = bool(active.all())
+            if full:
+                # All points active: operate on `c` directly — same
+                # values as the gathered copy, no 35 x npts move.
+                idx = all_idx
+                ha = np.minimum(h, remaining)
+                ca = c
+            else:
+                idx = np.where(active)[0]
+                ha = np.minimum(h[idx], remaining[idx])
+                if fast:
+                    # Fancy column indexing returns an F-ordered array;
+                    # gather into a C-contiguous workspace buffer
+                    # instead (same values, layout the fused kernels
+                    # want — every consumer is elementwise, the BLAS
+                    # operands are always the separate `rates` buffer).
+                    ca = np.take(c, idx, axis=1,
+                                 out=kern.mat("c0", idx.size))
+                else:
+                    ca = c[:, idx]
+            if fast:
+                c1, cp = self._substep_fast(
+                    kern, ca, k, ha, E, idx, full, reuse_pl=(it == 0)
+                )
+                err = kern.errmax(c1, cp)
+            else:
+                Ea = E[:, idx] if E is not None else None
+                c1, cp = self._substep(ca, k, ha, Ea)
+                # Convergence metric over species (CHEMEQ-style).
+                denom = np.maximum(np.maximum(c1, cp), 1e-7)
+                err = np.max(np.abs(c1 - cp) / denom, axis=0)
             attempts[idx] += 1
-            # Convergence metric over species (CHEMEQ-style).
-            denom = np.maximum(np.maximum(c1, cp), 1e-7)
-            err = np.max(np.abs(c1 - cp) / denom, axis=0)
             ok = (err <= 3.0 * self.eps) | (ha <= h_min * 1.0001)
             acc = idx[ok]
             rej = idx[~ok]
@@ -214,11 +291,25 @@ class YoungBorisSolver:
         else:
             # Iteration budget exhausted: finish the stragglers in one
             # forced step each so the integration always completes dt.
-            idx = np.where(remaining > 1e-9 * dt)[0]
+            active = remaining > 1e-9 * dt
+            idx = np.where(active)[0]
             if idx.size:
-                ca = c[:, idx]
-                Ea = E[:, idx] if E is not None else None
-                c1, _ = self._substep(ca, k, remaining[idx], Ea)
+                full = bool(active.all())
+                if full:
+                    ca = c
+                elif fast:
+                    ca = np.take(c, idx, axis=1,
+                                 out=kern.mat("c0", idx.size))
+                else:
+                    ca = c[:, idx]
+                if fast:
+                    c1, _ = self._substep_fast(
+                        kern, ca, k, remaining[idx], E, idx, full,
+                        reuse_pl=False,
+                    )
+                else:
+                    Ea = E[:, idx] if E is not None else None
+                    c1, _ = self._substep(ca, k, remaining[idx], Ea)
                 c[:, idx] = c1
                 attempts[idx] += 1
                 accepted[idx] += 1
@@ -236,6 +327,69 @@ class YoungBorisSolver:
             )
             stats.merge(local)
         return c if np.ndim(conc) == 2 else c[:, 0]
+
+    # ------------------------------------------------------------------
+    def _substep_fast(
+        self,
+        kern,
+        c0: np.ndarray,
+        k: np.ndarray,
+        h: np.ndarray,
+        E: Optional[np.ndarray],
+        idx: np.ndarray,
+        full: bool,
+        reuse_pl: bool,
+    ):
+        """Workspace-backed hybrid substep, bitwise equal to ``_substep``.
+
+        The optimizations are exactness-preserving: ``out=`` buffers
+        (or the C fused loops — see :mod:`repro.chemistry.kernel`), the
+        shared ``R0 = P0 - L0*c0`` subexpression (used by both the
+        explicit predictor and the trapezoidal corrector), a single
+        ``L*h`` product per stage feeding both the stiffness mask and
+        the asymptotic decay, and the asymptotic update evaluated only
+        on the stiff subset (gather/compute/scatter; elementwise ops
+        are subset-stable).  ``reuse_pl`` skips the first mechanism
+        evaluation when slot 0 already holds ``(P0, L0)`` at ``c0``.
+        """
+        from repro.chemistry.kernel import asymptotic_subset
+
+        m = c0.shape[1]
+        if not reuse_pl:
+            kern.production_loss(c0, k, 0, defer_finish=True)
+        P0, L0 = kern.mat("P0", m), kern.mat("L0", m)
+        Ea = None
+        if E is not None:
+            Ea = E if full else np.take(E, idx, axis=1, out=kern.mat("Ea", m))
+
+        # --- predictor -------------------------------------------------
+        cp, Lh, _R0, flat = kern.predictor(
+            c0, h, Ea, self.stiff_threshold, self.floor
+        )
+        if flat.size:
+            vals = asymptotic_subset(
+                c0.ravel()[flat],
+                P0.ravel()[flat],
+                L0.ravel()[flat],
+                Lh.ravel()[flat],
+            )
+            cp.ravel()[flat] = np.maximum(vals, self.floor)
+
+        # --- corrector -------------------------------------------------
+        P1, _L1 = kern.production_loss(cp, k, 1, defer_finish=True)
+        c1, Lm, Lmh, flatm = kern.corrector(
+            cp, c0, h, Ea, self.stiff_threshold, self.floor
+        )
+        if flatm.size:
+            Pmf = 0.5 * (P0.ravel()[flatm] + P1.ravel()[flatm])
+            vals = asymptotic_subset(
+                c0.ravel()[flatm],
+                Pmf,
+                Lm.ravel()[flatm],
+                Lmh.ravel()[flatm],
+            )
+            c1.ravel()[flatm] = np.maximum(vals, self.floor)
+        return c1, cp
 
     # ------------------------------------------------------------------
     def _substep(

@@ -146,7 +146,29 @@ class Distribution:
         return "(" + ",".join(parts) + ")"
 
     def layout(self, shape: Sequence[int], nprocs: int) -> "ArrayLayout":
-        return ArrayLayout(self, tuple(int(s) for s in shape), nprocs)
+        """The (cached) concrete layout of this distribution.
+
+        Layouts are immutable pure functions of ``(distribution, shape,
+        nprocs)``; the main loop asks for the same handful over and over
+        (once per redistribution per step), so they are memoized at
+        module level.  The cache is cleared wholesale when it grows past
+        a bound — only property-based tests ever produce that many
+        distinct layouts.
+        """
+        key = (self, tuple(int(s) for s in shape), int(nprocs))
+        cached = _LAYOUT_CACHE.get(key)
+        if cached is None:
+            if len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_MAX:
+                _LAYOUT_CACHE.clear()
+            cached = ArrayLayout(self, key[1], key[2])
+            _LAYOUT_CACHE[key] = cached
+        return cached
+
+
+#: Memoized layouts keyed by (distribution, shape, nprocs); see
+#: :meth:`Distribution.layout`.
+_LAYOUT_CACHE: dict = {}
+_LAYOUT_CACHE_MAX = 4096
 
 
 class ArrayLayout:
@@ -171,6 +193,9 @@ class ArrayLayout:
         self.distribution = distribution
         self.shape = shape
         self.nprocs = int(nprocs)
+        # Per-node ownership cache; the returned arrays are shared and
+        # therefore marked read-only.
+        self._owned_cache: dict = {}
 
     # -- basic properties -----------------------------------------------
     @property
@@ -226,8 +251,14 @@ class ArrayLayout:
         """Global indices along the distributed dim owned by ``node``.
 
         Only defined for distributed layouts; a replicated layout has no
-        distinguished dimension (every node holds everything).
+        distinguished dimension (every node holds everything).  The
+        result is cached per node and returned as a *read-only* array —
+        the replay loop asks for the same ownership sets every step.
         """
+        node = int(node)
+        cached = self._owned_cache.get(node)
+        if cached is not None:
+            return cached
         if not (0 <= node < self.nprocs):
             raise ValueError(f"node {node} out of range for P={self.nprocs}")
         if self.is_replicated:
@@ -236,13 +267,16 @@ class ArrayLayout:
         kind = self.distribution.kind
         if kind is DistKind.BLOCK:
             lo, hi = self.block_bounds(node)
-            return np.arange(lo, hi)
-        if kind is DistKind.CYCLIC:
-            return np.arange(node, n, self.nprocs)
-        # BLOCK_CYCLIC
-        bs = self.distribution.block_size
-        idx = np.arange(n)
-        return idx[(idx // bs) % self.nprocs == node]
+            idx = np.arange(lo, hi)
+        elif kind is DistKind.CYCLIC:
+            idx = np.arange(node, n, self.nprocs)
+        else:  # BLOCK_CYCLIC
+            bs = self.distribution.block_size
+            all_idx = np.arange(n)
+            idx = all_idx[(all_idx // bs) % self.nprocs == node]
+        idx.setflags(write=False)
+        self._owned_cache[node] = idx
+        return idx
 
     def block_bounds(self, node: int) -> Tuple[int, int]:
         """Half-open ``[lo, hi)`` interval for a BLOCK layout.

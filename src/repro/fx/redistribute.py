@@ -22,12 +22,14 @@ the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.fx.distribution import ArrayLayout
 from repro.vm.cluster import Transfer
+from repro.vm.transferbatch import TransferBatch
 
 __all__ = ["RedistributionPlan", "plan_redistribution"]
 
@@ -43,6 +45,16 @@ class RedistributionPlan:
     target: ArrayLayout
     itemsize: int
     transfers: Tuple[Transfer, ...]
+
+    @cached_property
+    def batch(self) -> TransferBatch:
+        """The same transfer set as a :class:`TransferBatch`.
+
+        Computed once per plan (plans themselves are cached), so
+        charging a redistribution is array work only — no per-transfer
+        Python records on the hot path.
+        """
+        return TransferBatch.from_transfers(self.transfers)
 
     def network_bytes(self) -> int:
         """Total bytes crossing the network (excludes local copies)."""

@@ -127,7 +127,7 @@ class FxRuntime:
         plan = array.set_distribution(new_distribution)
         if plan.is_empty():
             return None
-        return array.group.charge_communication(label, list(plan.transfers))
+        return array.group.charge_communication(label, plan.batch)
 
     # ------------------------------------------------------------------
     # program description

@@ -40,6 +40,7 @@ from repro.model.sequential import TRACKED_SPECIES
 from repro.observe.tracer import Tracer
 from repro.vm.cluster import Subgroup
 from repro.vm.machine import MachineSpec
+from repro.vm.transferbatch import TransferBatch
 
 __all__ = [
     "D_REPL",
@@ -90,6 +91,34 @@ class ParallelTiming:
         return self.breakdown.get(name, 0.0)
 
 
+#: Gather batches keyed by (layout, itemsize, dst_rank); layouts are
+#: themselves cached and immutable, so the batch is a pure function of
+#: the key.  ``None`` marks an empty gather.
+_GATHER_BATCH_CACHE: Dict[tuple, Optional["TransferBatch"]] = {}
+
+
+def _gather_batch(
+    layout, itemsize: int, size: int, dst_rank: int
+) -> Optional["TransferBatch"]:
+    key = (layout, int(itemsize), int(dst_rank))
+    try:
+        return _GATHER_BATCH_CACHE[key]
+    except KeyError:
+        pass
+    sizes = np.array(
+        [layout.local_nbytes(rank, itemsize) for rank in range(size)],
+        dtype=np.int64,
+    )
+    src = np.flatnonzero(sizes)
+    batch = (
+        TransferBatch(src, np.full(src.size, dst_rank), sizes[src])
+        if src.size
+        else None
+    )
+    _GATHER_BATCH_CACHE[key] = batch
+    return batch
+
+
 def charge_output_gather(
     array: DistributedArray,
     dst_rank: int = 0,
@@ -101,20 +130,15 @@ def charge_output_gather(
     whole concentration array; each owner ships its block there once.
     Unlike a redistribution the array's live distribution is unchanged
     (the I/O node reads a snapshot), so this is receiver-bound and far
-    cheaper than the all-gather ``D_Chem->D_Repl`` step.
+    cheaper than the all-gather ``D_Chem->D_Repl`` step.  The batched
+    transfer set is memoized per (layout, itemsize, destination).
     """
-    from repro.vm.cluster import Transfer
-
     layout = array.layout
     if layout.is_replicated:
         return  # the I/O node already holds everything
-    transfers = []
-    for rank in range(array.group.size):
-        nbytes = layout.local_nbytes(rank, array.itemsize)
-        if nbytes:
-            transfers.append(Transfer(rank, dst_rank, nbytes))
-    if transfers:
-        array.group.charge_communication(label, transfers)
+    batch = _gather_batch(layout, array.itemsize, array.group.size, dst_rank)
+    if batch is not None:
+        array.group.charge_communication(label, batch)
 
 
 def _timing_from_runtime(rt: FxRuntime) -> ParallelTiming:
@@ -287,20 +311,38 @@ class HourReplayer:
         self.array = DistributedArray(
             name, np.zeros(trace.shape), D_REPL, group
         )
+        # The main loop cycles through exactly four (src, dst)
+        # distribution pairs; label, plan and batch are pure functions
+        # of the pair, so they are resolved once and replayed from here.
+        self._to_cache: Dict[tuple, tuple] = {}
+        # Per-layout ownership selectors for the compute charges.
+        self._seg_cache: Dict[object, list] = {}
 
     def _to(self, dist: Distribution) -> None:
-        label = f"{dist_label(self.array.distribution)}->{dist_label(dist)}"
-        plan = self.array.set_distribution(dist)
-        if not plan.is_empty():
-            self.group.charge_communication(label, list(plan.transfers))
+        key = (self.array.distribution, dist)
+        cached = self._to_cache.get(key)
+        if cached is None:
+            label = f"{dist_label(key[0])}->{dist_label(dist)}"
+            plan = self.array.set_distribution(dist)
+            batch = None if plan.is_empty() else plan.batch
+            self._to_cache[key] = (label, batch)
+        else:
+            label, batch = cached
+            self.array.set_distribution(dist)
+        if batch is not None:
+            self.group.charge_communication(label, batch)
 
     def gather_output(self, dst_rank: int = 0) -> None:
         charge_output_gather(self.array, dst_rank=dst_rank)
 
     def _charge_distributed(self, name: str, ops_per_index: np.ndarray) -> None:
+        layout = self.array.layout
+        segs = self._seg_cache.get(layout)
+        if segs is None:
+            segs = [self.array.local_indices(r) for r in range(self.group.size)]
+            self._seg_cache[layout] = segs
         ops_by_rank = {}
-        for rank in range(self.group.size):
-            idx = self.array.local_indices(rank)
+        for rank, idx in enumerate(segs):
             ops_by_rank[rank] = float(ops_per_index[idx].sum()) if idx.size else 0.0
         self.group.charge_compute(name, ops_by_rank)
 

@@ -42,7 +42,7 @@ from repro.observe.counters import CounterSet
 __all__ = ["Span", "Tracer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed interval of the run.
 
@@ -153,6 +153,58 @@ class Tracer:
         self.spans.append(span)
         return span
 
+    def emit_many(
+        self,
+        name: str,
+        kind: str,
+        starts,
+        ends,
+        nodes,
+        busys,
+        ops=None,
+    ) -> None:
+        """Record one complete span per node in a single call.
+
+        Semantically identical to calling :meth:`emit` once per node in
+        order (same span ids, same parenting), but the per-call overhead
+        — parent lookup, keyword plumbing, float coercion — is paid once
+        per *phase* instead of once per *node*, which is what the
+        replay's charging loops need (one span per node per phase is the
+        tracing contract, and P=64 phases emit thousands of them).
+
+        ``starts``/``ends`` may be scalars (a collective's shared
+        interval) or per-node sequences; ``busys`` is per-node; ``ops``,
+        when given, attaches ``attrs={"ops": ...}`` per node.
+        """
+        n = len(nodes)
+        if not isinstance(starts, (list, tuple)):
+            starts = [float(starts)] * n
+        if not isinstance(ends, (list, tuple)):
+            ends = [float(ends)] * n
+        parent = self._stack[-1].span_id if self._stack else None
+        sid = self._next_id
+        append = self.spans.append
+        for j in range(n):
+            start = starts[j]
+            end = ends[j]
+            if end < start:
+                raise ValueError(
+                    f"span {name!r}: end {end} before start {start}"
+                )
+            append(Span(
+                name=name,
+                kind=kind,
+                start=start,
+                end=end,
+                node=nodes[j],
+                busy=busys[j],
+                span_id=sid,
+                parent_id=parent,
+                attrs={} if ops is None else {"ops": ops[j]},
+            ))
+            sid += 1
+        self._next_id = sid
+
     @contextmanager
     def span(
         self,
@@ -193,14 +245,19 @@ class Tracer:
     # phase-level accounting (fed by the cluster, once per phase)
     # ------------------------------------------------------------------
     def observe_phase(
-        self, name: str, kind: str, duration: float, traffic=None
+        self, name: str, kind: str, duration: float, traffic=None,
+        traffic_total=None,
     ) -> None:
         """Account one executed phase into the counter stream.
 
         ``duration`` is the phase's wall (simulated) duration; it is
         recorded once per phase regardless of how many node spans the
         phase emitted.  ``traffic`` is the phase's per-node
-        :class:`~repro.vm.traffic.NodeTraffic` mapping, if any.
+        :class:`~repro.vm.traffic.NodeTraffic` mapping, if any;
+        ``traffic_total``, when supplied (the batched communication
+        path pre-aggregates it), is the exact integer sum of ``traffic``
+        and is accounted with one counter update per field instead of
+        one per node.
         """
         key = (kind, name)
         self.phase_totals[key] = self.phase_totals.get(key, 0.0) + duration
@@ -209,7 +266,9 @@ class Tracer:
         self.counters.observe(f"phase_seconds:{name}", duration)
         if kind == "comm" and "->" in name:
             self.counters.inc("redistributions")
-        if traffic:
+        if traffic_total is not None:
+            self.counters.add_traffic(traffic_total)
+        elif traffic:
             for node_traffic in traffic.values():
                 self.counters.add_traffic(node_traffic)
 

@@ -22,11 +22,13 @@ from repro.vm.metrics import (
 )
 from repro.vm.node import VirtualNode
 from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
+from repro.vm.transferbatch import TransferBatch
 
 __all__ = [
     "Cluster",
     "Subgroup",
     "Transfer",
+    "TransferBatch",
     "MachineSpec",
     "CRAY_T3E",
     "CRAY_T3D",

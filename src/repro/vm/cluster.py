@@ -27,14 +27,20 @@ Timing semantics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.observe.tracer import Tracer
 from repro.vm.machine import MachineSpec
 from repro.vm.node import VirtualNode
 from repro.vm.traffic import NodeTraffic, PhaseRecord, Timeline
+from repro.vm.transferbatch import TransferBatch
 
 __all__ = ["Transfer", "Cluster", "Subgroup"]
+
+#: Communication phases accept either form; both price identically.
+Transfers = Union[Sequence["Transfer"], TransferBatch]
 
 
 @dataclass(frozen=True)
@@ -73,6 +79,10 @@ class Cluster:
         #: resolution; pass a Tracer to collect region spans too.
         self.tracer = tracer if tracer is not None else Tracer()
         self.tracer.set_clock(self.time)
+        #: Validated node-id tuples (subgroups charge with the same
+        #: tuple object thousands of times; re-sorting it each phase
+        #: shows up in replay profiles).
+        self._checked_groups: set = set()
 
     # ------------------------------------------------------------------
     # introspection
@@ -92,35 +102,51 @@ class Cluster:
         return Subgroup(self, node_ids)
 
     def _check_ids(self, node_ids: Iterable[int]) -> Tuple[int, ...]:
+        if isinstance(node_ids, tuple) and node_ids in self._checked_groups:
+            return node_ids
         ids = tuple(sorted(set(int(i) for i in node_ids)))
         if not ids:
             raise ValueError("empty node group")
         if ids[0] < 0 or ids[-1] >= self.nprocs:
             raise ValueError(f"node ids {ids} out of range for P={self.nprocs}")
+        self._checked_groups.add(ids)
         return ids
 
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def charge_compute(self, name: str, ops_by_node: Mapping[int, float]) -> PhaseRecord:
-        """Advance each node independently by the cost of its own ops."""
+        """Advance each node independently by the cost of its own ops.
+
+        The per-node costs are priced in one vectorised pass
+        (``ops * seconds_per_op`` elementwise is the exact scalar
+        arithmetic of :meth:`MachineSpec.compute_cost` per node, so the
+        clocks advance by bit-identical amounts).
+        """
         ids = self._check_ids(ops_by_node.keys())
-        start = self.time(ids)
-        for i in ids:
-            before = self.nodes[i].clock
-            cost = self.machine.compute_cost(ops_by_node[i])
-            self.nodes[i].advance(cost)
-            self.tracer.emit(
-                name, "compute", before, before + cost, node=i, busy=cost,
-                ops=float(ops_by_node[i]),
-            )
+        n = len(ids)
+        ops = np.fromiter((ops_by_node[i] for i in ids), np.float64, count=n)
+        if n and ops.min() < 0:
+            raise ValueError("ops must be non-negative")
+        costs = ops * self.machine.seconds_per_op
+        nodes = self.nodes
+        before = np.fromiter((nodes[i].clock for i in ids), np.float64, count=n)
+        after = before + costs
+        after_list = after.tolist()
+        for i, clk in zip(ids, after_list):
+            nodes[i].clock = clk
+        ops_list = ops.tolist()
+        self.tracer.emit_many(
+            name, "compute", before.tolist(), after_list, ids,
+            busys=costs.tolist(), ops=ops_list,
+        )
         record = PhaseRecord(
             name=name,
             kind="compute",
-            start=start,
-            end=self.time(ids),
+            start=float(before.max()) if n else 0.0,
+            end=float(after.max()) if n else 0.0,
             node_ids=ids,
-            ops={i: float(ops_by_node[i]) for i in ids},
+            ops=dict(zip(ids, ops_list)),
         )
         self.timeline.append(record)
         self.tracer.observe_phase(name, "compute", record.duration)
@@ -139,29 +165,42 @@ class Cluster:
     def charge_communication(
         self,
         name: str,
-        transfers: Sequence[Transfer],
+        transfers: Transfers,
         node_ids: Optional[Sequence[int]] = None,
     ) -> PhaseRecord:
         """Collective communication phase priced by the paper's model.
+
+        ``transfers`` is either a sequence of :class:`Transfer` records
+        or a :class:`~repro.vm.transferbatch.TransferBatch`; the batched
+        form aggregates per-node totals with ``np.bincount`` instead of
+        walking Python records (the all-gather steps have O(P^2)
+        transfers) and prices identically.
 
         ``node_ids`` defaults to every node mentioned in ``transfers``;
         pass an explicit group to synchronise bystanders that exchange
         nothing (e.g. nodes holding no data in a skinny distribution).
         """
-        traffic: Dict[int, NodeTraffic] = {}
+        traffic_total: Optional[NodeTraffic] = None
+        if isinstance(transfers, TransferBatch):
+            _, shared_traffic, traffic_total = transfers._aggregate()
+            traffic = dict(shared_traffic)
+            part_costs = transfers.node_costs(self.machine)
+        else:
+            traffic = {}
+            part_costs = None
 
-        def rec(i: int) -> NodeTraffic:
-            return traffic.setdefault(i, NodeTraffic())
+            def rec(i: int) -> NodeTraffic:
+                return traffic.setdefault(i, NodeTraffic())
 
-        for t in transfers:
-            if t.src == t.dst:
-                rec(t.src).bytes_copied += t.nbytes
-                continue
-            s, d = rec(t.src), rec(t.dst)
-            s.messages_sent += t.messages
-            s.bytes_sent += t.nbytes
-            d.messages_received += t.messages
-            d.bytes_received += t.nbytes
+            for t in transfers:
+                if t.src == t.dst:
+                    rec(t.src).bytes_copied += t.nbytes
+                    continue
+                s, d = rec(t.src), rec(t.dst)
+                s.messages_sent += t.messages
+                s.bytes_sent += t.nbytes
+                d.messages_received += t.messages
+                d.bytes_received += t.nbytes
 
         if node_ids is None:
             ids = self._check_ids(traffic.keys()) if traffic else self.all_node_ids()
@@ -172,17 +211,28 @@ class Cluster:
                     raise ValueError(f"transfer endpoint {i} outside group {ids}")
 
         start = self.time(ids)
-        costs: Dict[int, float] = {}
-        for i in ids:
-            t = traffic.get(i, NodeTraffic())
-            costs[i] = self.machine.comm_cost(
-                t.messages, t.bytes_moved, t.bytes_copied
-            )
+        if part_costs is not None:
+            # Batched path: costs were priced vectorised (and cached on
+            # the batch); bystanders outside the traffic map price to
+            # exactly comm_cost(0, 0, 0) == 0.0.
+            costs = {i: part_costs.get(i, 0.0) for i in ids}
+        else:
+            costs: Dict[int, float] = {}
+            for i in ids:
+                t = traffic.get(i, NodeTraffic())
+                costs[i] = self.machine.comm_cost(
+                    t.messages, t.bytes_moved, t.bytes_copied
+                )
         cost = max(costs.values())
         end = start + cost
+        nodes = self.nodes
         for i in ids:
-            self.nodes[i].sync_to(end)
-            self.tracer.emit(name, "comm", start, end, node=i, busy=costs[i])
+            node = nodes[i]
+            if end > node.clock:
+                node.clock = end
+        self.tracer.emit_many(
+            name, "comm", start, end, ids, busys=list(costs.values()),
+        )
         record = PhaseRecord(
             name=name, kind="comm", start=start, end=end, node_ids=ids,
             traffic=traffic,
@@ -191,7 +241,10 @@ class Cluster:
             ops=costs,
         )
         self.timeline.append(record)
-        self.tracer.observe_phase(name, "comm", record.duration, traffic=traffic)
+        self.tracer.observe_phase(
+            name, "comm", record.duration, traffic=traffic,
+            traffic_total=traffic_total,
+        )
         return record
 
     def charge_io(
@@ -255,6 +308,7 @@ class Subgroup:
     def __init__(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
         self.cluster = cluster
         self.node_ids = cluster._check_ids(node_ids)
+        self._node_id_map = np.asarray(self.node_ids, dtype=np.int64)
 
     @property
     def size(self) -> int:
@@ -287,12 +341,16 @@ class Subgroup:
     def charge_replicated_compute(self, name: str, ops: float) -> PhaseRecord:
         return self.cluster.charge_replicated_compute(name, ops, self.node_ids)
 
-    def charge_communication(self, name: str, transfers: Sequence[Transfer]) -> PhaseRecord:
+    def charge_communication(self, name: str, transfers: Transfers) -> PhaseRecord:
         """Charge communication with subgroup-local ranks in transfers."""
-        mapped = [
-            Transfer(self.node_ids[t.src], self.node_ids[t.dst], t.nbytes, t.messages)
-            for t in transfers
-        ]
+        if isinstance(transfers, TransferBatch):
+            mapped: Transfers = transfers.remap(self._node_id_map)
+        else:
+            mapped = [
+                Transfer(self.node_ids[t.src], self.node_ids[t.dst],
+                         t.nbytes, t.messages)
+                for t in transfers
+            ]
         return self.cluster.charge_communication(
             name, mapped, node_ids=self.node_ids
         )

@@ -1,0 +1,36 @@
+"""The replay charges redistributions through the batched transfer API.
+
+The hot-path overhaul switched the replay's communication charging from
+``Transfer`` record lists to :class:`~repro.vm.transferbatch.TransferBatch`.
+This re-runs the paper-configuration cross-check while spying on the
+cluster's charging entry point, verifying both that the 77-step plan
+still replays exactly (no FX030) and that every redistribution actually
+went through the batched form.
+"""
+
+from repro.analyze import paper_configuration, run_crosscheck
+from repro.vm.cluster import Cluster
+from repro.vm.transferbatch import TransferBatch
+
+
+def test_paper_replay_uses_batches_and_matches_plan(monkeypatch):
+    charged = []
+    original = Cluster.charge_communication
+
+    def spy(self, name, transfers, node_ids=None):
+        charged.append((name, type(transfers)))
+        return original(self, name, transfers, node_ids=node_ids)
+
+    monkeypatch.setattr(Cluster, "charge_communication", spy)
+
+    diags, info = run_crosscheck(paper_configuration())
+
+    assert diags == []
+    assert info["predicted_comm_steps"] == 77
+    assert info["executed_comm_steps"] == 77
+    redistributions = [(n, t) for n, t in charged if "->" in n]
+    assert redistributions, "replay charged no redistributions"
+    assert all(t is TransferBatch for _, t in redistributions), (
+        "non-batched redistribution charges: "
+        f"{[(n, t.__name__) for n, t in redistributions if t is not TransferBatch]}"
+    )

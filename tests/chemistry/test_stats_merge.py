@@ -1,0 +1,50 @@
+"""ChemistryStats.merge contract for the per-point work profile."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import ChemistryStats
+
+
+def stats(substeps=None, **kw):
+    s = ChemistryStats(**kw)
+    if substeps is not None:
+        s.per_point_substeps = np.asarray(substeps)
+    return s
+
+
+def test_merge_accumulates_scalars():
+    a = stats(substeps_total=10, max_substeps=4, points=5, ops=100.0)
+    a.merge(stats(substeps_total=6, max_substeps=7, points=5, ops=40.0))
+    assert a.substeps_total == 16
+    assert a.max_substeps == 7
+    assert a.points == 10
+    assert a.ops == 140.0
+
+
+def test_merge_accumulates_same_shape_profiles_elementwise():
+    a = stats(substeps=[2, 3, 4])
+    a.merge(stats(substeps=[1, 1, 2]))
+    assert a.per_point_substeps.tolist() == [3, 4, 6]
+
+
+def test_merge_copies_profile_into_empty_receiver():
+    a = stats()
+    incoming = stats(substeps=[5, 6])
+    a.merge(incoming)
+    assert a.per_point_substeps.tolist() == [5, 6]
+    # A copy, not a shared buffer: mutating one must not alias the other.
+    incoming.per_point_substeps[0] = 99
+    assert a.per_point_substeps.tolist() == [5, 6]
+
+
+def test_merge_keeps_profile_when_other_has_none():
+    a = stats(substeps=[2, 2])
+    a.merge(stats())
+    assert a.per_point_substeps.tolist() == [2, 2]
+
+
+def test_merge_raises_on_shape_mismatch():
+    a = stats(substeps=[1, 2, 3])
+    with pytest.raises(ValueError, match="different"):
+        a.merge(stats(substeps=[1, 2]))

@@ -1,0 +1,28 @@
+"""Smoke tests for the perf microbenchmark suite (quick mode)."""
+
+import json
+
+from benchmarks.perf import suite
+
+QUICK_BENCHES = {name for name, (in_quick, _) in suite.BENCHES.items()
+                 if in_quick}
+
+
+def test_quick_suite_runs_and_reports(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    rc = suite.main(["--quick", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert set(report["benchmarks"]) == QUICK_BENCHES
+    assert report["meta"]["mode"] == "quick"
+    for name, res in report["benchmarks"].items():
+        assert res["median_s"] > 0.0
+        assert res["baseline_median_s"] > 0.0
+        assert res["speedup_vs_baseline"] > 0.0
+
+
+def test_baseline_covers_every_benchmark():
+    baseline = json.loads(suite.BASELINE_PATH.read_text())["benchmarks"]
+    assert set(baseline) == set(suite.BENCHES)
+    chem = baseline["chemistry_hour_la"]
+    assert len(chem["final_conc_sha256"]) == 64

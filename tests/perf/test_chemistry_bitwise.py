@@ -1,0 +1,85 @@
+"""The fast chemistry paths are bitwise identical to the reference.
+
+Three implementations of the Young-Boris integrator coexist:
+
+* the reference path (``fast=False``): allocation-per-substep numpy;
+* the numpy fast path (``FastKernel(use_c=False)``): workspace-backed
+  fused ufunc chains;
+* the C fast path (``FastKernel(use_c=True)``): the same chains fused
+  into single passes by ``repro/chemistry/_cfused.c``.
+
+The overhaul's contract is *bitwise* equality between all of them —
+``np.array_equal``, not ``allclose`` — across stiff and non-stiff
+regimes, with and without emissions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import YoungBorisSolver, cit_mechanism
+from repro.chemistry.cfused import load as load_cfused
+from repro.chemistry.kernel import FastKernel
+
+from tests.chemistry.test_youngboris import urban_state
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return cit_mechanism()
+
+
+def solve(mech, conc, *, fast, use_c=None, emissions=None):
+    solver = YoungBorisSolver(mech, fast=fast)
+    if fast and use_c is not None:
+        solver._kern = FastKernel(mech, use_c=use_c)
+    return solver.integrate(conc, 300.0, 298.0, 0.6, emissions=emissions)
+
+
+@pytest.mark.parametrize("with_emissions", [False, True],
+                         ids=["no-emissions", "emissions"])
+def test_numpy_fast_path_matches_reference(mech, with_emissions):
+    conc = urban_state(mech, npts=23, seed=1)
+    emissions = None
+    if with_emissions:
+        emissions = np.zeros_like(conc)
+        emissions[mech.index["NO"]] = 1e-5
+        emissions[mech.index["PAR"]] = 4e-5
+    reference = solve(mech, conc, fast=False, emissions=emissions)
+    fast = solve(mech, conc, fast=True, use_c=False, emissions=emissions)
+    assert np.array_equal(reference, fast)
+
+
+@pytest.mark.parametrize("with_emissions", [False, True],
+                         ids=["no-emissions", "emissions"])
+def test_c_fast_path_matches_reference(mech, with_emissions):
+    if load_cfused() is None:
+        pytest.skip("no C compiler available; numpy fallback already covered")
+    conc = urban_state(mech, npts=23, seed=2)
+    emissions = None
+    if with_emissions:
+        emissions = np.zeros_like(conc)
+        emissions[mech.index["NO2"]] = 2e-5
+    reference = solve(mech, conc, fast=False, emissions=emissions)
+    fast_c = solve(mech, conc, fast=True, use_c=True, emissions=emissions)
+    assert np.array_equal(reference, fast_c)
+
+
+def test_backends_agree_on_single_point(mech):
+    """A 1-point integration exercises the skinny-block edge case."""
+    conc = urban_state(mech, npts=1, seed=3)
+    reference = solve(mech, conc, fast=False)
+    fast = solve(mech, conc, fast=True, use_c=False)
+    assert np.array_equal(reference, fast)
+    if load_cfused() is not None:
+        assert np.array_equal(reference, solve(mech, conc, fast=True, use_c=True))
+
+
+def test_repeated_integrations_share_workspaces(mech):
+    """Workspace reuse across calls must not leak state between runs."""
+    solver = YoungBorisSolver(mech, fast=True)
+    conc_a = urban_state(mech, npts=11, seed=4)
+    conc_b = urban_state(mech, npts=7, seed=5)
+    first_a = solver.integrate(conc_a, 300.0, 298.0, 0.6)
+    solver.integrate(conc_b, 300.0, 298.0, 0.6)  # different width in between
+    again_a = solver.integrate(conc_a, 300.0, 298.0, 0.6)
+    assert np.array_equal(first_a, again_a)

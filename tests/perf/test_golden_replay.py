@@ -1,0 +1,62 @@
+"""Replay timings are pinned bitwise to pre-overhaul goldens.
+
+``golden_replay.json`` records, for a deterministic synthetic trace,
+the complete timing surface (total time, per-phase breakdown, per-step
+communication) produced by the replay *before* the hot-path overhaul
+(batched communication charging, memoized plans, vectorised compute
+charging).  The overhaul's contract is that it changes no simulated
+number at all, so these comparisons use exact equality — a single
+ULP of drift in any phase cost is a failure.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.perf.suite import det_trace
+
+from repro.model.dataparallel import replay_data_parallel
+from repro.model.taskparallel import replay_task_parallel
+from repro.vm.machine import CRAY_T3E
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_replay.json").read_text()
+)["traces"]["la_shape_2h"]
+
+
+def timing_dict(timing):
+    return {
+        "machine": timing.machine,
+        "nprocs": timing.nprocs,
+        "total_time": timing.total_time,
+        "breakdown": timing.breakdown,
+        "comm_by_step": timing.comm_by_step,
+        "comm_steps": timing.comm_steps,
+    }
+
+
+def assert_exact(got, want):
+    for field, value in want.items():
+        assert got[field] == value, (
+            f"{field}: got {got[field]!r}, golden {value!r}"
+        )
+
+
+def test_data_parallel_p64_matches_golden():
+    got = timing_dict(replay_data_parallel(det_trace(), CRAY_T3E, 64))
+    assert_exact(got, GOLDEN["dp_p64"])
+
+
+def test_data_parallel_p8_matches_golden():
+    got = timing_dict(replay_data_parallel(det_trace(), CRAY_T3E, 8))
+    assert_exact(got, GOLDEN["dp_p8"])
+
+
+def test_task_parallel_p16_matches_golden():
+    got = timing_dict(replay_task_parallel(det_trace(), CRAY_T3E, 16))
+    assert_exact(got, GOLDEN["tp_p16"])
+
+
+def test_replay_is_deterministic_across_runs():
+    first = timing_dict(replay_data_parallel(det_trace(), CRAY_T3E, 64))
+    second = timing_dict(replay_data_parallel(det_trace(), CRAY_T3E, 64))
+    assert first == second

@@ -23,6 +23,18 @@ def test_required_docs_exist():
     assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
     assert (ROOT / "docs" / "OBSERVABILITY.md").is_file()
     assert (ROOT / "docs" / "ANALYZE.md").is_file()
+    assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
+
+
+def test_performance_doc_is_linked_and_current():
+    """PERFORMANCE.md is reachable and names the real artifacts."""
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/PERFORMANCE.md" in readme
+    perf = (ROOT / "docs" / "PERFORMANCE.md").read_text()
+    for artifact in ("benchmarks.perf.suite", "TransferBatch",
+                     "REPRO_CHEM_NO_C", "golden_replay.json"):
+        assert artifact in perf, f"PERFORMANCE.md no longer mentions {artifact}"
+    assert (ROOT / "benchmarks" / "perf" / "baseline.json").is_file()
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids())
