@@ -24,6 +24,10 @@ like:
 Timings are wall-clock medians; the concentration hash is the only
 machine-independent number.  ``tests/perf`` separately pins replayed
 *simulated* timings to machine-independent goldens.
+
+Runs are appended to a history file (``BENCH_perf.json``,
+``{"runs": [...]}``, one timestamped record per invocation) so perf can
+be tracked over time; ``--check-regression`` judges the latest entry.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ import platform
 import statistics
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
@@ -195,25 +200,61 @@ def run_suite(quick: bool = False,
     }
 
 
+def load_history(path: Path) -> Dict[str, object]:
+    """The run history at ``path``, migrating pre-history files.
+
+    The original format was one bare report (``{"benchmarks": ...,
+    "meta": ...}``); it becomes the history's first record, with a
+    ``null`` timestamp.  Unreadable files start a fresh history.
+    """
+    if not path.exists():
+        return {"runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"runs": []}
+    if isinstance(data, dict) and isinstance(data.get("runs"), list):
+        return {"runs": data["runs"]}
+    if isinstance(data, dict) and "benchmarks" in data:
+        data.setdefault("timestamp", None)
+        return {"runs": [data]}
+    return {"runs": []}
+
+
+def append_run(report: Dict[str, object], path: Path,
+               timestamp: Optional[str] = None) -> Dict[str, object]:
+    """Append ``report`` as a timestamped record and rewrite ``path``."""
+    history = load_history(path)
+    record = dict(report)
+    record["timestamp"] = timestamp or datetime.now(
+        timezone.utc).isoformat(timespec="seconds")
+    history["runs"].append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Hot-path perf microbenchmarks (see benchmarks/perf).")
     parser.add_argument("--quick", action="store_true",
                         help="only the sub-second benchmarks (CI smoke mode)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help=f"output JSON path (default {DEFAULT_OUT})")
+                        help="history JSON path; runs append "
+                             f"(default {DEFAULT_OUT})")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument(
         "--check-regression", type=float, default=None, metavar="FACTOR",
-        help="exit 1 if any median exceeds FACTOR x its baseline median, "
-             "or if the chemistry result is not bitwise identical")
+        help="exit 1 if, in the latest history entry, any median exceeds "
+             "FACTOR x its baseline median, or the chemistry result is "
+             "not bitwise identical")
     args = parser.parse_args(argv)
 
     report = run_suite(quick=args.quick, baseline_path=args.baseline)
-    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    history = append_run(report, args.out)
+    latest = history["runs"][-1]
 
     failed = []
-    for name, res in report["benchmarks"].items():
+    for name, res in latest["benchmarks"].items():
         base = res.get("baseline_median_s")
         line = f"{name}: {res['median_s']:.6f}s"
         if base is not None:
@@ -225,7 +266,8 @@ def main(argv=None) -> int:
         if res.get("bitwise_identical") is False:
             failed.append(f"{name} result is not bitwise identical to baseline")
         print(line)
-    print(f"wrote {args.out}")
+    print(f"appended run to {args.out} "
+          f"({len(history['runs'])} run(s) in history)")
     for msg in failed:
         print(f"FAIL: {msg}", file=sys.stderr)
     return 1 if failed else 0

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis import render_gantt
 from repro.core import AirshedConfig, INTEL_PARAGON, SequentialAirshed
-from repro.cli import DEMO_SPEC
+from repro.datasets import DEMO_SPEC
 from repro.model.checkpoint import load_checkpoint, resume_config, save_checkpoint
 from repro.model.taskparallel import TaskParallelAirshed
 

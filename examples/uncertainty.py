@@ -10,7 +10,7 @@ Run:  python examples/uncertainty.py
 """
 
 
-from repro.cli import DEMO_SPEC
+from repro.datasets import DEMO_SPEC
 from repro.core import AirshedConfig
 from repro.model import EmissionEnsemble
 

@@ -9,6 +9,9 @@
     python -m repro figures  --trace trace.pkl --out results/
     python -m repro trace    --dataset la --machine t3e --nodes 8 --out trace.json
     python -m repro lint     --driver taskparallel --dataset la --machine t3e -n 64
+    python -m repro campaign plan --sweep machines --dataset la --workers 4
+    python -m repro campaign run  --sweep ladder --dataset demo --hours 1
+    python -m repro bench    --quick
 
 ``simulate`` runs the real numerics and saves a workload trace;
 everything downstream replays/predicts from the trace.  ``trace`` runs
@@ -17,11 +20,16 @@ exports a Chrome-trace JSON (open in ``chrome://tracing`` or Perfetto);
 see ``docs/OBSERVABILITY.md``.  ``lint`` statically analyzes a driver's
 Fx program description — directive consistency, task-graph races,
 redistribution costs — without running it; see ``docs/ANALYZE.md``.
+``campaign`` plans and runs whole sweeps of simulations as managed,
+cached, fault-tolerant jobs; see ``docs/SCHEDULER.md``.  ``bench`` runs
+the hot-path perf suite (``benchmarks/perf``) without PYTHONPATH
+gymnastics; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import sys
 from pathlib import Path
@@ -34,8 +42,7 @@ from repro.analyze import (
     available_programs,
     build_program,
 )
-from repro.datasets import DatasetSpec, make_la, make_ne
-from repro.grid import RefinementCore
+from repro.datasets import DATASET_BUILDERS, get_dataset
 from repro.model import (
     AirshedConfig,
     SequentialAirshed,
@@ -51,26 +58,24 @@ from repro.observe import (
     write_csv,
 )
 from repro.perfmodel import PerformancePredictor
+from repro.sched import (
+    CampaignCostModel,
+    CampaignRunner,
+    FaultPolicy,
+    JobSpec,
+    ResultCache,
+    ensemble_sweep,
+    machine_grid,
+    plan_campaign,
+    scaling_ladder,
+    status_rows,
+)
 from repro.vm import get_machine, usage_from_spans
 
 __all__ = ["main"]
 
-#: A small grid for fast demonstration runs.
-DEMO_SPEC = DatasetSpec(
-    name="demo",
-    domain=(160.0, 120.0),
-    base_shape=(6, 5),
-    npoints=30 + 3 * 40,
-    cores=(RefinementCore(60.0, 60.0, 8.0, 25.0),),
-    layers=4,
-    seed=5,
-)
-
-DATASETS = {
-    "la": make_la,
-    "ne": make_ne,
-    "demo": DEMO_SPEC.build,
-}
+#: The registered datasets (``repro.datasets.registry``).
+DATASETS = DATASET_BUILDERS
 
 
 def _load_trace(path: str) -> WorkloadTrace:
@@ -85,7 +90,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.dataset not in DATASETS:
         raise SystemExit(f"unknown dataset {args.dataset!r}; choose from {sorted(DATASETS)}")
     print(f"building dataset {args.dataset!r}...")
-    dataset = DATASETS[args.dataset]()
+    dataset = get_dataset(args.dataset)
     config = AirshedConfig(
         dataset=dataset, hours=args.hours, start_hour=args.start_hour
     )
@@ -157,7 +162,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 f"unknown dataset {args.dataset!r}; choose from {sorted(DATASETS)}"
             )
         print(f"building dataset {args.dataset!r}...")
-        dataset = DATASETS[args.dataset]()
+        dataset = get_dataset(args.dataset)
         config = AirshedConfig(
             dataset=dataset, hours=args.hours, start_hour=args.start_hour
         )
@@ -230,6 +235,125 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return report.exit_code
+
+
+def _campaign_specs(args: argparse.Namespace) -> List[JobSpec]:
+    if args.sweep == "machines":
+        return machine_grid(
+            dataset=args.dataset,
+            machines=tuple(args.machines),
+            node_counts=tuple(args.nodes or (16, 64)),
+            hours=args.hours,
+            start_hour=args.start_hour,
+            variant=args.variant,
+            io_nodes=args.io_nodes,
+        )
+    if args.sweep == "ladder":
+        return scaling_ladder(
+            dataset=args.dataset,
+            machine=args.machine,
+            node_counts=tuple(args.nodes or (1, 2, 4, 8, 16, 32, 64)),
+            hours=args.hours,
+            start_hour=args.start_hour,
+            variant=args.variant,
+            io_nodes=args.io_nodes,
+        )
+    return ensemble_sweep(
+        dataset=args.dataset,
+        members=args.members,
+        sigma=args.sigma,
+        seed=args.seed,
+        hours=args.hours,
+        start_hour=args.start_hour,
+        variant=args.variant,
+        machine=args.machine,
+        nprocs=(args.nodes or [64])[0],
+        io_nodes=args.io_nodes,
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    cache = ResultCache(Path(args.cache_dir))
+
+    if args.action == "status":
+        rows = status_rows(cache)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif not rows:
+            print(f"(no cached jobs under {args.cache_dir})")
+        else:
+            header = ["key", "dataset", "hours", "variant", "machine",
+                      "nprocs", "status", "sha256"]
+            print(format_table(header, [[r[h] for h in header] for r in rows]))
+            print(f"\n{len(rows)} cached job(s) under {args.cache_dir}")
+        return 0
+
+    specs = _campaign_specs(args)
+    cost_model = CampaignCostModel(cache=cache)
+
+    if args.action == "plan":
+        plan = plan_campaign(specs, workers=args.workers,
+                             cost_model=cost_model, cache=cache)
+        if args.json:
+            print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        else:
+            rows = [j.row() for j in plan.jobs]
+            header = ["key", "job", "predicted_s", "sim_s", "worker",
+                      "start_s", "end_s"]
+            if rows:
+                print(format_table(header,
+                                   [[r[h] for h in header] for r in rows]))
+            else:
+                print("(empty campaign)")
+            print(f"\n{plan.n_jobs} job(s) "
+                  f"({plan.n_duplicates} duplicates deduped) on "
+                  f"{plan.workers} workers; predicted makespan "
+                  f"{plan.predicted_makespan:.3f}s")
+        return 0
+
+    # run
+    fault_policy = None
+    if args.inject_faults:
+        fault_policy = FaultPolicy.pick(
+            [s.key for s in specs], args.inject_faults,
+            seed=args.fault_seed, mode=args.fault_mode,
+        )
+    runner = CampaignRunner(
+        cache,
+        workers=args.workers,
+        retries=args.retries,
+        backoff=args.backoff,
+        timeout=args.timeout,
+        executor=args.executor,
+        fault_policy=fault_policy,
+        cost_model=cost_model,
+    )
+    report = runner.run(specs)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.complete else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    repo_root = Path(__file__).resolve().parents[2]
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    try:
+        from benchmarks.perf.suite import main as bench_main
+    except ImportError as exc:  # pragma: no cover - source-tree layout only
+        raise SystemExit(
+            f"benchmarks/perf not importable from {repo_root}: {exc}"
+        )
+    bench_argv: List[str] = []
+    if args.quick:
+        bench_argv.append("--quick")
+    if args.out:
+        bench_argv += ["--out", args.out]
+    if args.check_regression is not None:
+        bench_argv += ["--check-regression", str(args.check_regression)]
+    return bench_main(bench_argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,6 +434,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON report instead of text")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "campaign",
+        help="plan / run / inspect a sweep of managed simulation jobs",
+    )
+    p.add_argument("action", choices=["plan", "run", "status"])
+    p.add_argument("--sweep", choices=["machines", "ladder", "ensemble"],
+                   default="machines",
+                   help="sweep shape (see repro.sched.sweeps)")
+    p.add_argument("--dataset", default="la", help="la | ne | demo")
+    p.add_argument("--hours", type=int, default=2)
+    p.add_argument("--start-hour", type=int, default=6)
+    p.add_argument("--variant", choices=["sequential", "data", "task"],
+                   default="data")
+    p.add_argument("--machines", nargs="+",
+                   default=["t3e", "t3d", "paragon"],
+                   help="machines for --sweep machines")
+    p.add_argument("--machine", default="t3e",
+                   help="machine for --sweep ladder/ensemble")
+    p.add_argument("--nodes", type=int, nargs="+",
+                   help="node counts (default depends on sweep)")
+    p.add_argument("--io-nodes", type=int, default=1)
+    p.add_argument("--members", type=int, default=4,
+                   help="ensemble members for --sweep ensemble")
+    p.add_argument("--sigma", type=float, default=0.3,
+                   help="emission perturbation sigma (ensemble)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="ensemble base seed")
+    p.add_argument("--workers", type=int, default=4,
+                   help="bounded worker-pool size")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="content-addressed result cache root")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per job")
+    p.add_argument("--backoff", type=float, default=0.25,
+                   help="base retry backoff in seconds (doubles per retry)")
+    p.add_argument("--executor", choices=["thread", "process", "inline"],
+                   default="thread")
+    p.add_argument("--inject-faults", type=int, default=0, metavar="N",
+                   help="deterministically fault N jobs once (fault drill)")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--fault-mode", choices=["raise", "hang"],
+                   default="raise")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output instead of text")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the hot-path perf suite (benchmarks/perf)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="only the sub-second benchmarks (CI smoke mode)")
+    p.add_argument("--out", help="output JSON path (default BENCH_perf.json)")
+    p.add_argument("--check-regression", type=float, default=None,
+                   metavar="FACTOR",
+                   help="exit 1 if any median exceeds FACTOR x baseline")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -3,17 +3,29 @@
 from repro.datasets.generators import Dataset, DatasetSpec, HourlyConditions
 from repro.datasets.la import LA_SPEC, make_la
 from repro.datasets.ne import NE_SPEC, make_ne
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    DEMO_SPEC,
+    dataset_names,
+    get_dataset,
+    register_dataset,
+)
 from repro.datasets.sources import PointSource, elevated_emissions, injection_layer
 
 __all__ = [
+    "DATASET_BUILDERS",
+    "DEMO_SPEC",
     "Dataset",
     "DatasetSpec",
     "HourlyConditions",
     "LA_SPEC",
     "NE_SPEC",
     "PointSource",
+    "dataset_names",
     "elevated_emissions",
+    "get_dataset",
     "injection_layer",
     "make_la",
     "make_ne",
+    "register_dataset",
 ]

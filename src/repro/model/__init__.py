@@ -18,7 +18,13 @@ from repro.model.dataparallel import (
     replay_data_parallel,
 )
 from repro.model.physics import AirshedPhysics
-from repro.model.results import AirshedResult, HourTrace, StepTrace, WorkloadTrace
+from repro.model.results import (
+    AirshedResult,
+    HourTrace,
+    StepTrace,
+    WorkloadTrace,
+    concat_results,
+)
 from repro.model.sequential import TRACKED_SPECIES, SequentialAirshed
 from repro.model.taskparallel import (
     TaskParallelAirshed,
@@ -50,6 +56,7 @@ __all__ = [
     "StepTrace",
     "TRACKED_SPECIES",
     "WorkloadTrace",
+    "concat_results",
     "replay_data_parallel",
     "replay_task_parallel",
 ]

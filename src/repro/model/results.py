@@ -22,7 +22,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["StepTrace", "HourTrace", "WorkloadTrace", "AirshedResult"]
+__all__ = [
+    "StepTrace",
+    "HourTrace",
+    "WorkloadTrace",
+    "AirshedResult",
+    "concat_results",
+]
 
 
 @dataclass
@@ -133,3 +139,47 @@ class AirshedResult:
     def peak(self, name: str) -> float:
         """Peak hourly domain-mean of a species over the run."""
         return float(self.species_series(name).max())
+
+
+def concat_results(parts: List["AirshedResult"]) -> AirshedResult:
+    """Join consecutive chunk results into one run's result.
+
+    ``parts`` must be results of back-to-back runs of the same dataset
+    (hour ``k`` resumed from hour ``k-1``'s final state, e.g. via
+    :mod:`repro.model.checkpoint`).  Because each hour's outputs depend
+    only on the entering concentrations and the hour of day, the joined
+    result is bitwise identical to an unbroken run over the same hours.
+    """
+    if not parts:
+        raise ValueError("concat_results needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    for p in parts[1:]:
+        if p.trace.dataset_name != first.trace.dataset_name:
+            raise ValueError(
+                f"cannot concat results of {p.trace.dataset_name!r} onto "
+                f"{first.trace.dataset_name!r}"
+            )
+        if p.trace.shape != first.trace.shape:
+            raise ValueError("cannot concat results of different shapes")
+        if set(p.hourly_mean) != set(first.hourly_mean):
+            raise ValueError("cannot concat results tracking different species")
+    trace = WorkloadTrace(
+        dataset_name=first.trace.dataset_name,
+        shape=first.trace.shape,
+        hours=[h for p in parts for h in p.trace.hours],
+    )
+    hourly_mean = {
+        s: [v for p in parts for v in p.hourly_mean[s]] for s in first.hourly_mean
+    }
+    if all(p.hourly_surface is not None for p in parts):
+        surface = [f for p in parts for f in p.hourly_surface]
+    else:
+        surface = None
+    return AirshedResult(
+        trace=trace,
+        final_conc=parts[-1].final_conc,
+        hourly_mean=hourly_mean,
+        hourly_surface=surface,
+    )

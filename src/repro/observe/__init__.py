@@ -16,7 +16,7 @@ See ``docs/OBSERVABILITY.md`` for the API walkthrough and the span
 naming conventions.
 """
 
-from repro.observe.compare import breakdown, predicted_vs_observed
+from repro.observe.compare import breakdown, observed_makespan, predicted_vs_observed
 from repro.observe.counters import Counter, CounterSet, Histogram
 from repro.observe.export import (
     chrome_trace,
@@ -39,5 +39,6 @@ __all__ = [
     "write_chrome_trace",
     "write_csv",
     "breakdown",
+    "observed_makespan",
     "predicted_vs_observed",
 ]

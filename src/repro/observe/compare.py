@@ -9,11 +9,11 @@ the predicted/measured/error table directly from a trace.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.observe.tracer import Tracer
+from repro.observe.tracer import Span, Tracer
 
-__all__ = ["breakdown", "predicted_vs_observed"]
+__all__ = ["breakdown", "observed_makespan", "predicted_vs_observed"]
 
 #: Order of the paper's Figure 4 components in comparison tables.
 COMPONENTS = ("chemistry", "transport", "io", "communication")
@@ -72,3 +72,25 @@ def predicted_vs_observed(
     err_tot = 100.0 * (p_tot - o_tot) / o_tot if o_tot else 0.0
     rows.append(["total", p_tot, o_tot, err_tot])
     return header, rows
+
+
+def observed_makespan(
+    spans: Iterable[Span], kinds: Optional[Sequence[str]] = None
+) -> float:
+    """Elapsed seconds from the first span start to the last span end.
+
+    With ``kinds`` given, only spans of those kinds contribute — e.g.
+    ``("job",)`` measures a campaign's makespan from its per-job spans,
+    which is the observed side of a scheduler's predicted-vs-observed
+    comparison.  Returns 0.0 when no span matches.
+    """
+    start = None
+    end = None
+    for s in spans:
+        if kinds is not None and s.kind not in kinds:
+            continue
+        start = s.start if start is None else min(start, s.start)
+        end = s.end if end is None else max(end, s.end)
+    if start is None:
+        return 0.0
+    return end - start

@@ -7,6 +7,7 @@ from repro.perfmodel.calibrate import (
     fit_compute_rate,
 )
 from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
+from repro.perfmodel.estimate import NOMINAL_RATES, estimated_trace
 from repro.perfmodel.computation import (
     PhaseModel,
     block_phase_time,
@@ -24,6 +25,7 @@ __all__ = [
     "BalancePoint",
     "CommunicationModel",
     "FittedParameters",
+    "NOMINAL_RATES",
     "PerformancePredictor",
     "PhaseModel",
     "PredictedTimes",
@@ -31,6 +33,7 @@ __all__ = [
     "block_phase_time",
     "comm_fraction_sweep",
     "compare_grid_strategies",
+    "estimated_trace",
     "fit_comm_parameters",
     "fit_compute_rate",
     "network_balance_margin",

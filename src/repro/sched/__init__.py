@@ -1,0 +1,60 @@
+"""Campaign scheduler: cost-model-driven sweeps as managed jobs.
+
+The production payoff of the paper's *predictable performance* claim:
+if a simple analytic model prices every run in advance (Section 4),
+then large sweeps — machine comparisons, P-scaling ladders, emission
+ensembles — can be *scheduled* rather than scripted.  This package
+executes such campaigns as managed jobs with content-addressed caching,
+bounded-pool LPT packing, per-job timeout, deterministic retry with
+checkpoint resume, and a predicted-vs-observed makespan report.
+
+Layers (see ``docs/SCHEDULER.md``):
+
+* :mod:`repro.sched.job` — :class:`JobSpec` (content-hashed identity)
+  and :class:`JobResult`;
+* :mod:`repro.sched.cache` — :class:`ResultCache`, the on-disk
+  content-addressed store;
+* :mod:`repro.sched.costmodel` — :class:`CampaignCostModel`, pricing
+  jobs with :mod:`repro.perfmodel` before anything runs;
+* :mod:`repro.sched.planner` — dedupe, science-chaining and LPT
+  packing into a :class:`CampaignPlan`;
+* :mod:`repro.sched.runner` — :class:`CampaignRunner`, the
+  fault-tolerant bounded pool;
+* :mod:`repro.sched.faults` — :class:`FaultPolicy`, deterministic
+  fault injection for drills and tests;
+* :mod:`repro.sched.sweeps` — generators for the standard studies;
+* :mod:`repro.sched.report` — :class:`CampaignReport`.
+"""
+
+from repro.sched.cache import ResultCache
+from repro.sched.costmodel import CampaignCostModel, PredictedJobCost
+from repro.sched.faults import FaultPolicy, InjectedFault, InjectedHang
+from repro.sched.job import JOB_STATUSES, VARIANTS, JobResult, JobSpec
+from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
+from repro.sched.report import CampaignReport, status_rows
+from repro.sched.runner import CampaignRunner, JobTimeoutError, execute_job
+from repro.sched.sweeps import ensemble_sweep, machine_grid, scaling_ladder
+
+__all__ = [
+    "CampaignCostModel",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignRunner",
+    "FaultPolicy",
+    "InjectedFault",
+    "InjectedHang",
+    "JOB_STATUSES",
+    "JobResult",
+    "JobSpec",
+    "JobTimeoutError",
+    "PlannedJob",
+    "PredictedJobCost",
+    "ResultCache",
+    "VARIANTS",
+    "ensemble_sweep",
+    "execute_job",
+    "machine_grid",
+    "plan_campaign",
+    "scaling_ladder",
+    "status_rows",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed on-disk result cache for campaign jobs.
+
+Layout under the cache root::
+
+    science/<k[:2]>/<k>.pkl   one AirshedResult per science key
+    jobs/<k[:2]>/<k>.pkl      job payload: spec, science key, timing
+    scratch/<science_key>/    in-flight checkpoint chunks (see runner)
+
+Science results (the expensive sequential numerics) are stored once per
+*science* key; a job entry references its science key instead of
+duplicating the arrays, so a machine-comparison grid shares one science
+pickle across all its replay jobs.  Keys are the
+:class:`~repro.sched.job.JobSpec` content hashes, and builders are
+deterministic, so a cache hit returns a bitwise-identical result.
+
+Writes are atomic (temp file + ``os.replace``): a campaign killed
+mid-write never leaves a truncated entry behind.  Unreadable entries are
+treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Campaign result store rooted at a directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------
+    def _entry(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def science_path(self, science_key: str) -> Path:
+        return self._entry("science", science_key)
+
+    def job_path(self, key: str) -> Path:
+        return self._entry("jobs", key)
+
+    def scratch_dir(self, science_key: str) -> Path:
+        """Checkpoint scratch area for one in-flight science run."""
+        d = self.root / "scratch" / science_key
+        d.mkdir(parents=True, exist_ok=True)
+        return d
+
+    def clear_scratch(self, science_key: str) -> None:
+        d = self.root / "scratch" / science_key
+        if d.is_dir():
+            for p in d.iterdir():
+                p.unlink()
+            d.rmdir()
+
+    # -- low-level pickle I/O ------------------------------------------
+    @staticmethod
+    def _load(path: Path) -> Optional[Any]:
+        if not path.is_file():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # A corrupt entry is a miss; drop it so it gets rebuilt.
+            path.unlink(missing_ok=True)
+            return None
+
+    @staticmethod
+    def _store(path: Path, obj: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # -- science results -----------------------------------------------
+    def get_science(self, science_key: str) -> Optional[Any]:
+        return self._load(self.science_path(science_key))
+
+    def put_science(self, science_key: str, result: Any) -> None:
+        self._store(self.science_path(science_key), result)
+
+    # -- job entries ---------------------------------------------------
+    def get_job(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored job payload, or ``None`` on any kind of miss.
+
+        The payload references its science result by key; if that
+        science entry has been evicted the job entry is useless and is
+        reported (and removed) as a miss.
+        """
+        payload = self._load(self.job_path(key))
+        if payload is None:
+            return None
+        science = self.get_science(payload["science_key"])
+        if science is None:
+            self.job_path(key).unlink(missing_ok=True)
+            return None
+        payload["result"] = science
+        return payload
+
+    def put_job(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a job payload (must carry ``science_key``; the science
+        result itself goes through :meth:`put_science`)."""
+        payload = dict(payload)
+        payload.pop("result", None)
+        if "science_key" not in payload:
+            raise ValueError("job payload must reference a science_key")
+        self._store(self.job_path(key), payload)
+
+    def iter_jobs(self) -> Iterator[Dict[str, Any]]:
+        """Yield every readable job payload (for ``campaign status``)."""
+        jobs = self.root / "jobs"
+        if not jobs.is_dir():
+            return
+        for path in sorted(jobs.glob("*/*.pkl")):
+            payload = self._load(path)
+            if payload is not None:
+                yield payload

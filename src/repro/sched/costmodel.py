@@ -1,0 +1,161 @@
+"""Pricing campaign jobs with the Section 4 performance model.
+
+The planner needs two numbers per job before anything runs:
+
+* ``wall_s`` — predicted wall-clock seconds to *execute* the job on
+  this host.  Executing means running the real Python numerics
+  (sequential, dominated by chemistry) plus, for parallel variants, a
+  cheap replay of the recorded workload.  The science part is a
+  Section-4 prediction of an
+  :func:`~repro.perfmodel.estimate.estimated_trace` on the
+  :func:`~repro.vm.machine.workstation_spec` host profile at P=1 —
+  the same ``T_par = T_seq / min(parallelism, P)`` machinery, pointed
+  at the machine that actually does the work;
+* ``sim_s`` — predicted *simulated* seconds on the job's target
+  machine/P, the number the paper's tables report.  Pure bookkeeping
+  for the plan output, but free once the estimated trace exists.
+
+Jobs sharing a science key share one expensive numerics run (the
+runner caches it), so the model charges the science cost once per
+science key and a replay-only cost to the rest; a cache-aware model
+(constructed with the campaign's cache) charges nothing for science
+that is already stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analyze.programs import DATASET_SHAPES
+from repro.perfmodel.estimate import estimated_trace
+from repro.perfmodel.predict import PerformancePredictor
+from repro.sched.cache import ResultCache
+from repro.sched.job import JobResult, JobSpec
+from repro.vm.machine import HOST_OPS_PER_SECOND, get_machine, workstation_spec
+
+__all__ = ["PredictedJobCost", "CampaignCostModel"]
+
+#: Wall overhead of replaying a recorded workload on the simulated
+#: machine: per main-loop step plus a fixed layout/plan setup cost.
+REPLAY_WALL_PER_STEP = 2e-3
+REPLAY_WALL_BASE = 0.05
+
+#: Known (species, layers, points) shapes, shared with the static
+#: analyzer so pricing a job never materialises a shipped dataset;
+#: unknown (registered) datasets are materialised once and memoized.
+_SHAPE_CACHE: Dict[str, Tuple[int, int, int]] = dict(DATASET_SHAPES)
+
+
+def _dataset_shape(name: str) -> Tuple[int, int, int]:
+    if name not in _SHAPE_CACHE:
+        from repro.datasets.registry import get_dataset
+
+        _SHAPE_CACHE[name] = get_dataset(name).shape
+    return _SHAPE_CACHE[name]
+
+
+@dataclass(frozen=True)
+class PredictedJobCost:
+    """The cost model's answer for one job."""
+
+    wall_s: float        # predicted wall-clock to execute here
+    science_s: float     # wall share of the sequential numerics
+    replay_s: float      # wall share of the simulated replay
+    sim_s: float         # predicted simulated seconds on the target
+
+    @property
+    def replay_only(self) -> bool:
+        return self.science_s == 0.0
+
+
+class CampaignCostModel:
+    """Price jobs for planning; optionally cache-aware.
+
+    ``ops_per_second`` is the host's abstract-op throughput
+    (:data:`~repro.vm.machine.HOST_OPS_PER_SECOND` by default);
+    :meth:`calibrated` refits it from observed job runtimes, closing
+    the predict -> observe -> recalibrate loop of the paper's
+    methodology at the campaign level.
+    """
+
+    def __init__(
+        self,
+        ops_per_second: float = HOST_OPS_PER_SECOND,
+        cache: Optional[ResultCache] = None,
+        steps_per_hour: int = 5,
+    ):
+        if ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        self.ops_per_second = float(ops_per_second)
+        self.cache = cache
+        self.steps_per_hour = int(steps_per_hour)
+        self._host = workstation_spec(self.ops_per_second)
+
+    # ------------------------------------------------------------------
+    def _trace(self, spec: JobSpec):
+        return estimated_trace(
+            _dataset_shape(spec.dataset),
+            hours=spec.hours,
+            start_hour=spec.start_hour,
+            steps_per_hour=self.steps_per_hour,
+            dataset_name=spec.dataset,
+        )
+
+    def science_seconds(self, spec: JobSpec) -> float:
+        """Predicted wall seconds of the sequential numerics."""
+        trace = self._trace(spec)
+        return PerformancePredictor(trace, self._host).predict_total(1)
+
+    def predict(self, spec: JobSpec, science_charged: bool = True) -> PredictedJobCost:
+        """Price one job.
+
+        ``science_charged=False`` marks a job whose science run is paid
+        by an earlier job in the same campaign (shared science key);
+        a cache-aware model also waives science that is already stored.
+        """
+        if science_charged and self.cache is not None:
+            if self.cache.get_science(spec.science_key) is not None:
+                science_charged = False
+        science_s = self.science_seconds(spec) if science_charged else 0.0
+        if spec.variant == "sequential":
+            replay_s = 0.0
+            sim_s = 0.0
+        else:
+            trace = self._trace(spec)
+            steps = trace.total_steps()
+            replay_s = REPLAY_WALL_BASE + REPLAY_WALL_PER_STEP * steps
+            sim_s = PerformancePredictor(
+                trace, get_machine(spec.machine)
+            ).predict_total(spec.nprocs)
+        return PredictedJobCost(
+            wall_s=science_s + replay_s,
+            science_s=science_s,
+            replay_s=replay_s,
+            sim_s=sim_s,
+        )
+
+    # ------------------------------------------------------------------
+    def calibrated(self, results: Iterable[JobResult]) -> "CampaignCostModel":
+        """Refit the host rate from executed (non-cached) job results.
+
+        Each observed job contributes ``predicted_ops / wall_s``; the
+        median becomes the new rate.  Results that did no science work
+        (cache hits, failures) are ignored.  Returns ``self`` when
+        nothing usable was observed.
+        """
+        rates = []
+        for r in results:
+            if not r.ok or r.from_cache or r.science_cached or r.wall_s <= 0:
+                continue
+            ops = self.science_seconds(r.spec) * self.ops_per_second
+            rates.append(ops / r.wall_s)
+        if not rates:
+            return self
+        rates.sort()
+        new_rate = rates[len(rates) // 2]
+        return CampaignCostModel(
+            ops_per_second=new_rate,
+            cache=self.cache,
+            steps_per_hour=self.steps_per_hour,
+        )

@@ -1,0 +1,108 @@
+"""Deterministic fault injection for exercising campaign failure paths.
+
+Real campaigns see workers die and jobs wedge; tests need those paths
+without flaky timing.  A :class:`FaultPolicy` deterministically selects
+jobs — by explicit key or by a seeded hash fraction — and makes each
+selected job misbehave **once** (on its first attempt), either by
+raising :class:`InjectedFault` or by hanging, so retry, timeout and
+backoff handling are exercised and the retry then succeeds.
+
+Selection is a pure function of ``(seed, job key)``: the same campaign
+with the same policy faults the same jobs on every machine, and the
+policy is a plain picklable dataclass so process-pool workers apply it
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["FaultPolicy", "InjectedFault", "InjectedHang"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a job selected for a ``raise`` fault."""
+
+
+class InjectedHang(RuntimeError):
+    """Raised where an in-process executor simulates a wedged job.
+
+    Thread and inline executors cannot kill a genuinely spinning job,
+    so a ``hang`` fault surfaces as this exception at the fault point
+    and the runner handles it through its timeout path.  The process
+    executor really does hang (and gets terminated).
+    """
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Seeded, deterministic selection of jobs to fault once.
+
+    Parameters
+    ----------
+    seed:
+        Namespace for the hash-fraction selection.
+    fraction:
+        Fault this fraction of job keys (hash-uniform in [0, 1)).
+    keys:
+        Explicitly faulted job keys (full keys or unambiguous prefixes
+        work; matching is by prefix).
+    mode:
+        ``"raise"`` (default) or ``"hang"``.
+    after_hours:
+        The fault fires after this many simulated hours complete, so a
+        checkpoint exists and the retry exercises resume (0 faults the
+        job before any work).
+    """
+
+    seed: int = 0
+    fraction: float = 0.0
+    keys: Tuple[str, ...] = field(default_factory=tuple)
+    mode: str = "raise"
+    after_hours: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ValueError("fraction must lie in [0, 1]")
+        if self.mode not in ("raise", "hang"):
+            raise ValueError('mode must be "raise" or "hang"')
+        if self.after_hours < 0:
+            raise ValueError("after_hours must be non-negative")
+
+    def selects(self, key: str) -> bool:
+        """Whether this policy faults the job with content hash ``key``."""
+        if any(key.startswith(k) for k in self.keys if k):
+            return True
+        if self.fraction <= 0.0:
+            return False
+        h = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
+        u = int.from_bytes(h[:8], "big") / 2**64
+        return u < self.fraction
+
+    def action(self, key: str, attempt: int) -> Optional[str]:
+        """The fault to apply on this attempt (``None`` for none).
+
+        Faults fire once: only on attempt 0.
+        """
+        if attempt == 0 and self.selects(key):
+            return self.mode
+        return None
+
+    @staticmethod
+    def pick(keys: Sequence[str], n: int, seed: int = 0,
+             mode: str = "raise", after_hours: int = 1) -> "FaultPolicy":
+        """A policy faulting a deterministic choice of ``n`` of ``keys``.
+
+        Keys are ranked by ``sha256(seed:key)`` — stable across runs and
+        independent of submission order.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        ranked = sorted(
+            set(keys),
+            key=lambda k: hashlib.sha256(f"{seed}:{k}".encode()).hexdigest(),
+        )
+        return FaultPolicy(seed=seed, keys=tuple(ranked[:n]), mode=mode,
+                           after_hours=after_hours)

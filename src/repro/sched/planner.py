@@ -1,0 +1,161 @@
+"""Cost-model-driven campaign planning.
+
+The planner turns a bag of :class:`~repro.sched.job.JobSpec` into an
+executable plan:
+
+1. **dedupe** — jobs with equal content hashes collapse to one
+   execution (the duplicates are recorded, their submitters all get the
+   same result);
+2. **chain** — jobs sharing a *science* key form a chain that runs
+   sequentially on one worker, so the expensive numerics run once and
+   the replay-only followers hit the in-campaign science cache instead
+   of racing a twin on another worker;
+3. **pack** — chains are placed longest-predicted-time-first (LPT) onto
+   the bounded worker pool; the resulting per-worker load profile gives
+   the predicted makespan the runner later compares against the
+   observed one.
+
+Everything is deterministic: ties break on content hash, so the same
+campaign yields the same plan on every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sched.cache import ResultCache
+from repro.sched.costmodel import CampaignCostModel
+from repro.sched.job import JobSpec
+
+__all__ = ["PlannedJob", "CampaignPlan", "plan_campaign"]
+
+
+@dataclass
+class PlannedJob:
+    """One unique job with its predicted placement."""
+
+    spec: JobSpec
+    predicted_s: float      # wall prediction for this job
+    sim_s: float            # predicted simulated seconds on the target
+    science_charged: bool   # this job pays its chain's science run
+    worker: int = 0
+    start_s: float = 0.0
+    end_s: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "key": self.spec.key[:12],
+            "job": self.spec.label,
+            "predicted_s": round(self.predicted_s, 4),
+            "sim_s": round(self.sim_s, 4),
+            "worker": self.worker,
+            "start_s": round(self.start_s, 4),
+            "end_s": round(self.end_s, 4),
+        }
+
+
+@dataclass
+class CampaignPlan:
+    """Deduped, chained, LPT-packed execution plan."""
+
+    jobs: List[PlannedJob]          # execution order (chains contiguous)
+    chains: List[List[int]]         # indices into ``jobs``, LPT order
+    workers: int
+    predicted_makespan: float
+    duplicates: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_duplicates(self) -> int:
+        return sum(self.duplicates.values())
+
+    def predicted_for(self, key: str) -> float:
+        for job in self.jobs:
+            if job.key == key:
+                return job.predicted_s
+        raise KeyError(f"no planned job with key {key}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "predicted_makespan_s": round(self.predicted_makespan, 4),
+            "n_jobs": self.n_jobs,
+            "n_duplicates": self.n_duplicates,
+            "jobs": [j.row() for j in self.jobs],
+        }
+
+
+def plan_campaign(
+    specs: Sequence[JobSpec],
+    workers: int = 4,
+    cost_model: Optional[CampaignCostModel] = None,
+    cache: Optional[ResultCache] = None,
+) -> CampaignPlan:
+    """Build the campaign plan for ``specs`` on ``workers`` slots."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if cost_model is None:
+        cost_model = CampaignCostModel(cache=cache)
+
+    # 1. dedupe by content hash, keeping first submission order.
+    unique: Dict[str, JobSpec] = {}
+    duplicates: Dict[str, int] = {}
+    for spec in specs:
+        if spec.key in unique:
+            duplicates[spec.key] = duplicates.get(spec.key, 0) + 1
+        else:
+            unique[spec.key] = spec
+
+    # 2. chain by science key; first job of a chain pays the science.
+    chains_by_science: Dict[str, List[JobSpec]] = {}
+    for spec in unique.values():
+        chains_by_science.setdefault(spec.science_key, []).append(spec)
+
+    planned: List[PlannedJob] = []
+    chain_groups: List[List[PlannedJob]] = []
+    for science_key in sorted(chains_by_science):
+        members = sorted(chains_by_science[science_key], key=lambda s: s.key)
+        group = []
+        for i, spec in enumerate(members):
+            cost = cost_model.predict(spec, science_charged=(i == 0))
+            group.append(PlannedJob(
+                spec=spec,
+                predicted_s=cost.wall_s,
+                sim_s=cost.sim_s,
+                science_charged=cost.science_s > 0.0,
+            ))
+        chain_groups.append(group)
+
+    # 3. LPT over chains: longest chain first, least-loaded worker.
+    chain_groups.sort(
+        key=lambda g: (-sum(j.predicted_s for j in g), g[0].key)
+    )
+    load = [0.0] * workers
+    chains: List[List[int]] = []
+    for group in chain_groups:
+        worker = min(range(workers), key=lambda w: (load[w], w))
+        indices = []
+        for job in group:
+            job.worker = worker
+            job.start_s = load[worker]
+            load[worker] += job.predicted_s
+            job.end_s = load[worker]
+            indices.append(len(planned))
+            planned.append(job)
+        chains.append(indices)
+
+    return CampaignPlan(
+        jobs=planned,
+        chains=chains,
+        workers=workers,
+        predicted_makespan=max(load) if planned else 0.0,
+        duplicates=duplicates,
+    )

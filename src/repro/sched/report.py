@@ -1,0 +1,137 @@
+"""Campaign summary reporting.
+
+One :class:`CampaignReport` per run: per-job status (attempts, retries,
+cache hits, predicted-vs-observed wall time), the campaign counters,
+and the headline predicted-vs-observed makespan from the cost-model
+plan versus the observed span stream.  Renders as a fixed-width text
+table (CLI) or JSON (machines).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.sched.cache import ResultCache
+from repro.sched.job import JobResult
+from repro.sched.planner import CampaignPlan
+
+__all__ = ["CampaignReport", "status_rows"]
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run."""
+
+    plan: CampaignPlan
+    results: List[JobResult]
+    observed_makespan_s: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def predicted_makespan_s(self) -> float:
+        return self.plan.predicted_makespan
+
+    @property
+    def makespan_error_pct(self) -> float:
+        if self.observed_makespan_s <= 0:
+            return 0.0
+        p, o = self.predicted_makespan_s, self.observed_makespan_s
+        return 100.0 * (p - o) / o
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.results)
+
+    @property
+    def complete(self) -> bool:
+        """Every planned job ended in a usable result."""
+        return self.n_failed == 0 and len(self.results) == self.plan.n_jobs
+
+    # -- rendering -----------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        return [r.summary_row() for r in self.results]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.plan.workers,
+            "n_jobs": self.plan.n_jobs,
+            "n_duplicates": self.plan.n_duplicates,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "cache_hits": self.cache_hits,
+            "retries": self.total_retries,
+            "predicted_makespan_s": round(self.predicted_makespan_s, 4),
+            "observed_makespan_s": round(self.observed_makespan_s, 4),
+            "makespan_error_pct": round(self.makespan_error_pct, 2),
+            "complete": self.complete,
+            "counters": self.counters,
+            "jobs": self.rows(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        header = ["key", "job", "status", "attempts", "retries", "cached",
+                  "predicted s", "wall s"]
+        rows = [
+            [r["key"], r["job"], r["status"], r["attempts"], r["retries"],
+             "yes" if r["cached"] else
+             ("science" if r["science_cached"] else "no"),
+             r["predicted_s"], r["wall_s"]]
+            for r in self.rows()
+        ]
+        lines = [format_table(header, rows)] if rows else ["(empty campaign)"]
+        lines.append("")
+        lines.append(
+            f"jobs: {self.n_ok} ok, {self.n_failed} failed "
+            f"({self.plan.n_duplicates} duplicates deduped, "
+            f"{self.cache_hits} cache hits, {self.total_retries} retries)"
+        )
+        lines.append(
+            f"makespan: predicted {self.predicted_makespan_s:.3f}s, "
+            f"observed {self.observed_makespan_s:.3f}s "
+            f"({self.makespan_error_pct:+.1f}% error) "
+            f"on {self.plan.workers} workers"
+        )
+        return "\n".join(lines)
+
+
+def status_rows(cache: ResultCache) -> List[Dict[str, object]]:
+    """Stored job entries of a cache, for ``repro campaign status``."""
+    from repro.sched.job import JobSpec
+
+    rows = []
+    for payload in cache.iter_jobs():
+        spec = payload.get("spec", {})
+        try:
+            key = JobSpec.from_dict(spec).key
+        except (TypeError, ValueError):
+            key = payload.get("science_key", "")
+        rows.append({
+            "key": key[:12],
+            "dataset": spec.get("dataset", "?"),
+            "hours": spec.get("hours", "?"),
+            "variant": spec.get("variant", "?"),
+            "machine": spec.get("machine", ""),
+            "nprocs": spec.get("nprocs", ""),
+            "status": payload.get("status", "?"),
+            "sha256": payload.get("final_conc_sha256", "")[:12],
+        })
+    return rows

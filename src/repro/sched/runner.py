@@ -1,0 +1,547 @@
+"""Fault-tolerant campaign execution on a bounded worker pool.
+
+The runner takes a :class:`~repro.sched.planner.CampaignPlan` and
+drives it to completion:
+
+* **pool** — chains execute on ``workers`` slots (``thread`` pool by
+  default; ``process`` isolates each attempt in a subprocess that a
+  timeout can really kill; ``inline`` runs everything on the calling
+  thread, deterministically, in plan order);
+* **timeout** — each attempt gets ``timeout`` seconds.  In-process
+  executors check the deadline cooperatively at checkpoint boundaries
+  (and treat an injected hang as a wedged job); the process executor
+  enforces it preemptively with ``Process.join(timeout)``;
+* **retry** — a failed or timed-out attempt is retried up to
+  ``retries`` times after a deterministic exponential backoff
+  (``backoff * 2**(attempt-1)``; the sleep function is injectable so
+  tests pay no wall-clock);
+* **resume** — the science loop checkpoints every ``checkpoint_hours``
+  simulated hours (:mod:`repro.model.checkpoint` plus a pickled chunk
+  result), so a retry continues from the last completed chunk instead
+  of restarting, and the joined result stays bitwise identical to an
+  unbroken run;
+* **cache** — finished jobs and their science results go into the
+  :class:`~repro.sched.cache.ResultCache`; resubmitting a finished
+  campaign does zero simulation work;
+* **observe** — every job emits a ``kind="job"`` span (node = worker
+  slot) into a :class:`~repro.observe.tracer.Tracer`, and campaign
+  counters (cache hits, retries, faults, timeouts, simulated hours)
+  accumulate alongside, so the report's predicted-vs-observed makespan
+  comes straight off the span stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datasets.registry import get_dataset
+from repro.model.checkpoint import load_checkpoint, resume_config, save_checkpoint
+from repro.model.config import AirshedConfig
+from repro.model.dataparallel import replay_data_parallel
+from repro.model.ensemble import PerturbedDataset
+from repro.model.results import AirshedResult, concat_results
+from repro.model.sequential import SequentialAirshed
+from repro.model.taskparallel import replay_task_parallel
+from repro.observe.compare import observed_makespan
+from repro.observe.tracer import Tracer
+from repro.sched.cache import ResultCache
+from repro.sched.costmodel import CampaignCostModel
+from repro.sched.faults import FaultPolicy, InjectedFault, InjectedHang
+from repro.sched.job import JobResult, JobSpec
+from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
+from repro.sched.report import CampaignReport
+from repro.vm.machine import get_machine
+
+__all__ = ["CampaignRunner", "JobTimeoutError", "execute_job"]
+
+EXECUTORS = ("thread", "process", "inline")
+
+
+class JobTimeoutError(RuntimeError):
+    """An attempt exceeded its per-job timeout."""
+
+
+# ---------------------------------------------------------------------------
+# job execution (runs in a worker thread or a child process)
+# ---------------------------------------------------------------------------
+def _build_dataset(spec: JobSpec):
+    dataset = get_dataset(spec.dataset)
+    if spec.perturb_seed is not None:
+        dataset = PerturbedDataset(
+            dataset, member_seed=spec.perturb_seed, sigma=spec.perturb_sigma
+        )
+    return dataset
+
+
+def _load_scratch(cache: ResultCache, science_key: str):
+    """Completed chunks of an interrupted science run, oldest first."""
+    scratch = cache.scratch_dir(science_key)
+    parts: List[AirshedResult] = []
+    checkpoint = None
+    idx = 0
+    while True:
+        part_path = scratch / f"part_{idx:03d}.pkl"
+        ck_path = scratch / f"ck_{idx:03d}.npz"
+        if not (part_path.is_file() and ck_path.is_file()):
+            break
+        try:
+            with part_path.open("rb") as fh:
+                part = pickle.load(fh)
+            checkpoint = load_checkpoint(ck_path)
+        except Exception:
+            break  # unreadable chunk: resume up to the last good one
+        parts.append(part)
+        idx += 1
+    return parts, checkpoint, scratch
+
+
+def execute_science(
+    spec: JobSpec,
+    cache: ResultCache,
+    fault_point: Callable[[int], None],
+    check_time: Callable[[], None],
+    checkpoint_hours: int = 1,
+    on_hours: Optional[Callable[[int], None]] = None,
+) -> AirshedResult:
+    """Run (or resume) the sequential numerics of one science key.
+
+    The run advances in chunks of ``checkpoint_hours``; after each
+    chunk the chunk result and a :mod:`repro.model.checkpoint` land in
+    the cache's scratch area, so a retry resumes instead of restarting.
+    ``fault_point(hours_completed)`` is called at every chunk boundary
+    (fault injection); ``check_time()`` enforces the cooperative
+    deadline.  On success the joined result is cached and the scratch
+    cleared.
+    """
+    if checkpoint_hours < 1:
+        raise ValueError("checkpoint_hours must be >= 1")
+    dataset = _build_dataset(spec)
+    full_cfg = AirshedConfig(
+        dataset=dataset, hours=spec.hours, start_hour=spec.start_hour
+    )
+    parts, checkpoint, scratch = _load_scratch(cache, spec.science_key)
+    hours_done = checkpoint.hours_completed if checkpoint else 0
+
+    while hours_done < spec.hours:
+        check_time()
+        fault_point(hours_done)
+        chunk = min(checkpoint_hours, spec.hours - hours_done)
+        if hours_done == 0:
+            cfg = replace(full_cfg, hours=chunk)
+        else:
+            cfg = replace(resume_config(full_cfg, checkpoint), hours=chunk)
+        part = SequentialAirshed(cfg).run()
+        idx = len(parts)
+        with (scratch / f"part_{idx:03d}.pkl").open("wb") as fh:
+            pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        checkpoint = save_checkpoint(
+            replace(full_cfg, hours=hours_done + chunk),
+            part,
+            scratch / f"ck_{idx:03d}.npz",
+        )
+        parts.append(part)
+        hours_done += chunk
+        if on_hours is not None:
+            on_hours(chunk)
+    fault_point(hours_done)
+
+    result = concat_results(parts)
+    cache.put_science(spec.science_key, result)
+    cache.clear_scratch(spec.science_key)
+    return result
+
+
+def execute_job(
+    spec: JobSpec,
+    cache: ResultCache,
+    policy: Optional[FaultPolicy] = None,
+    attempt: int = 0,
+    checkpoint_hours: int = 1,
+    check_time: Optional[Callable[[], None]] = None,
+    hang: Optional[Callable[[], None]] = None,
+    on_hours: Optional[Callable[[int], None]] = None,
+) -> Tuple[AirshedResult, Optional[object], bool]:
+    """One attempt at one job: science (cached or run) plus replay.
+
+    Returns ``(science result, replay timing or None, science_cached)``.
+    Raises whatever the attempt died of — an injected fault, a
+    simulated hang, a cooperative timeout, or a real error.
+    """
+    if check_time is None:
+        check_time = lambda: None  # noqa: E731
+
+    def fault_point(hours_completed: int) -> None:
+        action = policy.action(spec.key, attempt) if policy else None
+        if action is None or hours_completed < policy.after_hours:
+            return
+        if action == "raise":
+            raise InjectedFault(
+                f"injected fault in {spec.label} after {hours_completed}h"
+            )
+        if hang is not None:
+            hang()
+        raise InjectedHang(f"injected hang in {spec.label}")
+
+    science = cache.get_science(spec.science_key)
+    science_cached = science is not None
+    if science_cached:
+        fault_point(spec.hours)  # replay-only jobs still get their fault
+    else:
+        science = execute_science(
+            spec, cache, fault_point, check_time,
+            checkpoint_hours=checkpoint_hours, on_hours=on_hours,
+        )
+
+    check_time()
+    if spec.variant == "data":
+        timing = replay_data_parallel(
+            science.trace, get_machine(spec.machine), spec.nprocs
+        )
+    elif spec.variant == "task":
+        timing = replay_task_parallel(
+            science.trace, get_machine(spec.machine), spec.nprocs,
+            io_nodes=spec.io_nodes,
+        )
+    else:
+        timing = None
+    return science, timing, science_cached
+
+
+def _process_entry(
+    spec_dict: Dict,
+    cache_root: str,
+    policy: Optional[FaultPolicy],
+    attempt: int,
+    checkpoint_hours: int,
+    out_path: str,
+) -> None:
+    """Child-process attempt: run the job, pickle the outcome."""
+    spec = JobSpec.from_dict(spec_dict)
+    cache = ResultCache(cache_root)
+    stats = {"sim_hours": 0}
+
+    def on_hours(h: int) -> None:
+        stats["sim_hours"] += h
+
+    def hang() -> None:  # a genuinely wedged worker; the parent kills us
+        while True:
+            time.sleep(0.05)
+
+    try:
+        _, timing, science_cached = execute_job(
+            spec, cache, policy=policy, attempt=attempt,
+            checkpoint_hours=checkpoint_hours, hang=hang, on_hours=on_hours,
+        )
+        payload = {
+            "ok": True,
+            "timing": timing,
+            "science_cached": science_cached,
+            "stats": stats,
+        }
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        payload = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "stats": stats,
+        }
+    tmp = f"{out_path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    Path(tmp).replace(out_path)
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+class CampaignRunner:
+    """Plan and execute campaigns against one result cache.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.sched.cache.ResultCache` or a directory path.
+    workers:
+        Bounded pool width (and the planner's packing width).
+    retries / backoff:
+        Failed attempts retry up to ``retries`` times; attempt ``k``
+        waits ``backoff * 2**(k-1)`` seconds first (deterministic).
+    timeout:
+        Per-attempt seconds; ``None`` disables.  See the module docs
+        for cooperative versus preemptive enforcement.
+    executor:
+        ``"thread"`` (default) | ``"process"`` | ``"inline"``.
+    fault_policy:
+        Optional :class:`~repro.sched.faults.FaultPolicy` for tests and
+        smoke drills.
+    checkpoint_hours:
+        Science checkpoint cadence (simulated hours per chunk).
+    cost_model:
+        Planner pricing; defaults to a cache-aware
+        :class:`~repro.sched.costmodel.CampaignCostModel`.
+    tracer / sleep / clock:
+        Observability sink and injectable time sources (tests pass a
+        recording ``sleep`` so backoff charges no wall-clock).
+    """
+
+    def __init__(
+        self,
+        cache: Union[ResultCache, str, Path],
+        workers: int = 4,
+        retries: int = 2,
+        backoff: float = 0.25,
+        timeout: Optional[float] = None,
+        executor: str = "thread",
+        fault_policy: Optional[FaultPolicy] = None,
+        checkpoint_hours: int = 1,
+        cost_model: Optional[CampaignCostModel] = None,
+        tracer: Optional[Tracer] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.executor = executor
+        self.fault_policy = fault_policy
+        self.checkpoint_hours = checkpoint_hours
+        self.cost_model = cost_model or CampaignCostModel(cache=self.cache)
+        self.tracer = tracer or Tracer()
+        self._sleep = sleep or time.sleep
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+
+    # -- observability -------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self.tracer.counters.inc(name, amount)
+
+    def _emit_job_span(self, spec: JobSpec, slot: int, start: float,
+                       end: float, status: str, attempts: int) -> None:
+        with self._lock:
+            self.tracer.emit(
+                f"job:{spec.label}", "job", start, end, node=slot,
+                key=spec.key, status=status, attempts=attempts,
+            )
+
+    # -- planning ------------------------------------------------------
+    def plan(self, specs: Sequence[JobSpec]) -> CampaignPlan:
+        return plan_campaign(specs, workers=self.workers,
+                             cost_model=self.cost_model)
+
+    # -- execution -----------------------------------------------------
+    def run(self, specs: Sequence[JobSpec],
+            plan: Optional[CampaignPlan] = None) -> CampaignReport:
+        """Execute ``specs`` (deduped) and report the campaign."""
+        if plan is None:
+            plan = self.plan(specs)
+        results: Dict[str, JobResult] = {}
+        if plan.jobs:
+            chains = [[plan.jobs[i] for i in chain] for chain in plan.chains]
+            slots = list(range(self.workers))
+            if self.executor == "inline" or self.workers == 1:
+                for chain in chains:
+                    self._run_chain(chain, chain[0].worker, results)
+            else:
+                slot_pool: List[int] = slots.copy()
+
+                def run_chain(chain: List[PlannedJob]) -> None:
+                    with self._lock:
+                        slot = slot_pool.pop(0)
+                    try:
+                        self._run_chain(chain, slot, results)
+                    finally:
+                        with self._lock:
+                            slot_pool.append(slot)
+
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [pool.submit(run_chain, c) for c in chains]
+                    for f in futures:
+                        f.result()
+
+        observed = observed_makespan(self.tracer.spans, kinds=("job",))
+        ordered = [results[j.key] for j in plan.jobs if j.key in results]
+        return CampaignReport(
+            plan=plan,
+            results=ordered,
+            observed_makespan_s=observed,
+            counters={
+                name: value for name, value in
+                self.tracer.counters.snapshot()["counters"].items()
+                if name.startswith("campaign:")
+            },
+        )
+
+    def _run_chain(self, chain: List[PlannedJob], slot: int,
+                   results: Dict[str, JobResult]) -> None:
+        for planned in chain:
+            result = self._run_job(planned, slot)
+            with self._lock:
+                results[planned.key] = result
+
+    # -- one job, with retries ----------------------------------------
+    def _run_job(self, planned: PlannedJob, slot: int) -> JobResult:
+        spec = planned.spec
+        span_start = self.tracer.now()
+        self._count("campaign:jobs")
+
+        payload = self.cache.get_job(spec.key)
+        if payload is not None:
+            self._count("campaign:cache_hits")
+            jr = JobResult(
+                spec=spec, status="cached", result=payload["result"],
+                timing=payload.get("timing"), attempts=0, from_cache=True,
+                science_cached=True, wall_s=0.0,
+                predicted_s=planned.predicted_s,
+            )
+            self._emit_job_span(spec, slot, span_start, self.tracer.now(),
+                                "cached", 0)
+            return jr
+
+        backoffs: List[float] = []
+        last_error = ""
+        timed_out = False
+        attempts = 0
+        for attempt in range(1 + self.retries):
+            if attempt > 0:
+                delay = self.backoff * (2 ** (attempt - 1))
+                backoffs.append(delay)
+                self._count("campaign:retries")
+                if delay > 0:
+                    self._sleep(delay)
+            attempts = attempt + 1
+            t0 = self._clock()
+            try:
+                science, timing, science_cached = self._attempt(spec, attempt)
+            except (InjectedHang, JobTimeoutError) as exc:
+                timed_out = True
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._count("campaign:timeouts")
+                continue
+            except InjectedFault as exc:
+                timed_out = False
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._count("campaign:faults")
+                continue
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                timed_out = False
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._count("campaign:failures")
+                continue
+
+            wall = self._clock() - t0
+            if science_cached:
+                self._count("campaign:science_cache_hits")
+            digest = hashlib.sha256(science.final_conc.tobytes()).hexdigest()
+            self.cache.put_job(spec.key, {
+                "spec": spec.to_dict(),
+                "science_key": spec.science_key,
+                "timing": timing,
+                "status": "ok",
+                "final_conc_sha256": digest,
+            })
+            jr = JobResult(
+                spec=spec, status="ok", result=science, timing=timing,
+                attempts=attempts, retries=attempts - 1,
+                science_cached=science_cached, wall_s=wall,
+                predicted_s=planned.predicted_s, backoffs=backoffs,
+            )
+            self._emit_job_span(spec, slot, span_start, self.tracer.now(),
+                                "ok", attempts)
+            return jr
+
+        status = "timeout" if timed_out else "failed"
+        jr = JobResult(
+            spec=spec, status=status, attempts=attempts,
+            retries=attempts - 1, predicted_s=planned.predicted_s,
+            error=last_error, backoffs=backoffs,
+        )
+        self._emit_job_span(spec, slot, span_start, self.tracer.now(),
+                            status, attempts)
+        return jr
+
+    # -- one attempt ---------------------------------------------------
+    def _attempt(self, spec: JobSpec, attempt: int):
+        if self.executor == "process":
+            return self._attempt_process(spec, attempt)
+
+        deadline = (
+            None if self.timeout is None else self._clock() + self.timeout
+        )
+
+        def check_time() -> None:
+            if deadline is not None and self._clock() > deadline:
+                raise JobTimeoutError(
+                    f"{spec.label} exceeded {self.timeout:g}s"
+                )
+
+        def on_hours(h: int) -> None:
+            self._count("campaign:sim_hours", h)
+
+        return execute_job(
+            spec, self.cache, policy=self.fault_policy, attempt=attempt,
+            checkpoint_hours=self.checkpoint_hours, check_time=check_time,
+            hang=None, on_hours=on_hours,
+        )
+
+    def _attempt_process(self, spec: JobSpec, attempt: int):
+        out_dir = self.cache.root / "scratch"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / f"attempt-{spec.key[:16]}-{attempt}.pkl"
+        out_path.unlink(missing_ok=True)
+        proc = multiprocessing.Process(
+            target=_process_entry,
+            args=(spec.to_dict(), str(self.cache.root), self.fault_policy,
+                  attempt, self.checkpoint_hours, str(out_path)),
+        )
+        proc.start()
+        proc.join(self.timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+            out_path.unlink(missing_ok=True)
+            raise JobTimeoutError(
+                f"{spec.label} exceeded {self.timeout:g}s (worker killed)"
+            )
+        if not out_path.is_file():
+            raise RuntimeError(
+                f"{spec.label} worker died (exit code {proc.exitcode})"
+            )
+        with out_path.open("rb") as fh:
+            payload = pickle.load(fh)
+        out_path.unlink(missing_ok=True)
+        self._count("campaign:sim_hours", payload["stats"]["sim_hours"])
+        if not payload["ok"]:
+            err_type = payload.get("error_type", "")
+            message = payload.get("error", "job failed")
+            if err_type in ("InjectedHang", "JobTimeoutError"):
+                raise JobTimeoutError(message)
+            if err_type == "InjectedFault":
+                raise InjectedFault(message)
+            raise RuntimeError(f"{err_type}: {message}")
+        science = self.cache.get_science(spec.science_key)
+        if science is None:
+            raise RuntimeError(
+                f"{spec.label} worker reported success but cached no result"
+            )
+        return science, payload["timing"], payload["science_cached"]

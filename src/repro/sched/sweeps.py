@@ -1,0 +1,99 @@
+"""Sweep generators: the campaign shapes the paper's studies need.
+
+Each generator expands one study design into a list of
+:class:`~repro.sched.job.JobSpec`:
+
+* :func:`machine_grid` — the Figure 2 machine-comparison study, one job
+  per (machine, node count);
+* :func:`scaling_ladder` — a P-scaling ladder on one machine (the
+  speedup curves of Section 4);
+* :func:`ensemble_sweep` — the members of an
+  :class:`~repro.model.ensemble.EmissionEnsemble`, one perturbed
+  inventory per member, as independently schedulable (and cacheable)
+  jobs.
+
+All jobs produced from the same (dataset, hours) share a science key,
+so the planner chains them onto one worker and the numerics run once
+per distinct scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sched.job import JobSpec
+
+__all__ = ["machine_grid", "scaling_ladder", "ensemble_sweep"]
+
+
+def machine_grid(
+    dataset: str = "la",
+    machines: Sequence[str] = ("t3e", "t3d", "paragon"),
+    node_counts: Sequence[int] = (16, 64),
+    hours: int = 2,
+    start_hour: int = 6,
+    variant: str = "data",
+    io_nodes: int = 1,
+) -> List[JobSpec]:
+    """One job per (machine, P): the machine-comparison study."""
+    return [
+        JobSpec(
+            dataset=dataset, hours=hours, start_hour=start_hour,
+            variant=variant, machine=m, nprocs=p, io_nodes=io_nodes,
+            tag=f"{dataset}:{m}/{p}",
+        )
+        for m in machines
+        for p in node_counts
+    ]
+
+
+def scaling_ladder(
+    dataset: str = "la",
+    machine: str = "t3e",
+    node_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    hours: int = 2,
+    start_hour: int = 6,
+    variant: str = "data",
+    io_nodes: int = 1,
+) -> List[JobSpec]:
+    """One job per node count on one machine: a speedup ladder."""
+    return [
+        JobSpec(
+            dataset=dataset, hours=hours, start_hour=start_hour,
+            variant=variant, machine=machine, nprocs=p, io_nodes=io_nodes,
+            tag=f"{dataset}:{machine}/P{p}",
+        )
+        for p in node_counts
+    ]
+
+
+def ensemble_sweep(
+    dataset: str = "la",
+    members: int = 8,
+    sigma: float = 0.3,
+    seed: int = 0,
+    hours: int = 2,
+    start_hour: int = 6,
+    variant: str = "sequential",
+    machine: str = "t3e",
+    nprocs: int = 64,
+    io_nodes: int = 1,
+) -> List[JobSpec]:
+    """The emission-uncertainty ensemble as independent jobs.
+
+    Member seeds follow :class:`~repro.model.ensemble.EmissionEnsemble`
+    (``seed * 7919 + index``), so a campaign-run ensemble reproduces
+    the in-process one member for member.
+    """
+    if members < 1:
+        raise ValueError("members must be >= 1")
+    return [
+        JobSpec(
+            dataset=dataset, hours=hours, start_hour=start_hour,
+            variant=variant, machine=machine, nprocs=nprocs,
+            io_nodes=io_nodes,
+            perturb_seed=seed * 7919 + i, perturb_sigma=sigma,
+            tag=f"{dataset}:member{i}",
+        )
+        for i in range(members)
+    ]

@@ -9,10 +9,12 @@ from repro.vm.cluster import Cluster, Subgroup, Transfer
 from repro.vm.machine import (
     CRAY_T3D,
     CRAY_T3E,
+    HOST_OPS_PER_SECOND,
     INTEL_PARAGON,
     MACHINES,
     MachineSpec,
     get_machine,
+    workstation_spec,
 )
 from repro.vm.metrics import (
     NodeUsage,
@@ -34,7 +36,9 @@ __all__ = [
     "CRAY_T3D",
     "INTEL_PARAGON",
     "MACHINES",
+    "HOST_OPS_PER_SECOND",
     "get_machine",
+    "workstation_spec",
     "VirtualNode",
     "NodeTraffic",
     "NodeUsage",

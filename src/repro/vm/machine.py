@@ -30,8 +30,10 @@ __all__ = [
     "CRAY_T3E",
     "CRAY_T3D",
     "INTEL_PARAGON",
+    "HOST_OPS_PER_SECOND",
     "MACHINES",
     "get_machine",
+    "workstation_spec",
 ]
 
 
@@ -162,6 +164,37 @@ MACHINES = {
     "t3d": CRAY_T3D,
     "paragon": INTEL_PARAGON,
 }
+
+#: Nominal abstract-op throughput of the machine actually executing the
+#: Python numerics, measured on the LA dataset (~2e9 ops/simulated hour
+#: at ~1.5 wall seconds/hour).  The campaign cost model refines this
+#: from observed job runtimes.
+HOST_OPS_PER_SECOND = 1.4e9
+
+
+def workstation_spec(
+    ops_per_second: float = HOST_OPS_PER_SECOND, name: str = "host"
+) -> MachineSpec:
+    """A :class:`MachineSpec` describing the executing workstation.
+
+    Campaign jobs run the *real* numerics on the local host, so
+    predicting their wall-clock time is a Section-4 prediction with the
+    host's compute rate and no network (one node, zero-cost comm).
+    Expressing the host this way lets the scheduler reuse
+    :class:`~repro.perfmodel.predict.PerformancePredictor` unchanged.
+    """
+    if ops_per_second <= 0:
+        raise ValueError("ops_per_second must be positive")
+    per_op = 1.0 / ops_per_second
+    return MachineSpec(
+        name=name,
+        latency=0.0,
+        gap=0.0,
+        copy_cost=0.0,
+        seconds_per_op=per_op,
+        # I/O processing runs at roughly the compute rate on the host.
+        io_seconds_per_byte=per_op,
+    )
 
 
 def get_machine(name: str) -> MachineSpec:

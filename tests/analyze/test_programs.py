@@ -38,7 +38,7 @@ class TestRegistry:
 
 def test_demo_shape_matches_the_real_dataset():
     """The static shape table must track the actual generators."""
-    from repro.cli import DEMO_SPEC
+    from repro.datasets import DEMO_SPEC
 
     dataset = DEMO_SPEC.build()
     assert DATASET_SHAPES["demo"] == dataset.shape

@@ -12,13 +12,46 @@ def test_quick_suite_runs_and_reports(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     rc = suite.main(["--quick", "--out", str(out)])
     assert rc == 0
-    report = json.loads(out.read_text())
+    history = json.loads(out.read_text())
+    assert len(history["runs"]) == 1
+    report = history["runs"][-1]
+    assert report["timestamp"]
     assert set(report["benchmarks"]) == QUICK_BENCHES
     assert report["meta"]["mode"] == "quick"
     for name, res in report["benchmarks"].items():
         assert res["median_s"] > 0.0
         assert res["baseline_median_s"] > 0.0
         assert res["speedup_vs_baseline"] > 0.0
+
+
+def test_history_appends_runs(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    report = {"benchmarks": {}, "meta": {"mode": "quick"}}
+    suite.append_run(report, out, timestamp="2026-01-01T00:00:00+00:00")
+    history = suite.append_run(report, out)
+    assert [r["timestamp"] for r in history["runs"]][0] == \
+        "2026-01-01T00:00:00+00:00"
+    assert len(history["runs"]) == 2
+    assert json.loads(out.read_text()) == history
+
+
+def test_history_migrates_old_single_report_format(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    old = {"benchmarks": {"b": {"median_s": 1.0}}, "meta": {"mode": "full"}}
+    out.write_text(json.dumps(old))
+    history = suite.load_history(out)
+    assert len(history["runs"]) == 1
+    assert history["runs"][0]["timestamp"] is None
+    assert history["runs"][0]["benchmarks"] == old["benchmarks"]
+    # appending preserves the migrated record
+    history = suite.append_run({"benchmarks": {}, "meta": {}}, out)
+    assert len(history["runs"]) == 2
+
+
+def test_history_survives_corrupt_file(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    out.write_text("{not json")
+    assert suite.load_history(out) == {"runs": []}
 
 
 def test_baseline_covers_every_benchmark():

@@ -1,0 +1,26 @@
+"""Shared fixtures for the campaign scheduler tests.
+
+A tiny dataset is registered under ``tinysched`` so JobSpecs can refer
+to it by name; registration is in-process only, so tests that exercise
+the ``process`` executor must use a built-in dataset (``demo``).
+"""
+
+import pytest
+
+from repro.datasets import DatasetSpec, register_dataset
+from repro.grid import RefinementCore
+
+TINY_SCHED_SPEC = DatasetSpec(
+    name="tinysched",
+    domain=(120.0, 90.0),
+    base_shape=(4, 3),
+    npoints=12 + 3 * 14,  # 54 points
+    cores=(RefinementCore(40.0, 40.0, 5.0, 20.0),),
+    layers=3,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _register_tiny_dataset():
+    register_dataset("tinysched", TINY_SCHED_SPEC.build)

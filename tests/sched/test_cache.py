@@ -1,0 +1,91 @@
+"""Content-addressed result cache behaviour."""
+
+import pickle
+
+import pytest
+
+from repro.sched import JobSpec, ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _payload(spec, **extra):
+    return {"spec": spec.to_dict(), "science_key": spec.science_key,
+            "status": "ok", **extra}
+
+
+class TestScience:
+    def test_roundtrip(self, cache):
+        cache.put_science("aa" * 32, {"x": 1})
+        assert cache.get_science("aa" * 32) == {"x": 1}
+
+    def test_miss(self, cache):
+        assert cache.get_science("bb" * 32) is None
+
+    def test_corrupt_entry_is_a_removed_miss(self, cache):
+        key = "cc" * 32
+        cache.put_science(key, {"x": 1})
+        cache.science_path(key).write_bytes(b"not a pickle")
+        assert cache.get_science(key) is None
+        assert not cache.science_path(key).is_file()
+
+    def test_overwrite_is_atomic_no_leftover_tmp(self, cache):
+        key = "dd" * 32
+        cache.put_science(key, {"x": 1})
+        cache.put_science(key, {"x": 2})
+        assert cache.get_science(key) == {"x": 2}
+        leftovers = [p for p in cache.science_path(key).parent.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+
+
+class TestJobs:
+    def test_roundtrip_resolves_science(self, cache):
+        spec = JobSpec()
+        cache.put_science(spec.science_key, {"conc": 42})
+        cache.put_job(spec.key, _payload(spec))
+        got = cache.get_job(spec.key)
+        assert got["result"] == {"conc": 42}
+        assert got["science_key"] == spec.science_key
+
+    def test_payload_never_duplicates_the_result(self, cache):
+        spec = JobSpec()
+        cache.put_science(spec.science_key, {"conc": 42})
+        cache.put_job(spec.key, _payload(spec, result={"conc": 42}))
+        with cache.job_path(spec.key).open("rb") as fh:
+            on_disk = pickle.load(fh)
+        assert "result" not in on_disk
+
+    def test_requires_science_key(self, cache):
+        with pytest.raises(ValueError):
+            cache.put_job("ee" * 32, {"status": "ok"})
+
+    def test_evicted_science_invalidates_job(self, cache):
+        spec = JobSpec()
+        cache.put_science(spec.science_key, {"conc": 42})
+        cache.put_job(spec.key, _payload(spec))
+        cache.science_path(spec.science_key).unlink()
+        assert cache.get_job(spec.key) is None
+        assert not cache.job_path(spec.key).is_file()
+
+    def test_iter_jobs(self, cache):
+        assert list(cache.iter_jobs()) == []
+        for hours in (1, 2, 3):
+            spec = JobSpec(hours=hours)
+            cache.put_science(spec.science_key, {})
+            cache.put_job(spec.key, _payload(spec))
+        assert len(list(cache.iter_jobs())) == 3
+
+
+class TestScratch:
+    def test_scratch_dir_creates_and_clears(self, cache):
+        d = cache.scratch_dir("ff" * 32)
+        (d / "part_000.pkl").write_bytes(b"x")
+        cache.clear_scratch("ff" * 32)
+        assert not d.exists()
+
+    def test_clear_missing_scratch_is_noop(self, cache):
+        cache.clear_scratch("00" * 32)

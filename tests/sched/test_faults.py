@@ -1,0 +1,63 @@
+"""Deterministic fault-policy selection."""
+
+import pytest
+
+from repro.sched import FaultPolicy
+
+KEYS = [f"{i:02x}" * 32 for i in range(16)]
+
+
+class TestSelects:
+    def test_explicit_key_and_prefix(self):
+        policy = FaultPolicy(keys=(KEYS[0], KEYS[1][:8]))
+        assert policy.selects(KEYS[0])
+        assert policy.selects(KEYS[1])
+        assert not policy.selects(KEYS[2])
+
+    def test_fraction_bounds(self):
+        assert not any(FaultPolicy(fraction=0.0).selects(k) for k in KEYS)
+        assert all(FaultPolicy(fraction=1.0).selects(k) for k in KEYS)
+
+    def test_fraction_is_seed_deterministic(self):
+        a = [FaultPolicy(seed=3, fraction=0.5).selects(k) for k in KEYS]
+        b = [FaultPolicy(seed=3, fraction=0.5).selects(k) for k in KEYS]
+        assert a == b
+        assert any(a) and not all(a)
+
+
+class TestAction:
+    def test_fires_only_on_first_attempt(self):
+        policy = FaultPolicy(keys=(KEYS[0],), mode="hang")
+        assert policy.action(KEYS[0], attempt=0) == "hang"
+        assert policy.action(KEYS[0], attempt=1) is None
+        assert policy.action(KEYS[1], attempt=0) is None
+
+
+class TestPick:
+    def test_picks_exactly_n_deterministically(self):
+        a = FaultPolicy.pick(KEYS, 3, seed=1)
+        b = FaultPolicy.pick(list(reversed(KEYS)), 3, seed=1)
+        assert a.keys == b.keys  # submission order irrelevant
+        assert len(a.keys) == 3
+        assert FaultPolicy.pick(KEYS, 3, seed=2).keys != a.keys
+
+    def test_n_larger_than_pool(self):
+        assert len(FaultPolicy.pick(KEYS[:2], 10).keys) == 2
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPolicy.pick(KEYS, -1)
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(fraction=1.5)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(mode="explode")
+
+    def test_bad_after_hours(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(after_hours=-1)

@@ -1,0 +1,94 @@
+"""JobSpec content hashing and JobResult bookkeeping."""
+
+import pytest
+
+from repro.sched import JobResult, JobSpec
+
+
+class TestScienceKey:
+    def test_ignores_execution_fields(self):
+        a = JobSpec(dataset="la", hours=2, machine="t3e", nprocs=16)
+        b = JobSpec(dataset="la", hours=2, machine="paragon", nprocs=128,
+                    variant="task", io_nodes=4)
+        assert a.science_key == b.science_key
+        assert a.key != b.key
+
+    def test_depends_on_scenario(self):
+        a = JobSpec(dataset="la", hours=2)
+        assert a.science_key != JobSpec(dataset="ne", hours=2).science_key
+        assert a.science_key != JobSpec(dataset="la", hours=3).science_key
+        assert a.science_key != JobSpec(dataset="la", hours=2,
+                                        perturb_seed=7,
+                                        perturb_sigma=0.3).science_key
+
+
+class TestKey:
+    def test_stable_and_tag_free(self):
+        a = JobSpec(dataset="la", hours=2, tag="run A")
+        b = JobSpec(dataset="la", hours=2, tag="a totally different tag")
+        assert a.key == b.key
+        assert len(a.key) == 64
+
+    def test_sequential_neutralizes_machine(self):
+        a = JobSpec(variant="sequential", machine="t3e", nprocs=16)
+        b = JobSpec(variant="sequential", machine="paragon", nprocs=128)
+        assert a.key == b.key
+
+    def test_parallel_variants_distinct(self):
+        a = JobSpec(variant="data", machine="t3e", nprocs=16)
+        b = JobSpec(variant="task", machine="t3e", nprocs=16)
+        assert a.key != b.key
+
+    def test_roundtrip(self):
+        spec = JobSpec(dataset="ne", hours=4, perturb_seed=3,
+                       perturb_sigma=0.2, tag="x")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestValidation:
+    def test_bad_hours(self):
+        with pytest.raises(ValueError):
+            JobSpec(hours=0)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            JobSpec(variant="mpi")
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            JobSpec(perturb_sigma=-0.1)
+
+    def test_bad_nprocs(self):
+        with pytest.raises(ValueError):
+            JobSpec(variant="data", nprocs=0)
+
+
+class TestLabel:
+    def test_tag_wins(self):
+        assert JobSpec(tag="my job").label == "my job"
+
+    def test_default_label_mentions_configuration(self):
+        label = JobSpec(dataset="la", hours=2, machine="t3e",
+                        nprocs=16).label
+        assert "la" in label and "t3e/16" in label
+
+    def test_sequential_label_omits_machine(self):
+        assert "t3e" not in JobSpec(variant="sequential").label
+
+
+class TestJobResult:
+    def test_ok_statuses(self):
+        spec = JobSpec()
+        assert JobResult(spec=spec, status="ok").ok
+        assert JobResult(spec=spec, status="cached").ok
+        assert not JobResult(spec=spec, status="failed").ok
+        assert not JobResult(spec=spec, status="timeout").ok
+
+    def test_summary_row_truncates_key(self):
+        row = JobResult(spec=JobSpec(), status="ok").summary_row()
+        assert len(row["key"]) == 12
+        assert row["status"] == "ok"
+
+    def test_sha_none_without_result(self):
+        assert JobResult(spec=JobSpec(), status="failed")\
+            .final_conc_sha256() is None

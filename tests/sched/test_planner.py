@@ -1,0 +1,87 @@
+"""Dedupe, science chaining and LPT packing."""
+
+from repro.sched import (
+    CampaignCostModel,
+    JobSpec,
+    ResultCache,
+    machine_grid,
+    plan_campaign,
+)
+
+
+def test_empty_campaign_plans_to_nothing():
+    plan = plan_campaign([], workers=4)
+    assert plan.n_jobs == 0
+    assert plan.predicted_makespan == 0.0
+    assert plan.chains == []
+
+
+def test_dedupe_by_content_hash():
+    spec = JobSpec(dataset="demo", hours=1)
+    twin = JobSpec(dataset="demo", hours=1, tag="same job, different tag")
+    plan = plan_campaign([spec, twin, spec], workers=2)
+    assert plan.n_jobs == 1
+    assert plan.n_duplicates == 2
+    assert plan.duplicates == {spec.key: 2}
+
+
+def test_science_chain_shares_one_worker():
+    specs = machine_grid(dataset="demo", machines=("t3e", "paragon"),
+                         node_counts=(4, 16), hours=1)
+    assert len({s.science_key for s in specs}) == 1
+    plan = plan_campaign(specs, workers=4)
+    assert plan.n_jobs == 4
+    assert len(plan.chains) == 1
+    workers = {plan.jobs[i].worker for i in plan.chains[0]}
+    assert len(workers) == 1
+    # exactly the first job of the chain pays the science run
+    charged = [plan.jobs[i].science_charged for i in plan.chains[0]]
+    assert charged[0] and not any(charged[1:])
+
+
+def test_distinct_science_keys_spread_over_workers():
+    specs = [JobSpec(dataset="demo", hours=1, perturb_seed=i,
+                     perturb_sigma=0.3) for i in range(4)]
+    plan = plan_campaign(specs, workers=4)
+    assert len(plan.chains) == 4
+    assert {plan.jobs[c[0]].worker for c in plan.chains} == {0, 1, 2, 3}
+
+
+def test_makespan_is_max_worker_load():
+    specs = [JobSpec(dataset="demo", hours=h, perturb_seed=h,
+                     perturb_sigma=0.1) for h in (1, 2, 3)]
+    plan = plan_campaign(specs, workers=2)
+    load = {}
+    for job in plan.jobs:
+        load[job.worker] = load.get(job.worker, 0.0) + job.predicted_s
+    assert plan.predicted_makespan == max(load.values())
+    # intra-worker schedule is contiguous
+    for job in plan.jobs:
+        assert job.end_s > job.start_s
+
+
+def test_plan_is_deterministic():
+    specs = machine_grid(dataset="demo", hours=1)
+    a = plan_campaign(specs, workers=3).to_dict()
+    b = plan_campaign(list(reversed(specs)), workers=3).to_dict()
+    assert a["predicted_makespan_s"] == b["predicted_makespan_s"]
+    assert {j["key"] for j in a["jobs"]} == {j["key"] for j in b["jobs"]}
+
+
+def test_cached_science_waives_its_charge(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = JobSpec(dataset="demo", hours=1)
+    model = CampaignCostModel(cache=cache)
+    charged = model.predict(spec, science_charged=True)
+    cache.put_science(spec.science_key, {"stub": True})
+    waived = model.predict(spec, science_charged=True)
+    assert waived.science_s == 0.0
+    assert waived.wall_s < charged.wall_s
+
+
+def test_predicted_for_unknown_key_raises():
+    import pytest
+
+    plan = plan_campaign([JobSpec(dataset="demo", hours=1)], workers=1)
+    with pytest.raises(KeyError):
+        plan.predicted_for("no-such-key")

@@ -1,0 +1,41 @@
+"""Sweep generators: shapes, tags and science sharing."""
+
+import pytest
+
+from repro.sched import ensemble_sweep, machine_grid, scaling_ladder
+
+
+def test_machine_grid_covers_the_cross_product():
+    specs = machine_grid(dataset="la", machines=("t3e", "t3d"),
+                         node_counts=(16, 64), hours=2)
+    assert len(specs) == 4
+    assert {(s.machine, s.nprocs) for s in specs} == {
+        ("t3e", 16), ("t3e", 64), ("t3d", 16), ("t3d", 64)}
+    assert len({s.science_key for s in specs}) == 1
+    assert len({s.key for s in specs}) == 4
+
+
+def test_scaling_ladder_one_job_per_p():
+    specs = scaling_ladder(dataset="demo", machine="paragon",
+                           node_counts=(1, 4, 16), hours=1)
+    assert [s.nprocs for s in specs] == [1, 4, 16]
+    assert all(s.machine == "paragon" for s in specs)
+    assert len({s.science_key for s in specs}) == 1
+
+
+def test_ensemble_sweep_matches_emission_ensemble_seeds():
+    # EmissionEnsemble.member_config uses seed * 7919 + index; the sweep
+    # must reproduce it so campaign members equal in-process members.
+    seed, members = 3, 5
+    specs = ensemble_sweep(dataset="demo", members=members, sigma=0.25,
+                           seed=seed, hours=1)
+    assert [s.perturb_seed for s in specs] == \
+        [seed * 7919 + i for i in range(members)]
+    assert all(s.perturb_sigma == 0.25 for s in specs)
+    # every member is a distinct scenario: distinct science keys
+    assert len({s.science_key for s in specs}) == members
+
+
+def test_ensemble_sweep_rejects_empty():
+    with pytest.raises(ValueError):
+        ensemble_sweep(members=0)

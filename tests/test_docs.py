@@ -24,6 +24,7 @@ def test_required_docs_exist():
     assert (ROOT / "docs" / "OBSERVABILITY.md").is_file()
     assert (ROOT / "docs" / "ANALYZE.md").is_file()
     assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
+    assert (ROOT / "docs" / "SCHEDULER.md").is_file()
 
 
 def test_performance_doc_is_linked_and_current():
@@ -91,3 +92,24 @@ def test_analyze_doc_covers_every_diagnostic_code():
 def test_analyze_doc_linked_from_architecture():
     text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
     assert "ANALYZE.md" in text
+
+
+def test_scheduler_doc_is_linked_and_current():
+    """SCHEDULER.md is reachable and names the real artifacts."""
+    assert "docs/SCHEDULER.md" in (ROOT / "README.md").read_text()
+    assert "SCHEDULER.md" in (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    sched = (ROOT / "docs" / "SCHEDULER.md").read_text()
+    for artifact in ("repro.sched", "JobSpec", "science_key",
+                     "FaultPolicy", "checkpoint_hours",
+                     "python -m repro campaign",
+                     "campaign_sweep.py"):
+        assert artifact in sched, f"SCHEDULER.md no longer mentions {artifact}"
+
+
+def test_campaign_and_bench_subcommands_are_documented():
+    subcommands = _parser_subcommands()
+    assert "campaign" in subcommands
+    assert "bench" in subcommands
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro campaign" in readme
+    assert "python -m repro bench" in readme

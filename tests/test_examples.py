@@ -37,4 +37,5 @@ def test_examples_exist():
         "performance_prediction",
         "popexp_coupling",
         "diurnal_cycle",
+        "campaign_sweep",
     } <= names
