@@ -20,6 +20,22 @@ like:
 ``replay_synthetic_2h_t3e_p64``
     Replay a deterministic synthetic 2-hour trace (no dataset needed;
     this is the CI smoke benchmark).
+``ensemble_4demo_batched``
+    A 4-member demo-dataset :class:`BatchedEnsemble` sweep (one fused
+    kernel call per substep).  Reports the batched median, the median
+    of the same members run independently, their ratio
+    (``speedup_vs_independent``) and ``matches_independent`` — the
+    batched results must be bitwise identical to the independent runs.
+``ensemble_16la_batched_vs_independent``
+    The 16-member LA uncertainty ensemble, batched vs. 16 independent
+    :class:`SequentialAirshed` runs (single rep each; these are
+    multi-second macro runs).  Same keys as the demo case.  Note the
+    measured regimes (see ``docs/PERFORMANCE.md``): batching amortizes
+    per-call overhead and wins when members are small; at LA member
+    size on one core the 16x working set is DRAM-bound and batching
+    roughly breaks even, so the production lever for large members is
+    scheduler fusion (shared science cache + pretrans), not raw kernel
+    throughput.
 
 Timings are wall-clock medians; the concentration hash is the only
 machine-independent number.  ``tests/perf`` separately pins replayed
@@ -48,7 +64,8 @@ import numpy as np
 from repro.datasets import make_la
 from repro.fx import redistribute
 from repro.fx.distribution import Distribution
-from repro.model import AirshedConfig, SequentialAirshed
+from repro.datasets import get_dataset
+from repro.model import AirshedConfig, BatchedEnsemble, SequentialAirshed
 from repro.model.dataparallel import replay_data_parallel
 from repro.model.results import HourTrace, StepTrace, WorkloadTrace
 from repro.vm.cluster import Cluster
@@ -158,6 +175,63 @@ def bench_replay_synthetic(reps: int = 9) -> Dict[str, float]:
         lambda: replay_data_parallel(trace, CRAY_T3E, NPROCS), reps)}
 
 
+def _bench_ensemble(dataset, members: int, reps: int) -> Dict[str, object]:
+    """Batched vs independent ensemble medians + bitwise cross-check."""
+    cfg = AirshedConfig(dataset=dataset, hours=1, start_hour=12)
+
+    def batched():
+        return BatchedEnsemble(cfg, members=members, sigma=0.3,
+                               seed=0).run_members()
+
+    def independent():
+        ens = BatchedEnsemble(cfg, members=members, sigma=0.3, seed=0)
+        return [SequentialAirshed(ens.member_config(i)).run()
+                for i in range(members)]
+
+    # The correctness pass doubles as warm-up; with reps=0 (the LA
+    # macro case) its wall times are the single timed rep.
+    t0 = time.perf_counter()
+    b_results = batched()
+    b_times = [time.perf_counter() - t0]
+    t0 = time.perf_counter()
+    i_results = independent()
+    i_times = [time.perf_counter() - t0]
+    matches = all(
+        np.array_equal(b.final_conc, i.final_conc)
+        for b, i in zip(b_results, i_results)
+    )
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        batched()
+        b_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        independent()
+        i_times.append(time.perf_counter() - t0)
+    if reps:  # drop the cold warm-up rep when timed reps exist
+        b_times, i_times = b_times[1:], i_times[1:]
+    b_med = statistics.median(b_times)
+    i_med = statistics.median(i_times)
+    return {
+        "median_s": b_med,
+        "independent_median_s": i_med,
+        "speedup_vs_independent": i_med / b_med,
+        "members": members,
+        "matches_independent": matches,
+        "final_conc_sha256": hashlib.sha256(
+            b_results[0].final_conc.tobytes()).hexdigest(),
+    }
+
+
+def bench_ensemble_demo(reps: int = 3) -> Dict[str, object]:
+    return _bench_ensemble(get_dataset("demo"), members=4, reps=reps)
+
+
+def bench_ensemble_la() -> Dict[str, object]:
+    from repro.datasets import make_la
+
+    return _bench_ensemble(make_la(), members=16, reps=0)
+
+
 #: name -> (runs in --quick mode, benchmark callable)
 BENCHES = {
     "replay_2la_t3e_p64": (False, bench_replay_la),
@@ -165,6 +239,8 @@ BENCHES = {
     "chemistry_hour_la": (False, bench_chemistry_hour),
     "plan_redistribution_cold_p64": (True, bench_plan_cold),
     "replay_synthetic_2h_t3e_p64": (True, bench_replay_synthetic),
+    "ensemble_4demo_batched": (True, bench_ensemble_demo),
+    "ensemble_16la_batched_vs_independent": (False, bench_ensemble_la),
 }
 
 
@@ -263,8 +339,15 @@ def main(argv=None) -> int:
                     and res["median_s"] > args.check_regression * base):
                 failed.append(f"{name} regressed beyond "
                               f"{args.check_regression:g}x baseline")
+        if "speedup_vs_independent" in res:
+            line += (f"  [batched vs independent: "
+                     f"{res['speedup_vs_independent']:.2f}x, "
+                     f"{res['members']} members]")
         if res.get("bitwise_identical") is False:
             failed.append(f"{name} result is not bitwise identical to baseline")
+        if res.get("matches_independent") is False:
+            failed.append(f"{name}: batched members are not bitwise "
+                          "identical to independent runs")
         print(line)
     print(f"appended run to {args.out} "
           f"({len(history['runs'])} run(s) in history)")

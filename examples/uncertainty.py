@@ -6,19 +6,24 @@ factors, sigma = 30%) over the demo smog episode and reports the spread
 of the peak ozone — the honest version of the single number
 ``policy_scenario.py`` prints.
 
+The members execute as one batched sweep (``BatchedEnsemble``): a
+single fused solver call per substep covers all 8 members, with
+results bitwise identical to running each member alone — see
+docs/ENSEMBLES.md.
+
 Run:  python examples/uncertainty.py
 """
 
 
 from repro.datasets import DEMO_SPEC
 from repro.core import AirshedConfig
-from repro.model import EmissionEnsemble
+from repro.model import BatchedEnsemble
 
 
 def main() -> None:
     config = AirshedConfig(dataset=DEMO_SPEC.build(), hours=6,
                            start_hour=8, max_steps=3)
-    ensemble = EmissionEnsemble(config, members=8, sigma=0.3, seed=7)
+    ensemble = BatchedEnsemble(config, members=8, sigma=0.3, seed=7)
     print(f"Running {ensemble.members} perturbed-inventory members "
           f"(sigma = {ensemble.sigma:.0%})...")
     summary = ensemble.run()

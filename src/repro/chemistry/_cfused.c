@@ -178,6 +178,47 @@ int64_t yb_corrector(int64_t ns, int64_t m,
     return cnt;
 }
 
+/* Batched-ensemble data movement.
+ *
+ * The batched ensemble engine stacks N scenario members into one
+ * (ns, members*cells) structure-of-arrays block and runs the adaptive
+ * substep loop over the flattened axis.  Each iteration gathers the
+ * still-active columns into the contiguous workspace and scatters the
+ * accepted ones back; with hundreds of thousands of columns those two
+ * moves become a measurable share of the sweep, so they get fused C
+ * loops.  Both are pure data movement — bitwise exactness is trivial.
+ */
+
+/* dst[i, p] = src[i, idx[p]] over an (ns, ncols) C-order source: the
+ * active-column gather, np.take(src, idx, axis=1) fused into one pass. */
+void yb_gather_cols(int64_t ns, int64_t ncols, int64_t m,
+                    const double *src, const int64_t *idx, double *dst)
+{
+    int64_t i, p;
+    for (i = 0; i < ns; ++i) {
+        const double *row = src + i * ncols;
+        double *out = dst + i * m;
+        for (p = 0; p < m; ++p)
+            out[p] = row[idx[p]];
+    }
+}
+
+/* dst[:, idx[p]] = src[:, p] for every column with ok[p] != 0: the
+ * accepted-substep scatter dst[:, idx[ok]] = src[:, ok]. */
+void yb_scatter_cols(int64_t ns, int64_t ncols, int64_t m,
+                     const double *src, const int64_t *idx,
+                     const unsigned char *ok, double *dst)
+{
+    int64_t i, p;
+    for (i = 0; i < ns; ++i) {
+        const double *row = src + i * m;
+        double *out = dst + i * ncols;
+        for (p = 0; p < m; ++p)
+            if (ok[p])
+                out[idx[p]] = row[p];
+    }
+}
+
 /* err[p] = max_i |c1 - cp| / max(max(c1, cp), 1e-7)
  *
  * Fuses the convergence test's five full-width passes plus the axis-0

@@ -79,6 +79,16 @@ class CFused:
         self.errmax = lib.yb_errmax
         self.errmax.argtypes = [_c_i64, _c_i64, _c_vp, _c_vp, _c_vp]
         self.errmax.restype = None
+        self.gather_cols = lib.yb_gather_cols
+        self.gather_cols.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp,
+        ]
+        self.gather_cols.restype = None
+        self.scatter_cols = lib.yb_scatter_cols
+        self.scatter_cols.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
+        ]
+        self.scatter_cols.restype = None
 
 
 def _compile() -> Optional[Path]:

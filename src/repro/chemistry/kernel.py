@@ -31,15 +31,28 @@ documented in ``docs/PERFORMANCE.md``):
   content as the reference — BLAS dgemm results for one column depend
   on the matrix's overall width and the column's position (micro-kernel
   edge handling), so the matmuls stay in BLAS and only their
-  surroundings are optimized.
+  surroundings are optimized;
+* dgemm on a *column slice* of a wider C-order operand (strided ``ldb``)
+  is bitwise equal to dgemm on a contiguous copy of the same columns —
+  packing reads the logical matrix — which is what lets the batched
+  ensemble path keep its per-member matmuls inside the stacked batch
+  buffer (verified empirically, pinned by ``tests/model/test_batched``).
 
 Workspace buffers are prefix views of flat arrays, so every view is
 C-contiguous regardless of the active-point count ``m``.
+
+**Batched ensembles.**  All solver stages are elementwise per column,
+so N scenario members stacked along the point axis into one
+``(ns, members*m)`` block integrate in a single sweep.  The only
+width-sensitive operations are the two BLAS matmuls; ``col_slices``
+on :meth:`FastKernel.production_loss` performs them per member slice,
+feeding dgemm exactly the operand each member's independent run would
+see.  Everything else runs over the full flattened width unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -137,6 +150,7 @@ class FastKernel:
     def production_loss(
         self, conc: np.ndarray, k: np.ndarray, slot: int,
         defer_finish: bool = False,
+        col_slices: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Production ``P`` and loss coefficient ``L`` into slot buffers.
 
@@ -149,6 +163,13 @@ class FastKernel:
         into the next :meth:`predictor`/:meth:`corrector` call (saving
         a full read+write sweep); the returned ``L`` must then not be
         consumed directly.  The numpy backend always finishes.
+
+        ``col_slices`` (batched ensembles) runs the two BLAS matmuls
+        once per ``(start, stop)`` column range instead of over the full
+        width, so each ensemble member's dgemm sees exactly the operand
+        its independent run would — the matmuls are the only stage whose
+        results depend on operand width.  All elementwise work still
+        covers the full block in one pass.
         """
         m = conc.shape[1]
         rates = self._flat["rates"][: self.nr * m].reshape(self.nr, m)
@@ -160,8 +181,7 @@ class FastKernel:
             conc_p = conc.ctypes.data
             self._c.build_rates(self.nr, m, k.ctypes.data, a["r1"],
                                 a["r2"], conc_p, a["rates"])
-            np.matmul(self._prod, rates, out=P)
-            np.matmul(self._loss, rates, out=L)
+            self._pl_matmuls(rates, P, L, col_slices)
             if defer_finish:
                 self._pl_pending[slot] = True
             else:
@@ -175,11 +195,28 @@ class FastKernel:
         fac[self._unimol_rows] = 1.0
         np.multiply(rates, fac, out=rates)
         t = self.mat("t0", m)
-        np.matmul(self._prod, rates, out=P)
-        np.matmul(self._loss, rates, out=L)  # loss *rate* until divided
+        self._pl_matmuls(rates, P, L, col_slices)  # L: rate until divided
         np.maximum(conc, 1e-30, out=t)
         np.divide(L, t, out=L)
         return P, L
+
+    def _pl_matmuls(
+        self, rates: np.ndarray, P: np.ndarray, L: np.ndarray,
+        col_slices: Optional[Sequence[Tuple[int, int]]],
+    ) -> None:
+        if col_slices is None:
+            np.matmul(self._prod, rates, out=P)
+            np.matmul(self._loss, rates, out=L)
+            return
+        # dgemm on a column slice of the wider C-order operand equals
+        # dgemm on a contiguous copy of those columns (strided-ldb
+        # packing reads the logical matrix), so slicing in place is safe.
+        for start, stop in col_slices:
+            if stop > start:
+                np.matmul(self._prod, rates[:, start:stop],
+                          out=P[:, start:stop])
+                np.matmul(self._loss, rates[:, start:stop],
+                          out=L[:, start:stop])
 
     # ------------------------------------------------------------------
     # solver stages
@@ -317,6 +354,46 @@ class FastKernel:
         np.maximum(t1, 1e-7, out=t1)
         np.divide(t0, t1, out=t0)
         return t0.max(axis=0)
+
+    # ------------------------------------------------------------------
+    # batched-ensemble data movement
+    # ------------------------------------------------------------------
+    def gather_cols(self, src: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather ``src[:, idx]`` into the ``c0`` workspace buffer.
+
+        Pure data movement (bitwise-trivial); the C backend fuses the
+        column gather into one pass, which matters when the batched
+        ensemble sweep gathers hundreds of thousands of columns per
+        adaptive iteration.  ``idx`` must be int64 and ascending-sorted
+        the way the callers produce it.
+        """
+        m = idx.size
+        out = self.mat("c0", m)
+        if self._c is not None and src.flags.c_contiguous \
+                and idx.flags.c_contiguous:
+            self._c.gather_cols(self.ns, src.shape[1], m, src.ctypes.data,
+                                idx.ctypes.data, self._addr["c0"])
+            return out
+        np.take(src, idx, axis=1, out=out)
+        return out
+
+    def scatter_cols(
+        self, dst: np.ndarray, src: np.ndarray, idx: np.ndarray,
+        ok: np.ndarray,
+    ) -> None:
+        """``dst[:, idx[p]] = src[:, p]`` wherever ``ok[p]`` is set.
+
+        The accepted-substep scatter ``dst[:, idx[ok]] = src[:, ok]``
+        without materializing the intermediate fancy-index arrays.
+        """
+        if self._c is not None and dst.flags.c_contiguous \
+                and src.flags.c_contiguous and idx.flags.c_contiguous \
+                and ok.flags.c_contiguous:
+            self._c.scatter_cols(self.ns, dst.shape[1], idx.size,
+                                 src.ctypes.data, idx.ctypes.data,
+                                 ok.ctypes.data, dst.ctypes.data)
+            return
+        dst[:, idx[ok]] = src[:, ok]
 
 
 def asymptotic_subset(

@@ -27,7 +27,7 @@ machine time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,22 @@ class ChemistryStats:
                     f"shapes {self.per_point_substeps.shape} vs "
                     f"{other.per_point_substeps.shape}"
                 )
+
+
+def _active_slices(
+    idx: np.ndarray, edges: Optional[np.ndarray]
+) -> Optional[List[Tuple[int, int]]]:
+    """Member column ranges within the gathered active subset.
+
+    ``idx`` is ascending, so the active columns of member ``j`` (global
+    columns in ``[edges[j], edges[j+1])``) land contiguously in the
+    gathered block; ``searchsorted`` finds where each member's run
+    starts and stops.
+    """
+    if edges is None:
+        return None
+    cuts = np.searchsorted(idx, edges)
+    return list(zip(cuts[:-1].tolist(), cuts[1:].tolist()))
 
 
 class YoungBorisSolver:
@@ -139,7 +155,8 @@ class YoungBorisSolver:
 
     # ------------------------------------------------------------------
     def choose_substeps(
-        self, conc: np.ndarray, k: np.ndarray, dt: float
+        self, conc: np.ndarray, k: np.ndarray, dt: float,
+        col_slices: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> np.ndarray:
         """Per-point substep counts from the non-stiff timescales.
 
@@ -147,8 +164,34 @@ class YoungBorisSolver:
         that the hybrid scheme treats explicitly; stiff species are
         handled stably by the asymptotic update and do not constrain h.
         """
-        P, L = self.mechanism.production_loss(conc, k)
+        P, L = self._mech_pl(np.atleast_2d(conc), k, col_slices)
         return self._substeps_from(P, L, np.atleast_2d(conc), dt)
+
+    def _mech_pl(
+        self, conc: np.ndarray, k: np.ndarray,
+        col_slices: Optional[Sequence[Tuple[int, int]]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference mechanism evaluation, optionally per column slice.
+
+        ``col_slices`` (batched ensembles) evaluates each member's
+        column range separately so the ``(35, n_r) @ (n_r, m)`` matmul
+        inside ``Mechanism.production_loss`` sees exactly the operand
+        the member's independent run would; stitching the results back
+        together is pure data movement.  Everything else in the
+        evaluation is elementwise per column, hence slice-invariant.
+        """
+        if col_slices is None:
+            return self.mechanism.production_loss(conc, k)
+        P = np.empty_like(conc)
+        L = np.empty_like(conc)
+        for start, stop in col_slices:
+            if stop > start:
+                Ps, Ls = self.mechanism.production_loss(
+                    conc[:, start:stop], k
+                )
+                P[:, start:stop] = Ps
+                L[:, start:stop] = Ls
+        return P, L
 
     def _substeps_from(
         self, P: np.ndarray, L: np.ndarray, c: np.ndarray, dt: float
@@ -184,11 +227,22 @@ class YoungBorisSolver:
         sun: float,
         emissions: Optional[np.ndarray] = None,
         stats: Optional[ChemistryStats] = None,
+        member_edges: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Advance ``conc`` (n_species, n_points) by ``dt`` seconds.
 
         ``emissions`` (ppm/s, same shape) enter as an extra production
         term.  Returns a new array; the input is not modified.
+
+        ``member_edges`` marks ensemble-member boundaries along the
+        point axis: an ascending int64 array ``[0, m1, m1+m2, ...,
+        n_points]`` splitting the columns into per-member blocks.  Every
+        solver stage is per-point except the two BLAS matmuls, which
+        are then performed per member block so each member's dgemm sees
+        the operand its independent run would — making the batched
+        sweep bitwise identical to integrating each block separately.
+        Per-point adaptivity (h, remaining, error) never couples
+        columns, so members cannot perturb each other's trajectories.
         """
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -223,14 +277,27 @@ class YoungBorisSolver:
         if fast:
             kern = self._kernel()
             kern.ensure(npts)
+        edges = None
+        full_slices = None
+        if member_edges is not None:
+            edges = np.ascontiguousarray(member_edges, dtype=np.int64)
+            if edges.ndim != 1 or edges.size < 2 or edges[0] != 0 \
+                    or edges[-1] != npts or np.any(np.diff(edges) < 0):
+                raise ValueError(
+                    f"member_edges must ascend from 0 to {npts}, got "
+                    f"{member_edges!r}"
+                )
+            full_slices = list(zip(edges[:-1].tolist(), edges[1:].tolist()))
         if npts:
             if fast:
                 # The fast path reuses this evaluation as the first
                 # substep's (P0, L0): the state has not changed.
-                P_init, L_init = kern.production_loss(c, k, 0)
+                P_init, L_init = kern.production_loss(
+                    c, k, 0, col_slices=full_slices
+                )
                 nsub0 = self._substeps_from(P_init, L_init, c, dt)
             else:
-                nsub0 = self.choose_substeps(c, k, dt)
+                nsub0 = self.choose_substeps(c, k, dt, full_slices)
         else:
             nsub0 = np.zeros(0, int)
         h = np.minimum(dt / np.maximum(nsub0, 1), self.h_max)
@@ -254,6 +321,7 @@ class YoungBorisSolver:
                 idx = all_idx
                 ha = np.minimum(h, remaining)
                 ca = c
+                slices = full_slices
             else:
                 idx = np.where(active)[0]
                 ha = np.minimum(h[idx], remaining[idx])
@@ -263,18 +331,19 @@ class YoungBorisSolver:
                     # instead (same values, layout the fused kernels
                     # want — every consumer is elementwise, the BLAS
                     # operands are always the separate `rates` buffer).
-                    ca = np.take(c, idx, axis=1,
-                                 out=kern.mat("c0", idx.size))
+                    ca = kern.gather_cols(c, idx)
                 else:
                     ca = c[:, idx]
+                slices = _active_slices(idx, edges)
             if fast:
                 c1, cp = self._substep_fast(
-                    kern, ca, k, ha, E, idx, full, reuse_pl=(it == 0)
+                    kern, ca, k, ha, E, idx, full, reuse_pl=(it == 0),
+                    col_slices=slices,
                 )
                 err = kern.errmax(c1, cp)
             else:
                 Ea = E[:, idx] if E is not None else None
-                c1, cp = self._substep(ca, k, ha, Ea)
+                c1, cp = self._substep(ca, k, ha, Ea, slices)
                 # Convergence metric over species (CHEMEQ-style).
                 denom = np.maximum(np.maximum(c1, cp), 1e-7)
                 err = np.max(np.abs(c1 - cp) / denom, axis=0)
@@ -282,7 +351,10 @@ class YoungBorisSolver:
             ok = (err <= 3.0 * self.eps) | (ha <= h_min * 1.0001)
             acc = idx[ok]
             rej = idx[~ok]
-            c[:, acc] = c1[:, ok]
+            if fast:
+                kern.scatter_cols(c, c1, idx, ok)
+            else:
+                c[:, acc] = c1[:, ok]
             remaining[acc] -= ha[ok]
             accepted[acc] += 1
             # Mild growth after success, halving after failure.
@@ -297,19 +369,21 @@ class YoungBorisSolver:
                 full = bool(active.all())
                 if full:
                     ca = c
-                elif fast:
-                    ca = np.take(c, idx, axis=1,
-                                 out=kern.mat("c0", idx.size))
+                    slices = full_slices
                 else:
-                    ca = c[:, idx]
+                    slices = _active_slices(idx, edges)
+                    if fast:
+                        ca = kern.gather_cols(c, idx)
+                    else:
+                        ca = c[:, idx]
                 if fast:
                     c1, _ = self._substep_fast(
                         kern, ca, k, remaining[idx], E, idx, full,
-                        reuse_pl=False,
+                        reuse_pl=False, col_slices=slices,
                     )
                 else:
                     Ea = E[:, idx] if E is not None else None
-                    c1, _ = self._substep(ca, k, remaining[idx], Ea)
+                    c1, _ = self._substep(ca, k, remaining[idx], Ea, slices)
                 c[:, idx] = c1
                 attempts[idx] += 1
                 accepted[idx] += 1
@@ -339,6 +413,7 @@ class YoungBorisSolver:
         idx: np.ndarray,
         full: bool,
         reuse_pl: bool,
+        col_slices: Optional[Sequence[Tuple[int, int]]] = None,
     ):
         """Workspace-backed hybrid substep, bitwise equal to ``_substep``.
 
@@ -356,7 +431,8 @@ class YoungBorisSolver:
 
         m = c0.shape[1]
         if not reuse_pl:
-            kern.production_loss(c0, k, 0, defer_finish=True)
+            kern.production_loss(c0, k, 0, defer_finish=True,
+                                 col_slices=col_slices)
         P0, L0 = kern.mat("P0", m), kern.mat("L0", m)
         Ea = None
         if E is not None:
@@ -376,7 +452,8 @@ class YoungBorisSolver:
             cp.ravel()[flat] = np.maximum(vals, self.floor)
 
         # --- corrector -------------------------------------------------
-        P1, _L1 = kern.production_loss(cp, k, 1, defer_finish=True)
+        P1, _L1 = kern.production_loss(cp, k, 1, defer_finish=True,
+                                       col_slices=col_slices)
         c1, Lm, Lmh, flatm = kern.corrector(
             cp, c0, h, Ea, self.stiff_threshold, self.floor
         )
@@ -398,18 +475,19 @@ class YoungBorisSolver:
         k: np.ndarray,
         h: np.ndarray,
         emissions: Optional[np.ndarray],
+        col_slices: Optional[Sequence[Tuple[int, int]]] = None,
     ):
         """One hybrid predictor/corrector substep (vector over points).
 
         Returns ``(corrected, predicted)`` so the caller can apply the
         convergence test.
         """
-        P0, L0 = self.mechanism.production_loss(c0, k)
+        P0, L0 = self._mech_pl(c0, k, col_slices)
         if emissions is not None:
             P0 = P0 + emissions
         cp = self._predict(c0, P0, L0, h)
 
-        P1, L1 = self.mechanism.production_loss(cp, k)
+        P1, L1 = self._mech_pl(cp, k, col_slices)
         if emissions is not None:
             P1 = P1 + emissions
 

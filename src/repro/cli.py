@@ -293,13 +293,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.action == "plan":
         plan = plan_campaign(specs, workers=args.workers,
-                             cost_model=cost_model, cache=cache)
+                             cost_model=cost_model, cache=cache,
+                             fuse_ensembles=not args.no_fuse)
         if args.json:
             print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         else:
             rows = [j.row() for j in plan.jobs]
-            header = ["key", "job", "predicted_s", "sim_s", "worker",
-                      "start_s", "end_s"]
+            header = ["key", "job", "predicted_s", "sim_s", "fused",
+                      "worker", "start_s", "end_s"]
             if rows:
                 print(format_table(header,
                                    [[r[h] for h in header] for r in rows]))
@@ -327,6 +328,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         executor=args.executor,
         fault_policy=fault_policy,
         cost_model=cost_model,
+        fuse_ensembles=not args.no_fuse,
     )
     report = runner.run(specs)
     if args.json:
@@ -464,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ensemble base seed")
     p.add_argument("--workers", type=int, default=4,
                    help="bounded worker-pool size")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="schedule ensemble members as independent "
+                        "chains instead of fusing their science into "
+                        "one batched sweep")
     p.add_argument("--cache-dir", default=".repro-cache",
                    help="content-addressed result cache root")
     p.add_argument("--timeout", type=float, default=None,

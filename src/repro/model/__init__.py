@@ -6,6 +6,7 @@ from repro.model.checkpoint import (
     resume_config,
     save_checkpoint,
 )
+from repro.model.batched import BatchedEnsemble, run_batched
 from repro.model.config import AirshedConfig
 from repro.model.ensemble import EmissionEnsemble, EnsembleSummary, PerturbedDataset
 from repro.model.dataparallel import (
@@ -34,6 +35,7 @@ from repro.model.taskparallel import (
 
 __all__ = [
     "AirshedConfig",
+    "BatchedEnsemble",
     "Checkpoint",
     "EmissionEnsemble",
     "EnsembleSummary",
@@ -59,4 +61,5 @@ __all__ = [
     "concat_results",
     "replay_data_parallel",
     "replay_task_parallel",
+    "run_batched",
 ]

@@ -77,10 +77,17 @@ class EnsembleSummary:
         return (float(np.quantile(p, lo)), float(np.quantile(p, 1.0 - lo)))
 
     def relative_spread(self, species: str) -> float:
-        """std/mean of the run peak — the headline uncertainty number."""
+        """std/mean of the run peak — the headline uncertainty number.
+
+        Returns ``NaN`` when the mean peak is non-positive: a
+        degenerate ensemble (species absent or pathological inputs) has
+        no meaningful relative spread, and ``0.0`` would silently read
+        as "perfect agreement".  Callers should check ``math.isnan``
+        (contract documented in ``docs/ENSEMBLES.md``).
+        """
         p = self.peaks[species]
         m = p.mean()
-        return float(p.std() / m) if m > 0 else 0.0
+        return float(p.std() / m) if m > 0 else float("nan")
 
 
 class EmissionEnsemble:

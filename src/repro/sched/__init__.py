@@ -33,7 +33,12 @@ from repro.sched.job import JOB_STATUSES, VARIANTS, JobResult, JobSpec
 from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
 from repro.sched.report import CampaignReport, status_rows
 from repro.sched.runner import CampaignRunner, JobTimeoutError, execute_job
-from repro.sched.sweeps import ensemble_sweep, machine_grid, scaling_ladder
+from repro.sched.sweeps import (
+    ensemble_batches,
+    ensemble_sweep,
+    machine_grid,
+    scaling_ladder,
+)
 
 __all__ = [
     "CampaignCostModel",
@@ -51,6 +56,7 @@ __all__ = [
     "PredictedJobCost",
     "ResultCache",
     "VARIANTS",
+    "ensemble_batches",
     "ensemble_sweep",
     "execute_job",
     "machine_grid",

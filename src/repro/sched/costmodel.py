@@ -41,6 +41,17 @@ __all__ = ["PredictedJobCost", "CampaignCostModel"]
 REPLAY_WALL_PER_STEP = 2e-3
 REPLAY_WALL_BASE = 0.05
 
+#: Wall fraction of the *chemistry* phase that an additional member of
+#: a batched ensemble sweep costs, relative to running it alone.  The
+#: batched solver amortises the adaptive loop's fixed per-iteration
+#: overhead (gather/scatter setup, mask bookkeeping, kernel dispatch)
+#: across members while the per-point arithmetic still scales with
+#: member count, so the marginal member pays roughly this share
+#: (measured in ``benchmarks/perf``; see ``docs/SCHEDULER.md``).
+#: Non-chemistry phases (transport application, aerosol, I/O packing)
+#: run per member and are charged in full.
+ENSEMBLE_MARGINAL_CHEMISTRY = 0.3
+
 #: Known (species, layers, points) shapes, shared with the static
 #: analyzer so pricing a job never materialises a shipped dataset;
 #: unknown (registered) datasets are materialised once and memoized.
@@ -107,17 +118,46 @@ class CampaignCostModel:
         trace = self._trace(spec)
         return PerformancePredictor(trace, self._host).predict_total(1)
 
-    def predict(self, spec: JobSpec, science_charged: bool = True) -> PredictedJobCost:
+    def marginal_science_seconds(self, spec: JobSpec) -> float:
+        """Predicted wall seconds one *extra* batched member adds.
+
+        The §4 trace decomposition prices the fused sweep: the member's
+        chemistry share shrinks to :data:`ENSEMBLE_MARGINAL_CHEMISTRY`
+        of its standalone cost (amortised adaptive-loop overhead), and
+        every other phase — applied per member even in a batch — is
+        charged in full.
+        """
+        trace = self._trace(spec)
+        phases = trace.total_ops_by_phase()
+        total = sum(phases.values())
+        chem_frac = phases["chemistry"] / total if total > 0 else 0.0
+        full = self.science_seconds(spec)
+        return full * (1.0 - chem_frac * (1.0 - ENSEMBLE_MARGINAL_CHEMISTRY))
+
+    def predict(
+        self,
+        spec: JobSpec,
+        science_charged: bool = True,
+        fused_member: bool = False,
+    ) -> PredictedJobCost:
         """Price one job.
 
         ``science_charged=False`` marks a job whose science run is paid
         by an earlier job in the same campaign (shared science key);
         a cache-aware model also waives science that is already stored.
+        ``fused_member`` marks a job whose science runs as an
+        additional member of a batched ensemble sweep, priced at the
+        marginal batched cost instead of the standalone cost.
         """
         if science_charged and self.cache is not None:
             if self.cache.get_science(spec.science_key) is not None:
                 science_charged = False
-        science_s = self.science_seconds(spec) if science_charged else 0.0
+        if not science_charged:
+            science_s = 0.0
+        elif fused_member:
+            science_s = self.marginal_science_seconds(spec)
+        else:
+            science_s = self.science_seconds(spec)
         if spec.variant == "sequential":
             replay_s = 0.0
             sim_s = 0.0

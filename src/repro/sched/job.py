@@ -118,6 +118,25 @@ class JobSpec:
         """Content hash naming the full job (science + execution)."""
         return _digest({**self.science_fields(), **self.exec_fields()})
 
+    @property
+    def ensemble_key(self) -> Optional[str]:
+        """Content hash of the science fields minus the member seed.
+
+        Two jobs with the same ``ensemble_key`` are members of one
+        emission ensemble: identical base dataset, episode window and
+        perturbation width, differing only in ``perturb_seed``.  Their
+        sequential numerics can then run as one batched sweep
+        (:func:`repro.model.batched.run_batched`) with bitwise-identical
+        per-member results — which is why the planner may fuse them
+        without touching cache semantics.  ``None`` for unperturbed
+        jobs: a lone deterministic run has nothing to fuse with.
+        """
+        if self.perturb_seed is None:
+            return None
+        fields = self.science_fields()
+        fields.pop("perturb_seed")
+        return _digest(fields)
+
     # -- presentation --------------------------------------------------
     @property
     def label(self) -> str:

@@ -10,7 +10,14 @@ executable plan:
    sequentially on one worker, so the expensive numerics run once and
    the replay-only followers hit the in-campaign science cache instead
    of racing a twin on another worker;
-3. **pack** — chains are placed longest-predicted-time-first (LPT) onto
+3. **fuse** — chains whose jobs share an *ensemble* key (same base
+   dataset/episode/sigma, different member seeds) merge into one
+   super-chain, member order deterministic by seed.  Co-location is
+   what lets the runner execute the members' science as one batched
+   sweep (:func:`repro.model.batched.run_batched`) and stock the
+   per-member science cache; the cost model prices the first member in
+   full and the rest at the marginal batched rate;
+4. **pack** — chains are placed longest-predicted-time-first (LPT) onto
    the bounded worker pool; the resulting per-worker load profile gives
    the predicted makespan the runner later compares against the
    observed one.
@@ -39,6 +46,7 @@ class PlannedJob:
     predicted_s: float      # wall prediction for this job
     sim_s: float            # predicted simulated seconds on the target
     science_charged: bool   # this job pays its chain's science run
+    fused: bool = False     # science priced as a marginal batched member
     worker: int = 0
     start_s: float = 0.0
     end_s: float = 0.0
@@ -53,6 +61,7 @@ class PlannedJob:
             "job": self.spec.label,
             "predicted_s": round(self.predicted_s, 4),
             "sim_s": round(self.sim_s, 4),
+            "fused": self.fused,
             "worker": self.worker,
             "start_s": round(self.start_s, 4),
             "end_s": round(self.end_s, 4),
@@ -98,8 +107,16 @@ def plan_campaign(
     workers: int = 4,
     cost_model: Optional[CampaignCostModel] = None,
     cache: Optional[ResultCache] = None,
+    fuse_ensembles: bool = True,
 ) -> CampaignPlan:
-    """Build the campaign plan for ``specs`` on ``workers`` slots."""
+    """Build the campaign plan for ``specs`` on ``workers`` slots.
+
+    ``fuse_ensembles`` merges science chains that are members of one
+    emission ensemble (shared :attr:`~repro.sched.job.JobSpec.
+    ensemble_key`) into a single super-chain so the runner can batch
+    their numerics; disable it to schedule members as independent
+    chains (``repro campaign --no-fuse``).
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if cost_model is None:
@@ -119,19 +136,53 @@ def plan_campaign(
     for spec in unique.values():
         chains_by_science.setdefault(spec.science_key, []).append(spec)
 
+    # 2b. fuse: merge the science chains of one ensemble (same base
+    # dataset/episode/sigma, differing member seed) into a super-chain,
+    # deterministically ordered by member seed.  Every spec in a
+    # science chain shares its science fields, hence its ensemble key.
+    science_order = sorted(chains_by_science)
+    merged: List[List[str]] = []
+    if fuse_ensembles:
+        by_ensemble: Dict[str, List[str]] = {}
+        for sk in science_order:
+            ek = chains_by_science[sk][0].ensemble_key
+            if ek is not None:
+                by_ensemble.setdefault(ek, []).append(sk)
+        fused_keys = set()
+        for ek in sorted(by_ensemble):
+            group = by_ensemble[ek]
+            if len(group) < 2:
+                continue
+            group.sort(
+                key=lambda sk: (chains_by_science[sk][0].perturb_seed, sk)
+            )
+            merged.append(group)
+            fused_keys.update(group)
+        merged.extend([sk] for sk in science_order if sk not in fused_keys)
+        merged.sort(key=lambda g: g[0])
+    else:
+        merged = [[sk] for sk in science_order]
+
     planned: List[PlannedJob] = []
     chain_groups: List[List[PlannedJob]] = []
-    for science_key in sorted(chains_by_science):
-        members = sorted(chains_by_science[science_key], key=lambda s: s.key)
+    for science_keys in merged:
         group = []
-        for i, spec in enumerate(members):
-            cost = cost_model.predict(spec, science_charged=(i == 0))
-            group.append(PlannedJob(
-                spec=spec,
-                predicted_s=cost.wall_s,
-                sim_s=cost.sim_s,
-                science_charged=cost.science_s > 0.0,
-            ))
+        for m, science_key in enumerate(science_keys):
+            members = sorted(
+                chains_by_science[science_key], key=lambda s: s.key
+            )
+            for i, spec in enumerate(members):
+                fused = m > 0 and i == 0
+                cost = cost_model.predict(
+                    spec, science_charged=(i == 0), fused_member=fused
+                )
+                group.append(PlannedJob(
+                    spec=spec,
+                    predicted_s=cost.wall_s,
+                    sim_s=cost.sim_s,
+                    science_charged=cost.science_s > 0.0,
+                    fused=fused and cost.science_s > 0.0,
+                ))
         chain_groups.append(group)
 
     # 3. LPT over chains: longest chain first, least-loaded worker.

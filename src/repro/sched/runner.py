@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.datasets.registry import get_dataset
+from repro.model.batched import run_batched
 from repro.model.checkpoint import load_checkpoint, resume_config, save_checkpoint
 from repro.model.config import AirshedConfig
 from repro.model.dataparallel import replay_data_parallel
@@ -58,6 +59,7 @@ from repro.sched.faults import FaultPolicy, InjectedFault, InjectedHang
 from repro.sched.job import JobResult, JobSpec
 from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
 from repro.sched.report import CampaignReport
+from repro.sched.sweeps import ensemble_batches
 from repro.vm.machine import get_machine
 
 __all__ = ["CampaignRunner", "JobTimeoutError", "execute_job"]
@@ -306,6 +308,7 @@ class CampaignRunner:
         tracer: Optional[Tracer] = None,
         sleep: Optional[Callable[[float], None]] = None,
         clock: Optional[Callable[[], float]] = None,
+        fuse_ensembles: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -330,6 +333,7 @@ class CampaignRunner:
         self._sleep = sleep or time.sleep
         self._clock = clock or time.monotonic
         self._lock = threading.Lock()
+        self.fuse_ensembles = bool(fuse_ensembles)
 
     # -- observability -------------------------------------------------
     def _count(self, name: str, amount: float = 1.0) -> None:
@@ -347,7 +351,8 @@ class CampaignRunner:
     # -- planning ------------------------------------------------------
     def plan(self, specs: Sequence[JobSpec]) -> CampaignPlan:
         return plan_campaign(specs, workers=self.workers,
-                             cost_model=self.cost_model)
+                             cost_model=self.cost_model,
+                             fuse_ensembles=self.fuse_ensembles)
 
     # -- execution -----------------------------------------------------
     def run(self, specs: Sequence[JobSpec],
@@ -394,10 +399,62 @@ class CampaignRunner:
 
     def _run_chain(self, chain: List[PlannedJob], slot: int,
                    results: Dict[str, JobResult]) -> None:
+        if self.fuse_ensembles:
+            self._prefetch_ensembles(chain, slot)
         for planned in chain:
             result = self._run_job(planned, slot)
             with self._lock:
                 results[planned.key] = result
+
+    # -- batched-ensemble science prefetch -----------------------------
+    def _prefetch_ensembles(self, chain: List[PlannedJob],
+                            slot: int) -> None:
+        """Run a chain's fused ensemble members as one batched sweep.
+
+        The planner co-locates an ensemble's member chains on one
+        worker; here their sequential numerics execute as a single
+        :func:`~repro.model.batched.run_batched` call and each member's
+        (bitwise-identical) result lands in the per-member science
+        cache.  The per-job flow downstream is untouched — every job
+        still passes its own cache lookup, fault points, retries and
+        replay, it just finds its science already stored.  Batching is
+        exact over any member subset, so partially cached ensembles
+        batch only the missing members.  Any batch failure falls back
+        to per-job execution silently (the jobs simply run unfused).
+        """
+        for ek, members in ensemble_batches(
+            [p.spec for p in chain]
+        ).items():
+            todo = [
+                s for s in members
+                if self.cache.get_science(s.science_key) is None
+            ]
+            if len(todo) < 2:
+                continue
+            start = self.tracer.now()
+            try:
+                configs = [
+                    AirshedConfig(
+                        dataset=_build_dataset(s), hours=s.hours,
+                        start_hour=s.start_hour,
+                    )
+                    for s in todo
+                ]
+                batch_results = run_batched(configs)
+            except Exception:  # noqa: BLE001 - fall back to per-job runs
+                self._count("campaign:batch_fallbacks")
+                continue
+            for s, res in zip(todo, batch_results):
+                self.cache.put_science(s.science_key, res)
+                self._count("campaign:sim_hours", s.hours)
+            self._count("campaign:batches")
+            self._count("campaign:batched_members", len(todo))
+            with self._lock:
+                self.tracer.emit(
+                    f"batch:{todo[0].dataset}x{len(todo)}", "batch",
+                    start, self.tracer.now(), node=slot,
+                    ensemble_key=ek, members=len(todo),
+                )
 
     # -- one job, with retries ----------------------------------------
     def _run_job(self, planned: PlannedJob, slot: int) -> JobResult:

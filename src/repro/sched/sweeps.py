@@ -19,11 +19,13 @@ per distinct scenario.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.sched.job import JobSpec
 
-__all__ = ["machine_grid", "scaling_ladder", "ensemble_sweep"]
+__all__ = [
+    "machine_grid", "scaling_ladder", "ensemble_sweep", "ensemble_batches",
+]
 
 
 def machine_grid(
@@ -97,3 +99,28 @@ def ensemble_sweep(
         )
         for i in range(members)
     ]
+
+
+def ensemble_batches(specs: Sequence[JobSpec]) -> Dict[str, List[JobSpec]]:
+    """Group specs into batchable ensemble member sets.
+
+    Returns ``ensemble_key -> members`` for every group of two or more
+    specs that share an :attr:`~repro.sched.job.JobSpec.ensemble_key`
+    but have distinct member seeds — exactly the sets whose sequential
+    numerics :func:`repro.model.batched.run_batched` can fuse into one
+    sweep with bitwise-identical per-member results.  Members are
+    ordered deterministically by ``(perturb_seed, key)``; specs sharing
+    a science key are collapsed to one representative (their science is
+    one cache entry regardless of execution configuration).
+    """
+    by_ensemble: Dict[str, Dict[str, JobSpec]] = {}
+    for spec in specs:
+        ek = spec.ensemble_key
+        if ek is None:
+            continue
+        by_ensemble.setdefault(ek, {}).setdefault(spec.science_key, spec)
+    return {
+        ek: sorted(members.values(), key=lambda s: (s.perturb_seed, s.key))
+        for ek, members in sorted(by_ensemble.items())
+        if len(members) >= 2
+    }

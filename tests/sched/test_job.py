@@ -92,3 +92,29 @@ class TestJobResult:
     def test_sha_none_without_result(self):
         assert JobResult(spec=JobSpec(), status="failed")\
             .final_conc_sha256() is None
+
+
+class TestEnsembleKey:
+    def test_none_without_perturbation(self):
+        assert JobSpec(dataset="la", hours=2).ensemble_key is None
+
+    def test_shared_across_member_seeds(self):
+        a = JobSpec(dataset="la", hours=2, perturb_seed=0,
+                    perturb_sigma=0.3)
+        b = JobSpec(dataset="la", hours=2, perturb_seed=7919,
+                    perturb_sigma=0.3)
+        assert a.ensemble_key == b.ensemble_key
+        assert a.science_key != b.science_key
+
+    def test_distinct_for_distinct_ensembles(self):
+        base = JobSpec(dataset="la", hours=2, perturb_seed=0,
+                       perturb_sigma=0.3)
+        for other in (
+            JobSpec(dataset="ne", hours=2, perturb_seed=0,
+                    perturb_sigma=0.3),
+            JobSpec(dataset="la", hours=3, perturb_seed=0,
+                    perturb_sigma=0.3),
+            JobSpec(dataset="la", hours=2, perturb_seed=0,
+                    perturb_sigma=0.5),
+        ):
+            assert base.ensemble_key != other.ensemble_key

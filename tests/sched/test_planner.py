@@ -40,11 +40,36 @@ def test_science_chain_shares_one_worker():
 
 
 def test_distinct_science_keys_spread_over_workers():
-    specs = [JobSpec(dataset="demo", hours=1, perturb_seed=i,
-                     perturb_sigma=0.3) for i in range(4)]
+    specs = [JobSpec(dataset="demo", hours=h) for h in (1, 2, 3, 4)]
     plan = plan_campaign(specs, workers=4)
     assert len(plan.chains) == 4
     assert {plan.jobs[c[0]].worker for c in plan.chains} == {0, 1, 2, 3}
+
+
+def test_ensemble_members_fuse_into_one_chain():
+    """Members of one ensemble co-locate so the runner can batch them."""
+    specs = [JobSpec(dataset="demo", hours=1, perturb_seed=i,
+                     perturb_sigma=0.3) for i in range(4)]
+    plan = plan_campaign(specs, workers=4)
+    assert len(plan.chains) == 1
+    # first member pays full science; the rest the marginal batched rate
+    chain = [plan.jobs[i] for i in plan.chains[0]]
+    assert not chain[0].fused
+    assert all(j.fused for j in chain[1:])
+    first = chain[0].predicted_s
+    assert all(0.0 < j.predicted_s < first for j in chain[1:])
+    # member order inside the chain is deterministic by seed
+    seeds = [j.spec.perturb_seed for j in chain]
+    assert seeds == sorted(seeds)
+
+
+def test_no_fuse_spreads_ensemble_members():
+    specs = [JobSpec(dataset="demo", hours=1, perturb_seed=i,
+                     perturb_sigma=0.3) for i in range(4)]
+    plan = plan_campaign(specs, workers=4, fuse_ensembles=False)
+    assert len(plan.chains) == 4
+    assert {plan.jobs[c[0]].worker for c in plan.chains} == {0, 1, 2, 3}
+    assert not any(j.fused for j in plan.jobs)
 
 
 def test_makespan_is_max_worker_load():

@@ -206,3 +206,50 @@ def test_process_executor_kills_real_hang(tmp_path):
     assert res.status == "ok"
     assert res.attempts == 2
     assert report.counters["campaign:timeouts"] == 1
+
+
+def test_fused_ensemble_batches_members_and_hits_cache(tmp_path):
+    from repro.sched import ensemble_sweep
+
+    specs = ensemble_sweep(dataset="tinysched", members=4, sigma=0.3,
+                           seed=2, hours=1, start_hour=7,
+                           variant="sequential")
+    runner, _ = make_runner(tmp_path)
+    report = runner.run(specs)
+    assert report.complete and report.n_ok == 4
+    # one fused sweep primed the science cache for every member...
+    assert report.counters["campaign:batches"] == 1
+    assert report.counters["campaign:batched_members"] == 4
+    assert report.counters["campaign:sim_hours"] == 4
+    # ...so each member job lands on its own per-member cache entry
+    assert report.counters["campaign:science_cache_hits"] == 4
+    [span] = [s for s in runner.tracer.spans if s.kind == "batch"]
+    assert span.attrs["members"] == 4
+    # bitwise: fused members equal what an unfused campaign produces
+    plain, _ = make_runner(tmp_path / "plain", fuse_ensembles=False)
+    unfused = plain.run(specs)
+    assert unfused.counters.get("campaign:batches", 0) == 0
+    assert {r.key: r.final_conc_sha256() for r in report.results} == \
+        {r.key: r.final_conc_sha256() for r in unfused.results}
+
+
+def test_partially_cached_ensemble_batches_only_uncached(tmp_path):
+    from repro.sched import ensemble_sweep
+
+    specs = ensemble_sweep(dataset="tinysched", members=3, sigma=0.3,
+                           seed=5, hours=1, start_hour=7,
+                           variant="sequential")
+    warm, _ = make_runner(tmp_path)
+    warm.run([specs[0]])
+
+    runner, _ = make_runner(tmp_path)  # same cache directory
+    report = runner.run(specs)
+    assert report.complete and report.n_ok == 3
+    # subset batching is exact, so only the 2 uncached members fuse
+    assert report.counters["campaign:batches"] == 1
+    assert report.counters["campaign:batched_members"] == 2
+    assert report.counters["campaign:sim_hours"] == 2
+    # member 0 replays from the full result cache; the two batched
+    # members land on the science entries the prefetch just wrote
+    assert report.cache_hits == 1
+    assert report.counters["campaign:science_cache_hits"] == 2

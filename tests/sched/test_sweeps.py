@@ -39,3 +39,35 @@ def test_ensemble_sweep_matches_emission_ensemble_seeds():
 def test_ensemble_sweep_rejects_empty():
     with pytest.raises(ValueError):
         ensemble_sweep(members=0)
+
+
+def test_ensemble_batches_groups_members_by_ensemble():
+    from repro.sched import ensemble_batches
+
+    members = ensemble_sweep(dataset="demo", members=3, sigma=0.3,
+                             seed=1, hours=1)
+    other = ensemble_sweep(dataset="demo", members=2, sigma=0.5,
+                           seed=1, hours=1)
+    plain = machine_grid(dataset="demo", machines=("t3e",),
+                         node_counts=(4,), hours=1)
+    groups = ensemble_batches(list(reversed(members)) + other + plain)
+    assert len(groups) == 2  # plain jobs never batch
+    sizes = sorted(len(g) for g in groups.values())
+    assert sizes == [2, 3]
+    for group in groups.values():
+        seeds = [s.perturb_seed for s in group]
+        assert seeds == sorted(seeds)
+        assert len({s.ensemble_key for s in group}) == 1
+
+
+def test_ensemble_batches_collapses_shared_science_and_singletons():
+    from repro.sched import ensemble_batches
+
+    member = ensemble_sweep(dataset="demo", members=1, sigma=0.3,
+                            seed=0, hours=1)[0]
+    # a replay twin shares the science key: one cache entry, one slot
+    twin = ensemble_sweep(dataset="demo", members=1, sigma=0.3, seed=0,
+                          hours=1, machine="paragon", nprocs=4,
+                          variant="data")[0]
+    assert member.science_key == twin.science_key
+    assert ensemble_batches([member, twin]) == {}  # 1 scenario: no batch

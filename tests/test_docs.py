@@ -113,3 +113,52 @@ def test_campaign_and_bench_subcommands_are_documented():
     readme = (ROOT / "README.md").read_text()
     assert "python -m repro campaign" in readme
     assert "python -m repro bench" in readme
+
+
+def test_ensembles_doc_is_linked_and_current():
+    """ENSEMBLES.md exists, is reachable and names the real artifacts."""
+    assert (ROOT / "docs" / "ENSEMBLES.md").is_file()
+    assert "docs/ENSEMBLES.md" in (ROOT / "README.md").read_text()
+    assert "ENSEMBLES.md" in (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    text = (ROOT / "docs" / "ENSEMBLES.md").read_text()
+    for artifact in ("BatchedEnsemble", "run_batched", "member_edges",
+                     "PerturbedDataset", "seed * 7919 + index",
+                     "REPRO_CHEM_NO_C", "ensemble_key", "relative_spread",
+                     "--no-fuse", "python -m repro campaign"):
+        assert artifact in text, f"ENSEMBLES.md no longer mentions {artifact}"
+
+
+def _ensembles_cli_examples():
+    """Full command lines from ENSEMBLES.md code blocks."""
+    import shlex
+
+    text = (ROOT / "docs" / "ENSEMBLES.md").read_text()
+    cmds = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("python -m repro ") and "--help" not in line:
+            cmds.append(shlex.split(line)[3:])
+    return cmds
+
+
+def test_ensembles_doc_cli_examples_parse():
+    """Every CLI example in ENSEMBLES.md parses against the real CLI."""
+    cmds = _ensembles_cli_examples()
+    assert len(cmds) >= 4  # plan, run, status, --no-fuse variants
+    parser = build_parser()
+    for argv in cmds:
+        parser.parse_args(argv)  # SystemExit on a stale example
+
+
+def test_ensembles_doc_campaign_example_runs(tmp_path, monkeypatch):
+    """The fused-run example executes end to end (demo-sized only)."""
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)  # examples use a relative --cache-dir
+    ran = 0
+    for argv in _ensembles_cli_examples():
+        if "run" not in argv or "la" in argv:
+            continue
+        assert main(argv) == 0
+        ran += 1
+    assert ran >= 2  # the fused and --no-fuse runs both complete
