@@ -11,11 +11,20 @@ description of each driver, without executing anything:
 2. :mod:`~repro.analyze.races` — task-graph race detection (FX01x),
 3. :mod:`~repro.analyze.costlint` — redistribution cost lint (FX02x),
 4. :mod:`~repro.analyze.crosscheck` — static plan vs executed span
-   trace (FX030).
+   trace (FX030),
+5. :mod:`~repro.analyze.campaign` — campaign-plan verification (FX04x):
+   cache-key coverage, ensemble-fusion legality, science-chain
+   ordering, timeout/retry/fault-policy sanity,
+6. :mod:`~repro.analyze.determinism` — determinism sanitizer (FX05x):
+   AST lint over the source tree for nondeterminism hazards, with a
+   committed allowlist for audited exceptions and a runtime hash-input
+   shim (:mod:`~repro.analyze.sanitize`, ``REPRO_SANITIZE=1``).
 
-Entry points: :func:`analyze_program` runs the passes over one program
-and returns an :class:`~repro.analyze.diagnostics.AnalysisReport`;
-``repro lint`` is the CLI wrapper.  See ``docs/ANALYZE.md``.
+Entry points: :func:`analyze_program` runs the program passes,
+:func:`~repro.analyze.campaign.verify_campaign` verifies a planned
+campaign, :func:`~repro.analyze.determinism.scan_tree` sanitizes a
+source tree; ``repro lint`` (``--campaign`` / ``--determinism``) is
+the CLI wrapper.  See ``docs/ANALYZE.md``.
 """
 
 from __future__ import annotations
@@ -30,13 +39,27 @@ from repro.analyze.crosscheck import (
     run_crosscheck,
     synthetic_trace,
 )
+from repro.analyze.determinism import (
+    ALLOWLIST_FILENAME,
+    AllowlistEntry,
+    load_allowlist,
+    scan_source,
+    scan_tree,
+)
 from repro.analyze.diagnostics import (
     DIAGNOSTIC_CODES,
+    REGISTRY,
+    SEVERITY_EXIT_CODES,
     AnalysisReport,
     Diagnostic,
     Severity,
 )
 from repro.analyze.directives import check_directives
+from repro.analyze.sanitize import (
+    DeterminismError,
+    check_digest,
+    sanitize_enabled,
+)
 from repro.analyze.program import (
     ArrayDecl,
     CommStep,
@@ -51,11 +74,48 @@ from repro.analyze.programs import (
 )
 from repro.analyze.races import check_races
 
+# The campaign verifier imports repro.sched, and repro.sched.costmodel
+# imports repro.analyze.programs — importing it eagerly here would make
+# `import repro.sched` fail mid-initialization.  PEP 562 lazy exports
+# break the cycle: the first attribute access imports the module, by
+# which point both packages are fully initialized.
+_CAMPAIGN_EXPORTS = frozenset({
+    "verify_campaign",
+    "verify_chain_ordering",
+    "verify_fused_groups",
+    "verify_jobspec_schema",
+    "verify_runner_policy",
+})
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.analyze import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Severity",
     "Diagnostic",
     "AnalysisReport",
     "DIAGNOSTIC_CODES",
+    "REGISTRY",
+    "SEVERITY_EXIT_CODES",
+    "verify_campaign",
+    "verify_chain_ordering",
+    "verify_fused_groups",
+    "verify_jobspec_schema",
+    "verify_runner_policy",
+    "ALLOWLIST_FILENAME",
+    "AllowlistEntry",
+    "load_allowlist",
+    "scan_source",
+    "scan_tree",
+    "DeterminismError",
+    "check_digest",
+    "sanitize_enabled",
     "ArrayDecl",
     "TaskDecl",
     "PhaseDecl",

@@ -1,0 +1,410 @@
+"""Campaign-plan verification: the FX04x pass family.
+
+PR 4's campaign scheduler rests on three static invariants the runtime
+never re-checks: content hashes must cover every physics-affecting
+:class:`~repro.sched.job.JobSpec` field, fused ensemble groups must
+satisfy the batched bitwise-equivalence preconditions of
+``docs/ENSEMBLES.md``, and the planner's chains must keep each science
+key's payer ahead of its replay-only followers on one worker.  This
+pass re-derives all of them from first principles **before** a campaign
+runs — the same ahead-of-execution discipline the Fx compiler applied
+to the drivers (FX00x–FX03x), pointed at the scheduler:
+
+* ``FX040`` — cache-key drift: a dataclass field of the spec class is
+  covered by neither the science nor the execution hash (adding a
+  field without hashing it silently aliases distinct jobs);
+* ``FX041`` — illegal fusion: members of one fused group disagree on a
+  physics field other than the member seed;
+* ``FX042`` — batched-equivalence precondition violated: a fused group
+  with duplicate member seeds (error) or a zero-sigma perturbation
+  (warning: members are bitwise equal, fusion is a degenerate no-op);
+* ``FX043`` — science-chain ordering: a science key split across
+  workers, a replay job scheduled ahead of its science payer, or
+  overlapping placements on one worker;
+* ``FX044`` — a per-job timeout below the predicted attempt time: the
+  job can never finish an attempt and will exhaust its retries;
+* ``FX045`` — retry/fault-policy misconfiguration: an injected fault
+  with no retry budget (terminal by construction), a ``hang`` drill
+  the process executor cannot interrupt, or a fault point past the end
+  of every selected job.
+
+Entry point: :func:`verify_campaign`; ``repro lint --campaign`` is the
+CLI wrapper.  See ``docs/ANALYZE.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.sched.costmodel import CampaignCostModel
+from repro.sched.faults import FaultPolicy
+from repro.sched.job import JobSpec
+from repro.sched.planner import CampaignPlan, plan_campaign
+
+__all__ = [
+    "verify_jobspec_schema",
+    "verify_fused_groups",
+    "verify_chain_ordering",
+    "verify_runner_policy",
+    "verify_campaign",
+]
+
+#: Fields that are presentation-only by design and exempt from FX040.
+#: Spec classes may widen this with their own ``PRESENTATION_FIELDS``.
+_DEFAULT_PRESENTATION = ("tag",)
+
+
+def _presentation_fields(spec_cls: Type[JobSpec]) -> frozenset:
+    return frozenset(
+        getattr(spec_cls, "PRESENTATION_FIELDS", _DEFAULT_PRESENTATION)
+    )
+
+
+# ---------------------------------------------------------------------------
+# FX040 — cache-key drift
+# ---------------------------------------------------------------------------
+def verify_jobspec_schema(
+    spec_cls: Type[JobSpec] = JobSpec,
+    sample: Optional[JobSpec] = None,
+) -> List[Diagnostic]:
+    """Check that every physics-affecting field is content-hashed.
+
+    The hash payload is introspected from a live instance: the union of
+    :meth:`~repro.sched.job.JobSpec.science_fields` and
+    :meth:`~repro.sched.job.JobSpec.exec_fields` keys must cover every
+    dataclass field except the declared presentation fields
+    (``spec_cls.PRESENTATION_FIELDS``).  A field in neither set means
+    two jobs differing only in that field share a content hash — the
+    cache would silently serve one job's result for the other.  The
+    inverse drift (a hashed name that is no longer a dataclass field)
+    is reported too.
+    """
+    spec = sample if sample is not None else spec_cls()
+    declared = {f.name for f in dataclass_fields(spec_cls)}
+    hashed = set(spec.science_fields()) | set(spec.exec_fields())
+    presentation = _presentation_fields(spec_cls)
+
+    diags: List[Diagnostic] = []
+    for name in sorted(declared - hashed - presentation):
+        diags.append(Diagnostic(
+            code="FX040",
+            message=(
+                f"{spec_cls.__name__}.{name} is a dataclass field but is "
+                "hashed by neither science_key nor key; jobs differing "
+                "only in it would collide in the result cache"
+            ),
+            details={"field": name, "spec_class": spec_cls.__name__},
+        ))
+    for name in sorted(hashed - declared):
+        diags.append(Diagnostic(
+            code="FX040",
+            message=(
+                f"hash payload names {name!r} which is not a dataclass "
+                f"field of {spec_cls.__name__}; the content hash covers "
+                "a phantom field"
+            ),
+            details={"field": name, "spec_class": spec_cls.__name__,
+                     "phantom": True},
+        ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# FX041 / FX042 — ensemble-fusion legality
+# ---------------------------------------------------------------------------
+def _fused_groups(plan: CampaignPlan) -> Dict[int, List[JobSpec]]:
+    """chain index -> member specs, for chains containing fused jobs."""
+    groups: Dict[int, List[JobSpec]] = {}
+    for ci, chain in enumerate(plan.chains):
+        jobs = [plan.jobs[i] for i in chain]
+        if not any(j.fused for j in jobs):
+            continue
+        # one representative spec per science key, chain order
+        seen = {}
+        for j in jobs:
+            seen.setdefault(j.spec.science_key, j.spec)
+        groups[ci] = list(seen.values())
+    return groups
+
+
+def verify_fused_groups(plan: CampaignPlan) -> List[Diagnostic]:
+    """Re-derive the batched bitwise-equivalence preconditions.
+
+    ``run_batched`` is exact only when the fused members share every
+    physics input except the emission perturbation seed
+    (``docs/ENSEMBLES.md`` §2).  The planner guarantees this via
+    ``ensemble_key`` grouping, but the verifier does not trust the
+    digest: it compares the science fields directly, so a broken
+    ``ensemble_key`` override (or a hand-built plan) is caught.
+    """
+    diags: List[Diagnostic] = []
+    for ci, members in _fused_groups(plan).items():
+        base = {k: v for k, v in members[0].science_fields().items()
+                if k != "perturb_seed"}
+        for spec in members[1:]:
+            other = {k: v for k, v in spec.science_fields().items()
+                     if k != "perturb_seed"}
+            mismatched = sorted(
+                k for k in {**base, **other}
+                if base.get(k) != other.get(k)
+            )
+            if mismatched:
+                diags.append(Diagnostic(
+                    code="FX041",
+                    message=(
+                        f"fused chain {ci} mixes physics: member "
+                        f"{spec.label!r} differs from {members[0].label!r} "
+                        f"in {', '.join(mismatched)}; batching them would "
+                        "not be bitwise-equivalent to independent runs"
+                    ),
+                    details={"chain": ci, "fields": mismatched},
+                ))
+        seeds = [s.perturb_seed for s in members]
+        if None in seeds:
+            unseeded = [s.label for s in members if s.perturb_seed is None]
+            diags.append(Diagnostic(
+                code="FX042",
+                severity=Severity.ERROR,
+                message=(
+                    f"fused chain {ci} contains unperturbed member(s) "
+                    f"{unseeded}: only perturbed ensemble members may be "
+                    "batched"
+                ),
+                details={"chain": ci, "members": unseeded},
+            ))
+        elif len(set(seeds)) != len(seeds):
+            dupes = sorted({s for s in seeds if seeds.count(s) > 1})
+            diags.append(Diagnostic(
+                code="FX042",
+                severity=Severity.ERROR,
+                message=(
+                    f"fused chain {ci} repeats member seed(s) {dupes}: "
+                    "duplicate members should have collapsed to one "
+                    "science key before fusion"
+                ),
+                details={"chain": ci, "seeds": dupes},
+            ))
+        if members[0].perturb_sigma == 0.0 and len(members) > 1:
+            diags.append(Diagnostic(
+                code="FX042",
+                message=(
+                    f"fused chain {ci} has perturb_sigma=0: all members "
+                    "are bitwise equal, the ensemble spread is degenerate "
+                    "and fusion buys nothing"
+                ),
+                details={"chain": ci, "sigma": 0.0},
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# FX043 — science-chain dependency ordering
+# ---------------------------------------------------------------------------
+def verify_chain_ordering(plan: CampaignPlan) -> List[Diagnostic]:
+    """Check the plan's dependency and placement invariants.
+
+    * a science key's jobs all live in one chain (splitting them across
+      workers races the numerics against their own cache fill);
+    * within a chain, the job that pays the science precedes every
+      replay-only job of the same science key;
+    * a chain occupies one worker, and placements on a worker do not
+      overlap in predicted time.
+    """
+    diags: List[Diagnostic] = []
+
+    chain_of_science: Dict[str, int] = {}
+    for ci, chain in enumerate(plan.chains):
+        jobs = [plan.jobs[i] for i in chain]
+        workers = {j.worker for j in jobs}
+        if len(workers) > 1:
+            diags.append(Diagnostic(
+                code="FX043",
+                message=(
+                    f"chain {ci} spans workers {sorted(workers)}; a chain "
+                    "must execute sequentially on one worker"
+                ),
+                details={"chain": ci, "workers": sorted(workers)},
+            ))
+        paid: Dict[str, bool] = {}
+        for j in jobs:
+            sk = j.spec.science_key
+            owner = chain_of_science.setdefault(sk, ci)
+            if owner != ci:
+                diags.append(Diagnostic(
+                    code="FX043",
+                    message=(
+                        f"science key {sk[:12]} appears in chains {owner} "
+                        f"and {ci}; its numerics would race their own "
+                        "cache fill across workers"
+                    ),
+                    details={"science_key": sk[:12],
+                             "chains": [owner, ci]},
+                ))
+            if j.science_charged and paid.get(sk):
+                diags.append(Diagnostic(
+                    code="FX043",
+                    message=(
+                        f"job {j.spec.label!r} is charged for science "
+                        f"{sk[:12]} after an earlier job in the chain "
+                        "already paid it"
+                    ),
+                    details={"science_key": sk[:12], "chain": ci},
+                ))
+            if sk not in paid and not j.science_charged:
+                # Legal only if the cost model waived it (cached); a
+                # waived science is waived for the whole chain, so a
+                # later charged job for the same key is the real smell
+                # (caught above).  Record it as paid either way.
+                pass
+            paid[sk] = paid.get(sk, False) or j.science_charged
+
+    by_worker: Dict[int, List] = {}
+    for j in plan.jobs:
+        by_worker.setdefault(j.worker, []).append(j)
+    for worker, jobs in sorted(by_worker.items()):
+        jobs = sorted(jobs, key=lambda j: (j.start_s, j.end_s, j.key))
+        for a, b in zip(jobs, jobs[1:]):
+            if b.start_s < a.end_s - 1e-9:
+                diags.append(Diagnostic(
+                    code="FX043",
+                    message=(
+                        f"worker {worker} placements overlap: "
+                        f"{a.spec.label!r} [{a.start_s:.3f}, {a.end_s:.3f}] "
+                        f"and {b.spec.label!r} [{b.start_s:.3f}, "
+                        f"{b.end_s:.3f}]"
+                    ),
+                    details={"worker": worker,
+                             "jobs": [a.spec.label, b.spec.label]},
+                ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# FX044 / FX045 — timeout, retry and fault-policy sanity
+# ---------------------------------------------------------------------------
+def verify_runner_policy(
+    plan: CampaignPlan,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    executor: str = "thread",
+    fault_policy: Optional[FaultPolicy] = None,
+) -> List[Diagnostic]:
+    """Check the execution policy against the plan's predictions."""
+    diags: List[Diagnostic] = []
+
+    if timeout is not None:
+        if timeout <= 0:
+            diags.append(Diagnostic(
+                code="FX044",
+                message=f"timeout {timeout!r} is not positive",
+                details={"timeout": timeout},
+            ))
+        else:
+            doomed = [j for j in plan.jobs if j.predicted_s > timeout]
+            for j in doomed:
+                diags.append(Diagnostic(
+                    code="FX044",
+                    message=(
+                        f"job {j.spec.label!r} is predicted to take "
+                        f"{j.predicted_s:.3f}s but the per-attempt timeout "
+                        f"is {timeout:g}s; every attempt would time out "
+                        "and the retry budget would be spent for nothing"
+                    ),
+                    details={"job": j.spec.label, "timeout": timeout,
+                             "predicted_s": round(j.predicted_s, 4)},
+                ))
+
+    if fault_policy is not None:
+        selected = [j.spec for j in plan.jobs
+                    if fault_policy.selects(j.spec.key)]
+        if selected and retries < 1:
+            diags.append(Diagnostic(
+                code="FX045",
+                severity=Severity.ERROR,
+                message=(
+                    f"fault policy selects {len(selected)} job(s) but "
+                    "retries=0: each injected fault is terminal by "
+                    "construction and the campaign cannot complete"
+                ),
+                details={"selected": [s.label for s in selected],
+                         "retries": retries},
+            ))
+        if (selected and fault_policy.mode == "hang"
+                and executor == "process" and timeout is None):
+            diags.append(Diagnostic(
+                code="FX045",
+                severity=Severity.ERROR,
+                message=(
+                    "hang-mode faults under the process executor with no "
+                    "timeout: the wedged worker is never joined and the "
+                    "campaign deadlocks"
+                ),
+                details={"mode": "hang", "executor": executor},
+            ))
+        missed = [s.label for s in selected
+                  if fault_policy.after_hours > s.hours]
+        if missed:
+            diags.append(Diagnostic(
+                code="FX045",
+                message=(
+                    f"fault after_hours={fault_policy.after_hours} exceeds "
+                    f"the episode length of {missed}; the drill never "
+                    "fires for them"
+                ),
+                details={"after_hours": fault_policy.after_hours,
+                         "jobs": missed},
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def verify_campaign(
+    specs: Sequence[JobSpec],
+    workers: int = 4,
+    plan: Optional[CampaignPlan] = None,
+    cost_model: Optional[CampaignCostModel] = None,
+    fuse_ensembles: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    executor: str = "thread",
+    fault_policy: Optional[FaultPolicy] = None,
+    spec_cls: Optional[Type[JobSpec]] = None,
+) -> AnalysisReport:
+    """Statically verify a campaign before anything runs.
+
+    Plans ``specs`` (or takes a pre-built ``plan``) and runs every
+    FX04x check; the spec *class* is verified for key drift (FX040)
+    using the first spec's type unless ``spec_cls`` overrides it.
+    Returns an :class:`~repro.analyze.diagnostics.AnalysisReport` whose
+    exit code follows the usual severity mapping.
+    """
+    specs = list(specs)
+    if spec_cls is None:
+        spec_cls = type(specs[0]) if specs else JobSpec
+    if plan is None:
+        plan = plan_campaign(specs, workers=workers, cost_model=cost_model,
+                             fuse_ensembles=fuse_ensembles)
+
+    report = AnalysisReport(program=f"campaign[{len(specs)} specs]")
+    report.summary = {
+        "specs": len(specs),
+        "jobs": plan.n_jobs,
+        "duplicates": plan.n_duplicates,
+        "workers": plan.workers,
+        "fused_chains": len(_fused_groups(plan)),
+        "predicted_makespan_s": round(plan.predicted_makespan, 4),
+        "spec_class": spec_cls.__name__,
+    }
+    sample = specs[0] if specs and type(specs[0]) is spec_cls else None
+    report.extend(verify_jobspec_schema(spec_cls, sample=sample))
+    report.extend(verify_fused_groups(plan))
+    report.extend(verify_chain_ordering(plan))
+    report.extend(verify_runner_policy(
+        plan, timeout=timeout, retries=retries, executor=executor,
+        fault_policy=fault_policy,
+    ))
+    return report

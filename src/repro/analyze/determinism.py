@@ -1,0 +1,618 @@
+"""Determinism sanitizer: the FX05x pass family.
+
+The reproduction's load-bearing guarantees — content-addressed caches,
+bitwise-identical batched ensembles, deterministic plans — all assume
+the science paths are pure functions of their declared inputs.  This
+pass walks the AST of every module under ``src/repro`` and flags the
+constructs that break that assumption:
+
+* ``FX050`` — unseeded random-number generation: the ``random`` module
+  (global state), numpy's legacy global RNG (``np.random.normal`` and
+  friends), or ``default_rng()`` / ``RandomState()`` with no seed;
+* ``FX051`` — wall-clock reads (``time.time``, ``perf_counter``,
+  ``monotonic``, ``datetime.now``) that can feed hashed or simulated
+  state; ``time.sleep`` is exempt (it consumes time, it does not
+  observe it);
+* ``FX052`` — environment reads (``os.environ``, ``os.getenv``) that
+  can alter science behaviour between runs;
+* ``FX053`` — iteration-order hazards: a ``json.dumps`` without
+  ``sort_keys=True`` in a function that also hashes (the payload's
+  byte stream would depend on insertion order), or direct iteration
+  over a set expression outside ``sorted(...)``;
+* ``FX054`` — unguarded shared-mutable access in code reachable from a
+  thread-pool submission: mutation of ``self`` attributes, of free
+  variables, or of caller-owned containers outside a ``with <lock>``
+  block;
+* ``FX055`` — a stale allowlist entry that matched no finding (keeps
+  the audited-exception file honest).
+
+Audited exceptions live in a committed allowlist file (default
+``.repro-determinism-allow``): one line per exception —
+``CODE path pattern -- rationale`` — suppresses matching findings and
+records the rationale in the report summary.  See ``docs/ANALYZE.md``
+for the format and the runtime sanitizer mode (``REPRO_SANITIZE=1``,
+:mod:`repro.analyze.sanitize`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic
+
+__all__ = [
+    "AllowlistEntry",
+    "load_allowlist",
+    "scan_source",
+    "scan_tree",
+    "ALLOWLIST_FILENAME",
+]
+
+ALLOWLIST_FILENAME = ".repro-determinism-allow"
+
+#: Wall-clock reads (FX051).  ``time.sleep`` is deliberately absent.
+_CLOCK_READS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: numpy.random constructors that are fine *when seeded*.
+_NP_SEEDABLE = frozenset({
+    "default_rng", "RandomState", "Generator", "SeedSequence", "Philox",
+    "PCG64", "MT19937", "SFC64",
+})
+
+#: Mutating container methods (FX054).
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "pop", "popleft",
+    "popitem", "remove", "discard", "add", "clear", "update",
+    "setdefault", "sort", "reverse",
+})
+
+
+@dataclass
+class AllowlistEntry:
+    """One audited exception: ``CODE path pattern -- rationale``."""
+
+    code: str
+    path: str
+    pattern: str
+    rationale: str
+    lineno: int
+    matched: int = 0
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.code != self.code:
+            return False
+        loc = diag.location or ""
+        if not loc.split(":", 1)[0].endswith(self.path):
+            return False
+        snippet = str(diag.details.get("snippet", ""))
+        return self.pattern == "*" or self.pattern in snippet
+
+
+def load_allowlist(path: Union[str, Path]) -> List[AllowlistEntry]:
+    """Parse the allowlist file; blank lines and ``#`` comments skipped.
+
+    Each entry is ``CODE path pattern -- rationale``; ``pattern`` is a
+    literal substring of the flagged source line (``*`` matches any)
+    and the rationale is mandatory — an exception nobody can justify
+    does not belong in the file.
+    """
+    entries: List[AllowlistEntry] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, sep, rationale = line.partition(" -- ")
+        parts = head.split()
+        if len(parts) != 3 or not sep or not rationale.strip():
+            raise ValueError(
+                f"{path}:{lineno}: malformed allowlist entry {raw!r}; "
+                "expected 'CODE path pattern -- rationale'"
+            )
+        entries.append(AllowlistEntry(
+            code=parts[0], path=parts[1], pattern=parts[2],
+            rationale=rationale.strip(), lineno=lineno,
+        ))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# per-file scan
+# ---------------------------------------------------------------------------
+class _FileScanner(ast.NodeVisitor):
+    """One module's FX050–FX053 walk (FX054 is a separate pass)."""
+
+    def __init__(self, rel: str, source: str):
+        self.rel = rel
+        self.lines = source.splitlines()
+        self.diags: List[Diagnostic] = []
+        #: local alias -> canonical dotted module ("np" -> "numpy").
+        self.modules: Dict[str, str] = {}
+        #: name imported with ``from M import n`` -> "M.n".
+        self.members: Dict[str, str] = {}
+        self._consumed: Set[int] = set()   # nodes already reported
+        self._sorted_args: Set[int] = set()  # iterables consumed by sorted()
+        self._func_stack: List[dict] = []
+
+    # -- helpers -------------------------------------------------------
+    def _snippet(self, node: ast.AST) -> str:
+        line = node.lineno
+        return self.lines[line - 1].strip() if line <= len(self.lines) else ""
+
+    def _flag(self, code: str, node: ast.AST, message: str, **details) -> None:
+        self.diags.append(Diagnostic(
+            code=code,
+            message=message,
+            location=f"{self.rel}:{node.lineno}",
+            details={"snippet": self._snippet(node), **details},
+        ))
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an attribute chain, de-aliased, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.modules.get(node.id)
+        if root is None:
+            base = self.members.get(node.id)
+            if base is None:
+                return None
+            parts.append(base)
+            return ".".join(reversed(parts)) if parts else base
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.members[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- function scopes (for the FX053 hash-payload rule) -------------
+    def _enter_function(self, node) -> None:
+        self._func_stack.append({"hashes": False, "dumps": []})
+        self.generic_visit(node)
+        scope = self._func_stack.pop()
+        if scope["hashes"]:
+            for call in scope["dumps"]:
+                self._flag(
+                    "FX053", call,
+                    "json.dumps without sort_keys=True in a hashing "
+                    "function: the digest depends on dict insertion order",
+                )
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._resolve(node.func)
+        if dotted:
+            self._check_call(node, dotted)
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            for arg in node.args:
+                self._sorted_args.add(id(arg))
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        inner = node.func
+        while isinstance(inner, ast.Attribute):
+            self._consumed.add(id(inner))
+            inner = inner.value
+        has_args = bool(node.args or node.keywords)
+        tail = dotted.rsplit(".", 1)[-1]
+
+        if dotted == "random.Random":
+            if not has_args:
+                self._flag("FX050", node,
+                           "random.Random() without a seed",
+                           call=dotted)
+        elif dotted == "random.SystemRandom":
+            self._flag("FX050", node,
+                       "random.SystemRandom is nondeterministic by design",
+                       call=dotted)
+        elif dotted.startswith("random."):
+            self._flag(
+                "FX050", node,
+                f"{dotted} draws from the process-global random state; "
+                "derive a seeded Generator from declared inputs instead",
+                call=dotted,
+            )
+        elif dotted.startswith("numpy.random."):
+            if tail in _NP_SEEDABLE:
+                if not has_args:
+                    self._flag("FX050", node,
+                               f"{dotted}() without a seed",
+                               call=dotted)
+            else:
+                self._flag(
+                    "FX050", node,
+                    f"{dotted} uses numpy's legacy global RNG; use a "
+                    "seeded default_rng(...) derived from declared inputs",
+                    call=dotted,
+                )
+        elif dotted in _CLOCK_READS:
+            self._flag(
+                "FX051", node,
+                f"{dotted}() reads the wall clock; science state must "
+                "derive only from declared inputs",
+                call=dotted,
+            )
+        elif dotted == "os.getenv" or dotted == "os.environ.get":
+            self._flag(
+                "FX052", node,
+                f"{dotted} read: behaviour would vary with the caller's "
+                "environment",
+                call=dotted,
+            )
+        elif dotted.startswith("hashlib.") and self._func_stack:
+            self._func_stack[-1]["hashes"] = True
+        elif dotted == "json.dumps" and self._func_stack:
+            kw = {k.arg: k.value for k in node.keywords}
+            sk = kw.get("sort_keys")
+            if not (isinstance(sk, ast.Constant) and sk.value is True):
+                self._func_stack[-1]["dumps"].append(node)
+
+    # -- bare references (clock functions passed as values) ------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if id(node) not in self._consumed:
+            dotted = self._resolve(node)
+            if dotted in _CLOCK_READS:
+                self._flag(
+                    "FX051", node,
+                    f"{dotted} referenced as a value: the bound clock "
+                    "feeds downstream state",
+                    call=dotted,
+                )
+            elif dotted == "os.environ":
+                self._flag(
+                    "FX052", node,
+                    "os.environ read: behaviour would vary with the "
+                    "caller's environment",
+                    call=dotted,
+                )
+        self.generic_visit(node)
+
+    # -- set iteration (FX053) -----------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _check_iter(self, node: ast.AST, it: ast.AST) -> None:
+        if id(it) in self._sorted_args:
+            return
+        if self._is_set_expr(it):
+            self._flag(
+                "FX053", node,
+                "iterating a set: order varies with hash seeding; wrap "
+                "in sorted(...) when the order can reach hashed state or "
+                "span emission",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        if id(node) in self._sorted_args:
+            for gen in node.generators:
+                self._sorted_args.add(id(gen.iter))
+        for gen in node.generators:
+            self._check_iter(node, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+# ---------------------------------------------------------------------------
+# FX054 — shared-mutable access from thread-executor code
+# ---------------------------------------------------------------------------
+@dataclass
+class _FuncInfo:
+    node: ast.AST
+    qualname: str
+    cls: Optional[str] = None
+    locals: Set[str] = field(default_factory=set)
+
+
+def _collect_functions(tree: ast.Module) -> Dict[str, _FuncInfo]:
+    """All function defs in a module, keyed by name (methods too).
+
+    Name collisions keep the first definition — good enough for the
+    single-module call graphs this pass reasons about.
+    """
+    table: Dict[str, _FuncInfo] = {}
+
+    def visit(node, cls: Optional[str], prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = _FuncInfo(child, f"{prefix}{child.name}", cls=cls)
+                info.locals = _bound_names(child)
+                table.setdefault(child.name, info)
+                visit(child, cls, f"{prefix}{child.name}.")
+            else:
+                # Defs can hide under if/try/with/loop statements.
+                visit(child, cls, prefix)
+
+    visit(tree, None, "")
+    return table
+
+
+def _bound_names(func) -> Set[str]:
+    """Names bound inside ``func`` (locals, loop vars, with-targets)."""
+    bound: Set[str] = {a.arg for a in func.args.args}
+    bound |= {a.arg for a in func.args.kwonlyargs}
+    if func.args.vararg:
+        bound.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        bound.add(func.args.kwarg.arg)
+    params = set(bound)
+
+    def targets(node) -> None:
+        if isinstance(node, ast.Name):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets(elt)
+
+    for sub in ast.walk(func):
+        if sub is not func and isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(sub.name)
+            continue
+        if isinstance(sub, ast.Assign):
+            for t in sub.targets:
+                targets(t)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets(sub.target)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            targets(sub.target)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    targets(item.optional_vars)
+        elif isinstance(sub, ast.comprehension):
+            targets(sub.target)
+    # Parameters are caller-owned: a dict passed in is shared state even
+    # though the name is "local", so they do not count as private.
+    return bound - params
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    name = ""
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Call):
+        return _is_lockish(expr.func)
+    return "lock" in name.lower() or "mutex" in name.lower()
+
+
+class _ThreadBodyChecker:
+    """Flags unguarded shared-state mutation inside one function."""
+
+    def __init__(self, scanner_rel: str, lines: List[str],
+                 info: _FuncInfo, diags: List[Diagnostic]):
+        self.rel = scanner_rel
+        self.lines = lines
+        self.info = info
+        self.diags = diags
+        self.calls: Set[str] = set()   # names this function calls
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        snippet = (self.lines[node.lineno - 1].strip()
+                   if node.lineno <= len(self.lines) else "")
+        self.diags.append(Diagnostic(
+            code="FX054",
+            message=(
+                f"{what} in {self.info.qualname!r} runs on a pool thread "
+                "without a lock; guard it or make the state thread-local"
+            ),
+            location=f"{self.rel}:{node.lineno}",
+            details={"snippet": snippet, "function": self.info.qualname},
+        ))
+
+    def _shared_name(self, node: ast.AST) -> bool:
+        """A base object whose mutation is visible outside the thread."""
+        if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name) and node.value.id == "self":
+            return True
+        return (isinstance(node, ast.Name)
+                and node.id not in self.info.locals)
+
+    def check(self) -> None:
+        body = (self.info.node.body
+                if hasattr(self.info.node, "body") else [])
+        for stmt in body:
+            self._walk(stmt, locked=False)
+
+    def _walk(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are separate call-graph nodes
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(
+                _is_lockish(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._walk(item.context_expr, locked)
+            for child in node.body:
+                self._walk(child, inner)
+            return
+
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                self._check_store(t, locked)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._check_store(node.target, locked)
+        elif isinstance(node, ast.Call):
+            self._check_call(node, locked)
+
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, locked)
+
+    def _check_store(self, target: ast.AST, locked: bool) -> None:
+        if isinstance(target, ast.Attribute) and self._shared_name(target):
+            if not locked:
+                self._flag(target, f"write to shared attribute "
+                                   f"'{ast.unparse(target)}'")
+        elif isinstance(target, ast.Subscript) and self._shared_name(
+                target.value):
+            if not locked:
+                self._flag(target, f"item write to shared "
+                                   f"'{ast.unparse(target.value)}'")
+
+    def _check_call(self, node: ast.Call, locked: bool) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.calls.add(func.id)
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                self.calls.add(func.attr)
+            elif (func.attr in _MUTATORS and self._shared_name(func.value)
+                    and not locked):
+                self._flag(node, f"mutating call "
+                                 f"'{ast.unparse(func)}(...)' on shared "
+                                 "state")
+
+
+def _thread_roots(tree: ast.Module) -> Set[str]:
+    """Function names handed to a thread pool or a Thread target."""
+    roots: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            if node.args and isinstance(node.args[0], ast.Name):
+                roots.add(node.args[0].id)
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        if name == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    roots.add(kw.value.id)
+    return roots
+
+
+def _scan_thread_safety(rel: str, source: str,
+                        tree: ast.Module) -> List[Diagnostic]:
+    roots = _thread_roots(tree)
+    if not roots:
+        return []
+    table = _collect_functions(tree)
+    lines = source.splitlines()
+    diags: List[Diagnostic] = []
+    seen: Set[str] = set()
+    frontier = [r for r in sorted(roots) if r in table]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        checker = _ThreadBodyChecker(rel, lines, table[name], diags)
+        checker.check()
+        frontier.extend(c for c in sorted(checker.calls)
+                        if c in table and c not in seen)
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def scan_source(rel: str, source: str) -> List[Diagnostic]:
+    """All FX05x findings for one module's source text."""
+    tree = ast.parse(source, filename=rel)
+    scanner = _FileScanner(rel, source)
+    scanner.visit(tree)
+    diags = scanner.diags + _scan_thread_safety(rel, source, tree)
+    diags.sort(key=lambda d: (d.location or "", d.code))
+    return diags
+
+
+def scan_tree(
+    root: Union[str, Path],
+    allowlist: Optional[Sequence[AllowlistEntry]] = None,
+) -> AnalysisReport:
+    """Scan every ``*.py`` under ``root`` and apply the allowlist.
+
+    Allowlisted findings are suppressed (their entries recorded with
+    match counts in the summary); entries that matched nothing become
+    FX055 warnings so the audited-exception file cannot rot.
+    """
+    root = Path(root)
+    entries = list(allowlist or [])
+    report = AnalysisReport(program=f"determinism[{root}]")
+
+    files = sorted(p for p in root.rglob("*.py"))
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for path in files:
+        rel = path.relative_to(root.parent).as_posix()
+        for diag in scan_source(rel, path.read_text()):
+            hit = next((e for e in entries if e.matches(diag)), None)
+            if hit is not None:
+                hit.matched += 1
+                suppressed += 1
+            else:
+                kept.append(diag)
+
+    for entry in entries:
+        if entry.matched == 0:
+            kept.append(Diagnostic(
+                code="FX055",
+                message=(
+                    f"allowlist entry '{entry.code} {entry.path} "
+                    f"{entry.pattern}' matched no finding; remove it or "
+                    "fix its path/pattern"
+                ),
+                location=f"allowlist:{entry.lineno}",
+                details={"entry": f"{entry.code} {entry.path} "
+                                  f"{entry.pattern}"},
+            ))
+
+    report.extend(kept)
+    report.summary = {
+        "files_scanned": len(files),
+        "findings": len(report.diagnostics),
+        "allowlisted": suppressed,
+        "allowlist_entries": [
+            {"code": e.code, "path": e.path, "pattern": e.pattern,
+             "rationale": e.rationale, "matched": e.matched}
+            for e in entries
+        ],
+    }
+    return report

@@ -8,7 +8,10 @@ The code space is partitioned by pass:
 * ``FX00x`` — directive consistency (layouts and subgroups),
 * ``FX01x`` — task-graph races,
 * ``FX02x`` — redistribution cost lint,
-* ``FX03x`` — static-plan vs executed-trace cross-check.
+* ``FX03x`` — static-plan vs executed-trace cross-check,
+* ``FX04x`` — campaign-plan verification (cache keys, fusion, chains),
+* ``FX05x`` — determinism sanitizer (nondeterminism hazards in
+  science paths).
 
 See ``docs/ANALYZE.md`` for the full table.
 """
@@ -25,6 +28,8 @@ __all__ = [
     "Diagnostic",
     "AnalysisReport",
     "DIAGNOSTIC_CODES",
+    "REGISTRY",
+    "SEVERITY_EXIT_CODES",
 ]
 
 
@@ -53,6 +58,29 @@ DIAGNOSTIC_CODES: Dict[str, tuple] = {
     "FX020": (Severity.WARNING, "redistribution exceeds cost budget"),
     "FX021": (Severity.INFO, "cheaper layout order exists"),
     "FX030": (Severity.ERROR, "executed trace diverges from static communication plan"),
+    "FX040": (Severity.ERROR, "cache-key drift: JobSpec field not covered by the content hash"),
+    "FX041": (Severity.ERROR, "illegal ensemble fusion: fused members do not share physics"),
+    "FX042": (Severity.WARNING, "batched-equivalence precondition violated in a fused group"),
+    "FX043": (Severity.ERROR, "science-chain ordering violation in the campaign plan"),
+    "FX044": (Severity.ERROR, "per-job timeout below the predicted attempt time"),
+    "FX045": (Severity.WARNING, "retry/fault-policy misconfiguration"),
+    "FX050": (Severity.ERROR, "unseeded random-number generation in a science path"),
+    "FX051": (Severity.WARNING, "wall-clock read can feed hashed or simulated state"),
+    "FX052": (Severity.WARNING, "environment read can alter science behaviour"),
+    "FX053": (Severity.ERROR, "iteration-order-dependent hash payload or span emission"),
+    "FX054": (Severity.ERROR, "unguarded shared-mutable access from thread-executor code"),
+    "FX055": (Severity.WARNING, "stale determinism-allowlist entry matched nothing"),
+}
+
+#: Canonical name for the code registry (the completeness guard in
+#: ``tests/analyze/test_registry_complete.py`` iterates this).
+REGISTRY = DIAGNOSTIC_CODES
+
+#: severity label -> process exit code, as reported in JSON headers.
+SEVERITY_EXIT_CODES: Dict[str, int] = {
+    Severity.INFO.label: 0,
+    Severity.WARNING.label: 1,
+    Severity.ERROR.label: 2,
 }
 
 
@@ -65,6 +93,7 @@ class Diagnostic:
     severity: Optional[Severity] = None
     phase: Optional[str] = None        # phase or stage name, if localised
     phase_index: Optional[int] = None  # position in the program's phase list
+    location: Optional[str] = None     # "path:line" for file-based passes
     details: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -77,6 +106,23 @@ class Diagnostic:
     def title(self) -> str:
         return DIAGNOSTIC_CODES[self.code][1]
 
+    def identity(self) -> tuple:
+        """Dedup key: two diagnostics with equal identity are one finding.
+
+        Multiple passes can flag the same subject (e.g. a race detector
+        and a directive walker both tripping over one array); the report
+        keeps the first.  Severity is derived from the code, so it is
+        not part of the identity.
+        """
+        return (
+            self.code,
+            self.message,
+            self.phase,
+            self.phase_index,
+            self.location,
+            json.dumps(self.details, sort_keys=True, default=str),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "code": self.code,
@@ -87,12 +133,16 @@ class Diagnostic:
             out["phase"] = self.phase
         if self.phase_index is not None:
             out["phase_index"] = self.phase_index
+        if self.location is not None:
+            out["location"] = self.location
         if self.details:
             out["details"] = self.details
         return out
 
     def render(self) -> str:
         where = f" [{self.phase}]" if self.phase else ""
+        if self.location:
+            where = f" [{self.location}]"
         return f"{self.code} {self.severity.label}{where}: {self.message}"
 
 
@@ -109,7 +159,18 @@ class AnalysisReport:
     summary: Dict[str, Any] = field(default_factory=dict)
 
     def extend(self, diags: List[Diagnostic]) -> None:
-        self.diagnostics.extend(diags)
+        """Append findings, dropping exact duplicates.
+
+        Identical diagnostics (same code + subject + detail) emitted by
+        more than one pass collapse to the first occurrence.
+        """
+        seen = {d.identity() for d in self.diagnostics}
+        for d in diags:
+            key = d.identity()
+            if key in seen:
+                continue
+            seen.add(key)
+            self.diagnostics.append(d)
 
     def by_severity(self, severity: Severity) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]
@@ -131,6 +192,7 @@ class AnalysisReport:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "program": self.program,
+            "severity_exit_codes": dict(SEVERITY_EXIT_CODES),
             "summary": self.summary,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "cost_table": self.cost_table,

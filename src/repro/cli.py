@@ -9,6 +9,9 @@
     python -m repro figures  --trace trace.pkl --out results/
     python -m repro trace    --dataset la --machine t3e --nodes 8 --out trace.json
     python -m repro lint     --driver taskparallel --dataset la --machine t3e -n 64
+    python -m repro lint     --campaign ladder:demo --workers 4
+    python -m repro lint     --campaign plan.json --timeout 30 --retries 2
+    python -m repro lint     --determinism --allowlist .repro-determinism-allow
     python -m repro campaign plan --sweep machines --dataset la --workers 4
     python -m repro campaign run  --sweep ladder --dataset demo --hours 1
     python -m repro bench    --quick
@@ -19,7 +22,11 @@ a simulated parallel execution with the span tracer attached and
 exports a Chrome-trace JSON (open in ``chrome://tracing`` or Perfetto);
 see ``docs/OBSERVABILITY.md``.  ``lint`` statically analyzes a driver's
 Fx program description — directive consistency, task-graph races,
-redistribution costs — without running it; see ``docs/ANALYZE.md``.
+redistribution costs — without running it; ``lint --campaign`` instead
+verifies a campaign plan (cache-key coverage, fusion legality, chain
+ordering, runner policy — FX04x) and ``lint --determinism`` runs the
+AST nondeterminism sanitizer over the source tree (FX05x); see
+``docs/ANALYZE.md``.
 ``campaign`` plans and runs whole sweeps of simulations as managed,
 cached, fault-tolerant jobs; see ``docs/SCHEDULER.md``.  ``bench`` runs
 the hot-path perf suite (``benchmarks/perf``) without PYTHONPATH
@@ -37,10 +44,14 @@ from typing import List, Optional
 
 from repro.analysis import all_figures, format_table, timing_report, trace_summary
 from repro.analyze import (
+    ALLOWLIST_FILENAME,
     CostBudget,
     analyze_program,
     available_programs,
     build_program,
+    load_allowlist,
+    scan_tree,
+    verify_campaign,
 )
 from repro.datasets import DATASET_BUILDERS, get_dataset
 from repro.model import (
@@ -206,7 +217,79 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_campaign_specs(plan_arg: str,
+                         args: argparse.Namespace) -> List[JobSpec]:
+    """Resolve ``lint --campaign``'s PLAN argument into job specs.
+
+    ``PLAN`` is either a JSON file of spec dicts (as produced by
+    ``JobSpec.to_dict`` / ``campaign plan --json``) or a sweep form
+    ``ladder[:dataset]`` | ``machines[:dataset]`` |
+    ``ensemble[:dataset[:members]]``.
+    """
+    path = Path(plan_arg)
+    if path.suffix == ".json" or path.is_file():
+        if not path.is_file():
+            raise SystemExit(f"campaign plan file not found: {plan_arg}")
+        data = json.loads(path.read_text())
+        if isinstance(data, dict):
+            data = data.get("specs", data.get("jobs", []))
+        try:
+            return [JobSpec.from_dict(d) for d in data]
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad spec in {plan_arg}: {exc}")
+
+    parts = plan_arg.split(":")
+    sweep, rest = parts[0], parts[1:]
+    dataset = rest[0] if rest and rest[0] else args.dataset
+    if sweep == "ladder":
+        return scaling_ladder(dataset=dataset, machine=args.machine,
+                              hours=args.hours, io_nodes=args.io_nodes)
+    if sweep == "machines":
+        return machine_grid(dataset=dataset, hours=args.hours,
+                            io_nodes=args.io_nodes)
+    if sweep == "ensemble":
+        members = int(rest[1]) if len(rest) > 1 else 4
+        return ensemble_sweep(dataset=dataset, members=members,
+                              hours=args.hours, machine=args.machine,
+                              io_nodes=args.io_nodes)
+    raise SystemExit(
+        f"unknown campaign plan {plan_arg!r}: expected a JSON file or "
+        "ladder[:dataset] | machines[:dataset] | ensemble[:dataset[:members]]"
+    )
+
+
+def _lint_campaign(args: argparse.Namespace) -> int:
+    specs = _lint_campaign_specs(args.campaign, args)
+    report = verify_campaign(
+        specs,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        executor=args.executor,
+    )
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
+def _lint_determinism(args: argparse.Namespace) -> int:
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent
+    allow_path = Path(args.allowlist) if args.allowlist \
+        else Path(ALLOWLIST_FILENAME)
+    allowlist = load_allowlist(allow_path) if allow_path.is_file() else ()
+    if args.allowlist and not allow_path.is_file():
+        raise SystemExit(f"allowlist not found: {args.allowlist}")
+    report = scan_tree(root, allowlist=allowlist)
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    if args.campaign and args.determinism:
+        raise SystemExit("--campaign and --determinism are exclusive modes")
+    if args.campaign:
+        return _lint_campaign(args)
+    if args.determinism:
+        return _lint_determinism(args)
     budget = None
     if (args.max_step_messages is not None
             or args.max_step_bytes is not None
@@ -413,8 +496,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="statically analyze a driver's Fx program description",
+        help="statically analyze a driver program, a campaign plan "
+             "(--campaign) or the source tree (--determinism)",
     )
+    p.add_argument("--campaign", metavar="PLAN",
+                   help="verify a campaign plan instead (FX04x): a JSON "
+                        "file of spec dicts, or ladder[:dataset] | "
+                        "machines[:dataset] | ensemble[:dataset[:members]]")
+    p.add_argument("--determinism", action="store_true",
+                   help="run the determinism sanitizer over the source "
+                        "tree instead (FX05x)")
+    p.add_argument("--root",
+                   help="package root to scan with --determinism "
+                        "(default: the installed repro package)")
+    p.add_argument("--allowlist",
+                   help="determinism allowlist path (default: "
+                        f"./{ALLOWLIST_FILENAME} when present)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="planner worker slots for --campaign")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout verified by FX044 (--campaign)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget verified by FX045 (--campaign)")
+    p.add_argument("--executor", choices=["thread", "process", "inline"],
+                   default="thread",
+                   help="executor kind verified by FX045 (--campaign)")
     p.add_argument("--driver", default="dataparallel",
                    help=" | ".join(available_programs()))
     p.add_argument("--dataset", default="la", help="la | ne | demo")

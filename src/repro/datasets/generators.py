@@ -176,7 +176,9 @@ class Dataset:
             E[mech.index[species]] = strength * traffic * self._emission_shape
         E[mech.index["ISOP"]] += self.BIOGENIC_ISOP * sun
 
-        # Small deterministic hour-to-hour variability.
+        # Small deterministic hour-to-hour variability.  Determinism
+        # audit (FX050): seeded from the dataset spec and the hour
+        # only, so regenerating a dataset is bitwise-reproducible.
         rng = np.random.default_rng(self.spec.seed * 10007 + hour)
         E *= rng.uniform(0.9, 1.1, size=(1, self.npoints))
 

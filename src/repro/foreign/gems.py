@@ -94,6 +94,8 @@ def run_integrated(
 
     def surface_field(i: int) -> np.ndarray:
         """Deterministic stand-in for the hour's surface concentrations."""
+        # Determinism audit (FX050): fixed seed per hour index — the
+        # synthetic GEMS feed is identical on every run.
         rng = np.random.default_rng(1000 + i)
         base = dataset.initial_conditions()[:, 0, :]
         return base * rng.uniform(0.8, 1.6, size=(1, trace.npoints))

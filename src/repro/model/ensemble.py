@@ -37,6 +37,8 @@ class PerturbedDataset(Dataset):
         super().__init__(base.spec, mechanism=base.mechanism)
         if sigma < 0:
             raise ValueError("sigma must be non-negative")
+        # Determinism audit (FX050): seeded solely by member_seed, a
+        # hashed JobSpec field — same member, same factors, always.
         rng = np.random.default_rng(member_seed)
         self._factors = np.exp(
             rng.normal(0.0, sigma, size=self.mechanism.n_species)

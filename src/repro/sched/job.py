@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
@@ -48,6 +49,11 @@ _SCIENCE_FIELDS = (
 )
 _EXEC_FIELDS = ("variant", "machine", "nprocs", "io_nodes")
 
+# Every dataclass field must appear in _SCIENCE_FIELDS, _EXEC_FIELDS or
+# the class's PRESENTATION_FIELDS — the FX040 key-drift verifier
+# (repro.analyze.campaign) introspects live instances to enforce it, so
+# a new physics field that is not hashed fails `repro lint --campaign`.
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -71,6 +77,11 @@ class JobSpec:
     tag:
         Free-form label for reports; never hashed.
     """
+
+    #: Fields that are presentation-only by design: excluded from the
+    #: content hash AND exempt from the FX040 drift check.  Subclasses
+    #: adding cosmetic fields must extend this tuple.
+    PRESENTATION_FIELDS = ("tag",)
 
     dataset: str = "demo"
     hours: int = 2
@@ -160,7 +171,17 @@ class JobSpec:
 
 def _digest(fields: Dict[str, Any]) -> str:
     payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    if os.environ.get("REPRO_SANITIZE"):
+        # Sanitizer mode: shim every hash input through the stability
+        # checks (insertion order, JSON round-trip, cross-process
+        # ledger).  Imported lazily — the analyze package must not load
+        # on the hot path, and importing it here at module scope would
+        # be circular (analyze.campaign imports this module).
+        from repro.analyze.sanitize import check_digest
+
+        check_digest(fields, payload, digest)
+    return digest
 
 
 @dataclass

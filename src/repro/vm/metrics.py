@@ -12,6 +12,9 @@ collective communication (its ``Ct_i``), and anything left before
 I/O) — it is never misattributed to a bucket.  The same totals are
 available from the observability span stream
 (:func:`usage_from_spans`); the two agree to floating point.
+
+Determinism audit (FX05x): pure accounting over recorded timelines —
+no RNG, wall-clock or environment reads anywhere in this module.
 """
 
 from __future__ import annotations

@@ -1,0 +1,242 @@
+"""FX04x campaign-plan verification: key drift, fusion legality,
+chain ordering, runner policy."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analyze import (
+    Severity,
+    verify_campaign,
+    verify_chain_ordering,
+    verify_fused_groups,
+    verify_jobspec_schema,
+    verify_runner_policy,
+)
+from repro.sched import (
+    FaultPolicy,
+    JobSpec,
+    ensemble_sweep,
+    machine_grid,
+    plan_campaign,
+    scaling_ladder,
+)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# FX040 — cache-key drift
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DriftSpec(JobSpec):
+    """A physics field the author forgot to add to _SCIENCE_FIELDS."""
+
+    wind_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class CosmeticSpec(JobSpec):
+    """A declared presentation field must NOT trip the drift check."""
+
+    PRESENTATION_FIELDS = ("tag", "color")
+
+    color: str = "blue"
+
+
+class PhantomSpec(JobSpec):
+    """Hashes a name that is not a dataclass field at all."""
+
+    def science_fields(self):
+        fields = super().science_fields()
+        fields["wind_scale"] = 1.0
+        return fields
+
+
+class TestKeyDrift:
+    def test_shipped_jobspec_is_drift_free(self):
+        assert verify_jobspec_schema(JobSpec) == []
+
+    def test_unhashed_field_is_fx040(self):
+        diags = verify_jobspec_schema(DriftSpec)
+        assert codes(diags) == ["FX040"]
+        assert diags[0].severity is Severity.ERROR
+        assert "wind_scale" in diags[0].message
+        # the smoking gun: two specs differing only in the dropped
+        # field collapse to one cache key.
+        assert (DriftSpec(wind_scale=1.0).key
+                == DriftSpec(wind_scale=2.0).key)
+
+    def test_phantom_hashed_name_is_fx040(self):
+        diags = verify_jobspec_schema(PhantomSpec)
+        assert codes(diags) == ["FX040"]
+        assert "wind_scale" in diags[0].message
+
+    def test_declared_presentation_field_is_exempt(self):
+        assert verify_jobspec_schema(CosmeticSpec) == []
+
+    def test_verify_campaign_surfaces_drift(self):
+        report = verify_campaign([DriftSpec(dataset="demo", hours=1)])
+        assert "FX040" in {d.code for d in report.diagnostics}
+        assert report.exit_code == 2
+        assert report.summary["spec_class"] == "DriftSpec"
+
+
+# ---------------------------------------------------------------------------
+# FX041 / FX042 — ensemble-fusion legality
+# ---------------------------------------------------------------------------
+class BrokenEnsembleKey(JobSpec):
+    """An ensemble_key override that groups jobs with different physics."""
+
+    @property
+    def ensemble_key(self):
+        return "constant" * 8
+
+
+def _ensemble(members=3, **kw):
+    return ensemble_sweep(dataset="demo", members=members, hours=1,
+                          variant="sequential", **kw)
+
+
+class TestFusionLegality:
+    def test_planner_fusion_is_legal(self):
+        plan = plan_campaign(_ensemble(), workers=2)
+        assert any(j.fused for j in plan.jobs)
+        assert verify_fused_groups(plan) == []
+
+    def test_mixed_physics_fusion_is_fx041(self):
+        specs = [
+            BrokenEnsembleKey(dataset="demo", hours=1, variant="sequential",
+                              perturb_seed=0, perturb_sigma=0.3),
+            BrokenEnsembleKey(dataset="demo", hours=2, variant="sequential",
+                              perturb_seed=1, perturb_sigma=0.3),
+        ]
+        plan = plan_campaign(specs, workers=2)
+        assert any(j.fused for j in plan.jobs), "broken key must fuse them"
+        diags = verify_fused_groups(plan)
+        assert "FX041" in codes(diags)
+        fx041 = next(d for d in diags if d.code == "FX041")
+        assert fx041.severity is Severity.ERROR
+        assert "hours" in fx041.details["fields"]
+
+    def test_unperturbed_member_in_fusion_is_fx042_error(self):
+        # The planner cannot emit this shape (ensemble_key is None for
+        # unperturbed jobs), so model a hand-built plan: swap one fused
+        # member's spec for an unperturbed one after planning.
+        plan = plan_campaign(_ensemble(members=2), workers=2)
+        fused = next(j for j in plan.jobs if j.fused)
+        fused.spec = JobSpec(dataset="demo", hours=1, variant="sequential",
+                             perturb_seed=None, perturb_sigma=0.3)
+        diags = [d for d in verify_fused_groups(plan) if d.code == "FX042"]
+        assert diags and diags[0].severity is Severity.ERROR
+
+    def test_zero_sigma_fusion_is_fx042_warning(self):
+        plan = plan_campaign(_ensemble(sigma=0.0), workers=2)
+        diags = [d for d in verify_fused_groups(plan) if d.code == "FX042"]
+        assert diags and diags[0].severity is Severity.WARNING
+        assert diags[0].details["sigma"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# FX043 — chain ordering and placement
+# ---------------------------------------------------------------------------
+class TestChainOrdering:
+    def test_planner_output_is_clean(self):
+        plan = plan_campaign(machine_grid(dataset="demo", hours=1),
+                             workers=3)
+        assert verify_chain_ordering(plan) == []
+
+    def test_chain_spanning_workers_is_fx043(self):
+        plan = plan_campaign(machine_grid(dataset="demo", hours=1),
+                             workers=2)
+        chain = next(c for c in plan.chains if len(c) > 1)
+        plan.jobs[chain[-1]].worker = plan.jobs[chain[0]].worker + 1
+        diags = verify_chain_ordering(plan)
+        assert "FX043" in codes(diags)
+        assert any("spans workers" in d.message for d in diags)
+
+    def test_double_science_charge_is_fx043(self):
+        plan = plan_campaign(machine_grid(dataset="demo", hours=1),
+                             workers=1)
+        chain = next(c for c in plan.chains if len(c) > 1)
+        plan.jobs[chain[1]].science_charged = True
+        diags = verify_chain_ordering(plan)
+        assert any("already paid" in d.message for d in diags)
+
+    def test_overlapping_placements_are_fx043(self):
+        plan = plan_campaign(machine_grid(dataset="demo", hours=1),
+                             workers=1)
+        second = sorted(plan.jobs, key=lambda j: j.start_s)[1]
+        second.start_s = 0.0
+        diags = verify_chain_ordering(plan)
+        assert any("overlap" in d.message for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# FX044 / FX045 — runner policy
+# ---------------------------------------------------------------------------
+class TestRunnerPolicy:
+    @pytest.fixture()
+    def plan(self):
+        return plan_campaign(scaling_ladder(dataset="demo", hours=1,
+                                            node_counts=(8, 64)),
+                             workers=2)
+
+    def test_defaults_are_clean(self, plan):
+        assert verify_runner_policy(plan) == []
+
+    def test_nonpositive_timeout_is_fx044(self, plan):
+        assert codes(verify_runner_policy(plan, timeout=0.0)) == ["FX044"]
+
+    def test_doomed_timeout_is_fx044_per_job(self, plan):
+        diags = verify_runner_policy(plan, timeout=1e-6)
+        assert codes(diags) == ["FX044"] * plan.n_jobs
+
+    def test_generous_timeout_is_clean(self, plan):
+        assert verify_runner_policy(plan, timeout=3600.0) == []
+
+    def test_faults_without_retries_is_fx045_error(self, plan):
+        policy = FaultPolicy(keys=tuple(j.key for j in plan.jobs))
+        diags = verify_runner_policy(plan, retries=0, fault_policy=policy)
+        assert any(d.code == "FX045" and d.severity is Severity.ERROR
+                   for d in diags)
+
+    def test_hang_process_no_timeout_is_fx045_error(self, plan):
+        policy = FaultPolicy(keys=(plan.jobs[0].key,), mode="hang")
+        diags = verify_runner_policy(plan, executor="process",
+                                     fault_policy=policy)
+        assert any("deadlock" in d.message for d in diags)
+        # a timeout defuses the deadlock
+        assert verify_runner_policy(plan, executor="process",
+                                    fault_policy=policy,
+                                    timeout=3600.0) == []
+
+    def test_fault_after_episode_end_is_fx045_warning(self, plan):
+        policy = FaultPolicy(keys=(plan.jobs[0].key,), after_hours=99)
+        diags = verify_runner_policy(plan, fault_policy=policy)
+        assert [d.severity for d in diags
+                if d.code == "FX045"] == [Severity.WARNING]
+
+
+# ---------------------------------------------------------------------------
+# golden run — the shipped example's plan verifies clean
+# ---------------------------------------------------------------------------
+class TestGoldenExamplePlan:
+    def test_campaign_sweep_example_plan_is_clean(self):
+        # examples/campaign_sweep.py: 3 machines x 4 node counts, LA.
+        specs = machine_grid(dataset="la",
+                             machines=("t3e", "t3d", "paragon"),
+                             node_counts=(8, 16, 32, 64), hours=2)
+        assert len(specs) == 12
+        report = verify_campaign(specs, workers=4, retries=2)
+        assert report.diagnostics == []
+        assert report.exit_code == 0
+        assert report.summary["jobs"] == 12
+
+    def test_ensemble_demo_plan_is_clean(self):
+        report = verify_campaign(_ensemble(members=4), workers=4,
+                                 timeout=3600.0, retries=2)
+        assert report.diagnostics == []
+        assert report.summary["fused_chains"] == 1

@@ -1,0 +1,315 @@
+"""FX05x determinism sanitizer: AST scan, allowlist, repo-wide gate."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import (
+    ALLOWLIST_FILENAME,
+    Severity,
+    load_allowlist,
+    scan_source,
+    scan_tree,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def scan(source):
+    return scan_source("pkg/mod.py", textwrap.dedent(source))
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# FX050 — unseeded RNG
+# ---------------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_global_random_call_is_fx050(self):
+        diags = scan("""\
+            import random
+            def jitter():
+                return random.random()
+        """)
+        assert codes(diags) == ["FX050"]
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].location == "pkg/mod.py:3"
+
+    def test_aliased_numpy_global_rng_is_fx050(self):
+        diags = scan("""\
+            import numpy as np
+            noise = np.random.rand(4)
+        """)
+        assert codes(diags) == ["FX050"]
+        assert "legacy global" in diags[0].message
+
+    def test_unseeded_default_rng_is_fx050(self):
+        assert codes(scan("""\
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)) == ["FX050"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert scan("""\
+            import numpy as np
+            def member(seed):
+                return np.random.default_rng(seed).normal()
+        """) == []
+
+    def test_seeded_random_random_instance_is_clean(self):
+        assert scan("""\
+            import random
+            rng = random.Random(1234)
+        """) == []
+
+    def test_system_random_is_always_fx050(self):
+        assert codes(scan("""\
+            import random
+            rng = random.SystemRandom(0)
+        """)) == ["FX050"]
+
+
+# ---------------------------------------------------------------------------
+# FX051 / FX052 — wall clock and environment
+# ---------------------------------------------------------------------------
+class TestClockAndEnv:
+    def test_time_time_call_is_fx051(self):
+        diags = scan("""\
+            import time
+            t0 = time.time()
+        """)
+        assert codes(diags) == ["FX051"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_clock_passed_as_value_is_fx051(self):
+        assert codes(scan("""\
+            import time
+            def run(clock=time.monotonic):
+                return clock()
+        """)) == ["FX051"]
+
+    def test_time_sleep_is_exempt(self):
+        assert scan("""\
+            import time
+            time.sleep(0.1)
+        """) == []
+
+    def test_os_environ_get_is_one_fx052(self):
+        diags = scan("""\
+            import os
+            debug = os.environ.get("DEBUG")
+        """)
+        # the call consumes its whole attribute chain: one finding, not
+        # one for the call plus one for the bare os.environ read.
+        assert codes(diags) == ["FX052"]
+
+    def test_os_getenv_and_subscript_are_fx052(self):
+        assert codes(scan("""\
+            import os
+            a = os.getenv("A")
+            b = os.environ["B"]
+        """)) == ["FX052", "FX052"]
+
+
+# ---------------------------------------------------------------------------
+# FX053 — iteration-order dependence
+# ---------------------------------------------------------------------------
+class TestIterationOrder:
+    def test_unsorted_dumps_in_hashing_function_is_fx053(self):
+        diags = scan("""\
+            import hashlib, json
+            def digest(fields):
+                payload = json.dumps(fields)
+                return hashlib.sha256(payload.encode()).hexdigest()
+        """)
+        assert codes(diags) == ["FX053"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_sorted_dumps_in_hashing_function_is_clean(self):
+        assert scan("""\
+            import hashlib, json
+            def digest(fields):
+                payload = json.dumps(fields, sort_keys=True)
+                return hashlib.sha256(payload.encode()).hexdigest()
+        """) == []
+
+    def test_unsorted_dumps_without_hashing_is_clean(self):
+        assert scan("""\
+            import json
+            def pretty(fields):
+                return json.dumps(fields)
+        """) == []
+
+    def test_set_iteration_is_fx053(self):
+        assert codes(scan("""\
+            def spans(names):
+                for n in set(names):
+                    emit(n)
+        """)) == ["FX053"]
+
+    def test_sorted_set_iteration_is_clean(self):
+        assert scan("""\
+            def spans(names):
+                for n in sorted(set(names)):
+                    emit(n)
+        """) == []
+
+    def test_set_union_comprehension_is_fx053(self):
+        assert codes(scan("""\
+            def merged(a, b):
+                return [k for k in set(a) | set(b)]
+        """)) == ["FX053"]
+
+
+# ---------------------------------------------------------------------------
+# FX054 — unguarded shared state on pool threads
+# ---------------------------------------------------------------------------
+THREADED = """\
+from concurrent.futures import ThreadPoolExecutor
+
+class Runner:
+    def run(self, jobs):
+        with ThreadPoolExecutor(4) as pool:
+            for job in jobs:
+                pool.submit(worker, job)
+
+def worker(job):
+%s
+"""
+
+
+def scan_worker(body):
+    body = textwrap.indent(textwrap.dedent(body), "    ")
+    return scan_source("pkg/mod.py", THREADED % body)
+
+
+class TestThreadSafety:
+    def test_unguarded_shared_dict_write_is_fx054(self):
+        diags = scan_worker("""\
+            results[job.key] = job.run()
+        """)
+        assert codes(diags) == ["FX054"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_lock_guarded_write_is_clean(self):
+        assert scan_worker("""\
+            with state_lock:
+                results[job.key] = job.run()
+        """) == []
+
+    def test_local_dict_write_is_clean(self):
+        assert scan_worker("""\
+            results = {}
+            results[job.key] = job.run()
+        """) == []
+
+    def test_mutating_call_on_shared_list_is_fx054(self):
+        assert codes(scan_worker("""\
+            done.append(job.key)
+        """)) == ["FX054"]
+
+    def test_transitive_callee_is_scanned(self):
+        diags = scan("""\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def record(job):
+                totals[job.key] = 1
+
+            def worker(job):
+                record(job)
+
+            def run(jobs):
+                with ThreadPoolExecutor(4) as pool:
+                    for job in jobs:
+                        pool.submit(worker, job)
+        """)
+        assert codes(diags) == ["FX054"]
+        assert diags[0].details["function"] == "record"
+
+    def test_no_thread_roots_means_no_fx054(self):
+        assert scan("""\
+            def worker(job):
+                results[job.key] = job.run()
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# allowlist mechanics
+# ---------------------------------------------------------------------------
+class TestAllowlist:
+    def make(self, tmp_path, text):
+        f = tmp_path / ALLOWLIST_FILENAME
+        f.write_text(textwrap.dedent(text))
+        return load_allowlist(f)
+
+    def test_parse_skips_comments_and_blanks(self, tmp_path):
+        entries = self.make(tmp_path, """\
+            # header comment
+
+            FX051 pkg/mod.py time.time -- audited wall clock
+        """)
+        assert len(entries) == 1
+        assert entries[0].code == "FX051"
+        assert entries[0].rationale == "audited wall clock"
+
+    def test_missing_rationale_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="malformed"):
+            self.make(tmp_path, "FX051 pkg/mod.py time.time\n")
+
+    def test_matching_entry_suppresses_finding(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import time\nt = time.time()\n")
+        entries = self.make(
+            tmp_path, "FX051 pkg/mod.py time.time -- audited\n")
+        report = scan_tree(pkg, allowlist=entries)
+        assert report.diagnostics == []
+        assert report.summary["allowlisted"] == 1
+        assert entries[0].matched == 1
+
+    def test_stale_entry_is_fx055(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n")
+        entries = self.make(
+            tmp_path, "FX050 pkg/other.py random.random -- gone\n")
+        report = scan_tree(pkg, allowlist=entries)
+        assert codes(report.diagnostics) == ["FX055"]
+
+    def test_wildcard_pattern_matches_any_snippet(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import time\nt = time.time()\n")
+        entries = self.make(tmp_path, "FX051 pkg/mod.py * -- audited\n")
+        assert scan_tree(pkg, allowlist=entries).diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# the repo-wide gate (the same check CI runs)
+# ---------------------------------------------------------------------------
+class TestRepoIsClean:
+    def test_source_tree_passes_with_committed_allowlist(self):
+        allowlist = load_allowlist(REPO_ROOT / ALLOWLIST_FILENAME)
+        report = scan_tree(PACKAGE_ROOT, allowlist=allowlist)
+        assert report.diagnostics == [], report.render()
+        for entry in allowlist:
+            assert entry.matched > 0, f"stale allowlist entry: {entry}"
+
+    def test_seeded_fx050_injection_is_caught(self, tmp_path):
+        # copy a real module and plant an unseeded RNG call in it — the
+        # gate that must fail if someone lands this by accident.
+        victim = (PACKAGE_ROOT / "model" / "ensemble.py").read_text()
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "ensemble.py").write_text(
+            victim + "\n\ndef _jitter():\n"
+                     "    import random\n"
+                     "    return random.random()\n")
+        report = scan_tree(pkg)
+        assert codes(report.diagnostics) == ["FX050"]
+        assert report.exit_code == 2

@@ -1,14 +1,19 @@
 """`repro lint` end to end: exit codes, JSON output, broken fixtures."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.analyze import ArrayDecl, FxProgram, PhaseDecl, TaskDecl
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic
 from repro.analyze.programs import _REGISTRY, register_program
 from repro.cli import main
 from repro.fx import Distribution
+from repro.sched import machine_grid
 from repro.vm import get_machine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 SHAPE = (35, 5, 700)
 D_REPL = Distribution.replicated(3)
@@ -121,3 +126,90 @@ class TestBudgetFlags:
         report = json.loads(capsys.readouterr().out)
         assert "D_Chem->D_Repl" in report["cost_table"]
         assert report["cost_table"]["D_Chem->D_Repl"]["occurrences"] == 24
+
+
+class TestJsonHeaderAndDedupe:
+    def test_json_header_maps_severity_to_exit_codes(self, capsys):
+        rc = main(["lint", "--driver", "dataparallel", "--dataset", "la",
+                   "-n", "64", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["severity_exit_codes"] == {
+            "info": 0, "warning": 1, "error": 2,
+        }
+
+    def test_identical_diagnostics_are_deduped(self):
+        report = AnalysisReport(program="dedupe")
+        diag = Diagnostic(code="FX050", message="unseeded",
+                          location="pkg/mod.py:3", details={"call": "x"})
+        clone = Diagnostic(code="FX050", message="unseeded",
+                           location="pkg/mod.py:3", details={"call": "x"})
+        other = Diagnostic(code="FX050", message="unseeded",
+                           location="pkg/mod.py:9", details={"call": "x"})
+        report.extend([diag, clone, other, diag])
+        assert len(report.diagnostics) == 2
+
+
+class TestCampaignMode:
+    def test_demo_ladder_is_clean(self, capsys):
+        rc = main(["lint", "--campaign", "ladder:demo", "--hours", "1"])
+        assert rc == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_doomed_timeout_exits_two(self, capsys):
+        rc = main(["lint", "--campaign", "ladder:demo", "--hours", "1",
+                   "--timeout", "1e-6"])
+        assert rc == 2
+        assert "FX044" in capsys.readouterr().out
+
+    def test_json_spec_file_is_verified(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        specs = machine_grid(dataset="demo", hours=1)
+        plan.write_text(json.dumps([s.to_dict() for s in specs]))
+        rc = main(["lint", "--campaign", str(plan), "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["specs"] == len(specs)
+        assert report["summary"]["spec_class"] == "JobSpec"
+
+    def test_unknown_sweep_form_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--campaign", "zigzag:demo"])
+
+    def test_modes_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--campaign", "ladder:demo", "--determinism"])
+
+
+class TestDeterminismMode:
+    ARGS = ["lint", "--determinism",
+            "--root", str(REPO_ROOT / "src" / "repro"),
+            "--allowlist", str(REPO_ROOT / ".repro-determinism-allow")]
+
+    def test_repo_with_committed_allowlist_is_clean(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_json_reports_scan_summary(self, capsys):
+        rc = main(self.ARGS + ["--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["files_scanned"] > 50
+        assert report["summary"]["findings"] == 0
+        assert report["summary"]["allowlisted"] > 0
+        assert report["severity_exit_codes"]["error"] == 2
+
+    def test_without_allowlist_warnings_exit_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty-allow"
+        empty.write_text("# nothing audited\n")
+        rc = main(["lint", "--determinism",
+                   "--root", str(REPO_ROOT / "src" / "repro"),
+                   "--allowlist", str(empty)])
+        out = capsys.readouterr().out
+        assert rc == 2, out  # FX054 on the audited runner site is ERROR
+        assert "FX054" in out
+
+    def test_missing_allowlist_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--determinism", "--allowlist", "/nonexistent"])

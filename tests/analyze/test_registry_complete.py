@@ -1,0 +1,61 @@
+"""Every registered diagnostic code is documented and exercised.
+
+A code that ships undocumented is unusable; a code no test exercises
+can silently rot.  Both checks are textual on purpose — they gate the
+*artifacts* (docs/ANALYZE.md and the test suite), not the
+implementation.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import REGISTRY, SEVERITY_EXIT_CODES, Severity
+from repro.analyze.diagnostics import DIAGNOSTIC_CODES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ANALYZE_MD = REPO_ROOT / "docs" / "ANALYZE.md"
+TESTS_DIR = Path(__file__).resolve().parents[1]
+
+
+def all_test_text():
+    return "\n".join(
+        p.read_text() for p in sorted(TESTS_DIR.rglob("test_*.py"))
+        if p.name != Path(__file__).name
+    )
+
+
+class TestRegistryShape:
+    def test_registry_is_the_diagnostic_code_table(self):
+        assert REGISTRY is DIAGNOSTIC_CODES
+
+    def test_codes_are_stable_fx_numbers(self):
+        assert all(re.fullmatch(r"FX\d{3}", c) for c in REGISTRY)
+
+    def test_every_severity_has_an_exit_code(self):
+        # string-keyed: this mapping ships verbatim as the JSON
+        # report's severity_exit_codes header
+        assert SEVERITY_EXIT_CODES == {"info": 0, "warning": 1, "error": 2}
+        assert {s.name.lower() for s in Severity} == set(SEVERITY_EXIT_CODES)
+
+    def test_new_pass_families_are_registered(self):
+        fx04x = {c for c in REGISTRY if c.startswith("FX04")}
+        fx05x = {c for c in REGISTRY if c.startswith("FX05")}
+        assert fx04x == {"FX040", "FX041", "FX042", "FX043",
+                         "FX044", "FX045"}
+        assert fx05x == {"FX050", "FX051", "FX052", "FX053",
+                         "FX054", "FX055"}
+
+
+@pytest.mark.parametrize("code", sorted(REGISTRY))
+class TestEveryCode:
+    def test_documented_in_analyze_md(self, code):
+        assert code in ANALYZE_MD.read_text(), (
+            f"{code} is registered but not documented in docs/ANALYZE.md"
+        )
+
+    def test_exercised_by_a_test(self, code):
+        assert code in all_test_text(), (
+            f"{code} is registered but no test mentions it"
+        )

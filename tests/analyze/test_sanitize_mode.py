@@ -1,0 +1,127 @@
+"""REPRO_SANITIZE=1: the runtime hash-input shim and its ledger."""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import DeterminismError, check_digest, sanitize_enabled
+from repro.sched import JobSpec
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def canon(fields):
+    return json.dumps(fields, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of(payload):
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestSwitch:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+
+    def test_digest_shim_is_off_path_when_disabled(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        monkeypatch.setenv("REPRO_SANITIZE_DIR", str(tmp_path / "ledger"))
+        JobSpec().key
+        assert not (tmp_path / "ledger").exists()
+
+
+class TestCheckDigest:
+    @pytest.fixture(autouse=True)
+    def ledger(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SANITIZE_DIR", str(tmp_path))
+        return tmp_path
+
+    def test_stable_payload_passes_and_is_recorded(self, ledger):
+        fields = {"b": 2, "a": 1}
+        payload = canon(fields)
+        digest = digest_of(payload)
+        check_digest(fields, payload, digest)
+        entry = ledger / digest[:2] / f"{digest}.json"
+        assert entry.read_text() == payload
+
+    def test_insertion_order_dependence_raises(self):
+        fields = {"b": 2, "a": 1}
+        payload = json.dumps(fields, separators=(",", ":"))  # no sort_keys
+        with pytest.raises(DeterminismError, match="insertion order"):
+            check_digest(fields, payload, digest_of(payload))
+
+    def test_non_json_payload_raises(self):
+        # a payload produced by some other serializer entirely
+        fields = {"a": 1}
+        payload = str(fields)
+        with pytest.raises(DeterminismError):
+            check_digest(fields, payload, digest_of(payload))
+
+    def test_ledger_collision_raises(self, ledger):
+        fields = {"a": 1}
+        payload = canon(fields)
+        digest = digest_of(payload)
+        check_digest(fields, payload, digest)
+        # simulate an earlier process that hashed different bytes into
+        # the same digest name (i.e. the payload drifted)
+        entry = ledger / digest[:2] / f"{digest}.json"
+        entry.write_text(canon({"a": 2}))
+        with pytest.raises(DeterminismError, match="different bytes"):
+            check_digest(fields, payload, digest)
+
+    def test_repeat_digest_is_idempotent(self, ledger):
+        fields = {"a": 1}
+        payload = canon(fields)
+        digest = digest_of(payload)
+        check_digest(fields, payload, digest)
+        check_digest(fields, payload, digest)  # second call: ledger hit
+
+
+class TestAcrossRestarts:
+    """The property the mode exists for: keys are stable across
+    process restarts, verified through a shared on-disk ledger."""
+
+    CODE = ("from repro.sched import JobSpec; "
+            "print(JobSpec(dataset='la', hours=3).key)")
+
+    def _env(self, ledger):
+        return {**os.environ, "PYTHONPATH": str(REPO_SRC),
+                "REPRO_SANITIZE": "1", "REPRO_SANITIZE_DIR": str(ledger)}
+
+    def _spec_key(self, ledger):
+        out = subprocess.run(
+            [sys.executable, "-c", self.CODE],
+            capture_output=True, text=True, check=True,
+            env=self._env(ledger),
+        )
+        return out.stdout.strip()
+
+    def test_key_is_bitwise_stable_across_processes(self, tmp_path):
+        first = self._spec_key(tmp_path)
+        second = self._spec_key(tmp_path)
+        assert first == second
+        assert len(first) == 64
+        # both runs verified against the same ledger entries
+        assert list(tmp_path.rglob("*.json"))
+
+    def test_poisoned_ledger_fails_the_second_run(self, tmp_path):
+        self._spec_key(tmp_path)
+        for entry in tmp_path.rglob("*.json"):
+            entry.write_text(entry.read_text().replace("la", "ne"))
+        proc = subprocess.run(
+            [sys.executable, "-c", self.CODE],
+            capture_output=True, text=True,
+            env=self._env(tmp_path),
+        )
+        assert proc.returncode != 0
+        assert "DeterminismError" in proc.stderr
