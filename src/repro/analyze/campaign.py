@@ -35,7 +35,7 @@ CLI wrapper.  See ``docs/ANALYZE.md``.
 from __future__ import annotations
 
 from dataclasses import fields as dataclass_fields
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Collection, Dict, List, Optional, Sequence, Type
 
 from repro.analyze.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.sched.costmodel import CampaignCostModel
@@ -202,7 +202,10 @@ def verify_fused_groups(plan: CampaignPlan) -> List[Diagnostic]:
 # ---------------------------------------------------------------------------
 # FX043 — science-chain dependency ordering
 # ---------------------------------------------------------------------------
-def verify_chain_ordering(plan: CampaignPlan) -> List[Diagnostic]:
+def verify_chain_ordering(
+    plan: CampaignPlan,
+    warm_science_keys: Optional[Collection[str]] = None,
+) -> List[Diagnostic]:
     """Check the plan's dependency and placement invariants.
 
     * a science key's jobs all live in one chain (splitting them across
@@ -211,8 +214,19 @@ def verify_chain_ordering(plan: CampaignPlan) -> List[Diagnostic]:
       replay-only job of the same science key;
     * a chain occupies one worker, and placements on a worker do not
       overlap in predicted time.
+
+    ``warm_science_keys`` declares which science results already exist
+    in the cache when this plan starts.  Incrementally-produced plans —
+    the campaign service plans wave by wave against a shared cache —
+    legally contain chains no job of which is charged for its science,
+    *provided* that science is warm.  With the warm set supplied, an
+    uncharged-and-cold chain is an FX043 finding (its replay jobs would
+    run against science nobody produces); without it (one-shot CLI
+    plans) the historical lenient behavior is kept, since the cost
+    model only waives charging when its cache probe hit.
     """
     diags: List[Diagnostic] = []
+    warm = None if warm_science_keys is None else set(warm_science_keys)
 
     chain_of_science: Dict[str, int] = {}
     for ci, chain in enumerate(plan.chains):
@@ -252,12 +266,23 @@ def verify_chain_ordering(plan: CampaignPlan) -> List[Diagnostic]:
                     ),
                     details={"science_key": sk[:12], "chain": ci},
                 ))
-            if sk not in paid and not j.science_charged:
-                # Legal only if the cost model waived it (cached); a
-                # waived science is waived for the whole chain, so a
-                # later charged job for the same key is the real smell
-                # (caught above).  Record it as paid either way.
-                pass
+            if (sk not in paid and not j.science_charged
+                    and warm is not None and sk not in warm):
+                diags.append(Diagnostic(
+                    code="FX043",
+                    message=(
+                        f"job {j.spec.label!r} replays science {sk[:12]} "
+                        "which no job in the plan is charged for and "
+                        "which is not warm in the cache; nothing "
+                        "produces the result it depends on"
+                    ),
+                    details={"science_key": sk[:12], "chain": ci},
+                ))
+            # When the warm set is unknown (one-shot CLI plans) an
+            # uncharged chain head is legal: the cost model only waives
+            # charging when its cache probe hit, and a waived science is
+            # waived for the whole chain, so a later charged job for the
+            # same key is the real smell (caught above).
             paid[sk] = paid.get(sk, False) or j.science_charged
 
     by_worker: Dict[int, List] = {}
@@ -373,12 +398,16 @@ def verify_campaign(
     executor: str = "thread",
     fault_policy: Optional[FaultPolicy] = None,
     spec_cls: Optional[Type[JobSpec]] = None,
+    warm_science_keys: Optional[Collection[str]] = None,
 ) -> AnalysisReport:
     """Statically verify a campaign before anything runs.
 
     Plans ``specs`` (or takes a pre-built ``plan``) and runs every
     FX04x check; the spec *class* is verified for key drift (FX040)
     using the first spec's type unless ``spec_cls`` overrides it.
+    ``warm_science_keys`` lets incremental callers (the campaign
+    service verifying one wave of a larger run) declare which science
+    results already exist — see :func:`verify_chain_ordering`.
     Returns an :class:`~repro.analyze.diagnostics.AnalysisReport` whose
     exit code follows the usual severity mapping.
     """
@@ -402,7 +431,9 @@ def verify_campaign(
     sample = specs[0] if specs and type(specs[0]) is spec_cls else None
     report.extend(verify_jobspec_schema(spec_cls, sample=sample))
     report.extend(verify_fused_groups(plan))
-    report.extend(verify_chain_ordering(plan))
+    report.extend(verify_chain_ordering(
+        plan, warm_science_keys=warm_science_keys,
+    ))
     report.extend(verify_runner_policy(
         plan, timeout=timeout, retries=retries, executor=executor,
         fault_policy=fault_policy,

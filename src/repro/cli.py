@@ -14,6 +14,8 @@
     python -m repro lint     --determinism --allowlist .repro-determinism-allow
     python -m repro campaign plan --sweep machines --dataset la --workers 4
     python -m repro campaign run  --sweep ladder --dataset demo --hours 1
+    python -m repro campaign run  --sweep ladder --server http://127.0.0.1:8642 --tenant alice
+    python -m repro serve    --root .repro-service --port 8642
     python -m repro bench    --quick
 
 ``simulate`` runs the real numerics and saves a workload trace;
@@ -28,7 +30,10 @@ ordering, runner policy — FX04x) and ``lint --determinism`` runs the
 AST nondeterminism sanitizer over the source tree (FX05x); see
 ``docs/ANALYZE.md``.
 ``campaign`` plans and runs whole sweeps of simulations as managed,
-cached, fault-tolerant jobs; see ``docs/SCHEDULER.md``.  ``bench`` runs
+cached, fault-tolerant jobs; see ``docs/SCHEDULER.md``.  ``serve``
+keeps that scheduler resident as a multi-tenant HTTP service with a
+crash-safe journal and fair-share queueing (``campaign run --server``
+submits to it); see ``docs/SERVICE.md``.  ``bench`` runs
 the hot-path perf suite (``benchmarks/perf``) without PYTHONPATH
 gymnastics; see ``docs/PERFORMANCE.md``.
 """
@@ -355,20 +360,45 @@ def _campaign_specs(args: argparse.Namespace) -> List[JobSpec]:
     )
 
 
+def _render_cache_stats(stats: dict) -> str:
+    """Shard occupancy and counter totals for ``campaign status``."""
+    c = stats["counters"]
+    lines = [
+        f"cache: {stats['total_entries']} entries, "
+        f"{stats['total_bytes']} bytes under {stats['root']}",
+        f"cache counters: {int(c.get('hits', 0))} hits, "
+        f"{int(c.get('misses', 0))} misses, "
+        f"{int(c.get('evictions', 0))} evictions, "
+        f"{int(c.get('corrupt_entries', 0))} corrupt",
+    ]
+    for kind in ("science", "jobs"):
+        shards = stats["kinds"][kind]["shards"]
+        if shards:
+            occupancy = ", ".join(
+                f"{name}: {s['entries']}" for name, s in shards.items()
+            )
+            lines.append(f"{kind} shards: {occupancy}")
+    return "\n".join(lines)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     cache = ResultCache(Path(args.cache_dir))
 
     if args.action == "status":
         rows = status_rows(cache)
         if args.json:
-            print(json.dumps(rows, indent=2, sort_keys=True))
-        elif not rows:
+            print(json.dumps({"jobs": rows, "cache": cache.stats()},
+                             indent=2, sort_keys=True))
+            return 0
+        if not rows:
             print(f"(no cached jobs under {args.cache_dir})")
         else:
             header = ["key", "dataset", "hours", "variant", "machine",
                       "nprocs", "status", "sha256"]
             print(format_table(header, [[r[h] for h in header] for r in rows]))
             print(f"\n{len(rows)} cached job(s) under {args.cache_dir}")
+        print()
+        print(_render_cache_stats(cache.stats()))
         return 0
 
     specs = _campaign_specs(args)
@@ -395,7 +425,34 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"{plan.predicted_makespan:.3f}s")
         return 0
 
-    # run
+    # run --server: submit to a resident campaign service instead
+    if args.server:
+        from repro.service import ServiceClient
+
+        client = ServiceClient(args.server)
+        cid = client.submit(specs, tenant=args.tenant,
+                            workers=args.workers)
+        print(f"submitted campaign {cid} as tenant {args.tenant!r} "
+              f"to {args.server}")
+        status = client.wait(cid, timeout=args.wait_timeout)
+        rows = client.results(cid)
+        if args.json:
+            print(json.dumps({"status": status, "jobs": rows},
+                             indent=2, sort_keys=True))
+        else:
+            header = ["key", "job", "status", "attempts", "cached",
+                      "sha256"]
+            print(format_table(header, [
+                [r["key"][:12], r["job"], r["status"], r["attempts"],
+                 "yes" if r["from_cache"] else "no",
+                 (r["sha256"] or "")[:12]]
+                for r in rows
+            ]))
+            print(f"\ncampaign {cid}: {status['status']} "
+                  f"({status['n_ok']}/{status['n_jobs']} ok)")
+        return 0 if status["status"] == "done" else 1
+
+    # run locally
     fault_policy = None
     if args.inject_faults:
         fault_policy = FaultPolicy.pick(
@@ -419,6 +476,52 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.complete else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService, build_http_server
+
+    weights = {}
+    for entry in args.tenant_weight or []:
+        name, _, value = entry.partition("=")
+        if not name or not value:
+            raise SystemExit(
+                f"bad --tenant-weight {entry!r}: expected NAME=WEIGHT"
+            )
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --tenant-weight {entry!r}: "
+                             f"{value!r} is not a number")
+    service = CampaignService(
+        args.root,
+        workers=args.workers,
+        executor=args.executor,
+        retries=args.retries,
+        backoff=args.backoff,
+        timeout=args.timeout,
+        tenant_weights=weights,
+        cache_shards=args.cache_shards,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    server = build_http_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    service.start()
+    n_resumed = sum(
+        1 for c in service.campaigns.values()
+        if c.status in ("queued", "running")
+    )
+    print(f"campaign service on http://{host}:{port} "
+          f"(state: {args.root}, {len(service.campaigns)} campaign(s), "
+          f"{n_resumed} resumed)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (journal compacts on stop)...")
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -591,9 +694,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0)
     p.add_argument("--fault-mode", choices=["raise", "hang"],
                    default="raise")
+    p.add_argument("--server", metavar="URL",
+                   help="submit the run to a resident campaign service "
+                        "(repro serve) instead of executing locally")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for --server submissions")
+    p.add_argument("--wait-timeout", type=float, default=600.0,
+                   help="seconds to wait for a --server campaign")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output instead of text")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant campaign service",
+    )
+    p.add_argument("--root", default=".repro-service",
+                   help="service state directory (journal, snapshot, "
+                        "shared result cache)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=4,
+                   help="wave width and bounded worker-pool size")
+    p.add_argument("--executor", choices=["thread", "process", "inline"],
+                   default="thread")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--backoff", type=float, default=0.25)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                   help="fair-share weight for a tenant (repeatable; "
+                        "default 1.0)")
+    p.add_argument("--cache-shards", type=int, default=16)
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="LRU-evict the shared cache above this size")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "bench",

@@ -10,27 +10,55 @@ checkpoint resume, and a predicted-vs-observed makespan report.
 
 Layers (see ``docs/SCHEDULER.md``):
 
+* :mod:`repro.sched.interfaces` — the pluggable seams: the
+  :class:`Executor`, :class:`ResultStore`, :class:`Planner` and
+  :class:`JobStore` protocols everything below implements;
 * :mod:`repro.sched.job` — :class:`JobSpec` (content-hashed identity)
   and :class:`JobResult`;
 * :mod:`repro.sched.cache` — :class:`ResultCache`, the on-disk
-  content-addressed store;
+  content-addressed store, and :class:`ShardedResultCache`, its
+  sharded, size-capped, LRU-evicting service-grade evolution;
 * :mod:`repro.sched.costmodel` — :class:`CampaignCostModel`, pricing
   jobs with :mod:`repro.perfmodel` before anything runs;
 * :mod:`repro.sched.planner` — dedupe, science-chaining and LPT
-  packing into a :class:`CampaignPlan`;
+  packing into a :class:`CampaignPlan` (:class:`LPTPlanner`);
+* :mod:`repro.sched.executors` — the default attempt executors
+  (``thread`` | ``process`` | ``inline``);
 * :mod:`repro.sched.runner` — :class:`CampaignRunner`, the
-  fault-tolerant bounded pool;
+  fault-tolerant bounded pool, composed over the seams;
 * :mod:`repro.sched.faults` — :class:`FaultPolicy`, deterministic
   fault injection for drills and tests;
 * :mod:`repro.sched.sweeps` — generators for the standard studies;
 * :mod:`repro.sched.report` — :class:`CampaignReport`.
+
+The always-on, multi-tenant campaign service built on these seams
+lives in :mod:`repro.service` (see ``docs/SERVICE.md``).
 """
 
-from repro.sched.cache import ResultCache
+from repro.sched.cache import ResultCache, ShardedResultCache
 from repro.sched.costmodel import CampaignCostModel, PredictedJobCost
+from repro.sched.executors import (
+    EXECUTORS,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    build_executor,
+)
 from repro.sched.faults import FaultPolicy, InjectedFault, InjectedHang
+from repro.sched.interfaces import (
+    AttemptEnv,
+    Executor,
+    JobStore,
+    Planner,
+    ResultStore,
+)
 from repro.sched.job import JOB_STATUSES, VARIANTS, JobResult, JobSpec
-from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
+from repro.sched.planner import (
+    CampaignPlan,
+    LPTPlanner,
+    PlannedJob,
+    plan_campaign,
+)
 from repro.sched.report import CampaignReport, status_rows
 from repro.sched.runner import CampaignRunner, JobTimeoutError, execute_job
 from repro.sched.sweeps import (
@@ -41,21 +69,33 @@ from repro.sched.sweeps import (
 )
 
 __all__ = [
+    "AttemptEnv",
     "CampaignCostModel",
     "CampaignPlan",
     "CampaignReport",
     "CampaignRunner",
+    "EXECUTORS",
+    "Executor",
     "FaultPolicy",
     "InjectedFault",
     "InjectedHang",
+    "InlineExecutor",
     "JOB_STATUSES",
     "JobResult",
     "JobSpec",
+    "JobStore",
     "JobTimeoutError",
+    "LPTPlanner",
+    "Planner",
     "PlannedJob",
     "PredictedJobCost",
+    "ProcessExecutor",
     "ResultCache",
+    "ResultStore",
+    "ShardedResultCache",
+    "ThreadExecutor",
     "VARIANTS",
+    "build_executor",
     "ensemble_batches",
     "ensemble_sweep",
     "execute_job",

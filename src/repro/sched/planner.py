@@ -35,7 +35,7 @@ from repro.sched.cache import ResultCache
 from repro.sched.costmodel import CampaignCostModel
 from repro.sched.job import JobSpec
 
-__all__ = ["PlannedJob", "CampaignPlan", "plan_campaign"]
+__all__ = ["PlannedJob", "CampaignPlan", "LPTPlanner", "plan_campaign"]
 
 
 @dataclass
@@ -210,3 +210,25 @@ def plan_campaign(
         predicted_makespan=max(load) if planned else 0.0,
         duplicates=duplicates,
     )
+
+
+class LPTPlanner:
+    """The default :class:`~repro.sched.interfaces.Planner`.
+
+    A stateless wrapper around :func:`plan_campaign` (dedupe → science
+    chaining → ensemble fusion → LPT packing), so the runner and the
+    campaign service compose against the ``Planner`` protocol and a
+    different packing strategy can be plugged in without touching
+    either.
+    """
+
+    def plan(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        workers: int,
+        cost_model: Optional[CampaignCostModel] = None,
+        fuse_ensembles: bool = True,
+    ) -> CampaignPlan:
+        return plan_campaign(specs, workers=workers, cost_model=cost_model,
+                             fuse_ensembles=fuse_ensembles)

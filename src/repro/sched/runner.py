@@ -1,276 +1,73 @@
 """Fault-tolerant campaign execution on a bounded worker pool.
 
-The runner takes a :class:`~repro.sched.planner.CampaignPlan` and
-drives it to completion:
+The runner is a thin composition over the scheduler's pluggable seams
+(:mod:`repro.sched.interfaces`):
 
-* **pool** — chains execute on ``workers`` slots (``thread`` pool by
-  default; ``process`` isolates each attempt in a subprocess that a
-  timeout can really kill; ``inline`` runs everything on the calling
-  thread, deterministically, in plan order);
-* **timeout** — each attempt gets ``timeout`` seconds.  In-process
-  executors check the deadline cooperatively at checkpoint boundaries
-  (and treat an injected hang as a wedged job); the process executor
-  enforces it preemptively with ``Process.join(timeout)``;
-* **retry** — a failed or timed-out attempt is retried up to
-  ``retries`` times after a deterministic exponential backoff
-  (``backoff * 2**(attempt-1)``; the sleep function is injectable so
-  tests pay no wall-clock);
-* **resume** — the science loop checkpoints every ``checkpoint_hours``
-  simulated hours (:mod:`repro.model.checkpoint` plus a pickled chunk
-  result), so a retry continues from the last completed chunk instead
-  of restarting, and the joined result stays bitwise identical to an
-  unbroken run;
-* **cache** — finished jobs and their science results go into the
-  :class:`~repro.sched.cache.ResultCache`; resubmitting a finished
-  campaign does zero simulation work;
-* **observe** — every job emits a ``kind="job"`` span (node = worker
-  slot) into a :class:`~repro.observe.tracer.Tracer`, and campaign
-  counters (cache hits, retries, faults, timeouts, simulated hours)
-  accumulate alongside, so the report's predicted-vs-observed makespan
-  comes straight off the span stream.
+* an :class:`~repro.sched.interfaces.Executor` runs each attempt
+  (``thread`` | ``process`` | ``inline``, see
+  :mod:`repro.sched.executors`) and decides whether independent chains
+  may run concurrently;
+* a :class:`~repro.sched.interfaces.ResultStore` persists science
+  results and job payloads (:class:`~repro.sched.cache.ResultCache` by
+  default; resubmitting a finished campaign does zero simulation work);
+* a :class:`~repro.sched.interfaces.Planner` builds the execution plan
+  (:class:`~repro.sched.planner.LPTPlanner` by default: dedupe →
+  science chaining → ensemble fusion → LPT packing).
+
+What the runner itself owns is the campaign policy loop: per-job
+retries after a deterministic exponential backoff
+(``backoff * 2**(attempt-1)``; the sleep function is injectable so
+tests pay no wall-clock), per-attempt timeouts (cooperative at
+checkpoint boundaries in-process, preemptive ``Process.join`` under the
+process executor), checkpoint resume (a retry continues from the last
+completed chunk and the joined result stays bitwise identical to an
+unbroken run), batched-ensemble science prefetch, and observability:
+every job emits a ``kind="job"`` span (node = worker slot) into a
+:class:`~repro.observe.tracer.Tracer`, and campaign counters (cache
+hits, retries, faults, timeouts, simulated hours) accumulate alongside,
+so the report's predicted-vs-observed makespan comes straight off the
+span stream.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
-import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.datasets.registry import get_dataset
 from repro.model.batched import run_batched
-from repro.model.checkpoint import load_checkpoint, resume_config, save_checkpoint
 from repro.model.config import AirshedConfig
-from repro.model.dataparallel import replay_data_parallel
-from repro.model.ensemble import PerturbedDataset
-from repro.model.results import AirshedResult, concat_results
-from repro.model.sequential import SequentialAirshed
-from repro.model.taskparallel import replay_task_parallel
 from repro.observe.compare import observed_makespan
 from repro.observe.tracer import Tracer
 from repro.sched.cache import ResultCache
 from repro.sched.costmodel import CampaignCostModel
+from repro.sched.executors import (
+    JobTimeoutError,
+    _build_dataset,
+    build_executor,
+    execute_job,
+)
 from repro.sched.faults import FaultPolicy, InjectedFault, InjectedHang
+from repro.sched.interfaces import AttemptEnv, Executor, Planner, ResultStore
 from repro.sched.job import JobResult, JobSpec
-from repro.sched.planner import CampaignPlan, PlannedJob, plan_campaign
+from repro.sched.planner import CampaignPlan, LPTPlanner, PlannedJob
 from repro.sched.report import CampaignReport
 from repro.sched.sweeps import ensemble_batches
-from repro.vm.machine import get_machine
 
 __all__ = ["CampaignRunner", "JobTimeoutError", "execute_job"]
 
-EXECUTORS = ("thread", "process", "inline")
 
-
-class JobTimeoutError(RuntimeError):
-    """An attempt exceeded its per-job timeout."""
-
-
-# ---------------------------------------------------------------------------
-# job execution (runs in a worker thread or a child process)
-# ---------------------------------------------------------------------------
-def _build_dataset(spec: JobSpec):
-    dataset = get_dataset(spec.dataset)
-    if spec.perturb_seed is not None:
-        dataset = PerturbedDataset(
-            dataset, member_seed=spec.perturb_seed, sigma=spec.perturb_sigma
-        )
-    return dataset
-
-
-def _load_scratch(cache: ResultCache, science_key: str):
-    """Completed chunks of an interrupted science run, oldest first."""
-    scratch = cache.scratch_dir(science_key)
-    parts: List[AirshedResult] = []
-    checkpoint = None
-    idx = 0
-    while True:
-        part_path = scratch / f"part_{idx:03d}.pkl"
-        ck_path = scratch / f"ck_{idx:03d}.npz"
-        if not (part_path.is_file() and ck_path.is_file()):
-            break
-        try:
-            with part_path.open("rb") as fh:
-                part = pickle.load(fh)
-            checkpoint = load_checkpoint(ck_path)
-        except Exception:
-            break  # unreadable chunk: resume up to the last good one
-        parts.append(part)
-        idx += 1
-    return parts, checkpoint, scratch
-
-
-def execute_science(
-    spec: JobSpec,
-    cache: ResultCache,
-    fault_point: Callable[[int], None],
-    check_time: Callable[[], None],
-    checkpoint_hours: int = 1,
-    on_hours: Optional[Callable[[int], None]] = None,
-) -> AirshedResult:
-    """Run (or resume) the sequential numerics of one science key.
-
-    The run advances in chunks of ``checkpoint_hours``; after each
-    chunk the chunk result and a :mod:`repro.model.checkpoint` land in
-    the cache's scratch area, so a retry resumes instead of restarting.
-    ``fault_point(hours_completed)`` is called at every chunk boundary
-    (fault injection); ``check_time()`` enforces the cooperative
-    deadline.  On success the joined result is cached and the scratch
-    cleared.
-    """
-    if checkpoint_hours < 1:
-        raise ValueError("checkpoint_hours must be >= 1")
-    dataset = _build_dataset(spec)
-    full_cfg = AirshedConfig(
-        dataset=dataset, hours=spec.hours, start_hour=spec.start_hour
-    )
-    parts, checkpoint, scratch = _load_scratch(cache, spec.science_key)
-    hours_done = checkpoint.hours_completed if checkpoint else 0
-
-    while hours_done < spec.hours:
-        check_time()
-        fault_point(hours_done)
-        chunk = min(checkpoint_hours, spec.hours - hours_done)
-        if hours_done == 0:
-            cfg = replace(full_cfg, hours=chunk)
-        else:
-            cfg = replace(resume_config(full_cfg, checkpoint), hours=chunk)
-        part = SequentialAirshed(cfg).run()
-        idx = len(parts)
-        with (scratch / f"part_{idx:03d}.pkl").open("wb") as fh:
-            pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        checkpoint = save_checkpoint(
-            replace(full_cfg, hours=hours_done + chunk),
-            part,
-            scratch / f"ck_{idx:03d}.npz",
-        )
-        parts.append(part)
-        hours_done += chunk
-        if on_hours is not None:
-            on_hours(chunk)
-    fault_point(hours_done)
-
-    result = concat_results(parts)
-    cache.put_science(spec.science_key, result)
-    cache.clear_scratch(spec.science_key)
-    return result
-
-
-def execute_job(
-    spec: JobSpec,
-    cache: ResultCache,
-    policy: Optional[FaultPolicy] = None,
-    attempt: int = 0,
-    checkpoint_hours: int = 1,
-    check_time: Optional[Callable[[], None]] = None,
-    hang: Optional[Callable[[], None]] = None,
-    on_hours: Optional[Callable[[int], None]] = None,
-) -> Tuple[AirshedResult, Optional[object], bool]:
-    """One attempt at one job: science (cached or run) plus replay.
-
-    Returns ``(science result, replay timing or None, science_cached)``.
-    Raises whatever the attempt died of — an injected fault, a
-    simulated hang, a cooperative timeout, or a real error.
-    """
-    if check_time is None:
-        check_time = lambda: None  # noqa: E731
-
-    def fault_point(hours_completed: int) -> None:
-        action = policy.action(spec.key, attempt) if policy else None
-        if action is None or hours_completed < policy.after_hours:
-            return
-        if action == "raise":
-            raise InjectedFault(
-                f"injected fault in {spec.label} after {hours_completed}h"
-            )
-        if hang is not None:
-            hang()
-        raise InjectedHang(f"injected hang in {spec.label}")
-
-    science = cache.get_science(spec.science_key)
-    science_cached = science is not None
-    if science_cached:
-        fault_point(spec.hours)  # replay-only jobs still get their fault
-    else:
-        science = execute_science(
-            spec, cache, fault_point, check_time,
-            checkpoint_hours=checkpoint_hours, on_hours=on_hours,
-        )
-
-    check_time()
-    if spec.variant == "data":
-        timing = replay_data_parallel(
-            science.trace, get_machine(spec.machine), spec.nprocs
-        )
-    elif spec.variant == "task":
-        timing = replay_task_parallel(
-            science.trace, get_machine(spec.machine), spec.nprocs,
-            io_nodes=spec.io_nodes,
-        )
-    else:
-        timing = None
-    return science, timing, science_cached
-
-
-def _process_entry(
-    spec_dict: Dict,
-    cache_root: str,
-    policy: Optional[FaultPolicy],
-    attempt: int,
-    checkpoint_hours: int,
-    out_path: str,
-) -> None:
-    """Child-process attempt: run the job, pickle the outcome."""
-    spec = JobSpec.from_dict(spec_dict)
-    cache = ResultCache(cache_root)
-    stats = {"sim_hours": 0}
-
-    def on_hours(h: int) -> None:
-        stats["sim_hours"] += h
-
-    def hang() -> None:  # a genuinely wedged worker; the parent kills us
-        while True:
-            time.sleep(0.05)
-
-    try:
-        _, timing, science_cached = execute_job(
-            spec, cache, policy=policy, attempt=attempt,
-            checkpoint_hours=checkpoint_hours, hang=hang, on_hours=on_hours,
-        )
-        payload = {
-            "ok": True,
-            "timing": timing,
-            "science_cached": science_cached,
-            "stats": stats,
-        }
-    except Exception as exc:  # noqa: BLE001 - reported to the parent
-        payload = {
-            "ok": False,
-            "error": str(exc),
-            "error_type": type(exc).__name__,
-            "stats": stats,
-        }
-    tmp = f"{out_path}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    Path(tmp).replace(out_path)
-
-
-# ---------------------------------------------------------------------------
-# the runner
-# ---------------------------------------------------------------------------
 class CampaignRunner:
-    """Plan and execute campaigns against one result cache.
+    """Plan and execute campaigns against one result store.
 
     Parameters
     ----------
     cache:
-        A :class:`~repro.sched.cache.ResultCache` or a directory path.
+        A :class:`~repro.sched.interfaces.ResultStore` (e.g.
+        :class:`~repro.sched.cache.ResultCache`) or a directory path.
     workers:
         Bounded pool width (and the planner's packing width).
     retries / backoff:
@@ -280,7 +77,8 @@ class CampaignRunner:
         Per-attempt seconds; ``None`` disables.  See the module docs
         for cooperative versus preemptive enforcement.
     executor:
-        ``"thread"`` (default) | ``"process"`` | ``"inline"``.
+        ``"thread"`` (default) | ``"process"`` | ``"inline"``, or any
+        :class:`~repro.sched.interfaces.Executor` instance.
     fault_policy:
         Optional :class:`~repro.sched.faults.FaultPolicy` for tests and
         smoke drills.
@@ -289,6 +87,9 @@ class CampaignRunner:
     cost_model:
         Planner pricing; defaults to a cache-aware
         :class:`~repro.sched.costmodel.CampaignCostModel`.
+    planner:
+        A :class:`~repro.sched.interfaces.Planner`; defaults to
+        :class:`~repro.sched.planner.LPTPlanner`.
     tracer / sleep / clock:
         Observability sink and injectable time sources (tests pass a
         recording ``sleep`` so backoff charges no wall-clock).
@@ -296,15 +97,16 @@ class CampaignRunner:
 
     def __init__(
         self,
-        cache: Union[ResultCache, str, Path],
+        cache: Union[ResultStore, str, Path],
         workers: int = 4,
         retries: int = 2,
         backoff: float = 0.25,
         timeout: Optional[float] = None,
-        executor: str = "thread",
+        executor: Union[str, Executor] = "thread",
         fault_policy: Optional[FaultPolicy] = None,
         checkpoint_hours: int = 1,
         cost_model: Optional[CampaignCostModel] = None,
+        planner: Optional[Planner] = None,
         tracer: Optional[Tracer] = None,
         sleep: Optional[Callable[[float], None]] = None,
         clock: Optional[Callable[[], float]] = None,
@@ -316,19 +118,19 @@ class CampaignRunner:
             raise ValueError("retries must be non-negative")
         if backoff < 0:
             raise ValueError("backoff must be non-negative")
-        if executor not in EXECUTORS:
-            raise ValueError(
-                f"unknown executor {executor!r}; choose from {EXECUTORS}"
-            )
-        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache: ResultStore = cache
         self.workers = workers
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
-        self.executor = executor
+        self._executor_impl = build_executor(executor)
+        self.executor = self._executor_impl.name
         self.fault_policy = fault_policy
         self.checkpoint_hours = checkpoint_hours
         self.cost_model = cost_model or CampaignCostModel(cache=self.cache)
+        self.planner: Planner = planner or LPTPlanner()
         self.tracer = tracer or Tracer()
         self._sleep = sleep or time.sleep
         self._clock = clock or time.monotonic
@@ -350,9 +152,9 @@ class CampaignRunner:
 
     # -- planning ------------------------------------------------------
     def plan(self, specs: Sequence[JobSpec]) -> CampaignPlan:
-        return plan_campaign(specs, workers=self.workers,
-                             cost_model=self.cost_model,
-                             fuse_ensembles=self.fuse_ensembles)
+        return self.planner.plan(specs, workers=self.workers,
+                                 cost_model=self.cost_model,
+                                 fuse_ensembles=self.fuse_ensembles)
 
     # -- execution -----------------------------------------------------
     def run(self, specs: Sequence[JobSpec],
@@ -364,7 +166,7 @@ class CampaignRunner:
         if plan.jobs:
             chains = [[plan.jobs[i] for i in chain] for chain in plan.chains]
             slots = list(range(self.workers))
-            if self.executor == "inline" or self.workers == 1:
+            if not self._executor_impl.concurrent or self.workers == 1:
                 for chain in chains:
                     self._run_chain(chain, chain[0].worker, results)
             else:
@@ -539,66 +341,12 @@ class CampaignRunner:
 
     # -- one attempt ---------------------------------------------------
     def _attempt(self, spec: JobSpec, attempt: int):
-        if self.executor == "process":
-            return self._attempt_process(spec, attempt)
-
-        deadline = (
-            None if self.timeout is None else self._clock() + self.timeout
+        env = AttemptEnv(
+            cache=self.cache,
+            fault_policy=self.fault_policy,
+            checkpoint_hours=self.checkpoint_hours,
+            timeout=self.timeout,
+            clock=self._clock,
+            count=self._count,
         )
-
-        def check_time() -> None:
-            if deadline is not None and self._clock() > deadline:
-                raise JobTimeoutError(
-                    f"{spec.label} exceeded {self.timeout:g}s"
-                )
-
-        def on_hours(h: int) -> None:
-            self._count("campaign:sim_hours", h)
-
-        return execute_job(
-            spec, self.cache, policy=self.fault_policy, attempt=attempt,
-            checkpoint_hours=self.checkpoint_hours, check_time=check_time,
-            hang=None, on_hours=on_hours,
-        )
-
-    def _attempt_process(self, spec: JobSpec, attempt: int):
-        out_dir = self.cache.root / "scratch"
-        out_dir.mkdir(parents=True, exist_ok=True)
-        out_path = out_dir / f"attempt-{spec.key[:16]}-{attempt}.pkl"
-        out_path.unlink(missing_ok=True)
-        proc = multiprocessing.Process(
-            target=_process_entry,
-            args=(spec.to_dict(), str(self.cache.root), self.fault_policy,
-                  attempt, self.checkpoint_hours, str(out_path)),
-        )
-        proc.start()
-        proc.join(self.timeout)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join()
-            out_path.unlink(missing_ok=True)
-            raise JobTimeoutError(
-                f"{spec.label} exceeded {self.timeout:g}s (worker killed)"
-            )
-        if not out_path.is_file():
-            raise RuntimeError(
-                f"{spec.label} worker died (exit code {proc.exitcode})"
-            )
-        with out_path.open("rb") as fh:
-            payload = pickle.load(fh)
-        out_path.unlink(missing_ok=True)
-        self._count("campaign:sim_hours", payload["stats"]["sim_hours"])
-        if not payload["ok"]:
-            err_type = payload.get("error_type", "")
-            message = payload.get("error", "job failed")
-            if err_type in ("InjectedHang", "JobTimeoutError"):
-                raise JobTimeoutError(message)
-            if err_type == "InjectedFault":
-                raise InjectedFault(message)
-            raise RuntimeError(f"{err_type}: {message}")
-        science = self.cache.get_science(spec.science_key)
-        if science is None:
-            raise RuntimeError(
-                f"{spec.label} worker reported success but cached no result"
-            )
-        return science, payload["timing"], payload["science_cached"]
+        return self._executor_impl.run_attempt(spec, attempt, env)

@@ -1,0 +1,41 @@
+"""Always-on, multi-tenant campaign service.
+
+The one-shot CLI (``repro campaign run``) plans and executes a sweep,
+prints a report and exits.  This package keeps the same scheduler —
+composed over the seams in :mod:`repro.sched.interfaces` — resident:
+
+* :mod:`repro.service.jobstore` — :class:`JournalJobStore`, the
+  crash-safe persistent :class:`~repro.sched.interfaces.JobStore`
+  (append-only JSONL journal + atomic snapshot compaction), and
+  :class:`ServiceState`, the fold of its events;
+* :mod:`repro.service.queue` — :class:`FairShareQueue`,
+  weighted stride scheduling across tenants;
+* :mod:`repro.service.daemon` — :class:`CampaignService`, the resident
+  scheduler (submit / status / results / cancel / stats, wave-based
+  incremental planning, restart resume) and its stdlib-HTTP JSON API;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin
+  ``urllib`` client the CLI's ``--server`` path uses.
+
+See ``docs/SERVICE.md`` for the API, tenancy and fair-share semantics.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import CampaignService, build_http_server
+from repro.service.jobstore import (
+    CampaignRecord,
+    JournalJobStore,
+    ServiceState,
+)
+from repro.service.queue import FairShareQueue, QueueItem
+
+__all__ = [
+    "CampaignRecord",
+    "CampaignService",
+    "FairShareQueue",
+    "JournalJobStore",
+    "QueueItem",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceState",
+    "build_http_server",
+]

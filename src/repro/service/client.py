@@ -1,0 +1,127 @@
+"""Thin JSON client for the campaign service.
+
+:class:`ServiceClient` wraps the daemon's HTTP API with ``urllib``
+(stdlib only).  It speaks spec dicts on the wire —
+:meth:`~repro.sched.job.JobSpec.to_dict` out,
+journaled job rows back — so the CLI's ``repro campaign run --server``
+path submits exactly what the local path would have executed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.sched.job import JobSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Campaign states the poll loop treats as finished.
+TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (or not at all)."""
+
+    def __init__(self, message: str, code: Optional[int] = None):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """HTTP client for one :class:`~repro.service.daemon.CampaignService`.
+
+    ``sleep`` / ``clock`` are injectable so tests can poll without wall
+    time; ``timeout`` is the per-request socket timeout.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._sleep = sleep or time.sleep
+        self._clock = clock or time.monotonic
+
+    # -- transport ------------------------------------------------------
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers,
+            method="POST" if payload is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(exc))
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = str(exc)
+            raise ServiceError(message, code=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"campaign service unreachable at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    # -- API ------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("/api/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/api/stats")
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        return self._request("/api/campaigns")["campaigns"]
+
+    def submit(self, specs: Sequence[Union[JobSpec, Dict]],
+               tenant: str = "default",
+               workers: Optional[int] = None) -> str:
+        """Submit a campaign; returns its id."""
+        payload = {
+            "tenant": tenant,
+            "specs": [
+                s.to_dict() if isinstance(s, JobSpec) else dict(s)
+                for s in specs
+            ],
+        }
+        if workers is not None:
+            payload["workers"] = workers
+        return self._request("/api/submit", payload)["cid"]
+
+    def status(self, cid: str) -> Dict[str, Any]:
+        return self._request(f"/api/status/{cid}")
+
+    def results(self, cid: str) -> List[Dict[str, Any]]:
+        return self._request(f"/api/results/{cid}")["jobs"]
+
+    def cancel(self, cid: str) -> bool:
+        return bool(self._request(f"/api/cancel/{cid}", {})["cancelled"])
+
+    def wait(self, cid: str, timeout: float = 300.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the campaign reaches a terminal state."""
+        deadline = self._clock() + timeout
+        while True:
+            status = self.status(cid)
+            if status.get("status") in TERMINAL:
+                return status
+            if self._clock() >= deadline:
+                raise TimeoutError(
+                    f"campaign {cid} still {status.get('status')!r} "
+                    f"after {timeout:g}s"
+                )
+            self._sleep(poll)

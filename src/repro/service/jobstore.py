@@ -1,0 +1,214 @@
+"""Crash-safe persistent campaign state for the service.
+
+:class:`JournalJobStore` implements the
+:class:`~repro.sched.interfaces.JobStore` protocol as an event journal
+on disk::
+
+    <root>/journal.jsonl    one JSON event per line, append + fsync
+    <root>/snapshot.json    atomically-replaced fold of older events
+
+``append`` makes each event durable (flush + fsync) before returning,
+so after a crash the journal holds every acknowledged transition; at
+worst the *final* line is torn mid-write, and ``events`` tolerates
+exactly that (appends are sequential, so nothing before the last line
+can be torn — an unparseable interior line is real corruption and
+raises).  ``compact`` folds the event history into ``snapshot.json``
+via temp-file + ``os.replace`` and then truncates the journal, so the
+journal stays bounded and the snapshot swap can never leave a
+half-written state file.
+
+:class:`ServiceState` is the pure fold of those events into
+:class:`CampaignRecord` objects — the daemon replays it on startup and
+re-enqueues whatever was in flight (each job's ``job`` event is written
+only after its result is cached, so a resumed job either replays from
+the full-job cache or genuinely never ran).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.sched.job import JobSpec
+
+__all__ = ["CampaignRecord", "JournalJobStore", "ServiceState"]
+
+#: Campaign states a restart must re-enqueue.
+ACTIVE_STATUSES = ("queued", "running")
+#: Campaign states that are final.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class CampaignRecord:
+    """One submitted campaign, as folded from the journal."""
+
+    cid: str
+    tenant: str
+    specs: List[JobSpec]
+    workers: int
+    fuse: bool = True
+    status: str = "queued"
+    jobs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len({s.key for s in self.specs})
+
+    @property
+    def n_done(self) -> int:
+        return len(self.jobs)
+
+    def pending_specs(self) -> List[JobSpec]:
+        """Unique specs with no durable job outcome yet."""
+        pending, seen = [], set()
+        for spec in self.specs:
+            if spec.key in self.jobs or spec.key in seen:
+                continue
+            seen.add(spec.key)
+            pending.append(spec)
+        return pending
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "cid": self.cid,
+            "tenant": self.tenant,
+            "status": self.status,
+            "n_jobs": self.n_jobs,
+            "n_done": self.n_done,
+            "n_ok": sum(
+                1 for j in self.jobs.values()
+                if j.get("status") in ("ok", "cached")
+            ),
+            "workers": self.workers,
+        }
+
+
+class JournalJobStore:
+    """Append-only JSONL journal with atomic snapshot compaction."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.root / "journal.jsonl"
+        self.snapshot_path = self.root / "snapshot.json"
+
+    # -- the JobStore protocol -----------------------------------------
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably append one event (flush + fsync before returning)."""
+        line = json.dumps(event, sort_keys=True)
+        with self.journal_path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        if not self.snapshot_path.is_file():
+            return None
+        return json.loads(self.snapshot_path.read_text(encoding="utf-8"))
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Every durable event: snapshot fold first, then the journal.
+
+        A torn *final* journal line (a crash mid-append) is skipped;
+        an unparseable interior line means real corruption and raises.
+        """
+        snap = self.snapshot()
+        if snap is not None:
+            yield from snap.get("events", [])
+        if not self.journal_path.is_file():
+            return
+        raw = self.journal_path.read_text(encoding="utf-8")
+        lines = raw.splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1 and not raw.endswith("\n"):
+                    return  # torn final append; everything before is durable
+                raise ValueError(
+                    f"corrupt journal line {i + 1} in {self.journal_path}"
+                )
+
+    def compact(self, state: Dict[str, Any]) -> None:
+        """Atomically fold history into the snapshot, truncate journal."""
+        tmp = self.snapshot_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(state, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.snapshot_path)
+        with self.journal_path.open("w", encoding="utf-8") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+class ServiceState:
+    """The pure fold of journal events into campaign records."""
+
+    def __init__(self) -> None:
+        self.campaigns: Dict[str, CampaignRecord] = {}
+        self.next_seq = 1
+
+    @classmethod
+    def fold(cls, events: Iterator[Dict[str, Any]]) -> "ServiceState":
+        state = cls()
+        for event in events:
+            state.apply(event)
+        return state
+
+    def apply(self, event: Dict[str, Any]) -> None:
+        etype = event.get("type")
+        cid = event.get("cid", "")
+        if etype == "submit":
+            self.campaigns[cid] = CampaignRecord(
+                cid=cid,
+                tenant=event.get("tenant", "default"),
+                specs=[JobSpec.from_dict(d) for d in event.get("specs", [])],
+                workers=int(event.get("workers", 1)),
+                fuse=bool(event.get("fuse", True)),
+            )
+            try:
+                self.next_seq = max(self.next_seq, int(cid[1:]) + 1)
+            except ValueError:
+                pass
+            return
+        record = self.campaigns.get(cid)
+        if record is None:
+            return  # event for a campaign compacted away
+        if etype == "job":
+            record.jobs[event["key"]] = event.get("row", {})
+            if record.status == "queued":
+                record.status = "running"
+        elif etype == "done":
+            record.status = event.get("status", "done")
+        elif etype == "cancel":
+            record.status = "cancelled"
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Re-serialize the folded state as a minimal event list."""
+        events: List[Dict[str, Any]] = []
+        for cid in sorted(self.campaigns):
+            record = self.campaigns[cid]
+            events.append({
+                "type": "submit",
+                "cid": record.cid,
+                "tenant": record.tenant,
+                "specs": [s.to_dict() for s in record.specs],
+                "workers": record.workers,
+                "fuse": record.fuse,
+            })
+            for key in sorted(record.jobs):
+                events.append({
+                    "type": "job", "cid": record.cid, "key": key,
+                    "row": record.jobs[key],
+                })
+            if record.status in TERMINAL_STATUSES:
+                etype = "cancel" if record.status == "cancelled" else "done"
+                events.append({
+                    "type": etype, "cid": record.cid,
+                    "status": record.status,
+                })
+        return events

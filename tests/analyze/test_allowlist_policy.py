@@ -1,0 +1,69 @@
+"""Policy tests over the checked-in determinism allowlist.
+
+The always-on service legitimately reads wall clocks and sockets, and
+``.repro-determinism-allow`` audits exactly those reads.  What must
+*not* happen is allowlist creep into the simulation side: the numerics
+(:mod:`repro.model`, :mod:`repro.chemistry`, ...) stay bitwise
+deterministic with no new exceptions, and the scanner itself proves the
+whole tree clean under the checked-in file.
+"""
+
+from pathlib import Path
+
+from repro.analyze import load_allowlist, scan_tree
+
+REPO = Path(__file__).resolve().parents[2]
+ALLOWLIST = REPO / ".repro-determinism-allow"
+
+#: Simulation-side packages: any new allowlist entry here is a red
+#: flag — the numerics must not grow audited nondeterminism.
+SIM_PACKAGES = (
+    "repro/model/", "repro/chemistry/", "repro/datasets/",
+    "repro/transport/", "repro/grid/", "repro/foreign/", "repro/vm/",
+)
+
+#: The audited sim-side exceptions as of PR 7 (frozen): only the
+#: chemistry backend switch, which cannot change any result.
+FROZEN_SIM_ENTRIES = {
+    ("FX052", "repro/chemistry/cfused.py", "REPRO_CHEM_NO_C"),
+}
+
+
+def test_sim_side_gained_no_new_allowlist_entries():
+    entries = load_allowlist(ALLOWLIST)
+    sim = {
+        (e.code, e.path, e.pattern)
+        for e in entries
+        if any(e.path.startswith(p) for p in SIM_PACKAGES)
+    }
+    assert sim == FROZEN_SIM_ENTRIES, (
+        "simulation-side allowlist entries changed; the numerics must "
+        "stay deterministic without new audited exceptions"
+    )
+
+
+def test_service_wall_clock_reads_are_audited():
+    entries = load_allowlist(ALLOWLIST)
+    service = {e.path: e for e in entries
+               if e.path.startswith("repro/service/")}
+    assert "repro/service/daemon.py" in service
+    assert "repro/service/client.py" in service
+    for entry in service.values():
+        assert entry.code == "FX051"  # wall-clock reads only
+        assert len(entry.rationale) > 20  # a real justification
+
+
+def test_every_entry_has_a_rationale():
+    for entry in load_allowlist(ALLOWLIST):
+        assert entry.rationale.strip(), (
+            f"allowlist line {entry.lineno} has no rationale"
+        )
+
+
+def test_tree_scans_clean_under_checked_in_allowlist():
+    report = scan_tree(REPO / "src" / "repro",
+                       allowlist=load_allowlist(ALLOWLIST))
+    assert report.exit_code == 0
+    assert not report.diagnostics, [
+        f"{d.code} {d.message}" for d in report.diagnostics
+    ]

@@ -174,6 +174,42 @@ class TestChainOrdering:
         assert any("overlap" in d.message for d in diags)
 
 
+class TestIncrementalPlans:
+    """Wave plans from the campaign service carry warm science keys."""
+
+    def _uncharged_plan(self):
+        plan = plan_campaign(machine_grid(dataset="demo", hours=1),
+                             workers=2)
+        for job in plan.jobs:
+            job.science_charged = False  # science ran in an earlier wave
+        return plan
+
+    def test_uncharged_chain_is_lenient_without_warm_set(self):
+        assert verify_chain_ordering(self._uncharged_plan()) == []
+
+    def test_uncharged_cold_chain_is_fx043_with_warm_set(self):
+        diags = verify_chain_ordering(self._uncharged_plan(),
+                                      warm_science_keys=set())
+        assert diags and all(d.code == "FX043" for d in diags)
+        assert any("not warm" in d.message for d in diags)
+
+    def test_uncharged_warm_chain_is_clean(self):
+        plan = self._uncharged_plan()
+        warm = {j.spec.science_key for j in plan.jobs}
+        assert verify_chain_ordering(plan, warm_science_keys=warm) == []
+
+    def test_verify_campaign_threads_warm_set(self):
+        plan = self._uncharged_plan()
+        specs = [j.spec for j in plan.jobs]
+        cold = verify_campaign(specs, plan=plan, warm_science_keys=set())
+        assert any(d.code == "FX043" for d in cold.diagnostics)
+        warm = verify_campaign(
+            specs, plan=plan,
+            warm_science_keys={s.science_key for s in specs},
+        )
+        assert warm.diagnostics == []
+
+
 # ---------------------------------------------------------------------------
 # FX044 / FX045 — runner policy
 # ---------------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""Golden test: the composed runner reproduces the pre-refactor run.
+
+``golden_demo_ladder.json`` was captured from the scheduler *before*
+the executor/planner/store seams were extracted (same demo ladder,
+inline executor, two workers).  The refactored
+:class:`~repro.sched.runner.CampaignRunner` must reproduce it exactly:
+same plan (chains, keys, worker placement), same job payload SHAs and
+attempt counts, same span sequence, same counters.
+"""
+
+import json
+from pathlib import Path
+
+from repro.sched import CampaignRunner, ResultCache, scaling_ladder
+
+GOLDEN = Path(__file__).parent / "golden_demo_ladder.json"
+
+
+def test_demo_ladder_matches_pre_refactor_golden(tmp_path):
+    specs = scaling_ladder(
+        dataset="demo", machine="t3e", node_counts=(1, 4, 16, 64), hours=1
+    )
+    runner = CampaignRunner(
+        ResultCache(tmp_path / "cache"), workers=2, executor="inline",
+        sleep=lambda s: None,
+    )
+    plan = runner.plan(specs)
+    report = runner.run(specs, plan=plan)
+
+    observed = {
+        "plan": {
+            "chains": [
+                [plan.jobs[i].key for i in chain] for chain in plan.chains
+            ],
+            "workers": [j.worker for j in plan.jobs],
+            "keys": [j.key for j in plan.jobs],
+        },
+        "jobs": [
+            {
+                "key": r.key,
+                "status": r.status,
+                "attempts": r.attempts,
+                "sha256": r.final_conc_sha256(),
+                "sim_total_s": (
+                    round(r.timing.total_time, 10) if r.timing else None
+                ),
+            }
+            for r in report.results
+        ],
+        "spans": [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "node": s.node,
+                "status": s.attrs.get("status"),
+                "attempts": s.attrs.get("attempts"),
+                "key": s.attrs.get("key"),
+            }
+            for s in runner.tracer.spans
+        ],
+        "counters": dict(report.counters),
+    }
+    golden = json.loads(GOLDEN.read_text())
+    assert observed == golden

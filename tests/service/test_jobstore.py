@@ -1,0 +1,105 @@
+"""Journal durability, torn-write tolerance and snapshot compaction."""
+
+import json
+
+import pytest
+
+from repro.sched import JobSpec
+from repro.service import JournalJobStore, ServiceState
+
+
+def _submit_event(cid="c000001", tenant="alice", hours=(1, 2)):
+    return {
+        "type": "submit", "cid": cid, "tenant": tenant,
+        "specs": [JobSpec(dataset="demo", hours=h).to_dict()
+                  for h in hours],
+        "workers": 2, "fuse": True,
+    }
+
+
+class TestJournal:
+    def test_append_then_events_roundtrip(self, tmp_path):
+        store = JournalJobStore(tmp_path)
+        store.append(_submit_event())
+        store.append({"type": "done", "cid": "c000001", "status": "done"})
+        events = list(store.events())
+        assert [e["type"] for e in events] == ["submit", "done"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        store = JournalJobStore(tmp_path)
+        store.append(_submit_event())
+        store.append({"type": "done", "cid": "c000001", "status": "done"})
+        # crash mid-append: a partial line with no trailing newline
+        with store.journal_path.open("a") as fh:
+            fh.write('{"type": "job", "cid"')
+        events = list(store.events())
+        assert [e["type"] for e in events] == ["submit", "done"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = JournalJobStore(tmp_path)
+        store.append(_submit_event())
+        with store.journal_path.open("a") as fh:
+            fh.write("garbage line\n")  # newline: not a torn tail
+        store.append({"type": "done", "cid": "c000001", "status": "done"})
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            list(store.events())
+
+    def test_compact_snapshots_and_truncates(self, tmp_path):
+        store = JournalJobStore(tmp_path)
+        store.append(_submit_event())
+        store.append({"type": "done", "cid": "c000001", "status": "done"})
+        state = ServiceState.fold(store.events())
+        store.compact({"events": state.to_events()})
+        assert store.journal_path.read_text() == ""
+        assert json.loads(store.snapshot_path.read_text())["events"]
+        refolded = ServiceState.fold(store.events())
+        assert refolded.campaigns["c000001"].status == "done"
+
+    def test_events_survive_compaction_plus_new_appends(self, tmp_path):
+        store = JournalJobStore(tmp_path)
+        store.append(_submit_event("c000001"))
+        store.compact(
+            {"events": ServiceState.fold(store.events()).to_events()}
+        )
+        store.append(_submit_event("c000002", tenant="bob"))
+        state = ServiceState.fold(store.events())
+        assert sorted(state.campaigns) == ["c000001", "c000002"]
+        assert state.next_seq == 3
+
+
+class TestServiceState:
+    def test_fold_tracks_jobs_and_status(self):
+        state = ServiceState()
+        state.apply(_submit_event())
+        spec = JobSpec(dataset="demo", hours=1)
+        state.apply({
+            "type": "job", "cid": "c000001", "key": spec.key,
+            "row": {"status": "ok"},
+        })
+        record = state.campaigns["c000001"]
+        assert record.status == "running"
+        assert record.n_done == 1
+        assert [s.hours for s in record.pending_specs()] == [2]
+
+    def test_cancel_is_terminal(self):
+        state = ServiceState()
+        state.apply(_submit_event())
+        state.apply({"type": "cancel", "cid": "c000001"})
+        assert state.campaigns["c000001"].status == "cancelled"
+
+    def test_events_for_unknown_campaign_are_ignored(self):
+        state = ServiceState()
+        state.apply({"type": "job", "cid": "c999999", "key": "k",
+                     "row": {}})
+        assert state.campaigns == {}
+
+    def test_to_events_is_a_fixed_point(self):
+        state = ServiceState()
+        state.apply(_submit_event())
+        spec = JobSpec(dataset="demo", hours=1)
+        state.apply({
+            "type": "job", "cid": "c000001", "key": spec.key,
+            "row": {"status": "ok"},
+        })
+        refolded = ServiceState.fold(iter(state.to_events()))
+        assert refolded.to_events() == state.to_events()

@@ -184,7 +184,17 @@ class TestCampaign:
 
         rc = main(["campaign", "status", "--cache-dir", cache])
         assert rc == 0
-        assert "2 cached job(s)" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "2 cached job(s)" in out
+        assert "cache counters:" in out          # hit/miss/eviction totals
+        assert "jobs shards:" in out             # per-shard occupancy
+
+        rc = main(["campaign", "status", "--cache-dir", cache, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["jobs"]) == 2
+        assert doc["cache"]["total_entries"] == 3  # 1 science + 2 jobs
+        assert doc["cache"]["counters"]["corrupt_entries"] == 0
 
         rc = main(base + ["--json"])
         assert rc == 0
@@ -220,6 +230,57 @@ class TestCampaign:
                    "--cache-dir", str(tmp_path / "empty")])
         assert rc == 0
         assert "no cached jobs" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.root == ".repro-service"
+        assert args.port == 8642
+        assert args.workers == 4
+        assert args.executor == "thread"
+        assert args.cache_shards == 16
+        assert args.cache_max_bytes is None
+
+    def test_bad_tenant_weight_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="tenant-weight"):
+            main(["serve", "--tenant-weight", "alice"])
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["serve", "--tenant-weight", "alice=fast"])
+
+    def test_campaign_run_server_defaults(self):
+        args = build_parser().parse_args(["campaign", "run"])
+        assert args.server is None
+        assert args.tenant == "default"
+
+    def test_campaign_run_against_live_service(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import CampaignService, build_http_server
+
+        service = CampaignService(tmp_path / "svc", workers=2,
+                                  executor="inline")
+        server = build_http_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        service.start()
+        host, port = server.server_address[:2]
+        try:
+            rc = main(["campaign", "run", "--sweep", "ladder",
+                       "--dataset", "demo", "--hours", "1",
+                       "--nodes", "4", "16",
+                       "--server", f"http://{host}:{port}",
+                       "--tenant", "alice"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "submitted campaign c000001" in out
+            assert "done (2/2 ok)" in out
+        finally:
+            server.shutdown()
+            service.stop()
 
 
 class TestBench:

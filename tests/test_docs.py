@@ -25,6 +25,7 @@ def test_required_docs_exist():
     assert (ROOT / "docs" / "ANALYZE.md").is_file()
     assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
     assert (ROOT / "docs" / "SCHEDULER.md").is_file()
+    assert (ROOT / "docs" / "SERVICE.md").is_file()
 
 
 def test_performance_doc_is_linked_and_current():
@@ -104,6 +105,27 @@ def test_scheduler_doc_is_linked_and_current():
                      "python -m repro campaign",
                      "campaign_sweep.py"):
         assert artifact in sched, f"SCHEDULER.md no longer mentions {artifact}"
+
+
+def test_service_doc_is_linked_and_current():
+    """SERVICE.md is reachable and names the real artifacts."""
+    assert "docs/SERVICE.md" in (ROOT / "README.md").read_text()
+    assert "SERVICE.md" in (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    assert "SERVICE.md" in (ROOT / "docs" / "SCHEDULER.md").read_text()
+    text = (ROOT / "docs" / "SERVICE.md").read_text()
+    for artifact in ("repro.service", "JournalJobStore", "FairShareQueue",
+                     "CampaignService", "ShardedResultCache",
+                     "ServiceClient", "python -m repro serve", "--server",
+                     "--tenant-weight", "fair-share", "/api/submit",
+                     "journal.jsonl", "warm_science_keys"):
+        assert artifact in text, f"SERVICE.md no longer mentions {artifact}"
+
+
+def test_serve_subcommand_is_documented():
+    """The service entry point is reachable from the README."""
+    assert "serve" in _parser_subcommands()
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro serve" in readme
 
 
 def test_campaign_and_bench_subcommands_are_documented():
