@@ -15,6 +15,12 @@ like:
     One sequential LA chemistry hour (real numerics); also reports the
     SHA-256 of the final concentration field, which must equal the
     baseline hash — the overhaul's contract is *faster, bitwise equal*.
+``chemistry_hour_la_mc4``
+    The same LA chemistry hour on a 4-wide tiled worker pool
+    (``chem_workers=4``), baselined against the *single-core* median
+    and hash: the speedup is the multi-core gain and the hash check
+    pins bitwise identity of the tiled path.  The run meta's
+    ``host_cores`` qualifies the wall number on narrow hosts.
 ``plan_redistribution_cold_p64``
     Plan the main loop's four redistribution pairs from a cold cache.
 ``replay_synthetic_2h_t3e_p64``
@@ -51,6 +57,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
 import statistics
 import sys
@@ -142,8 +149,7 @@ def bench_charge_comm(reps: int = 7) -> Dict[str, float]:
     return {"median_s": _median(charge_once, reps)}
 
 
-def bench_chemistry_hour(reps: int = 3) -> Dict[str, object]:
-    cfg = AirshedConfig(dataset=make_la(), hours=1, start_hour=12)
+def _time_chemistry_hour(cfg: AirshedConfig, reps: int) -> Dict[str, object]:
     times = []
     digest: Optional[str] = None
     for _ in range(reps):
@@ -152,6 +158,28 @@ def bench_chemistry_hour(reps: int = 3) -> Dict[str, object]:
         times.append(time.perf_counter() - t0)
         digest = hashlib.sha256(res.final_conc.tobytes()).hexdigest()
     return {"median_s": statistics.median(times), "final_conc_sha256": digest}
+
+
+def bench_chemistry_hour(reps: int = 3) -> Dict[str, object]:
+    cfg = AirshedConfig(dataset=make_la(), hours=1, start_hour=12)
+    return _time_chemistry_hour(cfg, reps)
+
+
+def bench_chemistry_hour_mc(reps: int = 3, workers: int = 4) -> Dict[str, object]:
+    """The LA chemistry hour on a 4-wide tiled worker pool.
+
+    Baselined against the single-core fused-kernel median and hash:
+    ``speedup_vs_baseline`` is the multi-core gain and
+    ``bitwise_identical`` pins the tiled result to the sequential
+    golden.  ``host_cores`` in the run meta qualifies the wall number —
+    on fewer physical cores than ``chem_workers`` the speedup is
+    bounded by the hardware, never the identity.
+    """
+    cfg = AirshedConfig(dataset=make_la(), hours=1, start_hour=12,
+                        chem_workers=workers)
+    out = _time_chemistry_hour(cfg, reps)
+    out["chem_workers"] = workers
+    return out
 
 
 def bench_plan_cold(reps: int = 7) -> Dict[str, float]:
@@ -237,6 +265,7 @@ BENCHES = {
     "replay_2la_t3e_p64": (False, bench_replay_la),
     "charge_comm_allgather_p64_x10": (True, bench_charge_comm),
     "chemistry_hour_la": (False, bench_chemistry_hour),
+    "chemistry_hour_la_mc4": (False, bench_chemistry_hour_mc),
     "plan_redistribution_cold_p64": (True, bench_plan_cold),
     "replay_synthetic_2h_t3e_p64": (True, bench_replay_synthetic),
     "ensemble_4demo_batched": (True, bench_ensemble_demo),
@@ -270,6 +299,7 @@ def run_suite(quick: bool = False,
             "mode": "quick" if quick else "full",
             "numpy": np.__version__,
             "python": platform.python_version(),
+            "host_cores": os.cpu_count(),
             "baseline": str(baseline_path.relative_to(REPO_ROOT))
             if baseline_path.is_relative_to(REPO_ROOT) else str(baseline_path),
         },
@@ -280,8 +310,12 @@ def load_history(path: Path) -> Dict[str, object]:
     """The run history at ``path``, migrating pre-history files.
 
     The original format was one bare report (``{"benchmarks": ...,
-    "meta": ...}``); it becomes the history's first record, with a
-    ``null`` timestamp.  Unreadable files start a fresh history.
+    "meta": ...}``); it becomes the history's first record.  Bare
+    reports and history records whose timestamp is a legacy ``null``
+    are stamped with the file's mtime — the closest honest UTC time
+    for a record that never carried one — so the next ``append_run``
+    rewrite heals the file in place.  Unreadable files start a fresh
+    history.
     """
     if not path.exists():
         return {"runs": []}
@@ -289,10 +323,20 @@ def load_history(path: Path) -> Dict[str, object]:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return {"runs": []}
+
+    def _stamp():
+        return datetime.fromtimestamp(
+            path.stat().st_mtime, timezone.utc).isoformat(timespec="seconds")
+
     if isinstance(data, dict) and isinstance(data.get("runs"), list):
-        return {"runs": data["runs"]}
+        runs = [dict(r) for r in data["runs"] if isinstance(r, dict)]
+        for run in runs:
+            if not run.get("timestamp"):
+                run["timestamp"] = _stamp()
+        return {"runs": runs}
     if isinstance(data, dict) and "benchmarks" in data:
-        data.setdefault("timestamp", None)
+        if not data.get("timestamp"):
+            data["timestamp"] = _stamp()
         return {"runs": [data]}
     return {"runs": []}
 
@@ -351,6 +395,12 @@ def main(argv=None) -> int:
         print(line)
     print(f"appended run to {args.out} "
           f"({len(history['runs'])} run(s) in history)")
+    for run in history["runs"][-5:]:
+        # Legacy records may carry a null timestamp; render, don't crash.
+        stamp = run.get("timestamp") or "(no timestamp)"
+        mode = (run.get("meta") or {}).get("mode", "?")
+        print(f"  {stamp}  {mode}  {len(run.get('benchmarks') or {})} "
+              "benchmark(s)")
     for msg in failed:
         print(f"FAIL: {msg}", file=sys.stderr)
     return 1 if failed else 0

@@ -89,6 +89,51 @@ class CFused:
             _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
         ]
         self.scatter_cols.restype = None
+        # Column-span variants for the tiled multi-core engine.  Same
+        # per-element operation sequences restricted to [col0, col1);
+        # ctypes releases the GIL around each call, so tiles on pool
+        # threads genuinely overlap.
+        self.build_rates_span = lib.yb_build_rates_span
+        self.build_rates_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
+            _c_vp,
+        ]
+        self.build_rates_span.restype = None
+        self.pl_finish_span = lib.yb_pl_finish_span
+        self.pl_finish_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp,
+        ]
+        self.pl_finish_span.restype = None
+        self.predictor_span = lib.yb_predictor_span
+        self.predictor_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
+            _c_vp, ctypes.c_double, ctypes.c_double, _c_i64,
+            _c_vp, _c_vp, _c_vp, _c_vp,
+        ]
+        self.predictor_span.restype = _c_i64
+        self.corrector_span = lib.yb_corrector_span
+        self.corrector_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
+            _c_vp, _c_vp, _c_vp, _c_vp, ctypes.c_double, ctypes.c_double,
+            _c_i64, _c_vp, _c_vp, _c_vp, _c_vp,
+        ]
+        self.corrector_span.restype = _c_i64
+        self.gather_cols_span = lib.yb_gather_cols_span
+        self.gather_cols_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp,
+        ]
+        self.gather_cols_span.restype = None
+        self.scatter_cols_span = lib.yb_scatter_cols_span
+        self.scatter_cols_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp,
+            _c_vp,
+        ]
+        self.scatter_cols_span.restype = None
+        self.errmax_span = lib.yb_errmax_span
+        self.errmax_span.argtypes = [
+            _c_i64, _c_i64, _c_i64, _c_i64, _c_vp, _c_vp, _c_vp,
+        ]
+        self.errmax_span.restype = None
 
 
 def _compile() -> Optional[Path]:

@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.chemistry import cfused
 from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.tiling import TilePool, tile_spans
 
 __all__ = ["FastKernel", "asymptotic_subset"]
 
@@ -98,10 +99,15 @@ class FastKernel:
         self._c = cfused.load() if use_c in (None, True) else None
         if use_c and self._c is None:
             raise RuntimeError("C fused kernels requested but unavailable")
+        #: Multi-core tiling (see configure_tiling); None = sequential.
+        self._pool: Optional[TilePool] = None
+        self._tile_cols: Optional[int] = None
+        self._tile_min_cols = 128
         self.capacity = 0
         self._flat: Dict[str, np.ndarray] = {}
         self._stiff_flat: np.ndarray = np.zeros(0, dtype=bool)
         self._stiff_idx: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._stiff_merge: np.ndarray = np.zeros(0, dtype=np.int64)
         self._err: np.ndarray = np.zeros(0)
         #: Raw buffer addresses for the C kernels, refreshed by ensure().
         self._addr: Dict[str, int] = {}
@@ -128,6 +134,8 @@ class FastKernel:
             self._flat[name] = np.empty(self.nr * self.capacity)
         self._stiff_flat = np.empty(self.ns * self.capacity, dtype=bool)
         self._stiff_idx = np.empty(self.ns * self.capacity, dtype=np.int64)
+        self._stiff_merge = np.empty(self.ns * self.capacity,
+                                     dtype=np.int64)
         self._err = np.empty(self.capacity)
         self._addr = {name: arr.ctypes.data for name, arr in
                       self._flat.items()}
@@ -143,6 +151,59 @@ class FastKernel:
     def stiff_mask(self, m: int) -> np.ndarray:
         """Contiguous ``(ns, m)`` bool scratch for stiffness masks."""
         return self._stiff_flat[: self.ns * m].reshape(self.ns, m)
+
+    # ------------------------------------------------------------------
+    # multi-core tiling
+    # ------------------------------------------------------------------
+    def configure_tiling(
+        self,
+        pool: Optional[TilePool],
+        tile_cols: Optional[int] = None,
+        min_cols: int = 128,
+    ) -> None:
+        """Fan elementwise stages out over ``pool`` (``None`` disables).
+
+        Columns split into contiguous tiles (``tile_cols`` wide, or one
+        balanced tile per pool worker when ``None``); each tile runs the
+        exact per-element operation sequence of the sequential stage and
+        writes a disjoint column range, so results are bitwise-identical
+        for every worker count and tile size (see
+        :mod:`repro.chemistry.tiling`).  The BLAS matmuls, ``np.exp``
+        asymptotic updates and the stiff-index merge stay on the calling
+        thread.  Stages with fewer than ``min_cols`` active columns run
+        untiled — dispatch overhead would exceed the work; perf-only,
+        never a results choice.
+        """
+        self._pool = pool
+        self._tile_cols = None if tile_cols is None else int(tile_cols)
+        self._tile_min_cols = int(min_cols)
+
+    def _spans(self, m: int):
+        """Tile spans for an ``m``-column stage, or None to run untiled."""
+        if self._pool is None or m < self._tile_min_cols:
+            return None
+        spans = tile_spans(m, self._pool.workers, self._tile_cols)
+        return spans if len(spans) > 1 else None
+
+    def _merge_stiff(self, spans, counts) -> np.ndarray:
+        """Merge per-tile stiff indices into the sequential enumeration.
+
+        Tile ``(c0, c1)`` wrote its stiff elements' GLOBAL row-major
+        flat indices at segment offset ``ns*c0`` of ``_stiff_idx``
+        (ascending within the tile).  The tiles partition the column
+        set, so the sorted concatenation is exactly the full-width
+        ascending enumeration the sequential kernel returns.
+        """
+        total = 0
+        merge = self._stiff_merge
+        for (c0, _c1), cnt in zip(spans, counts):
+            if cnt:
+                base = self.ns * c0
+                merge[total:total + cnt] = self._stiff_idx[base:base + cnt]
+                total += cnt
+        out = merge[:total]
+        out.sort()
+        return out
 
     # ------------------------------------------------------------------
     # mechanism evaluation
@@ -176,25 +237,64 @@ class FastKernel:
         P = self.mat(f"P{slot}", m)
         L = self.mat(f"L{slot}", m)
         self._pl_pending[slot] = False
+        spans = self._spans(m)
         if self._c is not None and conc.flags.c_contiguous:
             a = self._addr
             conc_p = conc.ctypes.data
-            self._c.build_rates(self.nr, m, k.ctypes.data, a["r1"],
-                                a["r2"], conc_p, a["rates"])
+            if spans is None:
+                self._c.build_rates(self.nr, m, k.ctypes.data, a["r1"],
+                                    a["r2"], conc_p, a["rates"])
+            else:
+                kp = k.ctypes.data
+                self._pool.run(
+                    lambda si, s0, s1: self._c.build_rates_span(
+                        self.nr, m, s0, s1, kp, a["r1"], a["r2"],
+                        conc_p, a["rates"]),
+                    spans)
             self._pl_matmuls(rates, P, L, col_slices)
             if defer_finish:
                 self._pl_pending[slot] = True
-            else:
+            elif spans is None:
                 self._c.pl_finish(self.ns * m, conc_p, a[f"L{slot}"])
+            else:
+                Lp = a[f"L{slot}"]
+                self._pool.run(
+                    lambda si, s0, s1: self._c.pl_finish_span(
+                        self.ns, m, s0, s1, conc_p, Lp),
+                    spans)
             return P, L
         fac = self._flat["fac"][: self.nr * m].reshape(self.nr, m)
+        t = self.mat("t0", m)
+        if spans is not None:
+            # rates = k * conc[r1] (* conc[r2] when bimolecular), per
+            # tile: pure elementwise work on disjoint column slices.
+            def _rates_tile(si: int, s0: int, s1: int) -> None:
+                cs = conc[:, s0:s1]
+                rs = rates[:, s0:s1]
+                fs = fac[:, s0:s1]
+                np.take(cs, self._r1, axis=0, out=rs)
+                np.multiply(rs, k[:, None], out=rs)
+                np.take(cs, self._r2_safe, axis=0, out=fs)
+                fs[self._unimol_rows] = 1.0
+                np.multiply(rs, fs, out=rs)
+
+            self._pool.run(_rates_tile, spans)
+            self._pl_matmuls(rates, P, L, col_slices)
+
+            def _finish_tile(si: int, s0: int, s1: int) -> None:
+                ts = t[:, s0:s1]
+                Ls = L[:, s0:s1]
+                np.maximum(conc[:, s0:s1], 1e-30, out=ts)
+                np.divide(Ls, ts, out=Ls)
+
+            self._pool.run(_finish_tile, spans)
+            return P, L
         # rates = k * conc[r1]; bimolecular rows gain a conc[r2] factor.
         np.take(conc, self._r1, axis=0, out=rates)
         np.multiply(rates, k[:, None], out=rates)
         np.take(conc, self._r2_safe, axis=0, out=fac)
         fac[self._unimol_rows] = 1.0
         np.multiply(rates, fac, out=rates)
-        t = self.mat("t0", m)
         self._pl_matmuls(rates, P, L, col_slices)  # L: rate until divided
         np.maximum(conc, 1e-30, out=t)
         np.divide(L, t, out=L)
@@ -246,28 +346,66 @@ class FastKernel:
         cp = self.mat("cp", m)
         divide = self._pl_pending[0]
         self._pl_pending[0] = False
+        spans = self._spans(m)
         if self._c is not None and c0.flags.c_contiguous and (
             Ea is None or Ea.flags.c_contiguous
         ):
             a = self._addr
-            n = self._c.predictor(
-                self.ns, m, a["P0"], a["L0"], c0.ctypes.data,
-                h.ctypes.data, None if Ea is None else Ea.ctypes.data,
-                thresh, floor, int(divide),
-                a["Lh"], a["R0"], a["cp"], a["stiff_idx"],
-            )
-            return cp, Lh, R0, self._stiff_idx[:n]
+            if spans is None:
+                n = self._c.predictor(
+                    self.ns, m, a["P0"], a["L0"], c0.ctypes.data,
+                    h.ctypes.data, None if Ea is None else Ea.ctypes.data,
+                    thresh, floor, int(divide),
+                    a["Lh"], a["R0"], a["cp"], a["stiff_idx"],
+                )
+                return cp, Lh, R0, self._stiff_idx[:n]
+            c0p, hp = c0.ctypes.data, h.ctypes.data
+            Eap = None if Ea is None else Ea.ctypes.data
+            counts = [0] * len(spans)
+
+            def _pred_tile(si: int, s0: int, s1: int) -> None:
+                # each tile's stiff indices land in its own disjoint
+                # _stiff_idx segment (element offset ns*s0).
+                counts[si] = self._c.predictor_span(
+                    self.ns, m, s0, s1, a["P0"], a["L0"], c0p, hp, Eap,
+                    thresh, floor, int(divide),
+                    a["Lh"], a["R0"], a["cp"],
+                    a["stiff_idx"] + 8 * self.ns * s0,
+                )
+
+            self._pool.run(_pred_tile, spans)
+            return cp, Lh, R0, self._merge_stiff(spans, counts)
+        sm = self.stiff_mask(m)
+        t0 = self.mat("t0", m)
+        t1 = self.mat("t1", m)
+        if spans is not None:
+            def _pred_tile(si: int, s0: int, s1: int) -> None:
+                L0s, c0s = L0[:, s0:s1], c0[:, s0:s1]
+                if divide:
+                    np.maximum(c0s, 1e-30, out=t1[:, s0:s1])
+                    np.divide(L0s, t1[:, s0:s1], out=L0s)
+                if Ea is not None:
+                    np.add(P0[:, s0:s1], Ea[:, s0:s1], out=P0[:, s0:s1])
+                np.multiply(L0s, h[s0:s1], out=Lh[:, s0:s1])
+                np.greater(Lh[:, s0:s1], thresh, out=sm[:, s0:s1])
+                np.multiply(L0s, c0s, out=t0[:, s0:s1])
+                np.subtract(P0[:, s0:s1], t0[:, s0:s1], out=R0[:, s0:s1])
+                np.multiply(R0[:, s0:s1], h[s0:s1], out=cp[:, s0:s1])
+                np.add(c0s, cp[:, s0:s1], out=cp[:, s0:s1])
+                np.maximum(cp[:, s0:s1], floor, out=cp[:, s0:s1])
+
+            self._pool.run(_pred_tile, spans)
+            # full-mask flatnonzero on the main thread reproduces the
+            # sequential ascending enumeration with no index math.
+            return cp, Lh, R0, np.flatnonzero(sm)
         if divide:
-            t1 = self.mat("t1", m)
             np.maximum(c0, 1e-30, out=t1)
             np.divide(L0, t1, out=L0)
         if Ea is not None:
             np.add(P0, Ea, out=P0)
         np.multiply(L0, h, out=Lh)
-        sm = self.stiff_mask(m)
         np.greater(Lh, thresh, out=sm)
         flat = np.flatnonzero(sm)
-        t0 = self.mat("t0", m)
         np.multiply(L0, c0, out=t0)
         np.subtract(P0, t0, out=R0)
         np.multiply(R0, h, out=cp)
@@ -302,18 +440,60 @@ class FastKernel:
         c1 = self.mat("c1", m)
         divide = self._pl_pending[1]
         self._pl_pending[1] = False
+        spans = self._spans(m)
         if self._c is not None and c0.flags.c_contiguous and (
             Ea is None or Ea.flags.c_contiguous
         ):
             a = self._addr
-            n = self._c.corrector(
-                self.ns, m, a["P1"], a["L0"], a["L1"], a["R0"], a["cp"],
-                c0.ctypes.data, h.ctypes.data,
-                None if Ea is None else Ea.ctypes.data,
-                thresh, floor, int(divide),
-                a["t0"], a["Lh"], a["c1"], a["stiff_idx"],
-            )
-            return c1, Lm, Lmh, self._stiff_idx[:n]
+            if spans is None:
+                n = self._c.corrector(
+                    self.ns, m, a["P1"], a["L0"], a["L1"], a["R0"],
+                    a["cp"], c0.ctypes.data, h.ctypes.data,
+                    None if Ea is None else Ea.ctypes.data,
+                    thresh, floor, int(divide),
+                    a["t0"], a["Lh"], a["c1"], a["stiff_idx"],
+                )
+                return c1, Lm, Lmh, self._stiff_idx[:n]
+            c0p, hp = c0.ctypes.data, h.ctypes.data
+            Eap = None if Ea is None else Ea.ctypes.data
+            counts = [0] * len(spans)
+
+            def _corr_tile(si: int, s0: int, s1: int) -> None:
+                counts[si] = self._c.corrector_span(
+                    self.ns, m, s0, s1, a["P1"], a["L0"], a["L1"],
+                    a["R0"], a["cp"], c0p, hp, Eap,
+                    thresh, floor, int(divide),
+                    a["t0"], a["Lh"], a["c1"],
+                    a["stiff_idx"] + 8 * self.ns * s0,
+                )
+
+            self._pool.run(_corr_tile, spans)
+            return c1, Lm, Lmh, self._merge_stiff(spans, counts)
+        sm = self.stiff_mask(m)
+        t1 = self.mat("t1", m)
+        if spans is not None:
+            def _corr_tile(si: int, s0: int, s1: int) -> None:
+                L1s, cps = L1[:, s0:s1], cp[:, s0:s1]
+                c1s = c1[:, s0:s1]
+                if divide:
+                    np.maximum(cps, 1e-30, out=c1s)  # c1 scratch
+                    np.divide(L1s, c1s, out=L1s)
+                if Ea is not None:
+                    np.add(P1[:, s0:s1], Ea[:, s0:s1], out=P1[:, s0:s1])
+                np.add(L0[:, s0:s1], L1s, out=Lm[:, s0:s1])
+                np.multiply(Lm[:, s0:s1], 0.5, out=Lm[:, s0:s1])
+                np.multiply(Lm[:, s0:s1], h[s0:s1], out=Lmh[:, s0:s1])
+                np.greater(Lmh[:, s0:s1], thresh, out=sm[:, s0:s1])
+                t1s = t1[:, s0:s1]
+                np.multiply(L1s, cps, out=t1s)
+                np.subtract(P1[:, s0:s1], t1s, out=t1s)
+                np.add(R0[:, s0:s1], t1s, out=t1s)
+                np.multiply(t1s, 0.5 * h[s0:s1], out=t1s)
+                np.add(c0[:, s0:s1], t1s, out=c1s)
+                np.maximum(c1s, floor, out=c1s)
+
+            self._pool.run(_corr_tile, spans)
+            return c1, Lm, Lmh, np.flatnonzero(sm)
         if divide:
             np.maximum(cp, 1e-30, out=c1)  # c1 is scratch until written
             np.divide(L1, c1, out=L1)
@@ -322,10 +502,8 @@ class FastKernel:
         np.add(L0, L1, out=Lm)
         np.multiply(Lm, 0.5, out=Lm)
         np.multiply(Lm, h, out=Lmh)
-        sm = self.stiff_mask(m)
         np.greater(Lmh, thresh, out=sm)
         flatm = np.flatnonzero(sm)
-        t1 = self.mat("t1", m)
         np.multiply(L1, cp, out=t1)
         np.subtract(P1, t1, out=t1)
         np.add(R0, t1, out=t1)  # (P0 - L0*c0) + (P1 - L1*cp)
@@ -342,12 +520,35 @@ class FastKernel:
         final values enter the test.
         """
         m = c1.shape[1]
+        spans = self._spans(m)
         if self._c is not None and c1.flags.c_contiguous \
                 and cp.flags.c_contiguous:
-            self._c.errmax(self.ns, m, c1.ctypes.data, cp.ctypes.data,
-                           self._addr["err"])
+            if spans is None:
+                self._c.errmax(self.ns, m, c1.ctypes.data,
+                               cp.ctypes.data, self._addr["err"])
+            else:
+                c1p, cpp = c1.ctypes.data, cp.ctypes.data
+                ep = self._addr["err"]
+                self._pool.run(
+                    lambda si, s0, s1: self._c.errmax_span(
+                        self.ns, m, s0, s1, c1p, cpp, ep),
+                    spans)
             return self._err[:m]
         t0, t1 = self.mat("t0", m), self.mat("t1", m)
+        if spans is not None:
+            err = self._err[:m]
+
+            def _err_tile(si: int, s0: int, s1: int) -> None:
+                t0s, t1s = t0[:, s0:s1], t1[:, s0:s1]
+                np.subtract(c1[:, s0:s1], cp[:, s0:s1], out=t0s)
+                np.abs(t0s, out=t0s)
+                np.maximum(c1[:, s0:s1], cp[:, s0:s1], out=t1s)
+                np.maximum(t1s, 1e-7, out=t1s)
+                np.divide(t0s, t1s, out=t0s)
+                t0s.max(axis=0, out=err[s0:s1])
+
+            self._pool.run(_err_tile, spans)
+            return err
         np.subtract(c1, cp, out=t0)
         np.abs(t0, out=t0)
         np.maximum(c1, cp, out=t1)
@@ -358,21 +559,41 @@ class FastKernel:
     # ------------------------------------------------------------------
     # batched-ensemble data movement
     # ------------------------------------------------------------------
-    def gather_cols(self, src: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Gather ``src[:, idx]`` into the ``c0`` workspace buffer.
+    def gather_cols(
+        self, src: np.ndarray, idx: np.ndarray, name: str = "c0",
+    ) -> np.ndarray:
+        """Gather ``src[:, idx]`` into the named workspace buffer.
 
         Pure data movement (bitwise-trivial); the C backend fuses the
         column gather into one pass, which matters when the batched
         ensemble sweep gathers hundreds of thousands of columns per
         adaptive iteration.  ``idx`` must be int64 and ascending-sorted
-        the way the callers produce it.
+        the way the callers produce it.  ``name`` defaults to the
+        solver's ``c0`` state buffer; the tiled solver also gathers
+        emissions into ``Ea``.
         """
         m = idx.size
-        out = self.mat("c0", m)
+        out = self.mat(name, m)
+        spans = self._spans(m)
         if self._c is not None and src.flags.c_contiguous \
                 and idx.flags.c_contiguous:
-            self._c.gather_cols(self.ns, src.shape[1], m, src.ctypes.data,
-                                idx.ctypes.data, self._addr["c0"])
+            if spans is None:
+                self._c.gather_cols(self.ns, src.shape[1], m,
+                                    src.ctypes.data, idx.ctypes.data,
+                                    self._addr[name])
+            else:
+                sp, ip = src.ctypes.data, idx.ctypes.data
+                ncols, op = src.shape[1], self._addr[name]
+                self._pool.run(
+                    lambda si, s0, s1: self._c.gather_cols_span(
+                        self.ns, ncols, m, s0, s1, sp, ip, op),
+                    spans)
+            return out
+        if spans is not None:
+            self._pool.run(
+                lambda si, s0, s1: np.take(
+                    src, idx[s0:s1], axis=1, out=out[:, s0:s1]),
+                spans)
             return out
         np.take(src, idx, axis=1, out=out)
         return out
@@ -385,13 +606,32 @@ class FastKernel:
 
         The accepted-substep scatter ``dst[:, idx[ok]] = src[:, ok]``
         without materializing the intermediate fancy-index arrays.
+        Tiles write disjoint destination columns (``idx`` ascending),
+        so the tiled scatter is race-free and bit-identical.
         """
+        spans = self._spans(idx.size)
         if self._c is not None and dst.flags.c_contiguous \
                 and src.flags.c_contiguous and idx.flags.c_contiguous \
                 and ok.flags.c_contiguous:
-            self._c.scatter_cols(self.ns, dst.shape[1], idx.size,
-                                 src.ctypes.data, idx.ctypes.data,
-                                 ok.ctypes.data, dst.ctypes.data)
+            if spans is None:
+                self._c.scatter_cols(self.ns, dst.shape[1], idx.size,
+                                     src.ctypes.data, idx.ctypes.data,
+                                     ok.ctypes.data, dst.ctypes.data)
+                return
+            sp, ip = src.ctypes.data, idx.ctypes.data
+            okp, dp = ok.ctypes.data, dst.ctypes.data
+            ncols = dst.shape[1]
+            self._pool.run(
+                lambda si, s0, s1: self._c.scatter_cols_span(
+                    self.ns, ncols, idx.size, s0, s1, sp, ip, okp, dp),
+                spans)
+            return
+        if spans is not None:
+            self._pool.run(
+                lambda si, s0, s1: dst.__setitem__(
+                    (slice(None), idx[s0:s1][ok[s0:s1]]),
+                    src[:, s0:s1][:, ok[s0:s1]]),
+                spans)
             return
         dst[:, idx[ok]] = src[:, ok]
 

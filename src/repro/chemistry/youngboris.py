@@ -117,6 +117,13 @@ class YoungBorisSolver:
         (:mod:`repro.chemistry.kernel`).  Results are bitwise identical
         to the reference path; ``fast=False`` keeps the original
         allocation-per-substep implementation for cross-checking.
+    workers / tile_cols / tile_min_cols:
+        Multi-core tiling of the fast kernel's elementwise stages
+        (:mod:`repro.chemistry.tiling`).  ``workers > 1`` (or an
+        explicit ``tile_cols``) fans columns out over a persistent
+        thread pool; results stay bitwise identical for every worker
+        count and tile size, so this is purely a wall-clock knob.
+        Ignored by the ``fast=False`` reference path.
     """
 
     def __init__(
@@ -129,6 +136,9 @@ class YoungBorisSolver:
         h_max: float = 20.0,
         floor: float = 0.0,
         fast: bool = True,
+        workers: int = 1,
+        tile_cols: Optional[int] = None,
+        tile_min_cols: int = 128,
     ) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -136,6 +146,8 @@ class YoungBorisSolver:
             raise ValueError("bad substep bounds")
         if h_max <= 0:
             raise ValueError("h_max must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.mechanism = mechanism
         self.eps = float(eps)
         self.stiff_threshold = float(stiff_threshold)
@@ -144,14 +156,37 @@ class YoungBorisSolver:
         self.h_max = float(h_max)
         self.floor = float(floor)
         self.fast = bool(fast)
+        self.workers = int(workers)
+        self.tile_cols = None if tile_cols is None else int(tile_cols)
+        self.tile_min_cols = int(tile_min_cols)
         self._kern: Optional["FastKernel"] = None
+        self._pool = None
 
     def _kernel(self) -> "FastKernel":
         if self._kern is None:
             from repro.chemistry.kernel import FastKernel
 
             self._kern = FastKernel(self.mechanism)
+            if self.workers > 1 or self.tile_cols is not None:
+                from repro.chemistry.tiling import TilePool
+
+                self._pool = TilePool(self.workers)
+                self._kern.configure_tiling(
+                    self._pool, self.tile_cols, self.tile_min_cols
+                )
         return self._kern
+
+    def close(self) -> None:
+        """Release the tile worker pool (idempotent; pool is lazy)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            if self._kern is not None:
+                self._kern.configure_tiling(None)
+
+    def tile_stats(self) -> list:
+        """Per-worker ``{worker, busy_s, tasks, cols}`` accounting."""
+        return [] if self._pool is None else self._pool.snapshot()
 
     # ------------------------------------------------------------------
     def choose_substeps(
@@ -436,7 +471,9 @@ class YoungBorisSolver:
         P0, L0 = kern.mat("P0", m), kern.mat("L0", m)
         Ea = None
         if E is not None:
-            Ea = E if full else np.take(E, idx, axis=1, out=kern.mat("Ea", m))
+            # gather_cols tiles the column gather when a pool is
+            # configured; pure data movement either way.
+            Ea = E if full else kern.gather_cols(E, idx, name="Ea")
 
         # --- predictor -------------------------------------------------
         cp, Lh, _R0, flat = kern.predictor(

@@ -44,6 +44,7 @@ import argparse
 import json
 import pickle
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -108,7 +109,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"building dataset {args.dataset!r}...")
     dataset = get_dataset(args.dataset)
     config = AirshedConfig(
-        dataset=dataset, hours=args.hours, start_hour=args.start_hour
+        dataset=dataset, hours=args.hours, start_hour=args.start_hour,
+        chem_workers=args.chem_workers, chem_tile_cols=args.chem_tile_cols,
     )
     print(f"simulating {args.hours} hours (real numerics)...")
     result = SequentialAirshed(config).run()
@@ -326,6 +328,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _campaign_specs(args: argparse.Namespace) -> List[JobSpec]:
+    specs = _sweep_specs(args)
+    if getattr(args, "chem_workers", 1) > 1:
+        # cores_per_job is presentation-only (bitwise-invariant), so
+        # stamping it here never changes job keys or cache hits.
+        specs = [replace(s, cores_per_job=args.chem_workers) for s in specs]
+    return specs
+
+
+def _sweep_specs(args: argparse.Namespace) -> List[JobSpec]:
     if args.sweep == "machines":
         return machine_grid(
             dataset=args.dataset,
@@ -407,7 +418,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.action == "plan":
         plan = plan_campaign(specs, workers=args.workers,
                              cost_model=cost_model, cache=cache,
-                             fuse_ensembles=not args.no_fuse)
+                             fuse_ensembles=not args.no_fuse,
+                             host_cores=args.host_cores)
         if args.json:
             print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         else:
@@ -453,6 +465,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 0 if status["status"] == "done" else 1
 
     # run locally
+    workers = args.workers
+    if args.host_cores is not None:
+        # Same pool-width clamp the planner applies: one slot per job,
+        # each job occupying cores_per_job cores (docs/SCHEDULER.md).
+        widest = max((s.cores_per_job for s in specs), default=1)
+        workers = max(1, min(workers, args.host_cores // widest))
     fault_policy = None
     if args.inject_faults:
         fault_policy = FaultPolicy.pick(
@@ -461,7 +479,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     runner = CampaignRunner(
         cache,
-        workers=args.workers,
+        workers=workers,
         retries=args.retries,
         backoff=args.backoff,
         timeout=args.timeout,
@@ -503,6 +521,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tenant_weights=weights,
         cache_shards=args.cache_shards,
         cache_max_bytes=args.cache_max_bytes,
+        chem_workers=args.chem_workers,
     )
     server = build_http_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -555,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="demo", help="la | ne | demo")
     p.add_argument("--hours", type=int, default=4)
     p.add_argument("--start-hour", type=int, default=6)
+    p.add_argument("--chem-workers", type=int, default=1,
+                   help="tiled-chemistry worker threads (results are "
+                        "bitwise identical at every count)")
+    p.add_argument("--chem-tile-cols", type=int, default=None,
+                   help="fixed columns per chemistry tile (default: "
+                        "one balanced tile per worker)")
     p.add_argument("--trace", help="output path for the pickled trace")
     p.set_defaults(func=cmd_simulate)
 
@@ -675,6 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ensemble base seed")
     p.add_argument("--workers", type=int, default=4,
                    help="bounded worker-pool size")
+    p.add_argument("--chem-workers", type=int, default=1,
+                   help="cores_per_job for every generated spec: each "
+                        "job's tiled chemistry runs on this many "
+                        "threads (bitwise-invariant; never hashed)")
+    p.add_argument("--host-cores", type=int, default=None,
+                   help="total cores the plan may occupy at once; "
+                        "clamps workers to host_cores // chem_workers")
     p.add_argument("--no-fuse", action="store_true",
                    help="schedule ensemble members as independent "
                         "chains instead of fusing their science into "
@@ -728,6 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-shards", type=int, default=16)
     p.add_argument("--cache-max-bytes", type=int, default=None,
                    help="LRU-evict the shared cache above this size")
+    p.add_argument("--chem-workers", type=int, default=1,
+                   help="default cores_per_job for submitted jobs "
+                        "(tiled chemistry threads; bitwise-invariant)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

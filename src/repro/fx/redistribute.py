@@ -21,9 +21,9 @@ the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -39,46 +39,59 @@ _PLAN_CACHE: Dict[Tuple[ArrayLayout, ArrayLayout, int], "RedistributionPlan"] = 
 
 @dataclass(frozen=True)
 class RedistributionPlan:
-    """Immutable result of planning one redistribution."""
+    """Immutable result of planning one redistribution.
+
+    The transfer set is held as a :class:`TransferBatch` (parallel
+    ``src``/``dst``/``nbytes`` arrays, built vectorised by the planner
+    — the ``D_Chem -> D_Repl`` all-gather is O(P^2) records and
+    dominates cold planning time as Python objects).  ``transfers``
+    derives the record view on first use for the analyzers and tests
+    that still walk records.  Identity is the (source, target,
+    itemsize) triple; the batch is a pure function of it.
+    """
 
     source: ArrayLayout
     target: ArrayLayout
     itemsize: int
-    transfers: Tuple[Transfer, ...]
+    batch: TransferBatch = field(compare=False)
 
     @cached_property
-    def batch(self) -> TransferBatch:
-        """The same transfer set as a :class:`TransferBatch`.
-
-        Computed once per plan (plans themselves are cached), so
-        charging a redistribution is array work only — no per-transfer
-        Python records on the hot path.
-        """
-        return TransferBatch.from_transfers(self.transfers)
+    def transfers(self) -> Tuple[Transfer, ...]:
+        """The equivalent ``Transfer`` record view (planning order)."""
+        return tuple(self.batch.to_transfers())
 
     def network_bytes(self) -> int:
         """Total bytes crossing the network (excludes local copies)."""
-        return sum(t.nbytes for t in self.transfers if t.src != t.dst)
+        b = self.batch
+        return int(b.nbytes[b.src != b.dst].sum())
 
     def copied_bytes(self) -> int:
         """Total bytes copied locally (the ``H`` term)."""
-        return sum(t.nbytes for t in self.transfers if t.src == t.dst)
+        b = self.batch
+        return int(b.nbytes[b.src == b.dst].sum())
 
     def message_count(self) -> int:
         """Number of network messages (one per communicating pair)."""
-        return sum(t.messages for t in self.transfers if t.src != t.dst)
+        b = self.batch
+        net = b.src != b.dst
+        if b.messages is None:
+            return int(net.sum())
+        return int(b.messages[net].sum())
 
     def bytes_sent_by(self, node: int) -> int:
-        return sum(t.nbytes for t in self.transfers if t.src == node and t.dst != node)
+        b = self.batch
+        return int(b.nbytes[(b.src == node) & (b.dst != node)].sum())
 
     def bytes_received_by(self, node: int) -> int:
-        return sum(t.nbytes for t in self.transfers if t.dst == node and t.src != node)
+        b = self.batch
+        return int(b.nbytes[(b.dst == node) & (b.src != node)].sum())
 
     def bytes_copied_by(self, node: int) -> int:
-        return sum(t.nbytes for t in self.transfers if t.src == node and t.dst == node)
+        b = self.batch
+        return int(b.nbytes[(b.src == node) & (b.dst == node)].sum())
 
     def is_empty(self) -> bool:
-        return not self.transfers
+        return len(self.batch) == 0
 
 
 def plan_redistribution(
@@ -106,15 +119,25 @@ def plan_redistribution(
         source=source,
         target=target,
         itemsize=int(itemsize),
-        transfers=tuple(_build_transfers(source, target, int(itemsize))),
+        batch=_build_batch(source, target, int(itemsize)),
     )
     _PLAN_CACHE[key] = plan
     return plan
 
 
-def _build_transfers(
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _build_batch(
     src_layout: ArrayLayout, dst_layout: ArrayLayout, itemsize: int
-) -> List[Transfer]:
+) -> TransferBatch:
+    """The transfer set as parallel arrays, in record-planning order.
+
+    Each branch builds ``(src, dst, nbytes)`` vectorised but enumerates
+    pairs exactly as the original record loop did (source-major, then
+    destination), so :attr:`RedistributionPlan.transfers` reproduces the
+    historical tuple element for element.
+    """
     P = src_layout.nprocs
     shape = src_layout.shape
 
@@ -122,30 +145,32 @@ def _build_transfers(
     if src_layout == dst_layout or (
         src_layout.is_replicated and dst_layout.is_replicated
     ):
-        return []
-
-    transfers: List[Transfer] = []
+        return TransferBatch(_EMPTY, _EMPTY, _EMPTY)
 
     if src_layout.is_replicated:
         # Data is locally available everywhere: each node copies out the
         # part it owns under the target layout.  No network traffic —
         # this is the paper's D_Repl -> D_Trans step.
-        for node in range(P):
-            nbytes = dst_layout.local_nbytes(node, itemsize)
-            if nbytes:
-                transfers.append(Transfer(node, node, nbytes))
-        return transfers
+        nbytes = np.fromiter(
+            (dst_layout.local_nbytes(node, itemsize) for node in range(P)),
+            np.int64, count=P,
+        )
+        nodes = np.flatnonzero(nbytes).astype(np.int64)
+        return TransferBatch(nodes, nodes, nbytes[nodes])
 
     if dst_layout.is_replicated:
         # All-gather: every node needs the full array.  Each source block
         # goes to all other nodes; the node's own block is a local copy.
-        for src in range(P):
-            nbytes = src_layout.local_nbytes(src, itemsize)
-            if not nbytes:
-                continue
-            for dst in range(P):
-                transfers.append(Transfer(src, dst, nbytes))
-        return transfers
+        nbytes = np.fromiter(
+            (src_layout.local_nbytes(node, itemsize) for node in range(P)),
+            np.int64, count=P,
+        )
+        senders = np.flatnonzero(nbytes).astype(np.int64)
+        return TransferBatch(
+            np.repeat(senders, P),
+            np.tile(np.arange(P, dtype=np.int64), senders.size),
+            np.repeat(nbytes[senders], P),
+        )
 
     # Both distributed.
     dim_s, dim_t = src_layout.dim, dst_layout.dim
@@ -154,6 +179,7 @@ def _build_transfers(
         other = src_layout.other_size()
         owned_s = [src_layout.owned_indices(i) for i in range(P)]
         owned_t = [dst_layout.owned_indices(i) for i in range(P)]
+        srcs, dsts, sizes = [], [], []
         for src in range(P):
             if owned_s[src].size == 0:
                 continue
@@ -164,10 +190,10 @@ def _build_transfers(
                     owned_s[src], owned_t[dst], assume_unique=True
                 )
                 if common.size:
-                    transfers.append(
-                        Transfer(src, dst, int(common.size) * other * itemsize)
-                    )
-        return transfers
+                    srcs.append(src)
+                    dsts.append(dst)
+                    sizes.append(int(common.size) * other * itemsize)
+        return TransferBatch(srcs, dsts, sizes)
 
     # Distributed along different dimensions (D_Trans -> D_Chem): the
     # data for (i in A(src), j in B(dst)) forms a rectangular tile.
@@ -175,14 +201,20 @@ def _build_transfers(
     for d, s in enumerate(shape):
         if d not in (dim_s, dim_t):
             other *= s
-    for src in range(P):
-        n_src = len(src_layout.owned_indices(src))
-        if n_src == 0:
-            continue
-        for dst in range(P):
-            n_dst = len(dst_layout.owned_indices(dst))
-            if n_dst == 0:
-                continue
-            nbytes = n_src * n_dst * other * itemsize
-            transfers.append(Transfer(src, dst, nbytes))
-    return transfers
+    n_src = np.fromiter(
+        (len(src_layout.owned_indices(i)) for i in range(P)),
+        np.int64, count=P,
+    )
+    n_dst = np.fromiter(
+        (len(dst_layout.owned_indices(i)) for i in range(P)),
+        np.int64, count=P,
+    )
+    senders = np.flatnonzero(n_src).astype(np.int64)
+    receivers = np.flatnonzero(n_dst).astype(np.int64)
+    return TransferBatch(
+        np.repeat(senders, receivers.size),
+        np.tile(receivers, senders.size),
+        np.repeat(n_src[senders], receivers.size)
+        * np.tile(n_dst[receivers], senders.size)
+        * (other * itemsize),
+    )

@@ -156,10 +156,13 @@ def run_batched(
                             for i in range(nmem)
                         ]
                     with span("chemistry", kind="compute", members=nmem):
+                        t_chem = tracer.now()
                         chem_ops = _chemistry_batched(
                             phys, solver, concs, conds, dt,
                             batch, E_b, edges, tracer,
                         )
+                        # Per-worker tile spans (no-op without a pool).
+                        phys.chemistry.emit_tile_spans(tracer, t_chem)
                     with span("aerosol", kind="compute", members=nmem):
                         # The condensation sink is each member's own
                         # domain-global aerosol mean: strictly per run.

@@ -33,6 +33,13 @@ class AirshedConfig:
         the hourly background concentrations (1 = hard reset, 0 = off).
     chem_eps / chem_max_substeps:
         Young-Boris solver controls (accuracy versus work).
+    chem_workers / chem_tile_cols:
+        Multi-core tiled chemistry (:mod:`repro.model.tiled`):
+        ``chem_workers > 1`` fans the solver's elementwise stages out
+        over a persistent thread pool in contiguous column tiles
+        (``chem_tile_cols`` wide, or one balanced tile per worker when
+        ``None``).  Results are bitwise identical for every worker
+        count and tile size — a wall-clock knob, never a science knob.
     track_surface_fields:
         Keep per-hour surface-layer snapshots in the result (used by the
         population exposure model); costs memory on large datasets.
@@ -51,6 +58,8 @@ class AirshedConfig:
     boundary_relax: float = 0.5
     chem_eps: float = 0.01
     chem_max_substeps: int = 300
+    chem_workers: int = 1
+    chem_tile_cols: Optional[int] = None
     track_surface_fields: bool = False
     initial_conc: Optional[np.ndarray] = None
 
@@ -63,6 +72,10 @@ class AirshedConfig:
             raise ValueError("theta must lie in [0, 1]")
         if not (0.0 <= self.boundary_relax <= 1.0):
             raise ValueError("boundary_relax must lie in [0, 1]")
+        if self.chem_workers < 1:
+            raise ValueError("chem_workers must be >= 1")
+        if self.chem_tile_cols is not None and self.chem_tile_cols < 1:
+            raise ValueError("chem_tile_cols must be >= 1")
         if self.initial_conc is not None:
             self.initial_conc = np.asarray(self.initial_conc, dtype=float)
             if self.initial_conc.shape != self.dataset.shape:

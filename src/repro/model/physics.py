@@ -17,11 +17,11 @@ from repro.chemistry import (
     AerosolModel,
     ChemistryStats,
     VerticalDiffusion,
-    YoungBorisSolver,
 )
 from repro.chemistry.youngboris import OPS_PER_SUBSTEP_PER_SPECIES
 from repro.datasets.generators import Dataset, HourlyConditions
 from repro.model.config import AirshedConfig
+from repro.model.tiled import TiledChemistry
 from repro.transport import SUPGTransport
 from repro.transport.supg import TransportOperator
 
@@ -48,9 +48,17 @@ class AirshedPhysics:
         for name, vd in DEPOSITION_VELOCITIES.items():
             deposition[mech.index[name]] = vd
 
-        self.solver = YoungBorisSolver(
-            mech, eps=config.chem_eps, max_substeps=config.chem_max_substeps
+        self.chemistry = TiledChemistry(
+            mech,
+            eps=config.chem_eps,
+            max_substeps=config.chem_max_substeps,
+            workers=config.chem_workers,
+            tile_cols=config.chem_tile_cols,
         )
+        #: The underlying solver — kept as an attribute so the batched
+        #: ensemble engine (and tests) can drive it directly; it already
+        #: carries the tile pool when chem_workers > 1.
+        self.solver = self.chemistry.solver
         self.vertical = VerticalDiffusion(
             heights=self.dataset.layer_heights,
             kz=self.dataset.kz_profile,

@@ -80,8 +80,14 @@ class SequentialAirshed:
                         with span("transport", kind="compute"):
                             t1 = self._transport_all(conc, operators, conditions)
                         with span("chemistry", kind="compute"):
+                            t_chem = self.tracer.now()
                             conc, chem_ops = phys.chemistry_columns(
                                 conc, conditions, dt
+                            )
+                            # Per-worker tile spans (no-op when the
+                            # tiled pool is disabled).
+                            phys.chemistry.emit_tile_spans(
+                                self.tracer, t_chem
                             )
                         with span("aerosol", kind="compute"):
                             aero_ops = phys.aerosol_step(conc)

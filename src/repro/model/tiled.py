@@ -1,0 +1,100 @@
+"""Multi-core tiled chemistry driver for the Airshed model.
+
+The paper's premise is that Airshed chemistry is data-parallel over
+grid columns — HPF distributes columns across processors and chemistry
+dominates the hour (~97% of sequential time lands in the fused solver
+kernel).  :class:`TiledChemistry` is the shared-memory realisation of
+that decomposition: it owns a :class:`~repro.chemistry.youngboris.
+YoungBorisSolver` whose elementwise stages fan out over a persistent
+worker pool in contiguous column tiles
+(:mod:`repro.chemistry.tiling`), and it reports per-worker utilisation
+into :mod:`repro.observe` so tile load balance shows up next to the
+phase spans the drivers already emit.
+
+Results are **bitwise identical** to the sequential solver for every
+worker count and tile size — the pool is a wall-clock knob, never a
+science knob — so `chem_workers` lives outside the scheduler's job
+content hash (see ``repro.sched.job.PRESENTATION_FIELDS``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chemistry import YoungBorisSolver
+from repro.chemistry.mechanism import Mechanism
+
+__all__ = ["TiledChemistry"]
+
+
+class TiledChemistry:
+    """A Young–Boris solver with a multi-core tile pool attached.
+
+    Parameters mirror :class:`~repro.model.config.AirshedConfig`'s
+    chemistry knobs; ``workers=1`` with ``tile_cols=None`` degrades to
+    the plain sequential solver (no pool is created at all).
+
+    The wrapped solver is exposed as ``.solver`` so existing callers
+    (`AirshedPhysics.solver`, the batched ensemble engine) keep working
+    unchanged — they automatically inherit the tiling.
+    """
+
+    def __init__(
+        self,
+        mechanism: Mechanism,
+        eps: float = 0.01,
+        max_substeps: int = 300,
+        workers: int = 1,
+        tile_cols: Optional[int] = None,
+        tile_min_cols: int = 128,
+    ) -> None:
+        self.workers = int(workers)
+        self.solver = YoungBorisSolver(
+            mechanism,
+            eps=eps,
+            max_substeps=max_substeps,
+            workers=workers,
+            tile_cols=tile_cols,
+            tile_min_cols=tile_min_cols,
+        )
+        self._last_stats: Optional[List[dict]] = None
+
+    # ------------------------------------------------------------------
+    def integrate(self, *args, **kwargs):
+        """Delegate to :meth:`YoungBorisSolver.integrate`."""
+        return self.solver.integrate(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def emit_tile_spans(self, tracer, start: float) -> None:
+        """Emit one per-worker tile span covering ``[start, now]``.
+
+        Each span carries the worker's *busy* seconds (time inside tile
+        kernels since the previous emission) plus dispatch/column
+        counts, nesting under whatever region span the caller holds
+        open (the drivers call this inside their ``chemistry`` span).
+        No-op when tiling is disabled — the sequential trace shape is
+        unchanged.
+        """
+        stats = self.solver.tile_stats()
+        if not stats:
+            return
+        end = tracer.now()
+        prev = self._last_stats
+        for w, cur in enumerate(stats):
+            old = prev[w] if prev is not None else None
+            busy = cur["busy_s"] - (old["busy_s"] if old else 0.0)
+            tasks = cur["tasks"] - (old["tasks"] if old else 0)
+            cols = cur["cols"] - (old["cols"] if old else 0)
+            if tasks == 0:
+                continue
+            tracer.emit(
+                f"chem:tile:w{w}", "compute", start, end,
+                node=w, busy=min(busy, max(end - start, 0.0)),
+                tasks=tasks, cols=cols,
+            )
+        self._last_stats = stats
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self.solver.close()

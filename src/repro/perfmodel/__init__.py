@@ -8,6 +8,11 @@ from repro.perfmodel.calibrate import (
 )
 from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
 from repro.perfmodel.estimate import NOMINAL_RATES, estimated_trace
+from repro.perfmodel.intranode import (
+    TILE_EFFICIENCY,
+    chemistry_fraction,
+    intra_job_speedup,
+)
 from repro.perfmodel.computation import (
     PhaseModel,
     block_phase_time,
@@ -29,13 +34,16 @@ __all__ = [
     "PerformancePredictor",
     "PhaseModel",
     "PredictedTimes",
+    "TILE_EFFICIENCY",
     "UniformAirshedModel",
     "block_phase_time",
+    "chemistry_fraction",
     "comm_fraction_sweep",
     "compare_grid_strategies",
     "estimated_trace",
     "fit_comm_parameters",
     "fit_compute_rate",
+    "intra_job_speedup",
     "network_balance_margin",
     "simple_phase_time",
 ]

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.analyze.programs import DATASET_SHAPES
 from repro.perfmodel.estimate import estimated_trace
+from repro.perfmodel.intranode import chemistry_fraction, intra_job_speedup
 from repro.perfmodel.predict import PerformancePredictor
 from repro.sched.cache import ResultCache
 from repro.sched.job import JobResult, JobSpec
@@ -114,9 +115,20 @@ class CampaignCostModel:
         )
 
     def science_seconds(self, spec: JobSpec) -> float:
-        """Predicted wall seconds of the sequential numerics."""
+        """Predicted wall seconds of the sequential numerics.
+
+        ``spec.cores_per_job > 1`` divides the single-core prediction
+        by the Amdahl intra-job speedup of the tiled chemistry engine
+        (:func:`repro.perfmodel.intranode.intra_job_speedup`): only the
+        trace's chemistry fraction tiles, everything else stays serial.
+        """
         trace = self._trace(spec)
-        return PerformancePredictor(trace, self._host).predict_total(1)
+        base = PerformancePredictor(trace, self._host).predict_total(1)
+        if spec.cores_per_job <= 1:
+            return base
+        return base / intra_job_speedup(
+            spec.cores_per_job, chemistry_fraction(trace)
+        )
 
     def marginal_science_seconds(self, spec: JobSpec) -> float:
         """Predicted wall seconds one *extra* batched member adds.

@@ -112,8 +112,11 @@ def execute_science(
     if checkpoint_hours < 1:
         raise ValueError("checkpoint_hours must be >= 1")
     dataset = _build_dataset(spec)
+    # cores_per_job widens the tiled chemistry pool; bitwise-invariant,
+    # so cached results stay valid across core counts.
     full_cfg = AirshedConfig(
-        dataset=dataset, hours=spec.hours, start_hour=spec.start_hour
+        dataset=dataset, hours=spec.hours, start_hour=spec.start_hour,
+        chem_workers=spec.cores_per_job,
     )
     parts, checkpoint, scratch = _load_scratch(cache, spec.science_key)
     hours_done = checkpoint.hours_completed if checkpoint else 0

@@ -74,14 +74,22 @@ class JobSpec:
         When ``perturb_seed`` is not ``None``, the job runs a
         :class:`~repro.model.ensemble.PerturbedDataset` member with a
         log-normal emission perturbation — the ensemble-sweep scenario.
+    cores_per_job:
+        Worker-pool width handed to the job's tiled chemistry engine
+        (:mod:`repro.model.tiled`).  Results are bitwise identical at
+        every core count — the tiling is a wall-clock knob — so this is
+        a presentation/placement field, never hashed: resubmitting a
+        cached job with a different core count must stay a cache hit.
     tag:
         Free-form label for reports; never hashed.
     """
 
     #: Fields that are presentation-only by design: excluded from the
     #: content hash AND exempt from the FX040 drift check.  Subclasses
-    #: adding cosmetic fields must extend this tuple.
-    PRESENTATION_FIELDS = ("tag",)
+    #: adding cosmetic fields must extend this tuple.  ``cores_per_job``
+    #: qualifies because tiled chemistry is bitwise-invariant in the
+    #: worker count (pinned by tests/chemistry/test_tiled.py).
+    PRESENTATION_FIELDS = ("tag", "cores_per_job")
 
     dataset: str = "demo"
     hours: int = 2
@@ -92,11 +100,14 @@ class JobSpec:
     io_nodes: int = 1
     perturb_seed: Optional[int] = None
     perturb_sigma: float = 0.0
+    cores_per_job: int = 1
     tag: str = ""
 
     def __post_init__(self) -> None:
         if self.hours < 1:
             raise ValueError("hours must be >= 1")
+        if self.cores_per_job < 1:
+            raise ValueError("cores_per_job must be >= 1")
         if self.variant not in VARIANTS:
             raise ValueError(
                 f"unknown variant {self.variant!r}; choose from {VARIANTS}"
@@ -159,6 +170,8 @@ class JobSpec:
             parts.append(f"{self.machine}/{self.nprocs}")
         if self.perturb_seed is not None:
             parts.append(f"member{self.perturb_seed}")
+        if self.cores_per_job > 1:
+            parts.append(f"{self.cores_per_job}c")
         return ":".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:

@@ -108,6 +108,7 @@ def plan_campaign(
     cost_model: Optional[CampaignCostModel] = None,
     cache: Optional[ResultCache] = None,
     fuse_ensembles: bool = True,
+    host_cores: Optional[int] = None,
 ) -> CampaignPlan:
     """Build the campaign plan for ``specs`` on ``workers`` slots.
 
@@ -116,9 +117,22 @@ def plan_campaign(
     ensemble_key`) into a single super-chain so the runner can batch
     their numerics; disable it to schedule members as independent
     chains (``repro campaign --no-fuse``).
+
+    ``host_cores`` bounds the *total* cores the plan may occupy at
+    once: each worker slot runs one job, and a job with
+    ``cores_per_job > 1`` hands that many cores to its tiled chemistry
+    pool, so the effective slot count is clamped to
+    ``host_cores // max(cores_per_job)``.  This is the pool-width vs.
+    per-job-cores trade the cost model prices — fewer, faster jobs
+    against more, slower ones (see ``docs/SCHEDULER.md``).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if host_cores is not None:
+        if host_cores < 1:
+            raise ValueError("host_cores must be >= 1")
+        widest = max((s.cores_per_job for s in specs), default=1)
+        workers = max(1, min(workers, host_cores // widest))
     if cost_model is None:
         cost_model = CampaignCostModel(cache=cache)
 
@@ -229,6 +243,8 @@ class LPTPlanner:
         workers: int,
         cost_model: Optional[CampaignCostModel] = None,
         fuse_ensembles: bool = True,
+        host_cores: Optional[int] = None,
     ) -> CampaignPlan:
         return plan_campaign(specs, workers=workers, cost_model=cost_model,
-                             fuse_ensembles=fuse_ensembles)
+                             fuse_ensembles=fuse_ensembles,
+                             host_cores=host_cores)

@@ -239,6 +239,7 @@ class CampaignRunner:
                     AirshedConfig(
                         dataset=_build_dataset(s), hours=s.hours,
                         start_hour=s.start_hour,
+                        chem_workers=s.cores_per_job,
                     )
                     for s in todo
                 ]

@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -86,6 +87,14 @@ class CampaignService:
     cache_shards / cache_max_bytes:
         Layout and size cap of the default
         :class:`~repro.sched.cache.ShardedResultCache`.
+    chem_workers:
+        Service-wide default ``cores_per_job``: submitted specs that
+        did not ask for intra-job cores (``cores_per_job == 1``) run
+        their tiled chemistry on this many threads.  Placement is a
+        service-side decision — the cores belong to the service host —
+        and ``cores_per_job`` is presentation-only (tiled chemistry is
+        bitwise-invariant in worker count), so the override never
+        changes job keys or cache semantics.
     clock / sleep:
         Injectable time sources (tests drive the service with a fake
         clock and pay no wall time).
@@ -104,6 +113,7 @@ class CampaignService:
         tenant_weights: Optional[Dict[str, float]] = None,
         cache_shards: int = 16,
         cache_max_bytes: Optional[int] = None,
+        chem_workers: int = 1,
         fuse_ensembles: bool = True,
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
@@ -121,6 +131,9 @@ class CampaignService:
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
+        if chem_workers < 1:
+            raise ValueError("chem_workers must be >= 1")
+        self.chem_workers = int(chem_workers)
         self.fuse_ensembles = bool(fuse_ensembles)
         self.queue = FairShareQueue()
         for tenant, weight in (tenant_weights or {}).items():
@@ -171,6 +184,13 @@ class CampaignService:
         specs = list(specs)
         if not specs:
             raise ValueError("a campaign needs at least one job spec")
+        if self.chem_workers > 1:
+            # Key-stable: cores_per_job is a presentation field.
+            specs = [
+                replace(s, cores_per_job=self.chem_workers)
+                if s.cores_per_job == 1 else s
+                for s in specs
+            ]
         with self._lock:
             cid = f"c{self._seq:06d}"
             self._seq += 1

@@ -22,10 +22,15 @@ SIM_PACKAGES = (
     "repro/transport/", "repro/grid/", "repro/foreign/", "repro/vm/",
 )
 
-#: The audited sim-side exceptions as of PR 7 (frozen): only the
-#: chemistry backend switch, which cannot change any result.
+#: The audited sim-side exceptions (frozen): the chemistry backend
+#: switch (cannot change any result) and the tile pool's busy-time
+#: accounting (observational only — tile spans are fixed by
+#: ``tile_spans()`` before any clock is read, so timing never selects
+#: work or touches a numeric output).  Extending this set requires the
+#: same audit: prove the read cannot reach science state.
 FROZEN_SIM_ENTRIES = {
     ("FX052", "repro/chemistry/cfused.py", "REPRO_CHEM_NO_C"),
+    ("FX051", "repro/chemistry/tiling.py", "perf_counter"),
 }
 
 

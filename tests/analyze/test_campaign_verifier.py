@@ -41,7 +41,7 @@ class DriftSpec(JobSpec):
 class CosmeticSpec(JobSpec):
     """A declared presentation field must NOT trip the drift check."""
 
-    PRESENTATION_FIELDS = ("tag", "color")
+    PRESENTATION_FIELDS = JobSpec.PRESENTATION_FIELDS + ("color",)
 
     color: str = "blue"
 

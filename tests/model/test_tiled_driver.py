@@ -1,0 +1,82 @@
+"""The tiled chemistry driver wired into the sequential model.
+
+``AirshedConfig.chem_workers`` threads a worker count down to the
+:class:`~repro.model.tiled.TiledChemistry` engine; results must stay
+bitwise identical to the default single-core run, and the tracer must
+gain per-worker ``chem:tile:w*`` spans.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.datasets import get_dataset
+from repro.model import AirshedConfig, SequentialAirshed
+from repro.model.tiled import TiledChemistry
+
+
+def _run(**cfg_kw):
+    cfg = AirshedConfig(dataset=get_dataset("demo"), hours=1,
+                        start_hour=12, **cfg_kw)
+    return SequentialAirshed(cfg).run()
+
+
+def _sha(result):
+    return hashlib.sha256(result.final_conc.tobytes()).hexdigest()
+
+
+class TestTiledSequentialDriver:
+    def test_workers_preserve_bitwise_identity(self):
+        golden = _run()
+        assert _sha(_run(chem_workers=2)) == _sha(golden)
+        assert _sha(_run(chem_workers=4, chem_tile_cols=17)) == _sha(golden)
+
+    def test_tile_spans_emitted(self):
+        # demo is 301 columns (> tile_min_cols), so a 2-worker run tiles
+        cfg = AirshedConfig(dataset=get_dataset("demo"), hours=1,
+                            start_hour=12, chem_workers=2)
+        model = SequentialAirshed(cfg)
+        model.run()
+        names = {s.name for s in model.tracer.spans
+                 if s.name.startswith("chem:tile:")}
+        assert names == {"chem:tile:w0", "chem:tile:w1"}
+        for s in model.tracer.spans:
+            if s.name.startswith("chem:tile:"):
+                assert s.end >= s.start
+                assert s.attrs["cols"] > 0
+
+    def test_no_tile_spans_on_single_core(self):
+        cfg = AirshedConfig(dataset=get_dataset("demo"), hours=1,
+                            start_hour=12)
+        model = SequentialAirshed(cfg)
+        model.run()
+        assert not any(s.name.startswith("chem:tile:")
+                       for s in model.tracer.spans)
+
+    def test_config_validates_workers(self):
+        with pytest.raises(ValueError):
+            AirshedConfig(dataset=get_dataset("demo"), chem_workers=0)
+        with pytest.raises(ValueError):
+            AirshedConfig(dataset=get_dataset("demo"), chem_tile_cols=0)
+
+
+class TestTiledChemistryEngine:
+    def test_emit_tile_spans_without_pool_is_noop(self):
+        from repro.chemistry import cit_mechanism
+        from repro.observe import Tracer
+
+        engine = TiledChemistry(cit_mechanism())
+        tracer = Tracer()
+        engine.emit_tile_spans(tracer, tracer.now())
+        assert list(tracer.spans) == []
+        engine.close()
+
+    def test_engine_close_is_idempotent(self):
+        from repro.chemistry import cit_mechanism
+
+        engine = TiledChemistry(cit_mechanism(), workers=2)
+        conc = np.full((engine.solver.mechanism.n_species, 10), 0.01)
+        engine.integrate(conc, 60.0, 298.0, 0.5)
+        engine.close()
+        engine.close()

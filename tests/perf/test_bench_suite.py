@@ -41,11 +41,31 @@ def test_history_migrates_old_single_report_format(tmp_path):
     out.write_text(json.dumps(old))
     history = suite.load_history(out)
     assert len(history["runs"]) == 1
-    assert history["runs"][0]["timestamp"] is None
+    # Migration stamps the file mtime as UTC ISO-8601, never null.
+    stamp = history["runs"][0]["timestamp"]
+    assert stamp and stamp.endswith("+00:00")
     assert history["runs"][0]["benchmarks"] == old["benchmarks"]
     # appending preserves the migrated record
     history = suite.append_run({"benchmarks": {}, "meta": {}}, out)
     assert len(history["runs"]) == 2
+
+
+def test_history_heals_null_timestamps(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    legacy = {"runs": [
+        {"benchmarks": {}, "meta": {}, "timestamp": None},
+        {"benchmarks": {}, "meta": {}, "timestamp": "2026-01-01T00:00:00+00:00"},
+    ]}
+    out.write_text(json.dumps(legacy))
+    history = suite.load_history(out)
+    stamp = history["runs"][0]["timestamp"]
+    assert stamp and stamp.endswith("+00:00")
+    # records that already carry a timestamp are untouched
+    assert history["runs"][1]["timestamp"] == "2026-01-01T00:00:00+00:00"
+    # the next append rewrites the file healed
+    suite.append_run({"benchmarks": {}, "meta": {}}, out)
+    on_disk = json.loads(out.read_text())
+    assert all(r["timestamp"] for r in on_disk["runs"])
 
 
 def test_history_survives_corrupt_file(tmp_path):

@@ -1,0 +1,137 @@
+"""The ``cores_per_job`` dimension: identity, pricing, clamping.
+
+Tiled chemistry is bitwise-invariant in worker count (pinned by
+``tests/chemistry/test_tiled.py``), so ``cores_per_job`` is a
+presentation/placement field: it must never fragment the content-
+addressed cache, while still changing wall-clock *predictions* (Amdahl
+intra-job speedup) and plan *placement* (host-core clamping).
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    TILE_EFFICIENCY,
+    chemistry_fraction,
+    intra_job_speedup,
+)
+from repro.sched import CampaignCostModel, JobSpec, plan_campaign
+from repro.sched.planner import LPTPlanner
+
+
+def spec(cores=1, **kw):
+    kw.setdefault("dataset", "demo")
+    kw.setdefault("hours", 1)
+    return JobSpec(cores_per_job=cores, **kw)
+
+
+class TestJobSpecIdentity:
+    def test_cores_never_change_the_key(self):
+        base = spec(cores=1)
+        wide = spec(cores=8)
+        assert base.key == wide.key
+        assert base.science_key == wide.science_key
+
+    def test_cores_are_a_presentation_field(self):
+        assert "cores_per_job" in JobSpec.PRESENTATION_FIELDS
+
+    def test_label_shows_cores_only_when_parallel(self):
+        assert "2c" in spec(cores=2).label
+        assert "1c" not in spec(cores=1).label
+
+    def test_cores_validated(self):
+        with pytest.raises(ValueError):
+            spec(cores=0)
+
+    def test_roundtrip_preserves_cores(self):
+        s = spec(cores=4)
+        assert JobSpec.from_dict(s.to_dict()).cores_per_job == 4
+
+
+class TestIntraJobSpeedup:
+    def test_single_core_is_identity(self):
+        assert intra_job_speedup(1, 0.97) == 1.0
+        assert intra_job_speedup(4, 0.0) == 1.0
+
+    def test_amdahl_shape(self):
+        s2 = intra_job_speedup(2, 0.97)
+        s4 = intra_job_speedup(4, 0.97)
+        assert 1.0 < s2 < 2.0
+        assert s2 < s4 < 4.0
+
+    def test_perfect_fraction_full_efficiency(self):
+        assert intra_job_speedup(4, 1.0, efficiency=1.0) == pytest.approx(4.0)
+
+    def test_efficiency_discount_applies(self):
+        assert 0.0 < TILE_EFFICIENCY <= 1.0
+        assert intra_job_speedup(4, 1.0) < intra_job_speedup(
+            4, 1.0, efficiency=1.0
+        )
+
+
+class TestCostModelPricing:
+    def test_more_cores_predict_less_wall(self):
+        model = CampaignCostModel()
+        t1 = model.science_seconds(spec(cores=1))
+        t4 = model.science_seconds(spec(cores=4))
+        assert t4 < t1
+        # chemistry dominates the estimated trace, so 4 cores should
+        # recover a sizable share of the Amdahl bound
+        assert t1 / t4 > 1.5
+
+    def test_pricing_matches_amdahl_formula(self):
+        model = CampaignCostModel()
+        s = spec(cores=4)
+        trace = model._trace(s)
+        expected = model.science_seconds(spec(cores=1)) / intra_job_speedup(
+            4, chemistry_fraction(trace)
+        )
+        assert model.science_seconds(s) == pytest.approx(expected)
+
+
+class TestPlannerClamp:
+    def test_host_cores_clamp_workers(self):
+        specs = [spec(cores=4, variant="sequential"),
+                 spec(cores=4, variant="data")]
+        plan = plan_campaign(specs, workers=8, host_cores=8)
+        assert plan.workers == 2  # 8 cores / 4 per job
+
+    def test_clamp_never_below_one(self):
+        plan = plan_campaign([spec(cores=16)], workers=4, host_cores=2)
+        assert plan.workers == 1
+
+    def test_no_clamp_without_host_cores(self):
+        plan = plan_campaign([spec(cores=16)], workers=4)
+        assert plan.workers == 4
+
+    def test_host_cores_validated(self):
+        with pytest.raises(ValueError):
+            plan_campaign([spec()], workers=2, host_cores=0)
+
+    def test_lpt_planner_passes_host_cores(self):
+        plan = LPTPlanner().plan([spec(cores=2)], workers=4, host_cores=4)
+        assert plan.workers == 2
+
+
+class TestServiceDefault:
+    def test_service_stamps_default_cores(self, tmp_path):
+        from repro.service import CampaignService
+
+        svc = CampaignService(tmp_path, workers=1, chem_workers=3)
+        submitted = spec(variant="sequential")
+        cid = svc.submit("t", [submitted])
+        stamped = svc.campaigns[cid].specs[0]
+        assert stamped.cores_per_job == 3
+        assert stamped.key == submitted.key  # cache identity unchanged
+
+    def test_explicit_cores_win_over_service_default(self, tmp_path):
+        from repro.service import CampaignService
+
+        svc = CampaignService(tmp_path, workers=1, chem_workers=3)
+        cid = svc.submit("t", [spec(cores=2, variant="sequential")])
+        assert svc.campaigns[cid].specs[0].cores_per_job == 2
+
+    def test_chem_workers_validated(self, tmp_path):
+        from repro.service import CampaignService
+
+        with pytest.raises(ValueError):
+            CampaignService(tmp_path, chem_workers=0)

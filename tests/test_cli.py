@@ -232,6 +232,59 @@ class TestCampaign:
         assert "no cached jobs" in capsys.readouterr().out
 
 
+class TestChemWorkers:
+    """--chem-workers through simulate / campaign / serve."""
+
+    def test_simulate_accepts_chem_workers(self, capsys):
+        rc = main(["simulate", "--dataset", "demo", "--hours", "1",
+                   "--chem-workers", "2", "--chem-tile-cols", "17"])
+        assert rc == 0
+        assert "hourly mean O3" in capsys.readouterr().out
+
+    def test_campaign_plan_stamps_cores_and_clamps(self, tmp_path, capsys):
+        import json
+
+        rc = main(["campaign", "plan", "--sweep", "ladder",
+                   "--dataset", "demo", "--hours", "1",
+                   "--nodes", "4", "16", "--workers", "8",
+                   "--chem-workers", "4", "--host-cores", "8",
+                   "--cache-dir", str(tmp_path / "c"), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workers"] == 2  # 8 host cores / 4 per job
+
+    def test_campaign_run_with_chem_workers_matches_default(
+            self, tmp_path, capsys):
+        import json
+
+        base = ["campaign", "run", "--sweep", "ladder",
+                "--dataset", "demo", "--hours", "1", "--nodes", "4",
+                "--workers", "1", "--executor", "inline", "--json"]
+        rc = main(base + ["--cache-dir", str(tmp_path / "a")])
+        assert rc == 0
+        plain = json.loads(capsys.readouterr().out)
+        rc = main(base + ["--cache-dir", str(tmp_path / "b"),
+                          "--chem-workers", "2"])
+        assert rc == 0
+        tiled = json.loads(capsys.readouterr().out)
+        # cores_per_job is presentation-only: same content keys, and
+        # both runs complete (bitwise identity is pinned in
+        # tests/chemistry/test_tiled.py / tests/model/test_tiled_driver)
+        assert tiled["complete"] and plain["complete"]
+        assert [j["key"] for j in tiled["jobs"]] == \
+            [j["key"] for j in plain["jobs"]]
+        from repro.sched import ResultCache, status_rows
+
+        sha_a = [r["sha256"] for r in status_rows(ResultCache(tmp_path / "a"))]
+        sha_b = [r["sha256"] for r in status_rows(ResultCache(tmp_path / "b"))]
+        assert sha_a and sha_a == sha_b
+
+    def test_defaults(self):
+        for argv in (["simulate"], ["campaign", "plan"], ["serve"]):
+            args = build_parser().parse_args(argv)
+            assert args.chem_workers == 1
+
+
 class TestServe:
     def test_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -241,6 +294,7 @@ class TestServe:
         assert args.executor == "thread"
         assert args.cache_shards == 16
         assert args.cache_max_bytes is None
+        assert args.chem_workers == 1
 
     def test_bad_tenant_weight_rejected(self):
         import pytest
