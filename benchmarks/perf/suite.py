@@ -276,8 +276,32 @@ BENCHES = {
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
+def tune_meta(store_root) -> Dict[str, object]:
+    """Calibration provenance for the run meta (``--tune-store``).
+
+    Records the store's generation/fingerprint and the latest autotuner
+    decision, so a perf-trajectory point is attributable to the tuner
+    state that produced it.  A missing or empty store records zeros —
+    the bench ran untuned.
+    """
+    from repro.tune.store import CalibrationStore
+
+    store = CalibrationStore(store_root)
+    scan = store.scan()
+    out: Dict[str, object] = {
+        "store": str(store.root),
+        "generation": len(scan.observations),
+        "fingerprint": store.fingerprint,
+        "n_decisions": len(scan.decisions),
+    }
+    if scan.decisions:
+        out["latest_decision"] = scan.decisions[-1]
+    return out
+
+
 def run_suite(quick: bool = False,
-              baseline_path: Path = BASELINE_PATH) -> Dict[str, object]:
+              baseline_path: Path = BASELINE_PATH,
+              tune_store=None) -> Dict[str, object]:
     baseline = json.loads(baseline_path.read_text())["benchmarks"]
     results: Dict[str, Dict[str, object]] = {}
     for name, (in_quick, fn) in BENCHES.items():
@@ -293,16 +317,19 @@ def run_suite(quick: bool = False,
             out["bitwise_identical"] = (
                 out.get("final_conc_sha256") == base["final_conc_sha256"])
         results[name] = out
+    meta: Dict[str, object] = {
+        "mode": "quick" if quick else "full",
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "host_cores": os.cpu_count(),
+        "baseline": str(baseline_path.relative_to(REPO_ROOT))
+        if baseline_path.is_relative_to(REPO_ROOT) else str(baseline_path),
+    }
+    if tune_store is not None:
+        meta["tune"] = tune_meta(tune_store)
     return {
         "benchmarks": results,
-        "meta": {
-            "mode": "quick" if quick else "full",
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "host_cores": os.cpu_count(),
-            "baseline": str(baseline_path.relative_to(REPO_ROOT))
-            if baseline_path.is_relative_to(REPO_ROOT) else str(baseline_path),
-        },
+        "meta": meta,
     }
 
 
@@ -367,9 +394,14 @@ def main(argv=None) -> int:
         help="exit 1 if, in the latest history entry, any median exceeds "
              "FACTOR x its baseline median, or the chemistry result is "
              "not bitwise identical")
+    parser.add_argument(
+        "--tune-store", type=Path, default=None,
+        help="record this calibration store's generation and latest "
+             "decision into the run meta")
     args = parser.parse_args(argv)
 
-    report = run_suite(quick=args.quick, baseline_path=args.baseline)
+    report = run_suite(quick=args.quick, baseline_path=args.baseline,
+                       tune_store=args.tune_store)
     history = append_run(report, args.out)
     latest = history["runs"][-1]
 

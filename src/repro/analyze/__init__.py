@@ -18,7 +18,10 @@ description of each driver, without executing anything:
 6. :mod:`~repro.analyze.determinism` — determinism sanitizer (FX05x):
    AST lint over the source tree for nondeterminism hazards, with a
    committed allowlist for audited exceptions and a runtime hash-input
-   shim (:mod:`~repro.analyze.sanitize`, ``REPRO_SANITIZE=1``).
+   shim (:mod:`~repro.analyze.sanitize`, ``REPRO_SANITIZE=1``),
+7. :mod:`~repro.analyze.tune` — calibration-store lint (FX06x):
+   prediction drift, refit fallbacks, store integrity, stale tuning
+   decisions.
 
 Entry points: :func:`analyze_program` runs the program passes,
 :func:`~repro.analyze.campaign.verify_campaign` verifies a planned
@@ -74,25 +77,28 @@ from repro.analyze.programs import (
 )
 from repro.analyze.races import check_races
 
-# The campaign verifier imports repro.sched, and repro.sched.costmodel
-# imports repro.analyze.programs — importing it eagerly here would make
+# The campaign verifier imports repro.sched, the tune lint imports
+# repro.tune, and both of those packages import repro.analyze.programs
+# via repro.sched.costmodel — importing either eagerly here would make
 # `import repro.sched` fail mid-initialization.  PEP 562 lazy exports
-# break the cycle: the first attribute access imports the module, by
-# which point both packages are fully initialized.
-_CAMPAIGN_EXPORTS = frozenset({
-    "verify_campaign",
-    "verify_chain_ordering",
-    "verify_fused_groups",
-    "verify_jobspec_schema",
-    "verify_runner_policy",
-})
+# break the cycle: the first attribute access imports the owning
+# module, by which point every package is fully initialized.
+_LAZY_EXPORTS = {
+    "verify_campaign": "repro.analyze.campaign",
+    "verify_chain_ordering": "repro.analyze.campaign",
+    "verify_fused_groups": "repro.analyze.campaign",
+    "verify_jobspec_schema": "repro.analyze.campaign",
+    "verify_runner_policy": "repro.analyze.campaign",
+    "lint_tune_store": "repro.analyze.tune",
+}
 
 
 def __getattr__(name: str):
-    if name in _CAMPAIGN_EXPORTS:
-        from repro.analyze import campaign
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(campaign, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -108,6 +114,7 @@ __all__ = [
     "verify_fused_groups",
     "verify_jobspec_schema",
     "verify_runner_policy",
+    "lint_tune_store",
     "ALLOWLIST_FILENAME",
     "AllowlistEntry",
     "load_allowlist",

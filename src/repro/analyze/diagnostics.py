@@ -11,7 +11,9 @@ The code space is partitioned by pass:
 * ``FX03x`` — static-plan vs executed-trace cross-check,
 * ``FX04x`` — campaign-plan verification (cache keys, fusion, chains),
 * ``FX05x`` — determinism sanitizer (nondeterminism hazards in
-  science paths).
+  science paths),
+* ``FX06x`` — calibration-store lint (prediction drift, refit
+  fallbacks, store integrity, stale tuning decisions).
 
 See ``docs/ANALYZE.md`` for the full table.
 """
@@ -70,6 +72,11 @@ DIAGNOSTIC_CODES: Dict[str, tuple] = {
     "FX053": (Severity.ERROR, "iteration-order-dependent hash payload or span emission"),
     "FX054": (Severity.ERROR, "unguarded shared-mutable access from thread-executor code"),
     "FX055": (Severity.WARNING, "stale determinism-allowlist entry matched nothing"),
+    "FX060": (Severity.WARNING, "calibration drift: predicted-vs-observed error exceeds the band"),
+    "FX061": (Severity.INFO, "insufficient observations: refit fell back to paper constants"),
+    "FX062": (Severity.WARNING, "outlier-dominated phase: refit rejected most observations"),
+    "FX063": (Severity.ERROR, "calibration store integrity: corrupt or digest-mismatched record"),
+    "FX064": (Severity.INFO, "stale tuning decision: older calibration generation than the store"),
 }
 
 #: Canonical name for the code registry (the completeness guard in

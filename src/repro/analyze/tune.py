@@ -1,0 +1,121 @@
+"""Calibration-store lint (FX06x).
+
+``lint_tune_store`` audits a :class:`~repro.tune.store.CalibrationStore`
+the way the other passes audit programs and plans:
+
+* **FX063** (error) — store integrity: a corrupt journal line, corrupt
+  snapshot, malformed record, or a stored digest that no longer matches
+  its payload;
+* **FX060** (warning) — calibration drift: a phase key whose median
+  predicted-vs-observed relative error strictly exceeds the band
+  (:data:`~repro.perfmodel.calibrate.DEFAULT_DRIFT_BAND`; an error
+  exactly on the band is in band);
+* **FX061** (info) — a refit quantity with too few usable observations
+  fell back to its paper constant;
+* **FX062** (warning) — outlier rejection dropped at least as many
+  observations of a quantity as it kept;
+* **FX064** (info) — the newest journaled autotuner decision cites an
+  older calibration generation than the store now holds (replanning
+  would use fresher data).
+
+Exposed as ``repro lint --tune <store>``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic
+from repro.perfmodel.calibrate import (
+    DEFAULT_DRIFT_BAND,
+    MIN_SAMPLES,
+    drift_report,
+    refit_observations,
+)
+from repro.tune.store import CalibrationStore, fingerprint_digests
+
+__all__ = ["lint_tune_store"]
+
+
+def lint_tune_store(
+    store: Union[CalibrationStore, str],
+    *,
+    band: float = DEFAULT_DRIFT_BAND,
+    min_samples: int = MIN_SAMPLES,
+) -> AnalysisReport:
+    """Run every FX06x check over one calibration store."""
+    if not isinstance(store, CalibrationStore):
+        store = CalibrationStore(store)
+    scan = store.scan()
+    report = AnalysisReport(program=f"tune-store:{store.root}")
+    report.summary = {
+        "observations": len(scan.observations),
+        "decisions": len(scan.decisions),
+        "errors": len(scan.errors),
+        "fingerprint": fingerprint_digests(
+            o.digest for o in scan.observations
+        ),
+        "drift_band": band,
+    }
+
+    for error in scan.errors:
+        report.extend([Diagnostic(
+            code="FX063",
+            message=error,
+            location=str(store.journal_path),
+        )])
+
+    refit = refit_observations(scan.observations, min_samples=min_samples)
+    for note in refit.notes:
+        if note["kind"] == "fallback":
+            report.extend([Diagnostic(
+                code="FX061",
+                message=(
+                    f"{note['quantity']}: {note['samples']} usable "
+                    f"observation(s) < {note['min_samples']}; "
+                    "paper constant kept"
+                ),
+                details=note,
+            )])
+        elif note["kind"] == "outliers":
+            kept = note["samples"] - note["rejected"]
+            if note["rejected"] >= kept:
+                report.extend([Diagnostic(
+                    code="FX062",
+                    message=(
+                        f"{note['quantity']}: rejected {note['rejected']} "
+                        f"of {note['samples']} observations as outliers"
+                    ),
+                    details=note,
+                )])
+
+    for entry in drift_report(
+        scan.observations, band=band, min_samples=min_samples
+    ):
+        if entry["drifted"]:
+            report.extend([Diagnostic(
+                code="FX060",
+                message=(
+                    f"{entry['phase_key']}: median error "
+                    f"{entry['median_error']:.1%} over "
+                    f"{entry['samples']} sample(s) exceeds the "
+                    f"{entry['band']:.0%} band"
+                ),
+                phase=entry["phase_key"],
+                details=entry,
+            )])
+
+    if scan.decisions:
+        last = scan.decisions[-1]
+        cited = int(last.get("generation", 0))
+        current = len(scan.observations)
+        if cited < current:
+            report.extend([Diagnostic(
+                code="FX064",
+                message=(
+                    f"latest decision cites generation {cited}, "
+                    f"store is at {current}"
+                ),
+                details={"cited": cited, "current": current},
+            )])
+    return report

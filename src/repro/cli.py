@@ -12,10 +12,14 @@
     python -m repro lint     --campaign ladder:demo --workers 4
     python -m repro lint     --campaign plan.json --timeout 30 --retries 2
     python -m repro lint     --determinism --allowlist .repro-determinism-allow
+    python -m repro lint     --tune .repro-tune --drift-band 0.25
     python -m repro campaign plan --sweep machines --dataset la --workers 4
     python -m repro campaign run  --sweep ladder --dataset demo --hours 1
+    python -m repro campaign run  --sweep ladder --dataset demo --autotune
     python -m repro campaign run  --sweep ladder --server http://127.0.0.1:8642 --tenant alice
     python -m repro serve    --root .repro-service --port 8642
+    python -m repro tune     status --store .repro-tune
+    python -m repro tune     ingest --dataset demo --machine t3e --nodes 16
     python -m repro bench    --quick
 
 ``simulate`` runs the real numerics and saves a workload trace;
@@ -33,9 +37,14 @@ AST nondeterminism sanitizer over the source tree (FX05x); see
 cached, fault-tolerant jobs; see ``docs/SCHEDULER.md``.  ``serve``
 keeps that scheduler resident as a multi-tenant HTTP service with a
 crash-safe journal and fair-share queueing (``campaign run --server``
-submits to it); see ``docs/SERVICE.md``.  ``bench`` runs
-the hot-path perf suite (``benchmarks/perf``) without PYTHONPATH
-gymnastics; see ``docs/PERFORMANCE.md``.
+submits to it); see ``docs/SERVICE.md``.  ``tune`` manages the
+observed-span calibration store: ``status`` reports the refit model
+against the paper constants plus drift, ``ingest`` harvests a traced
+replay into the store; ``campaign --autotune`` / ``serve --autotune``
+let the calibrated model *choose* each job's configuration, and
+``lint --tune`` audits a store (FX06x); see ``docs/TUNING.md``.
+``bench`` runs the hot-path perf suite (``benchmarks/perf``) without
+PYTHONPATH gymnastics; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -290,13 +299,26 @@ def _lint_determinism(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _lint_tune(args: argparse.Namespace) -> int:
+    from repro.analyze.tune import lint_tune_store
+
+    report = lint_tune_store(args.tune, band=args.drift_band)
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    if args.campaign and args.determinism:
-        raise SystemExit("--campaign and --determinism are exclusive modes")
+    modes = [bool(args.campaign), bool(args.determinism), bool(args.tune)]
+    if sum(modes) > 1:
+        raise SystemExit(
+            "--campaign, --determinism and --tune are exclusive modes"
+        )
     if args.campaign:
         return _lint_campaign(args)
     if args.determinism:
         return _lint_determinism(args)
+    if args.tune:
+        return _lint_tune(args)
     budget = None
     if (args.max_step_messages is not None
             or args.max_step_bytes is not None
@@ -415,11 +437,29 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     specs = _campaign_specs(args)
     cost_model = CampaignCostModel(cache=cache)
 
+    tuner = None
+    tune_store = None
+    if args.autotune:
+        from repro.tune import Autotuner, CalibrationStore
+
+        tune_store = CalibrationStore(args.tune_store or ".repro-tune")
+        tuner = Autotuner(store=tune_store, cache=cache)
+        cost_model = tuner.cost_model()
+
     if args.action == "plan":
-        plan = plan_campaign(specs, workers=args.workers,
-                             cost_model=cost_model, cache=cache,
-                             fuse_ensembles=not args.no_fuse,
-                             host_cores=args.host_cores)
+        if tuner is not None:
+            from repro.tune import AutotunePlanner
+
+            plan = AutotunePlanner(tuner).plan(
+                specs, workers=args.workers,
+                fuse_ensembles=not args.no_fuse,
+                host_cores=args.host_cores,
+            )
+        else:
+            plan = plan_campaign(specs, workers=args.workers,
+                                 cost_model=cost_model, cache=cache,
+                                 fuse_ensembles=not args.no_fuse,
+                                 host_cores=args.host_cores)
         if args.json:
             print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         else:
@@ -435,10 +475,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"({plan.n_duplicates} duplicates deduped) on "
                   f"{plan.workers} workers; predicted makespan "
                   f"{plan.predicted_makespan:.3f}s")
+            if plan.tuning is not None:
+                print(f"autotuned with calibration generation "
+                      f"{plan.tuning['generation']} "
+                      f"(fingerprint {plan.tuning['fingerprint'] or '-'})")
         return 0
 
     # run --server: submit to a resident campaign service instead
     if args.server:
+        if args.autotune:
+            raise SystemExit(
+                "--autotune is a planner-side flag: start the service "
+                "with `repro serve --autotune` instead"
+            )
         from repro.service import ServiceClient
 
         client = ServiceClient(args.server)
@@ -477,6 +526,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             [s.key for s in specs], args.inject_faults,
             seed=args.fault_seed, mode=args.fault_mode,
         )
+    planner = None
+    if tuner is not None:
+        from repro.tune import AutotunePlanner
+
+        planner = AutotunePlanner(tuner)
     runner = CampaignRunner(
         cache,
         workers=workers,
@@ -486,9 +540,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         executor=args.executor,
         fault_policy=fault_policy,
         cost_model=cost_model,
+        planner=planner,
         fuse_ensembles=not args.no_fuse,
     )
     report = runner.run(specs)
+    if tune_store is not None:
+        from repro.tune import harvest_report
+
+        if report.plan.tuning is not None:
+            for record in report.plan.tuning["decisions"]:
+                tune_store.record_decision(record)
+        added = tune_store.add_many(harvest_report(report, source="cli"))
+        if not args.json:
+            print(f"\ncalibration store {tune_store.root}: "
+                  f"+{added} observation(s), "
+                  f"generation {tune_store.generation}")
     if args.json:
         print(report.to_json())
     else:
@@ -522,6 +588,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_shards=args.cache_shards,
         cache_max_bytes=args.cache_max_bytes,
         chem_workers=args.chem_workers,
+        autotune=args.autotune,
+        tune_store=args.tune_store,
     )
     server = build_http_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -543,6 +611,131 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tune_status(args: argparse.Namespace) -> int:
+    from repro.perfmodel.calibrate import drift_report, refit_observations
+    from repro.tune import CalibrationStore
+    from repro.vm.machine import HOST_OPS_PER_SECOND
+
+    store = CalibrationStore(args.store)
+    scan = store.scan()
+    refit = refit_observations(scan.observations)
+    model = refit.model
+    drift = drift_report(scan.observations, band=args.drift_band)
+    if args.json:
+        print(json.dumps({
+            "store": store.stats(),
+            "model": model.to_dict(),
+            "notes": refit.notes,
+            "drift": drift,
+        }, indent=2, sort_keys=True))
+        return 0
+
+    stats = store.stats()
+    print(f"calibration store {stats['root']}: "
+          f"{stats['n_observations']} observation(s), "
+          f"{stats['n_decisions']} decision(s), "
+          f"generation {stats['generation']} "
+          f"(fingerprint {stats['fingerprint'] or '-'})")
+    for error in scan.errors:
+        print(f"  integrity error: {error}")
+    print()
+
+    rows = [["host ops/s", f"{HOST_OPS_PER_SECOND:.4g}",
+             f"{model.host_ops_per_second:.4g}",
+             "yes" if model.host_ops_per_second != HOST_OPS_PER_SECOND
+             else "no"]]
+    for name in sorted(model.comm):
+        paper = get_machine(name)
+        fitted = model.comm[name]
+        for label, p, f in (("L", paper.latency, fitted.latency),
+                            ("G", paper.gap, fitted.gap),
+                            ("H", paper.copy_cost, fitted.copy_cost)):
+            rows.append([f"{name} {label}", f"{p:.4g}", f"{f:.4g}",
+                         "yes" if f != p else "no"])
+    for name in sorted(model.machine_rates):
+        paper = get_machine(name)
+        f = model.machine_rates[name]
+        rows.append([f"{name} s/op", f"{paper.seconds_per_op:.4g}",
+                     f"{f:.4g}",
+                     "yes" if f != paper.seconds_per_op else "no"])
+    if model.tile_fraction is not None:
+        rows.append(["tiled fraction f*e", "(per-trace)",
+                     f"{model.tile_fraction:.4g}", "yes"])
+    print(format_table(["quantity", "paper", "refit", "diverged"], rows))
+
+    if refit.notes:
+        print()
+        for note in refit.notes:
+            if note["kind"] == "fallback":
+                print(f"fallback: {note['quantity']} "
+                      f"({note['samples']} < {note['min_samples']} "
+                      "samples; paper constant kept)")
+            else:
+                print(f"outliers: {note['quantity']} "
+                      f"rejected {note['rejected']}/{note['samples']}")
+    print()
+    if not drift:
+        print("drift: no phase key has enough predicted observations")
+    else:
+        drifted = [d for d in drift if d["drifted"]]
+        print(f"drift: {len(drifted)}/{len(drift)} phase key(s) outside "
+              f"the {args.drift_band:.0%} band")
+        for d in drifted:
+            print(f"  {d['phase_key']}: median error "
+                  f"{d['median_error']:.1%} over {d['samples']} sample(s)")
+    return 0
+
+
+def _tune_ingest(args: argparse.Namespace) -> int:
+    from repro.tune import (
+        CalibrationStore,
+        observations_from_timelines,
+        observations_from_tracer,
+        traced_replay,
+        utc_timestamp,
+    )
+
+    if args.workload:
+        trace = _load_trace(args.workload)
+    else:
+        if args.dataset not in DATASETS:
+            raise SystemExit(
+                f"unknown dataset {args.dataset!r}; "
+                f"choose from {sorted(DATASETS)}"
+            )
+        print(f"building dataset {args.dataset!r}...")
+        dataset = get_dataset(args.dataset)
+        config = AirshedConfig(
+            dataset=dataset, hours=args.hours, start_hour=args.start_hour
+        )
+        print(f"recording workload: {args.hours} hours of real numerics...")
+        trace = SequentialAirshed(config).run().trace
+
+    machine = get_machine(args.machine)
+    print(f"replaying on {args.machine}/{args.nodes} with tracing...")
+    tracer, timeline = traced_replay(trace, machine, args.nodes)
+    stamp = utc_timestamp()
+    observations = observations_from_tracer(
+        tracer, dataset=args.dataset, machine=args.machine,
+        nprocs=args.nodes, trace=trace, source="ingest", timestamp=stamp,
+    ) + observations_from_timelines(
+        [timeline], dataset=args.dataset, machine=args.machine,
+        nprocs=args.nodes, source="ingest", timestamp=stamp,
+    )
+    store = CalibrationStore(args.store)
+    added = store.add_many(observations)
+    print(f"ingested {added} new observation(s) "
+          f"({len(observations) - added} duplicate(s)) into {store.root}; "
+          f"generation {store.generation}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    if args.action == "status":
+        return _tune_status(args)
+    return _tune_ingest(args)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     repo_root = Path(__file__).resolve().parents[2]
     if str(repo_root) not in sys.path:
@@ -560,6 +753,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         bench_argv += ["--out", args.out]
     if args.check_regression is not None:
         bench_argv += ["--check-regression", str(args.check_regression)]
+    if args.tune_store:
+        bench_argv += ["--tune-store", args.tune_store]
     return bench_main(bench_argv)
 
 
@@ -634,6 +829,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--determinism", action="store_true",
                    help="run the determinism sanitizer over the source "
                         "tree instead (FX05x)")
+    p.add_argument("--tune", metavar="STORE",
+                   help="audit a calibration store instead (FX06x): "
+                        "drift, refit fallbacks, integrity, stale "
+                        "decisions")
+    p.add_argument("--drift-band", type=float, default=0.25,
+                   help="FX060 relative-error band for --tune "
+                        "(strictly-exceeds flags)")
     p.add_argument("--root",
                    help="package root to scan with --determinism "
                         "(default: the installed repro package)")
@@ -711,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule ensemble members as independent "
                         "chains instead of fusing their science into "
                         "one batched sweep")
+    p.add_argument("--autotune", action="store_true",
+                   help="let the calibrated model choose each job's "
+                        "machine/P/cores (science keys and results are "
+                        "untouched; see docs/TUNING.md)")
+    p.add_argument("--tune-store", default=None,
+                   help="calibration store root for --autotune "
+                        "(default .repro-tune)")
     p.add_argument("--cache-dir", default=".repro-cache",
                    help="content-addressed result cache root")
     p.add_argument("--timeout", type=float, default=None,
@@ -763,7 +972,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chem-workers", type=int, default=1,
                    help="default cores_per_job for submitted jobs "
                         "(tiled chemistry threads; bitwise-invariant)")
+    p.add_argument("--autotune", action="store_true",
+                   help="replan every wave with the freshest "
+                        "calibration and harvest wave reports back "
+                        "into the store")
+    p.add_argument("--tune-store", default=None,
+                   help="calibration store root (default <root>/tune "
+                        "with --autotune; harvest-only without)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "tune",
+        help="inspect or feed the observed-span calibration store",
+    )
+    p.add_argument("action", choices=["status", "ingest"])
+    p.add_argument("--store", default=".repro-tune",
+                   help="calibration store root")
+    p.add_argument("--dataset", default="demo", help="la | ne | demo")
+    p.add_argument("--machine", default="t3e", help="t3e | t3d | paragon")
+    p.add_argument("--nodes", type=int, default=16,
+                   help="node count for the ingest replay")
+    p.add_argument("--hours", type=int, default=2)
+    p.add_argument("--start-hour", type=int, default=6)
+    p.add_argument("--workload",
+                   help="ingest from a pickled WorkloadTrace instead of "
+                        "simulating one")
+    p.add_argument("--drift-band", type=float, default=0.25,
+                   help="relative-error band for the drift section of "
+                        "status")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output instead of text")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser(
         "bench",
@@ -775,6 +1014,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-regression", type=float, default=None,
                    metavar="FACTOR",
                    help="exit 1 if any median exceeds FACTOR x baseline")
+    p.add_argument("--tune-store", default=None,
+                   help="record this calibration store's generation and "
+                        "latest decision into the run metadata")
     p.set_defaults(func=cmd_bench)
 
     return parser

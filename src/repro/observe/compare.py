@@ -75,7 +75,9 @@ def predicted_vs_observed(
 
 
 def observed_makespan(
-    spans: Iterable[Span], kinds: Optional[Sequence[str]] = None
+    spans: Iterable[Span],
+    kinds: Optional[Sequence[str]] = None,
+    exclude_wait: bool = False,
 ) -> float:
     """Elapsed seconds from the first span start to the last span end.
 
@@ -83,14 +85,30 @@ def observed_makespan(
     ``("job",)`` measures a campaign's makespan from its per-job spans,
     which is the observed side of a scheduler's predicted-vs-observed
     comparison.  Returns 0.0 when no span matches.
+
+    ``exclude_wait=True`` subtracts scheduling delay — the sum of the
+    matching spans' ``queue_wait_s`` attributes on the worker that ends
+    last (the critical-path worker; other workers' waits are hidden
+    behind it) — so calibration fits see execution time, not retry
+    backoff.  The result is clamped at 0.
     """
     start = None
     end = None
+    last_node = None
+    wait_by_node: dict = {}
     for s in spans:
         if kinds is not None and s.kind not in kinds:
             continue
         start = s.start if start is None else min(start, s.start)
-        end = s.end if end is None else max(end, s.end)
+        if end is None or s.end >= end:
+            end = s.end if end is None else max(end, s.end)
+            last_node = s.node
+        if exclude_wait:
+            wait = float(s.attrs.get("queue_wait_s", 0.0) or 0.0)
+            wait_by_node[s.node] = wait_by_node.get(s.node, 0.0) + wait
     if start is None:
         return 0.0
-    return end - start
+    span = end - start
+    if exclude_wait and last_node is not None:
+        span -= wait_by_node.get(last_node, 0.0)
+    return max(span, 0.0)

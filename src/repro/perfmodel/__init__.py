@@ -2,9 +2,14 @@
 
 from repro.perfmodel.alternatives import UniformAirshedModel, compare_grid_strategies
 from repro.perfmodel.calibrate import (
+    DEFAULT_DRIFT_BAND,
+    CalibratedModel,
     FittedParameters,
+    RefitResult,
+    drift_report,
     fit_comm_parameters,
     fit_compute_rate,
+    refit_observations,
 )
 from repro.perfmodel.communication import ArrayGeometry, CommunicationModel
 from repro.perfmodel.estimate import NOMINAL_RATES, estimated_trace
@@ -28,8 +33,13 @@ from repro.perfmodel.whatif import (
 __all__ = [
     "ArrayGeometry",
     "BalancePoint",
+    "CalibratedModel",
     "CommunicationModel",
+    "DEFAULT_DRIFT_BAND",
     "FittedParameters",
+    "RefitResult",
+    "drift_report",
+    "refit_observations",
     "NOMINAL_RATES",
     "PerformancePredictor",
     "PhaseModel",

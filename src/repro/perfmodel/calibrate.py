@@ -11,18 +11,57 @@ least-squares fit the three parameters from the observed
 Recovering the true machine constants from end-to-end measurements
 validates the whole accounting chain, and mirrors how a real user would
 parameterise the predictor for a new machine.
+
+The second half of this module closes the same loop from *stored*
+observations (:mod:`repro.tune`): :func:`refit_observations` robustly
+refits the host compute rate, per-phase rates, the per-machine L/G/H
+constants and the intranode Amdahl tiled fraction from a calibration
+store's samples — median-based, with min-sample thresholds (below
+which every quantity falls back to the paper constants, never NaN) and
+MAD outlier rejection — and :func:`drift_report` flags phase keys
+whose predicted-vs-observed error exceeds a configurable band.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.vm.machine import (
+    HOST_OPS_PER_SECOND,
+    MACHINES,
+    MachineSpec,
+    get_machine,
+    workstation_spec,
+)
 from repro.vm.traffic import PhaseRecord, Timeline
 
-__all__ = ["FittedParameters", "fit_comm_parameters", "fit_compute_rate"]
+__all__ = [
+    "FittedParameters",
+    "fit_comm_parameters",
+    "fit_compute_rate",
+    "CalibratedModel",
+    "RefitResult",
+    "refit_observations",
+    "drift_report",
+    "observation_phase_key",
+    "DEFAULT_DRIFT_BAND",
+    "MIN_SAMPLES",
+    "OUTLIER_Z",
+]
+
+#: Default relative-error band for drift detection: a phase key drifts
+#: when its median |predicted - observed| / observed exceeds this.
+#: The comparison is strict (an error exactly on the band is in band).
+DEFAULT_DRIFT_BAND = 0.25
+
+#: Minimum samples before any refit replaces a paper constant.
+MIN_SAMPLES = 3
+
+#: Modified-z-score cutoff for MAD outlier rejection.
+OUTLIER_Z = 3.5
 
 
 @dataclass(frozen=True)
@@ -113,3 +152,343 @@ def fit_compute_rate(timelines: Iterable[Timeline]) -> float:
     if not ratios:
         raise ValueError("no compute records to fit from")
     return float(np.median(ratios))
+
+
+# ---------------------------------------------------------------------------
+# Observation-based refit (repro.tune calibration store)
+# ---------------------------------------------------------------------------
+def observation_phase_key(obs: Any) -> str:
+    """The calibration phase key of an observation-like object.
+
+    Format: ``dataset|machine|pP|variant|cC|phase`` — shared with
+    :attr:`repro.tune.store.Observation.phase_key`.
+    """
+    return "|".join((
+        obs.dataset, obs.machine, f"p{obs.nprocs}", obs.variant,
+        f"c{obs.cores_per_job}", obs.phase,
+    ))
+
+
+def _mad_keep(values: List[float], z: float) -> Tuple[List[float], int]:
+    """MAD outlier rejection: keep values within ``z`` modified z-scores.
+
+    A zero MAD (all samples near-identical) rejects nothing.  Returns
+    the kept values and the rejection count.
+    """
+    arr = np.asarray(values, dtype=float)
+    med = float(np.median(arr))
+    mad = float(np.median(np.abs(arr - med)))
+    if mad <= 0.0:
+        return list(arr), 0
+    scores = np.abs(arr - med) / (1.4826 * mad)
+    kept = arr[scores <= z]
+    return list(kept), int(len(arr) - len(kept))
+
+
+@dataclass(frozen=True)
+class CalibratedModel:
+    """Every quantity the observation refit can replace.
+
+    Fields left at their defaults mean "use the paper constants": the
+    model is always fully usable, even refit from an empty store — a
+    min-sample threshold below which nothing changes is what keeps a
+    cold calibration from producing NaN or garbage rates.
+    """
+
+    host_ops_per_second: float = HOST_OPS_PER_SECOND
+    #: Host-side rate per phase bucket (abstract ops / wall second).
+    phase_rates: Dict[str, float] = field(default_factory=dict)
+    #: Refit effective tiled fraction ``f*e`` of the Amdahl intranode
+    #: model (:mod:`repro.perfmodel.intranode`); ``None`` keeps the
+    #: paper's per-trace ``chemistry_fraction * TILE_EFFICIENCY`` path.
+    tile_fraction: Optional[float] = None
+    #: Refit communication constants per machine short name.
+    comm: Dict[str, FittedParameters] = field(default_factory=dict)
+    #: Refit ``seconds_per_op`` per machine short name.
+    machine_rates: Dict[str, float] = field(default_factory=dict)
+    #: Calibration-store identity at refit time (0 / "" when detached).
+    generation: int = 0
+    fingerprint: str = ""
+    #: Total observations the refit consumed.
+    samples: int = 0
+
+    def host_spec(self) -> MachineSpec:
+        return workstation_spec(self.host_ops_per_second)
+
+    def machine_spec(self, name: str) -> MachineSpec:
+        """The machine profile with refit constants substituted in."""
+        base = get_machine(name)
+        fitted = self.comm.get(name)
+        if fitted is not None:
+            base = replace(
+                base,
+                latency=fitted.latency,
+                gap=fitted.gap,
+                copy_cost=fitted.copy_cost,
+            )
+        rate = self.machine_rates.get(name)
+        if rate is not None and rate > 0:
+            base = replace(base, seconds_per_op=rate)
+        return base
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host_ops_per_second": self.host_ops_per_second,
+            "phase_rates": dict(sorted(self.phase_rates.items())),
+            "tile_fraction": self.tile_fraction,
+            "comm": {
+                name: {
+                    "latency": fp.latency,
+                    "gap": fp.gap,
+                    "copy_cost": fp.copy_cost,
+                    "samples": fp.samples,
+                }
+                for name, fp in sorted(self.comm.items())
+            },
+            "machine_rates": dict(sorted(self.machine_rates.items())),
+            "generation": self.generation,
+            "fingerprint": self.fingerprint,
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class RefitResult:
+    """A refit model plus the notes the FX06x lint consumes.
+
+    Each note is a dict with ``kind`` either ``"fallback"`` (too few
+    usable samples — the paper constant stayed in force) or
+    ``"outliers"`` (MAD rejection dropped samples), a ``quantity``
+    label, and sample counts.
+    """
+
+    model: CalibratedModel
+    notes: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _rate_fit(
+    samples: List[float],
+    quantity: str,
+    notes: List[Dict[str, Any]],
+    min_samples: int,
+    z: float,
+) -> Optional[float]:
+    """Robust median of ``samples``; ``None`` (+ note) below threshold."""
+    if not samples:
+        return None
+    kept, rejected = _mad_keep(samples, z)
+    if rejected:
+        notes.append({
+            "kind": "outliers", "quantity": quantity,
+            "samples": len(samples), "rejected": rejected,
+        })
+    if len(kept) < min_samples:
+        notes.append({
+            "kind": "fallback", "quantity": quantity,
+            "samples": len(kept), "min_samples": min_samples,
+        })
+        return None
+    return float(np.median(kept))
+
+
+def _fit_comm_rows(
+    X: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Column-scaled NNLS for ``L*m + G*b + H*c = t`` (shared fit core)."""
+    from scipy.optimize import nnls
+
+    scale = np.maximum(X.max(axis=0), 1e-300)
+    coef, rnorm = nnls(X / scale, y)
+    return coef / scale, float(rnorm)
+
+
+def refit_observations(
+    observations: Iterable[Any],
+    *,
+    min_samples: int = MIN_SAMPLES,
+    outlier_z: float = OUTLIER_Z,
+) -> RefitResult:
+    """Refit the §4 model from stored observations, robustly.
+
+    ``observations`` are :class:`repro.tune.store.Observation`-shaped
+    objects (duck-typed; this module must not import :mod:`repro.tune`).
+    Quantities refit, each independently guarded by ``min_samples``
+    after MAD outlier rejection and falling back to the paper constants
+    otherwise:
+
+    * **host rate** — median ``ops / observed_s`` of host ``job``
+      observations;
+    * **per-phase rates** — same, per named host phase bucket;
+    * **L/G/H per machine** — robust NNLS over comm observations
+      carrying (messages, bytes_moved, bytes_copied), with one
+      residual-based rejection pass;
+    * **machine compute rates** — median ``observed_s / ops`` of
+      simulated compute observations per machine;
+    * **tiled fraction** — per multi-core host job, the Amdahl
+      ``f*e`` solved from its speedup over the matching single-core
+      median baseline.
+    """
+    obs = list(observations)
+    notes: List[Dict[str, Any]] = []
+
+    host_job: List[Any] = []
+    host_phase: Dict[str, List[Any]] = {}
+    comm_rows: Dict[str, List[Tuple[Tuple[float, float, float], float]]] = {}
+    machine_compute: Dict[str, List[float]] = {}
+    for o in obs:
+        if o.observed_s <= 0:
+            continue
+        if o.machine == "host":
+            if o.phase == "job":
+                host_job.append(o)
+            elif o.ops is not None and o.ops > 0:
+                host_phase.setdefault(o.phase, []).append(o)
+            continue
+        if o.messages is not None and o.bytes_moved is not None:
+            comm_rows.setdefault(o.machine, []).append((
+                (float(o.messages), float(o.bytes_moved),
+                 float(o.bytes_copied or 0.0)),
+                float(o.observed_s),
+            ))
+        elif o.ops is not None and o.ops > 0:
+            machine_compute.setdefault(o.machine, []).append(
+                float(o.observed_s) / float(o.ops)
+            )
+
+    # Host rate: single-core job observations only (multi-core jobs
+    # measure the tiled fraction instead).
+    host_rate = _rate_fit(
+        [float(o.ops) / float(o.observed_s)
+         for o in host_job
+         if o.cores_per_job <= 1 and o.ops is not None and o.ops > 0],
+        "host_ops_per_second", notes, min_samples, outlier_z,
+    )
+
+    phase_rates: Dict[str, float] = {}
+    for phase in sorted(host_phase):
+        rate = _rate_fit(
+            [float(o.ops) / float(o.observed_s)
+             for o in host_phase[phase]],
+            f"phase_rate:{phase}", notes, min_samples, outlier_z,
+        )
+        if rate is not None:
+            phase_rates[phase] = rate
+
+    comm: Dict[str, FittedParameters] = {}
+    for machine in sorted(comm_rows):
+        rows = comm_rows[machine]
+        if len(rows) < max(min_samples, 3):
+            notes.append({
+                "kind": "fallback", "quantity": f"comm:{machine}",
+                "samples": len(rows), "min_samples": max(min_samples, 3),
+            })
+            continue
+        X = np.asarray([r[0] for r in rows], dtype=float)
+        y = np.asarray([r[1] for r in rows], dtype=float)
+        coef, _ = _fit_comm_rows(X, y)
+        # One residual-based rejection pass, then refit on the keepers.
+        resid = list(np.abs(y - X @ coef))
+        kept_resid, rejected = _mad_keep(resid, outlier_z)
+        if rejected and len(rows) - rejected >= max(min_samples, 3):
+            notes.append({
+                "kind": "outliers", "quantity": f"comm:{machine}",
+                "samples": len(rows), "rejected": rejected,
+            })
+            cutoff = max(kept_resid) if kept_resid else 0.0
+            keep = np.abs(y - X @ coef) <= cutoff
+            coef, _ = _fit_comm_rows(X[keep], y[keep])
+            n = int(keep.sum())
+        else:
+            n = len(rows)
+        resid_norm = float(np.linalg.norm(y - X @ coef))
+        comm[machine] = FittedParameters(
+            latency=float(coef[0]), gap=float(coef[1]),
+            copy_cost=float(coef[2]), residual=resid_norm, samples=n,
+        )
+
+    machine_rates: Dict[str, float] = {}
+    for machine in sorted(machine_compute):
+        rate = _rate_fit(
+            machine_compute[machine],
+            f"machine_rate:{machine}", notes, min_samples, outlier_z,
+        )
+        if rate is not None:
+            machine_rates[machine] = rate
+
+    # Tiled fraction: solve Amdahl per multi-core job against the
+    # matching single-core median baseline.
+    base: Dict[Tuple[str, str, int], List[float]] = {}
+    for o in host_job:
+        if o.cores_per_job <= 1:
+            base.setdefault(
+                (o.dataset, o.variant, o.hours), []
+            ).append(float(o.observed_s))
+    fractions: List[float] = []
+    for o in host_job:
+        c = o.cores_per_job
+        if c <= 1:
+            continue
+        t1 = base.get((o.dataset, o.variant, o.hours))
+        if not t1:
+            continue
+        speedup = float(np.median(t1)) / float(o.observed_s)
+        if speedup <= 1.0:
+            fractions.append(0.0)
+            continue
+        # speedup = 1 / ((1 - fe) + fe / c)  =>  fe = (1 - 1/s) / (1 - 1/c)
+        fe = (1.0 - 1.0 / speedup) / (1.0 - 1.0 / float(c))
+        fractions.append(min(max(fe, 0.0), 1.0))
+    tile_fraction = _rate_fit(
+        fractions, "tile_fraction", notes, min_samples, outlier_z,
+    )
+
+    model = CalibratedModel(
+        host_ops_per_second=(
+            host_rate if host_rate is not None else HOST_OPS_PER_SECOND
+        ),
+        phase_rates=phase_rates,
+        tile_fraction=tile_fraction,
+        comm=comm,
+        machine_rates=machine_rates,
+        samples=len(obs),
+    )
+    return RefitResult(model=model, notes=notes)
+
+
+def drift_report(
+    observations: Iterable[Any],
+    *,
+    band: float = DEFAULT_DRIFT_BAND,
+    min_samples: int = MIN_SAMPLES,
+) -> List[Dict[str, Any]]:
+    """Predicted-vs-observed drift per phase key.
+
+    Groups observations carrying a prediction by phase key; a group
+    with at least ``min_samples`` samples gets one entry with its
+    median relative error, and ``drifted`` is ``True`` only when that
+    error *strictly* exceeds ``band`` (an error exactly on the band is
+    in band).  Entries are sorted by phase key.
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    groups: Dict[str, List[float]] = {}
+    for o in observations:
+        if o.predicted_s is None or o.observed_s <= 0:
+            continue
+        err = abs(float(o.predicted_s) - float(o.observed_s)) \
+            / float(o.observed_s)
+        groups.setdefault(observation_phase_key(o), []).append(err)
+    entries: List[Dict[str, Any]] = []
+    for key in sorted(groups):
+        errs = groups[key]
+        if len(errs) < min_samples:
+            continue
+        median_error = float(np.median(errs))
+        entries.append({
+            "phase_key": key,
+            "samples": len(errs),
+            "median_error": median_error,
+            "band": band,
+            "drifted": median_error > band,
+        })
+    return entries

@@ -33,7 +33,12 @@ from repro.perfmodel.intranode import chemistry_fraction, intra_job_speedup
 from repro.perfmodel.predict import PerformancePredictor
 from repro.sched.cache import ResultCache
 from repro.sched.job import JobResult, JobSpec
-from repro.vm.machine import HOST_OPS_PER_SECOND, get_machine, workstation_spec
+from repro.vm.machine import (
+    HOST_OPS_PER_SECOND,
+    MachineSpec,
+    get_machine,
+    workstation_spec,
+)
 
 __all__ = ["PredictedJobCost", "CampaignCostModel"]
 
@@ -96,13 +101,25 @@ class CampaignCostModel:
         ops_per_second: float = HOST_OPS_PER_SECOND,
         cache: Optional[ResultCache] = None,
         steps_per_hour: int = 5,
+        machine_overrides: Optional[Dict[str, MachineSpec]] = None,
+        tile_fraction: Optional[float] = None,
     ):
         if ops_per_second <= 0:
             raise ValueError("ops_per_second must be positive")
         self.ops_per_second = float(ops_per_second)
         self.cache = cache
         self.steps_per_hour = int(steps_per_hour)
+        #: Calibrated machine profiles (``repro.tune``) keyed by short
+        #: name; missing names fall back to the paper constants.
+        self.machine_overrides = dict(machine_overrides or {})
+        #: Refit effective tiled fraction f*e; ``None`` keeps the
+        #: per-trace ``chemistry_fraction * TILE_EFFICIENCY`` path.
+        self.tile_fraction = tile_fraction
         self._host = workstation_spec(self.ops_per_second)
+
+    def _machine(self, name: str) -> MachineSpec:
+        override = self.machine_overrides.get(name)
+        return override if override is not None else get_machine(name)
 
     # ------------------------------------------------------------------
     def _trace(self, spec: JobSpec):
@@ -126,6 +143,12 @@ class CampaignCostModel:
         base = PerformancePredictor(trace, self._host).predict_total(1)
         if spec.cores_per_job <= 1:
             return base
+        if self.tile_fraction is not None:
+            # Calibrated Amdahl: the refit f*e replaces the per-trace
+            # chemistry_fraction * TILE_EFFICIENCY estimate.
+            c = spec.cores_per_job
+            fe = min(max(self.tile_fraction, 0.0), 1.0)
+            return base * ((1.0 - fe) + fe / c)
         return base / intra_job_speedup(
             spec.cores_per_job, chemistry_fraction(trace)
         )
@@ -178,7 +201,7 @@ class CampaignCostModel:
             steps = trace.total_steps()
             replay_s = REPLAY_WALL_BASE + REPLAY_WALL_PER_STEP * steps
             sim_s = PerformancePredictor(
-                trace, get_machine(spec.machine)
+                trace, self._machine(spec.machine)
             ).predict_total(spec.nprocs)
         return PredictedJobCost(
             wall_s=science_s + replay_s,
@@ -210,4 +233,6 @@ class CampaignCostModel:
             ops_per_second=new_rate,
             cache=self.cache,
             steps_per_hour=self.steps_per_hour,
+            machine_overrides=self.machine_overrides,
+            tile_fraction=self.tile_fraction,
         )

@@ -246,5 +246,6 @@ class JobResult:
             "science_cached": self.science_cached,
             "predicted_s": round(self.predicted_s, 4),
             "wall_s": round(self.wall_s, 4),
+            "sha256": self.final_conc_sha256(),
             "error": self.error,
         }

@@ -77,6 +77,10 @@ class CampaignPlan:
     workers: int
     predicted_makespan: float
     duplicates: Dict[str, int] = field(default_factory=dict)
+    #: Autotuner provenance (``repro.tune``): calibration generation,
+    #: store fingerprint and per-job decision records.  ``None`` for
+    #: untuned plans — the default planner never sets it.
+    tuning: Optional[Dict[str, object]] = None
 
     @property
     def n_jobs(self) -> int:
@@ -93,13 +97,16 @@ class CampaignPlan:
         raise KeyError(f"no planned job with key {key}")
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "workers": self.workers,
             "predicted_makespan_s": round(self.predicted_makespan, 4),
             "n_jobs": self.n_jobs,
             "n_duplicates": self.n_duplicates,
             "jobs": [j.row() for j in self.jobs],
         }
+        if self.tuning is not None:
+            out["tuning"] = self.tuning
+        return out
 
 
 def plan_campaign(

@@ -68,7 +68,7 @@ class CampaignReport:
         return [r.summary_row() for r in self.results]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "workers": self.plan.workers,
             "n_jobs": self.plan.n_jobs,
             "n_duplicates": self.plan.n_duplicates,
@@ -83,6 +83,9 @@ class CampaignReport:
             "counters": self.counters,
             "jobs": self.rows(),
         }
+        if self.plan.tuning is not None:
+            out["tuning"] = self.plan.tuning
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -143,11 +143,16 @@ class CampaignRunner:
             self.tracer.counters.inc(name, amount)
 
     def _emit_job_span(self, spec: JobSpec, slot: int, start: float,
-                       end: float, status: str, attempts: int) -> None:
+                       end: float, status: str, attempts: int,
+                       wait_s: float = 0.0) -> None:
+        # ``wait_s`` is the span's scheduling-delay share (retry backoff
+        # sleeps); the makespan computation subtracts it so observed
+        # fits aren't polluted by queue wait.
         with self._lock:
             self.tracer.emit(
                 f"job:{spec.label}", "job", start, end, node=slot,
                 key=spec.key, status=status, attempts=attempts,
+                queue_wait_s=round(wait_s, 6),
             )
 
     # -- planning ------------------------------------------------------
@@ -186,7 +191,8 @@ class CampaignRunner:
                     for f in futures:
                         f.result()
 
-        observed = observed_makespan(self.tracer.spans, kinds=("job",))
+        observed = observed_makespan(self.tracer.spans, kinds=("job",),
+                                     exclude_wait=True)
         ordered = [results[j.key] for j in plan.jobs if j.key in results]
         return CampaignReport(
             plan=plan,
@@ -327,7 +333,7 @@ class CampaignRunner:
                 predicted_s=planned.predicted_s, backoffs=backoffs,
             )
             self._emit_job_span(spec, slot, span_start, self.tracer.now(),
-                                "ok", attempts)
+                                "ok", attempts, wait_s=sum(backoffs))
             return jr
 
         status = "timeout" if timed_out else "failed"
@@ -337,7 +343,7 @@ class CampaignRunner:
             error=last_error, backoffs=backoffs,
         )
         self._emit_job_span(spec, slot, span_start, self.tracer.now(),
-                            status, attempts)
+                            status, attempts, wait_s=sum(backoffs))
         return jr
 
     # -- one attempt ---------------------------------------------------

@@ -95,6 +95,16 @@ class CampaignService:
         and ``cores_per_job`` is presentation-only (tiled chemistry is
         bitwise-invariant in worker count), so the override never
         changes job keys or cache semantics.
+    autotune / tune_store:
+        ``autotune=True`` builds a fresh
+        :class:`~repro.tune.autotune.Autotuner` per wave from the
+        calibration store (``tune_store`` path or store; defaults to
+        ``<root>/tune``), so the daemon replans every wave with the
+        freshest calibration, and harvests each wave's report back into
+        the store.  Tuning rewrites only execution/presentation fields
+        — science keys, cache semantics and delivered results stay
+        identical; rows are still journaled under the *submitted* keys.
+        A ``tune_store`` without ``autotune`` harvests only.
     clock / sleep:
         Injectable time sources (tests drive the service with a fake
         clock and pay no wall time).
@@ -115,6 +125,8 @@ class CampaignService:
         cache_max_bytes: Optional[int] = None,
         chem_workers: int = 1,
         fuse_ensembles: bool = True,
+        autotune: bool = False,
+        tune_store=None,
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], None]] = None,
@@ -135,6 +147,17 @@ class CampaignService:
             raise ValueError("chem_workers must be >= 1")
         self.chem_workers = int(chem_workers)
         self.fuse_ensembles = bool(fuse_ensembles)
+        self.autotune = bool(autotune)
+        self.tune_store = None
+        if self.autotune or tune_store is not None:
+            from repro.tune.store import CalibrationStore
+
+            if tune_store is None:
+                tune_store = self.root / "tune"
+            self.tune_store = (
+                tune_store if isinstance(tune_store, CalibrationStore)
+                else CalibrationStore(tune_store)
+            )
         self.queue = FairShareQueue()
         for tenant, weight in (tenant_weights or {}).items():
             self.queue.set_weight(tenant, weight)
@@ -259,7 +282,7 @@ class CampaignService:
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             snap = self.tracer.counters.snapshot()
-            return {
+            out = {
                 "campaigns": [
                     self.campaigns[c].summary()
                     for c in sorted(self.campaigns)
@@ -269,6 +292,9 @@ class CampaignService:
                 "histograms": snap["histograms"],
                 "cache": self.cache.stats(),
             }
+            if self.tune_store is not None:
+                out["tune"] = self.tune_store.stats()
+            return out
 
     def _record(self, cid: str) -> CampaignRecord:
         record = self.campaigns.get(cid)
@@ -316,29 +342,62 @@ class CampaignService:
                 specs.append(item.spec)
             subscribers.setdefault(item.spec.key, []).append(item)
 
+        run_specs = specs
+        cost_model = None
+        tuned_by_key: Dict[str, str] = {}
+        if self.autotune:
+            # A fresh autotuner per wave: every wave replans with the
+            # freshest calibration in the store.  Tuning rewrites only
+            # execution/presentation fields, never science keys.
+            from repro.tune.autotune import Autotuner
+
+            tuner = Autotuner(store=self.tune_store, cache=self.cache)
+            run_specs, records, tuned_by_key = tuner.tune_all(specs)
+            cost_model = tuner.cost_model()
+            for record in records:
+                self.tune_store.record_decision(record)
+            self._count("service:tuned_jobs", len(records))
+
         runner = CampaignRunner(
             self.cache, workers=self.workers, retries=self.retries,
             backoff=self.backoff, timeout=self.timeout,
             executor=self.executor, fuse_ensembles=self.fuse_ensembles,
-            sleep=self._sleep, clock=self._clock,
+            cost_model=cost_model, sleep=self._sleep, clock=self._clock,
         )
-        report = runner.run(specs)
+        report = runner.run(run_specs)
         self._count("service:waves")
         with self._lock:
             for name, value in report.counters.items():
                 self.tracer.counters.inc(name, value)
-            for result in report.results:
-                for item in subscribers.get(result.key, []):
-                    self._deliver(item, result)
+            results_by_key = {r.key: r for r in report.results}
+            for submitted_key, items in subscribers.items():
+                result = results_by_key.get(
+                    tuned_by_key.get(submitted_key, submitted_key)
+                )
+                if result is None:
+                    continue
+                for item in items:
+                    self._deliver(item, result, key=submitted_key)
             for cid in sorted({item.cid for item in wave}):
                 self._maybe_finish(cid)
+        if self.tune_store is not None:
+            from repro.tune.harvest import harvest_report
 
-    def _deliver(self, item: QueueItem, result: JobResult) -> None:
+            self.tune_store.add_many(
+                harvest_report(report, source="service")
+            )
+
+    def _deliver(self, item: QueueItem, result: JobResult,
+                 key: Optional[str] = None) -> None:
         record = self.campaigns.get(item.cid)
         if record is None:
             return
+        # ``key`` is the *submitted* key — the one pending_specs() and
+        # the results API index by.  An autotuned wave executed the job
+        # under a rewritten (same-science) key, recorded alongside.
+        key = key if key is not None else result.key
         row = {
-            "key": result.key,
+            "key": key,
             "job": result.spec.label,
             "status": result.status,
             "attempts": result.attempts,
@@ -351,11 +410,13 @@ class CampaignService:
             ),
             "error": result.error,
         }
-        record.jobs[result.key] = row
+        if result.key != key:
+            row["tuned_key"] = result.key
+        record.jobs[key] = row
         if record.status == "queued":
             record.status = "running"
         self.store.append({
-            "type": "job", "cid": item.cid, "key": result.key, "row": row,
+            "type": "job", "cid": item.cid, "key": key, "row": row,
         })
         tenant = record.tenant
         self._count(f"service:tenant:{tenant}:completed_jobs")

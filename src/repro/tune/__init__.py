@@ -1,0 +1,45 @@
+"""Observed-span calibration and model-driven autotuning.
+
+``repro.tune`` closes the paper's §4 loop: the predictor prices runs,
+the observer measures them, and this package stores the measurements
+(:mod:`repro.tune.store`), refits the model from them
+(:func:`repro.perfmodel.calibrate.refit_observations`), and uses the
+refit model to choose configurations before running
+(:mod:`repro.tune.autotune`).  See ``docs/TUNING.md``.
+"""
+
+from repro.tune.autotune import (
+    Autotuner,
+    AutotunePlanner,
+    TuneConfig,
+    TuningDecision,
+)
+from repro.tune.harvest import (
+    harvest_report,
+    job_ops,
+    observations_from_timelines,
+    observations_from_tracer,
+    traced_replay,
+)
+from repro.tune.store import (
+    CalibrationStore,
+    Observation,
+    ScanResult,
+    utc_timestamp,
+)
+
+__all__ = [
+    "Observation",
+    "CalibrationStore",
+    "ScanResult",
+    "utc_timestamp",
+    "harvest_report",
+    "job_ops",
+    "observations_from_tracer",
+    "observations_from_timelines",
+    "traced_replay",
+    "Autotuner",
+    "AutotunePlanner",
+    "TuneConfig",
+    "TuningDecision",
+]

@@ -1,0 +1,130 @@
+"""FX06x: calibration-store lint (drift, fallbacks, integrity)."""
+
+from repro.analyze.tune import lint_tune_store
+from repro.perfmodel.calibrate import CalibratedModel, RefitResult
+from repro.tune import (
+    CalibrationStore,
+    Observation,
+    observations_from_tracer,
+    traced_replay,
+)
+from repro.vm.machine import get_machine
+
+
+def drift_obs(source, observed_s=1.0, predicted_s=1.25):
+    """Same phase key, distinct content (source) per sample."""
+    return Observation(dataset="demo", machine="t3e", nprocs=4,
+                       variant="data", cores_per_job=1, phase="chemistry",
+                       observed_s=observed_s, predicted_s=predicted_s,
+                       source=source)
+
+
+def job_obs(observed_s, ops):
+    return Observation(dataset="demo", machine="host", nprocs=1,
+                       variant="sequential", cores_per_job=1, phase="job",
+                       observed_s=observed_s, ops=ops)
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def test_empty_store_is_clean(tmp_path):
+    report = lint_tune_store(str(tmp_path / "s"))
+    assert report.diagnostics == []
+    assert report.exit_code == 0
+    assert report.program == f"tune-store:{tmp_path / 's'}"
+    assert report.summary["observations"] == 0
+    assert report.summary["fingerprint"] == ""
+
+
+def test_fx061_fallback_is_informational(tmp_path):
+    store = CalibrationStore(tmp_path / "s")
+    store.add(job_obs(2.0, ops=1400.0))
+    report = lint_tune_store(store)
+    assert "FX061" in codes(report)
+    assert report.exit_code == 0  # info never fails the build
+    fx061 = [d for d in report.diagnostics if d.code == "FX061"]
+    assert any("host_ops_per_second" in d.message for d in fx061)
+
+
+def test_fx060_drift_respects_the_band_boundary(tmp_path):
+    store = CalibrationStore(tmp_path / "s")
+    store.add_many([drift_obs(f"s{i}") for i in range(3)])
+    drifted = lint_tune_store(store, band=0.2)
+    assert "FX060" in codes(drifted)
+    assert drifted.exit_code == 1
+    fx060 = [d for d in drifted.diagnostics if d.code == "FX060"][0]
+    assert fx060.details["median_error"] == 0.25
+    # the exact same store is in band at 0.25: the boundary is exclusive
+    on_band = lint_tune_store(store, band=0.25)
+    assert "FX060" not in codes(on_band)
+
+
+def test_fx062_outlier_dominated_quantity(tmp_path, monkeypatch):
+    store = CalibrationStore(tmp_path / "s")
+    store.add(job_obs(1.0, ops=700.0))
+
+    def fake_refit(observations, *, min_samples):
+        return RefitResult(CalibratedModel(), notes=[
+            {"kind": "outliers", "quantity": "host_ops_per_second",
+             "samples": 4, "rejected": 2},
+        ])
+
+    monkeypatch.setattr("repro.analyze.tune.refit_observations", fake_refit)
+    report = lint_tune_store(store)
+    assert "FX062" in codes(report)
+    assert report.exit_code == 1
+
+    def minority_refit(observations, *, min_samples):
+        return RefitResult(CalibratedModel(), notes=[
+            {"kind": "outliers", "quantity": "host_ops_per_second",
+             "samples": 4, "rejected": 1},
+        ])
+
+    monkeypatch.setattr(
+        "repro.analyze.tune.refit_observations", minority_refit)
+    assert "FX062" not in codes(lint_tune_store(store))
+
+
+def test_fx063_store_integrity_is_an_error(tmp_path):
+    store = CalibrationStore(tmp_path / "s")
+    store.add(job_obs(1.0, ops=700.0))
+    with store.journal_path.open("a") as fh:
+        fh.write("not json\n")
+    store.add(job_obs(2.0, ops=1400.0))  # interior, not a torn tail
+    report = lint_tune_store(CalibrationStore(tmp_path / "s"))
+    assert "FX063" in codes(report)
+    assert report.exit_code == 2
+    assert report.summary["errors"] == 1
+    assert report.summary["observations"] == 2  # good records still lint
+
+
+def test_fx064_stale_decision_generation(tmp_path):
+    store = CalibrationStore(tmp_path / "s")
+    store.add(job_obs(1.0, ops=700.0))
+    store.record_decision({"key": "k", "generation": 0})
+    report = lint_tune_store(store)
+    assert "FX064" in codes(report)
+    assert report.exit_code == 0
+    # a decision made at the current generation is fresh
+    store.record_decision({"key": "k", "generation": 1})
+    assert "FX064" not in codes(lint_tune_store(store))
+
+
+def test_perturbed_profile_is_flagged_as_drift(tmp_path, tiny_trace):
+    """The acceptance scenario: a skewed host profile drifts (FX060)."""
+    tracer, _ = traced_replay(tiny_trace, get_machine("t3e"), 4)
+    store = CalibrationStore(tmp_path / "s")
+    store.add_many(observations_from_tracer(
+        tracer, dataset="tiny", machine="t3e", nprocs=4, trace=tiny_trace,
+        machine_spec=get_machine("t3e").scaled(4.0, 4.0), timestamp="t"))
+    report = lint_tune_store(store, min_samples=1)
+    assert "FX060" in codes(report)
+    assert report.exit_code == 1
+    # predictions from the true profile sit inside the band
+    clean = CalibrationStore(tmp_path / "c")
+    clean.add_many(observations_from_tracer(
+        tracer, dataset="tiny", machine="t3e", nprocs=4, trace=tiny_trace,
+        timestamp="t"))
+    assert "FX060" not in codes(lint_tune_store(clean, min_samples=1))

@@ -1,0 +1,53 @@
+"""observed_makespan: queue-wait exclusion on the critical path."""
+
+from repro.observe.compare import observed_makespan
+from repro.observe.tracer import Span
+
+
+def job_span(name, start, end, node, wait=None, kind="job"):
+    attrs = {} if wait is None else {"queue_wait_s": wait}
+    return Span(name=name, kind=kind, start=start, end=end, node=node,
+                attrs=attrs)
+
+
+def test_makespan_is_first_start_to_last_end():
+    spans = [job_span("a", 0.0, 10.0, 0), job_span("b", 2.0, 8.0, 1)]
+    assert observed_makespan(spans) == 10.0
+
+
+def test_exclude_wait_subtracts_critical_worker_only():
+    spans = [
+        job_span("a", 0.0, 10.0, 0, wait=3.0),  # ends last: critical
+        job_span("b", 0.0, 8.0, 1, wait=5.0),   # hidden behind worker 0
+    ]
+    assert observed_makespan(spans) == 10.0
+    assert observed_makespan(spans, exclude_wait=True) == 7.0
+
+
+def test_exclude_wait_sums_per_worker():
+    spans = [
+        job_span("a", 0.0, 4.0, 0, wait=1.0),
+        job_span("b", 4.0, 10.0, 0, wait=2.0),
+        job_span("c", 0.0, 5.0, 1, wait=4.0),
+    ]
+    assert observed_makespan(spans, exclude_wait=True) == 7.0
+
+
+def test_wait_larger_than_span_clamps_to_zero():
+    spans = [job_span("a", 0.0, 2.0, 0, wait=5.0)]
+    assert observed_makespan(spans, exclude_wait=True) == 0.0
+
+
+def test_spans_without_the_attribute_are_fine():
+    spans = [job_span("a", 0.0, 3.0, 0), job_span("b", 1.0, 5.0, 1)]
+    assert observed_makespan(spans, exclude_wait=True) == 5.0
+
+
+def test_kinds_filter_applies_before_wait_accounting():
+    spans = [
+        job_span("a", 0.0, 6.0, 0, wait=1.0),
+        job_span("hour", 0.0, 50.0, 0, wait=9.0, kind="hour"),
+    ]
+    assert observed_makespan(spans, kinds=("job",)) == 6.0
+    assert observed_makespan(spans, kinds=("job",), exclude_wait=True) == 5.0
+    assert observed_makespan(spans, kinds=("nope",)) == 0.0

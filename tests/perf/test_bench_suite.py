@@ -74,6 +74,27 @@ def test_history_survives_corrupt_file(tmp_path):
     assert suite.load_history(out) == {"runs": []}
 
 
+def test_tune_meta_attributes_runs_to_the_calibration_store(tmp_path):
+    from repro.tune import CalibrationStore, Observation
+
+    # an untuned / cold store records zeros, not an error
+    cold = suite.tune_meta(tmp_path / "cold")
+    assert cold["generation"] == 0
+    assert cold["fingerprint"] == ""
+    assert cold["n_decisions"] == 0
+    assert "latest_decision" not in cold
+
+    store = CalibrationStore(tmp_path / "warm")
+    store.add(Observation(dataset="demo", machine="host", nprocs=1,
+                          variant="sequential", cores_per_job=1,
+                          phase="job", observed_s=1.0, ops=700.0))
+    store.record_decision({"key": "k", "generation": 1})
+    meta = suite.tune_meta(tmp_path / "warm")
+    assert meta["generation"] == 1
+    assert meta["fingerprint"] == store.fingerprint != ""
+    assert meta["latest_decision"]["key"] == "k"
+
+
 def test_baseline_covers_every_benchmark():
     baseline = json.loads(suite.BASELINE_PATH.read_text())["benchmarks"]
     assert set(baseline) == set(suite.BENCHES)

@@ -182,6 +182,21 @@ def test_job_spans_and_makespan(tmp_path):
     assert report2.observed_makespan_s >= 0.0
 
 
+def test_retry_backoff_excluded_from_observed_makespan(tmp_path):
+    from repro.observe.compare import observed_makespan
+
+    policy = FaultPolicy(keys=(SPEC.key,), mode="raise", after_hours=1)
+    runner, _ = make_runner(tmp_path, fault_policy=policy,
+                            retries=2, backoff=0.5)
+    report = runner.run([SPEC])
+    [span] = [s for s in runner.tracer.spans if s.kind == "job"]
+    # the backoff charged to the retry is on the span, not in the makespan
+    assert span.attrs["queue_wait_s"] == pytest.approx(0.5)
+    raw = observed_makespan(runner.tracer.spans, kinds=("job",))
+    assert report.observed_makespan_s == pytest.approx(
+        max(raw - 0.5, 0.0))
+
+
 def test_invalid_runner_parameters(tmp_path):
     cache = ResultCache(tmp_path / "c")
     with pytest.raises(ValueError):

@@ -1,0 +1,93 @@
+"""Autotuned waves in the resident service: keys, harvest, identity."""
+
+from repro.sched import scaling_ladder
+from repro.service import CampaignService
+from repro.tune import CalibrationStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def make_service(root, workers=2, **kwargs):
+    kwargs.setdefault("executor", "inline")
+    kwargs.setdefault("sleep", lambda s: None)
+    kwargs.setdefault("clock", FakeClock())
+    return CampaignService(root, workers=workers, **kwargs)
+
+
+def ladder(nodes=(4, 16)):
+    return scaling_ladder(dataset="demo", machine="t3e",
+                          node_counts=nodes, hours=1)
+
+
+def test_autotuned_wave_delivers_under_submitted_keys(tmp_path):
+    svc = make_service(tmp_path / "svc", autotune=True)
+    specs = ladder()
+    cid = svc.submit("alice", specs)
+    assert svc.run_until_idle() == 2
+    rows = svc.results(cid)
+    # the results API indexes by the keys the tenant submitted
+    assert {r["key"] for r in rows} == {s.key for s in specs}
+    assert all(r["status"] == "ok" for r in rows)
+    retuned = [r for r in rows if r.get("tuned_key")]
+    for row in retuned:
+        assert row["tuned_key"] != row["key"]
+    # tuning placement never changes the science bits
+    assert len({r["sha256"] for r in rows}) == 1
+
+
+def test_autotune_defaults_to_a_store_under_root(tmp_path):
+    svc = make_service(tmp_path / "svc", autotune=True)
+    svc.submit("alice", ladder())
+    svc.run_until_idle()
+    store = CalibrationStore(tmp_path / "svc" / "tune")
+    assert store.generation > 0  # the wave harvested its report
+    decisions = store.decisions()
+    assert len(decisions) == 2  # one record per submitted spec
+    assert all(d["science_key"] == ladder()[0].science_key
+               for d in decisions)
+    assert svc.stats()["tune"]["n_decisions"] == 2
+    assert svc.stats()["counters"]["service:tuned_jobs"] == 2
+
+
+def test_later_waves_replan_with_fresher_calibration(tmp_path):
+    svc = make_service(tmp_path / "svc", autotune=True)
+    svc.submit("alice", ladder())
+    svc.run_until_idle()
+    store = svc.tune_store
+    first_generation = store.generation
+    assert store.decisions()[-1]["generation"] == 0  # cold first wave
+    svc.submit("alice", ladder((1, 64)))
+    svc.run_until_idle()
+    # the second wave's decisions cite the first wave's harvest
+    assert store.decisions()[-1]["generation"] == first_generation > 0
+
+
+def test_tune_store_without_autotune_harvests_only(tmp_path):
+    store_root = tmp_path / "obs"
+    svc = make_service(tmp_path / "svc", tune_store=store_root)
+    cid = svc.submit("alice", ladder())
+    svc.run_until_idle()
+    store = CalibrationStore(store_root)
+    assert store.generation > 0
+    assert store.decisions() == []  # no tuning, no decisions
+    rows = svc.results(cid)
+    assert all("tuned_key" not in r for r in rows)
+
+
+def test_autotuned_science_matches_untuned_service(tmp_path):
+    plain = make_service(tmp_path / "plain")
+    cid_p = plain.submit("alice", ladder())
+    plain.run_until_idle()
+    tuned = make_service(tmp_path / "tuned", autotune=True)
+    cid_t = tuned.submit("alice", ladder())
+    tuned.run_until_idle()
+    shas_p = {r["sha256"] for r in plain.results(cid_p)}
+    shas_t = {r["sha256"] for r in tuned.results(cid_t)}
+    assert shas_p == shas_t != {None}

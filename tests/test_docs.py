@@ -26,6 +26,7 @@ def test_required_docs_exist():
     assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
     assert (ROOT / "docs" / "SCHEDULER.md").is_file()
     assert (ROOT / "docs" / "SERVICE.md").is_file()
+    assert (ROOT / "docs" / "TUNING.md").is_file()
 
 
 def test_performance_doc_is_linked_and_current():
@@ -135,6 +136,31 @@ def test_campaign_and_bench_subcommands_are_documented():
     readme = (ROOT / "README.md").read_text()
     assert "python -m repro campaign" in readme
     assert "python -m repro bench" in readme
+
+
+def test_tuning_doc_is_linked_and_current():
+    """TUNING.md is reachable and names the real artifacts."""
+    assert "docs/TUNING.md" in (ROOT / "README.md").read_text()
+    for doc in ("ARCHITECTURE.md", "SCHEDULER.md", "SERVICE.md",
+                "ANALYZE.md"):
+        assert "TUNING.md" in (ROOT / "docs" / doc).read_text(), (
+            f"{doc} no longer links TUNING.md")
+    text = (ROOT / "docs" / "TUNING.md").read_text()
+    for artifact in ("repro.tune", "CalibrationStore", "journal.jsonl",
+                     "refit_observations", "drift_report", "Autotuner",
+                     "AutotunePlanner", "--autotune", "tuned_key",
+                     "generation", "fingerprint", "FX060", "FX063",
+                     "python -m repro tune", "queue_wait_s",
+                     ".repro-determinism-allow"):
+        assert artifact in text, f"TUNING.md no longer mentions {artifact}"
+
+
+def test_tune_subcommand_is_documented():
+    """The tuning entry point is reachable from the README."""
+    assert "tune" in _parser_subcommands()
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro tune" in readme
+    assert "--autotune" in readme
 
 
 def test_ensembles_doc_is_linked_and_current():

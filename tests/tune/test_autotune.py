@@ -1,0 +1,142 @@
+"""Autotuner: candidate pricing, decision records, science safety."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sched.job import JobSpec
+from repro.tune import (
+    Autotuner,
+    AutotunePlanner,
+    CalibrationStore,
+    Observation,
+    TuneConfig,
+)
+
+SPEC = JobSpec(dataset="demo", hours=1, variant="data", machine="t3e",
+               nprocs=4)
+
+RECORD_KEYS = {"key", "tuned_key", "label", "science_key", "original",
+               "chosen", "predicted", "candidates", "generation",
+               "fingerprint"}
+
+
+class FakeCache:
+    def __init__(self, keys=()):
+        self.keys = set(keys)
+
+    def get_job(self, key):
+        return {"hit": True} if key in self.keys else None
+
+    def get_science(self, key):
+        return None
+
+
+class TestAutotuner:
+    def test_default_candidate_space(self):
+        tuner = Autotuner()
+        cands = tuner._candidates(SPEC)
+        # 1 variant x 1 cores x 3 machines x 4 node counts
+        assert len(cands) == 12
+        assert {c.science_key for c in cands} == {SPEC.science_key}
+
+    def test_decision_record_shape(self):
+        decision = Autotuner().tune(SPEC)
+        record = decision.record
+        assert set(record) == RECORD_KEYS
+        assert record["key"] == SPEC.key
+        assert record["tuned_key"] == decision.spec.key
+        assert record["science_key"] == SPEC.science_key
+        assert record["generation"] == 0
+        assert record["fingerprint"] == ""
+        assert len(record["candidates"]) == 12
+        assert record["chosen"] in record["candidates"] or all(
+            set(row) >= set(record["chosen"])
+            for row in record["candidates"])
+        # the argmin really is minimal over the candidate table
+        totals = [row["total_s"] for row in record["candidates"]]
+        assert record["predicted"]["total_s"] == min(totals)
+
+    def test_tuning_never_touches_science(self):
+        decision = Autotuner().tune(SPEC)
+        assert decision.spec.science_key == SPEC.science_key
+
+    def test_decisions_are_deterministic(self):
+        a = Autotuner().tune(SPEC).record
+        b = Autotuner().tune(SPEC).record
+        assert a == b
+
+    def test_sequential_spec_only_tunes_cores(self):
+        spec = JobSpec(dataset="demo", hours=1, variant="sequential")
+        decision = Autotuner().tune(spec)
+        assert len(decision.record["candidates"]) == 1
+        assert decision.spec.key == spec.key
+        assert decision.record["chosen"]["machine"] == ""
+        assert decision.record["chosen"]["nprocs"] == 0
+
+    def test_cached_candidate_wins_under_wall_objective(self):
+        slow = replace(SPEC, machine="paragon", nprocs=1)
+        config = TuneConfig(objective="wall")
+        baseline = Autotuner(config=config).tune(SPEC).record
+        assert baseline["chosen"] != {
+            "variant": "data", "machine": "paragon", "nprocs": 1,
+            "cores_per_job": slow.cores_per_job,
+        }  # sanity: not the natural argmin
+        tuner = Autotuner(cache=FakeCache([slow.key]), config=config)
+        record = tuner.tune(SPEC).record
+        assert record["chosen"]["machine"] == "paragon"
+        assert record["chosen"]["nprocs"] == 1
+        assert record["predicted"]["wall_s"] == 0.0
+        cached_rows = [r for r in record["candidates"] if r["cached"]]
+        assert len(cached_rows) == 1
+        assert cached_rows[0]["machine"] == "paragon"
+
+    def test_tune_all_maps_submitted_to_tuned_keys(self):
+        specs = [SPEC, replace(SPEC, nprocs=16)]
+        tuned, records, key_map = Autotuner().tune_all(specs)
+        assert len(tuned) == len(records) == 2
+        assert key_map == {s.key: t.key for s, t in zip(specs, tuned)}
+        # same science, same candidate table: both tune to one config
+        assert tuned[0].key == tuned[1].key
+
+    def test_model_carries_store_identity(self, tmp_path):
+        store = CalibrationStore(tmp_path / "s")
+        store.add_many([
+            Observation(dataset="demo", machine="host", nprocs=1,
+                        variant="sequential", cores_per_job=1, phase="job",
+                        observed_s=t, ops=700.0 * t)
+            for t in (1.0, 2.0, 4.0)
+        ])
+        tuner = Autotuner(store=store)
+        assert tuner.model.generation == store.generation == 3
+        assert tuner.model.fingerprint == store.fingerprint != ""
+        assert tuner.model.host_ops_per_second == pytest.approx(700.0)
+        record = tuner.tune(SPEC).record
+        assert record["generation"] == 3
+        assert record["fingerprint"] == store.fingerprint
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TuneConfig(machines=())
+        with pytest.raises(ValueError):
+            TuneConfig(objective="fastest")
+
+    def test_science_rewrite_is_refused(self, monkeypatch):
+        tuner = Autotuner()
+        monkeypatch.setattr(
+            tuner, "_candidates",
+            lambda spec: [replace(spec, hours=spec.hours + 1)])
+        with pytest.raises(RuntimeError, match="science"):
+            tuner.tune(SPEC)
+
+
+class TestAutotunePlanner:
+    def test_plan_is_tuned_and_stamped(self):
+        tuner = Autotuner()
+        plan = AutotunePlanner(tuner).plan([SPEC], workers=2)
+        assert plan.tuning["generation"] == 0
+        assert plan.tuning["fingerprint"] == ""
+        assert [d["key"] for d in plan.tuning["decisions"]] == [SPEC.key]
+        tuned_key = plan.tuning["decisions"][0]["tuned_key"]
+        assert [j.spec.key for j in plan.jobs] == [tuned_key]
+        assert plan.jobs[0].spec.science_key == SPEC.science_key

@@ -1,0 +1,103 @@
+"""CLI: repro tune ingest/status, campaign --autotune, lint --tune."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tune import CalibrationStore
+
+INGEST = ["tune", "ingest", "--dataset", "demo", "--machine", "t3e",
+          "--nodes", "4", "--hours", "1", "--store", "store"]
+
+
+@pytest.fixture()
+def seeded_store(tmp_path, monkeypatch, capsys):
+    """One demo ingest into ``store`` under a scratch cwd."""
+    monkeypatch.chdir(tmp_path)
+    assert main(INGEST) == 0
+    out = capsys.readouterr().out
+    assert "ingested" in out
+    return CalibrationStore("store")
+
+
+def test_tune_ingest_is_idempotent(seeded_store, capsys):
+    generation = seeded_store.generation
+    assert generation > 0
+    assert main(INGEST) == 0
+    out = capsys.readouterr().out
+    assert "ingested 0 new observation(s)" in out
+    assert CalibrationStore("store").generation == generation
+
+
+def test_tune_status_renders_and_serializes(seeded_store, capsys):
+    assert main(["tune", "status", "--store", "store"]) == 0
+    out = capsys.readouterr().out
+    assert "calibration store" in out
+    assert "diverged" in out  # the paper-vs-refit table rendered
+    assert main(["tune", "status", "--store", "store", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"store", "model", "notes", "drift"}
+    assert payload["store"]["generation"] == seeded_store.generation
+    # the acceptance check: ingested spans moved the refit off paper
+    assert payload["model"]["machine_rates"] or payload["model"]["comm"]
+
+
+def test_tune_status_on_an_empty_store(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["tune", "status", "--store", "empty"]) == 0
+    out = capsys.readouterr().out
+    assert "0 observation(s)" in out
+    assert "generation 0" in out
+
+
+def test_campaign_run_autotune_reports_decisions(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.chdir(tmp_path)
+    argv = ["campaign", "run", "--sweep", "ladder", "--dataset", "demo",
+            "--hours", "1", "--nodes", "1", "4", "--workers", "2",
+            "--cache-dir", "cache", "--autotune", "--tune-store", "store",
+            "--json"]
+    assert main(argv) == 0
+    report = json.loads(capsys.readouterr().out)
+    tuning = report["tuning"]
+    assert tuning["generation"] == 0  # cold store on the first plan
+    assert len(tuning["decisions"]) == 2
+    store = CalibrationStore("store")
+    assert store.generation > 0  # the run harvested itself
+    assert len(store.decisions()) == 2
+    # a second run replans with the harvested calibration
+    assert main(argv) == 0
+    report2 = json.loads(capsys.readouterr().out)
+    assert report2["tuning"]["generation"] > 0
+    assert report2["tuning"]["fingerprint"]
+    # and the science is bitwise identical either way
+    shas = {r["sha256"] for r in report["jobs"] if r["sha256"]}
+    shas2 = {r["sha256"] for r in report2["jobs"] if r["sha256"]}
+    assert shas == shas2 != set()
+
+
+def test_autotune_is_local_only(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="planner-side"):
+        main(["campaign", "run", "--sweep", "ladder", "--dataset", "demo",
+              "--hours", "1", "--server", "http://127.0.0.1:1",
+              "--autotune"])
+
+
+def test_lint_tune_store(seeded_store, capsys):
+    assert main(["lint", "--tune", "store", "--drift-band", "0.9"]) == 0
+    capsys.readouterr()
+    # a corrupt journal line turns the lint into an FX063 error exit
+    with seeded_store.journal_path.open("a") as fh:
+        fh.write("not json\n")
+        fh.write("\n")  # keep the corruption interior
+    assert main(["lint", "--tune", "store"]) == 2
+    assert "FX063" in capsys.readouterr().out
+
+
+def test_lint_modes_are_exclusive(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="exclusive"):
+        main(["lint", "--tune", "store", "--determinism"])

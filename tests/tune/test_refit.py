@@ -1,0 +1,163 @@
+"""Observation refit: robust fits, paper-constant fallbacks, drift."""
+
+import math
+
+import pytest
+
+from repro.perfmodel.calibrate import (
+    CalibratedModel,
+    drift_report,
+    observation_phase_key,
+    refit_observations,
+)
+from repro.tune import Observation
+from repro.vm.machine import HOST_OPS_PER_SECOND, get_machine
+
+
+def job_obs(observed_s, ops=None, cores=1, dataset="demo", hours=1):
+    return Observation(dataset=dataset, machine="host", nprocs=1,
+                       variant="sequential", cores_per_job=cores,
+                       phase="job", observed_s=observed_s, ops=ops,
+                       hours=hours)
+
+
+def phase_obs(phase, observed_s, ops):
+    return Observation(dataset="demo", machine="host", nprocs=1,
+                       variant="data", cores_per_job=1, phase=phase,
+                       observed_s=observed_s, ops=ops)
+
+
+def comm_obs(machine, m, b, c, observed_s):
+    return Observation(dataset="demo", machine=machine, nprocs=4,
+                       variant="data", cores_per_job=1, phase="comm:x",
+                       observed_s=observed_s, messages=m, bytes_moved=b,
+                       bytes_copied=c)
+
+
+def pred_obs(observed_s, predicted_s):
+    return Observation(dataset="demo", machine="t3e", nprocs=4,
+                       variant="data", cores_per_job=1, phase="chemistry",
+                       observed_s=observed_s, predicted_s=predicted_s)
+
+
+class TestRefit:
+    def test_empty_refit_is_the_paper_model(self):
+        result = refit_observations([])
+        assert result.model == CalibratedModel()
+        assert result.notes == []
+        assert result.model.host_ops_per_second == HOST_OPS_PER_SECOND
+        assert result.model.tile_fraction is None
+        assert result.model.machine_spec("t3e") == get_machine("t3e")
+
+    def test_single_observation_falls_back_not_nan(self):
+        result = refit_observations([job_obs(2.0, ops=1400.0)])
+        assert result.model.host_ops_per_second == HOST_OPS_PER_SECOND
+        assert math.isfinite(result.model.host_ops_per_second)
+        assert {"kind": "fallback", "quantity": "host_ops_per_second",
+                "samples": 1, "min_samples": 3} in result.notes
+
+    def test_host_rate_refit_from_consistent_jobs(self):
+        obs = [job_obs(t, ops=700.0 * t) for t in (1.0, 2.0, 4.0)]
+        result = refit_observations(obs)
+        assert result.model.host_ops_per_second == pytest.approx(700.0)
+        assert result.notes == []
+        assert result.model.samples == 3
+
+    def test_multicore_jobs_do_not_feed_the_host_rate(self):
+        obs = [job_obs(t, ops=700.0 * t) for t in (1.0, 2.0, 4.0)]
+        obs.append(job_obs(1.0, ops=1e12, cores=4))
+        result = refit_observations(obs)
+        assert result.model.host_ops_per_second == pytest.approx(700.0)
+
+    def test_outlier_rejected_before_the_median(self):
+        rates = [699.9, 700.0, 700.1, 7e6]
+        obs = [job_obs(1.0, ops=r) for r in rates]
+        result = refit_observations(obs)
+        assert result.model.host_ops_per_second == pytest.approx(700.0)
+        assert {"kind": "outliers", "quantity": "host_ops_per_second",
+                "samples": 4, "rejected": 1} in result.notes
+
+    def test_phase_rates_refit_per_bucket(self):
+        obs = [phase_obs("chemistry", t, 50.0 * t) for t in (1.0, 2.0, 3.0)]
+        obs += [phase_obs("transport", 1.0, 10.0)]  # below threshold
+        result = refit_observations(obs)
+        assert result.model.phase_rates == {
+            "chemistry": pytest.approx(50.0)}
+        assert any(n["quantity"] == "phase_rate:transport"
+                   and n["kind"] == "fallback" for n in result.notes)
+
+    def test_comm_refit_recovers_known_constants(self):
+        L, G, H = 2e-5, 1e-9, 5e-10
+        rows = [(10, 1e6, 1e6), (20, 4e6, 2e6), (5, 2e6, 5e5),
+                (40, 8e6, 1e6)]
+        obs = [comm_obs("t3e", m, b, c, L * m + G * b + H * c)
+               for m, b, c in rows]
+        result = refit_observations(obs)
+        fitted = result.model.comm["t3e"]
+        assert fitted.latency == pytest.approx(L, rel=1e-5)
+        assert fitted.gap == pytest.approx(G, rel=1e-5)
+        assert fitted.copy_cost == pytest.approx(H, rel=1e-5)
+        spec = result.model.machine_spec("t3e")
+        assert spec.latency == pytest.approx(L, rel=1e-5)
+        assert spec.seconds_per_op == get_machine("t3e").seconds_per_op
+
+    def test_comm_falls_back_below_min_samples(self):
+        obs = [comm_obs("t3e", 10, 1e6, 1e6, 0.01),
+               comm_obs("t3e", 20, 2e6, 2e6, 0.02)]
+        result = refit_observations(obs)
+        assert result.model.comm == {}
+        assert any(n["quantity"] == "comm:t3e"
+                   and n["kind"] == "fallback" for n in result.notes)
+
+    def test_machine_compute_rate_is_the_median(self):
+        obs = [Observation(dataset="demo", machine="t3d", nprocs=4,
+                           variant="data", cores_per_job=1,
+                           phase="compute:chem", observed_s=s, ops=1e9)
+               for s in (24.0, 25.0, 26.0)]
+        result = refit_observations(obs)
+        assert result.model.machine_rates["t3d"] == pytest.approx(2.5e-8)
+        spec = result.model.machine_spec("t3d")
+        assert spec.seconds_per_op == pytest.approx(2.5e-8)
+
+    def test_tile_fraction_solved_from_speedup(self):
+        obs = [job_obs(10.0) for _ in range(3)]
+        obs += [job_obs(5.0, cores=4) for _ in range(3)]
+        result = refit_observations(obs)
+        # speedup 2 on 4 cores: fe = (1 - 1/2) / (1 - 1/4) = 2/3
+        assert result.model.tile_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_tile_fraction_zero_when_cores_do_not_help(self):
+        obs = [job_obs(10.0) for _ in range(3)]
+        obs += [job_obs(20.0, cores=4) for _ in range(3)]
+        result = refit_observations(obs)
+        assert result.model.tile_fraction == 0.0
+
+
+class TestDrift:
+    def test_band_boundary_is_exclusive(self):
+        obs = [pred_obs(1.0, 1.25) for _ in range(3)]
+        on_band = drift_report(obs, band=0.25)
+        assert len(on_band) == 1
+        entry = on_band[0]
+        assert entry["median_error"] == 0.25
+        assert not entry["drifted"]  # exactly on the band is in band
+        assert entry["samples"] == 3
+        assert entry["phase_key"] == observation_phase_key(obs[0])
+        assert drift_report(obs, band=0.2)[0]["drifted"]
+
+    def test_skips_unpredicted_and_small_groups(self):
+        obs = [pred_obs(1.0, 2.0)]  # one sample < min_samples
+        obs += [Observation(dataset="demo", machine="t3e", nprocs=4,
+                            variant="data", cores_per_job=1,
+                            phase="transport", observed_s=1.0)
+                for _ in range(5)]  # no prediction attached
+        assert drift_report(obs) == []
+        assert len(drift_report(obs, min_samples=1)) == 1
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            drift_report([], band=-0.1)
+
+    def test_phase_key_shared_with_the_store(self):
+        o = pred_obs(1.0, 1.0)
+        assert observation_phase_key(o) == o.phase_key
